@@ -1,0 +1,95 @@
+#ifndef TOPKRGS_BENCH_BENCH_COMMON_H_
+#define TOPKRGS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "topkrgs/topkrgs.h"
+
+namespace topkrgs {
+namespace bench {
+
+/// One fully prepared dataset: generated, discretized, all views derived.
+struct BenchDataset {
+  DatasetProfile profile;
+  GeneratedData data;
+  Pipeline pipeline;
+};
+
+inline BenchDataset Load(const DatasetProfile& profile) {
+  BenchDataset d;
+  d.profile = profile;
+  d.data = GenerateMicroarray(profile);
+  d.pipeline = PreparePipeline(d.data.train, d.data.test);
+  return d;
+}
+
+/// Per-measurement wall-clock budget in seconds; override with the
+/// TOPKRGS_BENCH_BUDGET_S environment variable. Algorithms exceeding it are
+/// reported as DNF, mirroring the paper's treatment of FARMER / CHARM /
+/// CLOSET+ runs that "cannot finish in several hours".
+inline double PointBudgetSeconds(double fallback = 10.0) {
+  const char* env = std::getenv("TOPKRGS_BENCH_BUDGET_S");
+  if (env != nullptr) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Absolute minsup values derived from the class-1 training count for the
+/// paper's relative range (95% down to 70%).
+inline std::vector<uint32_t> MinsupSweep(uint32_t class_rows) {
+  std::vector<uint32_t> out;
+  for (double frac : {0.95, 0.90, 0.85, 0.80, 0.75, 0.70}) {
+    const uint32_t v =
+        std::max<uint32_t>(1, static_cast<uint32_t>(frac * class_rows));
+    if (out.empty() || out.back() != v) out.push_back(v);
+  }
+  return out;
+}
+
+/// One measured point: seconds, or DNF (exceeded budget), or skipped
+/// (a higher-minsup point already DNFed; runtime grows as minsup drops).
+struct Cell {
+  double seconds = 0.0;
+  bool dnf = false;
+  bool skipped = false;
+  uint64_t groups = 0;
+
+  std::string ToString() const {
+    char buf[48];
+    if (skipped) {
+      std::snprintf(buf, sizeof(buf), ">budget");
+    } else if (dnf) {
+      std::snprintf(buf, sizeof(buf), "DNF");
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+    }
+    return buf;
+  }
+};
+
+inline void PrintTableHeader(const std::string& first_col,
+                             const std::vector<std::string>& columns) {
+  std::printf("%-12s", first_col.c_str());
+  for (const auto& col : columns) std::printf(" %14s", col.c_str());
+  std::printf("\n");
+  std::printf("%-12s", "------------");
+  for (size_t i = 0; i < columns.size(); ++i) std::printf(" %14s", "--------------");
+  std::printf("\n");
+}
+
+inline void PrintTableRow(const std::string& label,
+                          const std::vector<std::string>& cells) {
+  std::printf("%-12s", label.c_str());
+  for (const auto& cell : cells) std::printf(" %14s", cell.c_str());
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,144 @@
+// Reproduces Figure 6 (a)-(d): runtime vs absolute minimum support on the
+// four datasets, for MineTopkRGS (k = 1 and k = 100), FARMER (fixed minconf,
+// original projected-table implementation), FARMER+prefix, FARMER with
+// minconf = 0, CHARM (diffsets) and CLOSET+. Runtimes over the per-point
+// budget print as DNF; lower-minsup points of an algorithm that already
+// DNFed are skipped (">budget") because its runtime grows as minsup drops.
+
+#include <functional>
+
+#include "bench_common.h"
+
+namespace topkrgs {
+namespace bench {
+namespace {
+
+struct Algo {
+  std::string name;
+  std::function<Cell(const DiscreteDataset&, uint32_t, Deadline)> run;
+};
+
+Cell RunTopk(const DiscreteDataset& data, uint32_t minsup, uint32_t k,
+             Deadline deadline) {
+  TopkMinerOptions opt;
+  opt.k = k;
+  opt.min_support = minsup;
+  opt.deadline = deadline;
+  const TopkResult result = MineTopkRGS(data, 1, opt);
+  Cell cell;
+  cell.seconds = result.stats.seconds;
+  cell.dnf = result.stats.timed_out;
+  cell.groups = result.DistinctGroups().size();
+  return cell;
+}
+
+Cell RunFarmer(const DiscreteDataset& data, uint32_t minsup, double minconf,
+               FarmerOptions::Backend backend, Deadline deadline) {
+  FarmerOptions opt;
+  opt.min_support = minsup;
+  opt.min_confidence = minconf;
+  opt.backend = backend;
+  opt.deadline = deadline;
+  const MiningResult result = MineFarmer(data, 1, opt);
+  Cell cell;
+  cell.seconds = result.stats.seconds;
+  cell.dnf = result.stats.timed_out;
+  cell.groups = result.stats.groups_emitted;
+  return cell;
+}
+
+int Run() {
+  const double budget = PointBudgetSeconds();
+  std::printf("=== Figure 6 (a-d): runtime (s) vs minsup ===\n");
+  std::printf("(per-point budget %.0fs; consequent = class 1)\n\n", budget);
+
+  for (const DatasetProfile& profile : PaperProfiles()) {
+    BenchDataset d = Load(profile);
+    const DiscreteDataset& train = d.pipeline.train;
+    const uint32_t class_rows = train.ClassCounts()[1];
+    // The paper uses minconf 0.9 on ALL/LC and 0.9/0.95 on PC/OC because
+    // FARMER is otherwise hopeless there.
+    const double farmer_conf =
+        (profile.name == "OC" || profile.name == "PC") ? 0.95 : 0.9;
+
+    std::vector<Algo> algos;
+    algos.push_back({"TopkRGS k=1",
+                     [](const DiscreteDataset& data, uint32_t minsup,
+                        Deadline dl) { return RunTopk(data, minsup, 1, dl); }});
+    algos.push_back(
+        {"TopkRGS k=100", [](const DiscreteDataset& data, uint32_t minsup,
+                             Deadline dl) { return RunTopk(data, minsup, 100, dl); }});
+    algos.push_back({"FARMER+prefix", [farmer_conf](const DiscreteDataset& data,
+                                                    uint32_t minsup, Deadline dl) {
+                       return RunFarmer(data, minsup, farmer_conf,
+                                        FarmerOptions::Backend::kPrefixTree, dl);
+                     }});
+    char farmer_name[32];
+    std::snprintf(farmer_name, sizeof(farmer_name), "FARMER c=%.2f",
+                  farmer_conf);
+    algos.push_back({farmer_name, [farmer_conf](const DiscreteDataset& data,
+                                                uint32_t minsup, Deadline dl) {
+                       return RunFarmer(data, minsup, farmer_conf,
+                                        FarmerOptions::Backend::kVector, dl);
+                     }});
+    algos.push_back({"FARMER c=0", [](const DiscreteDataset& data,
+                                      uint32_t minsup, Deadline dl) {
+                       return RunFarmer(data, minsup, 0.0,
+                                        FarmerOptions::Backend::kVector, dl);
+                     }});
+    algos.push_back({"CHARM", [](const DiscreteDataset& data, uint32_t minsup,
+                                 Deadline dl) {
+                       CharmOptions opt;
+                       opt.min_support = minsup;
+                       opt.materialize_rowsets = false;
+                       opt.deadline = dl;
+                       const MiningResult r = MineCharm(data, 1, opt);
+                       return Cell{r.stats.seconds, r.stats.timed_out, false,
+                                   r.stats.groups_emitted};
+                     }});
+    algos.push_back({"CLOSET+", [](const DiscreteDataset& data, uint32_t minsup,
+                                   Deadline dl) {
+                       ClosetOptions opt;
+                       opt.min_support = minsup;
+                       opt.materialize_rowsets = false;
+                       opt.deadline = dl;
+                       const MiningResult r = MineCloset(data, 1, opt);
+                       return Cell{r.stats.seconds, r.stats.timed_out, false,
+                                   r.stats.groups_emitted};
+                     }});
+
+    std::printf("--- Dataset %s (class-1 rows: %u, items: %u) ---\n",
+                profile.name.c_str(), class_rows, train.num_items());
+    std::vector<std::string> header;
+    for (const Algo& algo : algos) header.push_back(algo.name);
+    PrintTableHeader("minsup", header);
+
+    std::vector<bool> dead(algos.size(), false);
+    for (uint32_t minsup : MinsupSweep(class_rows)) {
+      std::vector<std::string> cells;
+      for (size_t a = 0; a < algos.size(); ++a) {
+        Cell cell;
+        if (dead[a]) {
+          cell.skipped = true;
+        } else {
+          cell = algos[a].run(train, minsup, Deadline(budget));
+          if (cell.dnf) dead[a] = true;
+        }
+        cells.push_back(cell.ToString());
+      }
+      PrintTableRow(std::to_string(minsup), cells);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper shape: MineTopkRGS is insensitive to minsup and 2-3 orders of\n"
+      "magnitude faster than FARMER; FARMER+prefix sits between them; CHARM\n"
+      "and CLOSET+ cannot complete on these dimensionalities.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topkrgs
+
+int main() { return topkrgs::bench::Run(); }

@@ -1,0 +1,142 @@
+// Micro benchmarks (google-benchmark) for the substrates the miners run on:
+// bitset set algebra, prefix tree construction and projection, transposed
+// table projection, entropy discretization and single-item closure.
+
+#include <benchmark/benchmark.h>
+
+#include "topkrgs/topkrgs.h"
+#include "mine/projection.h"
+
+namespace topkrgs {
+namespace {
+
+Bitset RandomBits(Rng& rng, size_t size, size_t bits) {
+  Bitset b(size);
+  for (size_t i = 0; i < bits; ++i) b.Set(rng.NextBounded(size));
+  return b;
+}
+
+void BM_BitsetIntersectCount(benchmark::State& state) {
+  Rng rng(1);
+  const size_t size = static_cast<size_t>(state.range(0));
+  Bitset a = RandomBits(rng, size, size / 4);
+  Bitset b = RandomBits(rng, size, size / 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.IntersectCount(b));
+  }
+}
+BENCHMARK(BM_BitsetIntersectCount)->Arg(1024)->Arg(8192)->Arg(16384);
+
+void BM_BitsetIsSubsetOf(benchmark::State& state) {
+  Rng rng(2);
+  const size_t size = static_cast<size_t>(state.range(0));
+  Bitset big = RandomBits(rng, size, size / 2);
+  Bitset small = big;
+  // Remove half the elements so the subset test succeeds (worst case: a
+  // full scan without early exit).
+  size_t removed = 0;
+  small.ForEach([&](size_t i) {
+    if (++removed % 2 == 0) small.Reset(i);
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(small.IsSubsetOf(big));
+  }
+}
+BENCHMARK(BM_BitsetIsSubsetOf)->Arg(1024)->Arg(8192)->Arg(16384);
+
+DiscreteDataset MakeMiningData(uint32_t rows, uint32_t items, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<ItemId>> r(rows);
+  std::vector<ClassLabel> labels(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    for (ItemId item = 0; item < items; ++item) {
+      if (rng.NextBool(0.4)) r[i].push_back(item);
+    }
+    labels[i] = rng.NextBool(0.5) ? 1 : 0;
+  }
+  return DiscreteDataset(items, std::move(r), std::move(labels));
+}
+
+void BM_PrefixTreeBuild(benchmark::State& state) {
+  const uint32_t rows = static_cast<uint32_t>(state.range(0));
+  DiscreteDataset data = MakeMiningData(rows, 512, 3);
+  const Bitset all = Bitset::AllSet(data.num_items());
+  std::vector<RowId> order(rows);
+  for (uint32_t i = 0; i < rows; ++i) order[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrefixTree::BuildRoot(data, order, all));
+  }
+}
+BENCHMARK(BM_PrefixTreeBuild)->Arg(32)->Arg(128)->Arg(210);
+
+void BM_PrefixTreeConditional(benchmark::State& state) {
+  const uint32_t rows = static_cast<uint32_t>(state.range(0));
+  DiscreteDataset data = MakeMiningData(rows, 512, 4);
+  const Bitset all = Bitset::AllSet(data.num_items());
+  std::vector<RowId> order(rows);
+  for (uint32_t i = 0; i < rows; ++i) order[i] = i;
+  PrefixTree tree = PrefixTree::BuildRoot(data, order, all);
+  uint32_t pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Conditional(pos));
+    pos = (pos + 1) % (rows / 2);
+  }
+}
+BENCHMARK(BM_PrefixTreeConditional)->Arg(32)->Arg(128)->Arg(210);
+
+void BM_VectorProjectionChild(benchmark::State& state) {
+  const uint32_t rows = static_cast<uint32_t>(state.range(0));
+  DiscreteDataset data = MakeMiningData(rows, 512, 5);
+  const Bitset all = Bitset::AllSet(data.num_items());
+  std::vector<RowId> order(rows);
+  for (uint32_t i = 0; i < rows; ++i) order[i] = i;
+  VectorProjection proj(&data, &order, all);
+  uint32_t pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proj.Child(pos, {}));
+    pos = (pos + 1) % (rows / 2);
+  }
+}
+BENCHMARK(BM_VectorProjectionChild)->Arg(32)->Arg(128)->Arg(210);
+
+void BM_EntropyDiscretizerFit(benchmark::State& state) {
+  DatasetProfile profile = DatasetProfile::Tiny(6);
+  profile.num_genes = static_cast<uint32_t>(state.range(0));
+  profile.strong_genes = profile.num_genes / 16;
+  profile.weak_genes = profile.num_genes / 4;
+  GeneratedData data = GenerateMicroarray(profile);
+  EntropyDiscretizer disc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disc.Fit(data.train));
+  }
+}
+BENCHMARK(BM_EntropyDiscretizerFit)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_CloseItemset(benchmark::State& state) {
+  DiscreteDataset data = MakeMiningData(128, 1024, 7);
+  Bitset seed(data.num_items());
+  seed.Set(3);
+  seed.Set(700);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CloseItemset(data, seed, 1));
+  }
+}
+BENCHMARK(BM_CloseItemset);
+
+void BM_MineTopkRgsTiny(benchmark::State& state) {
+  GeneratedData data = GenerateMicroarray(DatasetProfile::Tiny(8));
+  Pipeline p = PreparePipeline(data.train, data.test);
+  TopkMinerOptions opt;
+  opt.k = static_cast<uint32_t>(state.range(0));
+  opt.min_support =
+      std::max<uint32_t>(1, 7 * p.train.ClassCounts()[1] / 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineTopkRGS(p.train, 1, opt));
+  }
+}
+BENCHMARK(BM_MineTopkRgsTiny)->Arg(1)->Arg(10)->Arg(100);
+
+}  // namespace
+}  // namespace topkrgs
+
+BENCHMARK_MAIN();

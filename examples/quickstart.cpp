@@ -1,0 +1,82 @@
+// Quickstart: mine the top-k covering rule groups of the paper's running
+// example (Figure 1) and print them, together with the transposed table the
+// row enumeration works on.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "topkrgs/topkrgs.h"
+
+namespace {
+
+using namespace topkrgs;
+
+// Items of the running example are named a..h, o, p in the paper.
+std::string ItemNames(const Bitset& items) {
+  static const char* kNames = "abcdefgh";
+  std::string out;
+  items.ForEach([&](size_t i) {
+    if (i < 8) {
+      out += kNames[i];
+    } else {
+      out += (i == 8 ? 'o' : 'p');
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // Figure 1(a): five rows; r1..r3 are class C (label 1), r4, r5 are ¬C.
+  DiscreteDataset data = MakeRunningExampleDataset();
+  std::printf("Running example: %u rows, %u items, %u classes\n\n",
+              data.num_rows(), data.num_items(), data.num_classes());
+
+  // The transposed table TT (Figure 1b): one tuple per item.
+  std::vector<RowId> order(data.num_rows());
+  for (RowId r = 0; r < data.num_rows(); ++r) order[r] = r;
+  TransposedTable tt =
+      TransposedTable::Build(data, order, Bitset::AllSet(data.num_items()));
+  std::printf("Transposed table TT (item: row positions):\n%s\n",
+              tt.ToString().c_str());
+
+  // Mine the top-2 covering rule groups per row for both consequents.
+  for (ClassLabel cls : {ClassLabel{1}, ClassLabel{0}}) {
+    TopkMinerOptions options;
+    options.k = 2;
+    options.min_support = 2;
+    TopkResult result = MineTopkRGS(data, cls, options);
+
+    std::printf("Top-%u covering rule groups, consequent = %s, minsup = %u:\n",
+                options.k, cls == 1 ? "C" : "notC", options.min_support);
+    for (RowId r = 0; r < data.num_rows(); ++r) {
+      if (data.label(r) != cls) continue;
+      std::printf("  row r%u:\n", r + 1);
+      for (const RuleGroupPtr& group : result.per_row[r]) {
+        std::printf("    %s -> %s  (support %u, confidence %.1f%%)\n",
+                    ItemNames(group->antecedent).c_str(),
+                    cls == 1 ? "C" : "notC", group->support,
+                    100.0 * group->confidence());
+      }
+    }
+    std::printf("  search: %llu enumeration nodes\n\n",
+                static_cast<unsigned long long>(result.stats.nodes_visited));
+  }
+
+  // Lower bounds of the group {abc -> C} (Example 2.2: a and b).
+  RuleGroup abc = CloseItemset(data, [&] {
+    Bitset b(data.num_items());
+    b.Set(RunningExampleItem('a'));
+    return b;
+  }(), 1);
+  FindLbOptions lb_options;
+  lb_options.num_lower_bounds = 5;
+  std::printf("Lower bounds of %s -> C:\n", ItemNames(abc.antecedent).c_str());
+  for (const Rule& lb : FindLowerBounds(data, abc, {}, lb_options)) {
+    std::printf("  %s -> C\n", ItemNames(lb.antecedent).c_str());
+  }
+  return 0;
+}

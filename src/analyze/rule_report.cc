@@ -1,0 +1,124 @@
+#include "analyze/rule_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/stats.h"
+
+namespace topkrgs {
+
+RuleGroupStats ComputeRuleGroupStats(const DiscreteDataset& data,
+                                     const RuleGroup& group) {
+  RuleGroupStats stats;
+  stats.confidence = group.confidence();
+  stats.support = group.support;
+  stats.antecedent_items = group.antecedent.Count();
+
+  const auto class_counts = data.ClassCounts();
+  const uint32_t class_rows = class_counts[group.consequent];
+  const uint32_t total_rows = data.num_rows();
+  if (class_rows > 0 && total_rows > 0) {
+    const double base_rate =
+        static_cast<double>(class_rows) / static_cast<double>(total_rows);
+    stats.lift = base_rate > 0 ? stats.confidence / base_rate : 0.0;
+    stats.class_coverage =
+        static_cast<double>(group.support) / static_cast<double>(class_rows);
+  }
+
+  // 2x2 contingency: antecedent presence x consequent class.
+  const uint32_t with_and_class = group.support;
+  const uint32_t with_not_class = group.antecedent_support - group.support;
+  const uint32_t without_and_class = class_rows - with_and_class;
+  const uint32_t without_not_class =
+      (total_rows - class_rows) - with_not_class;
+  stats.chi_square = ChiSquare({{with_and_class, with_not_class},
+                                {without_and_class, without_not_class}});
+  return stats;
+}
+
+CoverageStats ComputeCoverage(const DiscreteDataset& data, ClassLabel consequent,
+                              const std::vector<RuleGroupPtr>& groups) {
+  CoverageStats stats;
+  uint64_t total_coverings = 0;
+  for (RowId r = 0; r < data.num_rows(); ++r) {
+    if (data.label(r) != consequent) continue;
+    ++stats.class_rows;
+    uint32_t covering = 0;
+    for (const RuleGroupPtr& group : groups) {
+      covering += group->row_support.Test(r);
+    }
+    stats.covered += covering > 0;
+    stats.covered_once += covering == 1;
+    total_coverings += covering;
+  }
+  stats.mean_groups_per_row =
+      stats.class_rows == 0
+          ? 0.0
+          : static_cast<double>(total_coverings) / stats.class_rows;
+  return stats;
+}
+
+std::vector<std::pair<GeneId, uint32_t>> GeneUsage(
+    const Discretization& discretization, const std::vector<Rule>& rules) {
+  std::map<GeneId, uint32_t> usage;
+  for (const Rule& rule : rules) {
+    rule.antecedent.ForEach([&](size_t item) {
+      ++usage[discretization.item(static_cast<ItemId>(item)).gene];
+    });
+  }
+  std::vector<std::pair<GeneId, uint32_t>> out(usage.begin(), usage.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  return out;
+}
+
+std::string RenderTopkReport(const DiscreteDataset& data,
+                             const ContinuousDataset& raw,
+                             const Discretization& discretization,
+                             ClassLabel consequent, const TopkResult& result,
+                             size_t max_groups) {
+  std::string out;
+  char buf[256];
+  const auto groups = result.DistinctGroups();
+  std::snprintf(buf, sizeof(buf),
+                "Top-k covering rule groups for class %d: %zu distinct "
+                "groups (effective minsup %u)\n",
+                static_cast<int>(consequent), groups.size(),
+                result.effective_min_support);
+  out += buf;
+
+  const CoverageStats coverage = ComputeCoverage(data, consequent, groups);
+  std::snprintf(buf, sizeof(buf),
+                "Coverage: %u/%u class rows covered (%.1f%%), mean %.1f "
+                "groups per row\n\n",
+                coverage.covered, coverage.class_rows,
+                100.0 * coverage.coverage(), coverage.mean_groups_per_row);
+  out += buf;
+
+  for (size_t g = 0; g < groups.size() && g < max_groups; ++g) {
+    const RuleGroupStats stats = ComputeRuleGroupStats(data, *groups[g]);
+    std::snprintf(buf, sizeof(buf),
+                  "group %zu: %zu items, sup %u (%.0f%% of class), conf "
+                  "%.1f%%, lift %.2f, chi2 %.1f\n",
+                  g, stats.antecedent_items, stats.support,
+                  100.0 * stats.class_coverage, 100.0 * stats.confidence,
+                  stats.lift, stats.chi_square);
+    out += buf;
+    // First few items in gene/interval form.
+    std::string antecedent;
+    size_t printed = 0;
+    groups[g]->antecedent.ForEach([&](size_t item) {
+      if (printed >= 3) return;
+      if (!antecedent.empty()) antecedent += " AND ";
+      antecedent += discretization.ItemName(raw, static_cast<ItemId>(item));
+      ++printed;
+    });
+    if (groups[g]->antecedent.Count() > 3) antecedent += " AND ...";
+    out += "  " + antecedent + "\n";
+  }
+  return out;
+}
+
+}  // namespace topkrgs

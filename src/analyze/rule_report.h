@@ -1,0 +1,66 @@
+#ifndef TOPKRGS_ANALYZE_RULE_REPORT_H_
+#define TOPKRGS_ANALYZE_RULE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/rule.h"
+#include "discretize/entropy_discretizer.h"
+#include "mine/topk_miner.h"
+
+namespace topkrgs {
+
+/// Statistical summary of one rule group against a dataset — the numbers a
+/// biologist reads next to a rule (§6.2's interpretability claims).
+struct RuleGroupStats {
+  double confidence = 0.0;
+  uint32_t support = 0;
+  /// Lift: confidence / base rate of the consequent class.
+  double lift = 0.0;
+  /// Chi-square of the 2x2 antecedent-presence vs class contingency table.
+  double chi_square = 0.0;
+  /// Fraction of consequent-class rows covered.
+  double class_coverage = 0.0;
+  size_t antecedent_items = 0;
+};
+
+/// Computes RuleGroupStats for `group` against `data`.
+RuleGroupStats ComputeRuleGroupStats(const DiscreteDataset& data,
+                                     const RuleGroup& group);
+
+/// Coverage analysis of a rule-group collection: how many consequent-class
+/// rows are covered by at least one / exactly one group, and the
+/// average number of groups covering a row (the redundancy the paper's
+/// top-k formulation bounds).
+struct CoverageStats {
+  uint32_t class_rows = 0;
+  uint32_t covered = 0;
+  uint32_t covered_once = 0;
+  double mean_groups_per_row = 0.0;
+
+  double coverage() const {
+    return class_rows == 0 ? 0.0 : static_cast<double>(covered) / class_rows;
+  }
+};
+
+CoverageStats ComputeCoverage(const DiscreteDataset& data, ClassLabel consequent,
+                              const std::vector<RuleGroupPtr>& groups);
+
+/// Per-gene usage across a rule collection: how often each gene's items
+/// appear (Figure 8's occurrence counts).
+std::vector<std::pair<GeneId, uint32_t>> GeneUsage(
+    const Discretization& discretization, const std::vector<Rule>& rules);
+
+/// Renders a human-readable report of a top-k mining result: per-group
+/// stats, coverage, and the most used genes. `raw` supplies gene names;
+/// `max_groups` caps the per-group section.
+std::string RenderTopkReport(const DiscreteDataset& data,
+                             const ContinuousDataset& raw,
+                             const Discretization& discretization,
+                             ClassLabel consequent, const TopkResult& result,
+                             size_t max_groups = 10);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_ANALYZE_RULE_REPORT_H_

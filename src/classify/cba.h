@@ -1,0 +1,70 @@
+#ifndef TOPKRGS_CLASSIFY_CBA_H_
+#define TOPKRGS_CLASSIFY_CBA_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/rule.h"
+
+namespace topkrgs {
+
+/// A rule-list classifier built with CBA's method [Liu, Hsu & Ma, KDD 98]:
+/// candidate rules sorted by the "<" precedence (confidence desc, support
+/// desc, shorter antecedent / earlier discovery first), selected by the
+/// database-coverage procedure (Step 3 of §2.2), truncated at the prefix
+/// with the fewest training errors (Step 4), with a default class for
+/// uncovered data.
+class CbaClassifier {
+ public:
+  /// Reassembles a classifier from its parts (model deserialization); no
+  /// selection is performed — `rules` must already be the final sorted list.
+  static CbaClassifier FromParts(std::vector<Rule> rules,
+                                 ClassLabel default_class);
+
+  /// Builds the classifier from candidate rules; `rules` order is the
+  /// discovery order used for tie-breaking. `apply_error_cut` toggles Step 4
+  /// (truncation at the minimal-error prefix); RCBT's sub-classifiers use
+  /// only the Step-3 coverage selection and keep the full covering list.
+  static CbaClassifier TrainFromRules(const DiscreteDataset& train,
+                                      std::vector<Rule> rules,
+                                      bool apply_error_cut = true);
+
+  /// Predicts by the first matching rule; falls back to the default class.
+  /// `used_default`, when non-null, reports whether the default fired.
+  ClassLabel Predict(const Bitset& row_items,
+                     bool* used_default = nullptr) const;
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  ClassLabel default_class() const { return default_class_; }
+
+  /// Rows of `train` left uncovered after the coverage phase — the data the
+  /// default class was chosen from. Exposed for RCBT's default selection.
+  const std::vector<RowId>& uncovered_rows() const { return uncovered_rows_; }
+
+ private:
+  std::vector<Rule> rules_;
+  ClassLabel default_class_ = 0;
+  std::vector<RowId> uncovered_rows_;
+};
+
+/// End-to-end CBA exactly as the paper builds it: mine the top-1 covering
+/// rule group of every training row (per class), take one shortest lower
+/// bound each (FindLB with nl = 1), then run CBA rule selection.
+struct CbaOptions {
+  /// minsup as a fraction of the consequent class size (paper: 0.7).
+  double min_support_frac = 0.7;
+  /// Optional minimum confidence imposed on the lower bounds (0 disables;
+  /// the paper notes all top-1 groups passed 0.8 in its experiments).
+  double min_confidence = 0.0;
+  /// Item ranking for FindLB; empty = info gain from the discrete data.
+  std::vector<double> item_scores;
+};
+
+CbaClassifier TrainCba(const DiscreteDataset& train, const CbaOptions& options);
+
+/// Sorts rules by CBA's "<" precedence in place (stable for full ties).
+void SortRulesByPrecedence(std::vector<Rule>* rules);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_CLASSIFY_CBA_H_

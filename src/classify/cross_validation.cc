@@ -1,0 +1,75 @@
+#include "classify/cross_validation.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace topkrgs {
+
+std::vector<uint32_t> StratifiedFolds(const std::vector<ClassLabel>& labels,
+                                      uint32_t num_folds, uint64_t seed) {
+  TOPKRGS_CHECK(num_folds >= 2, "need at least 2 folds");
+  Rng rng(seed);
+  std::vector<uint32_t> fold_of(labels.size(), 0);
+
+  ClassLabel max_label = 0;
+  for (ClassLabel l : labels) max_label = std::max(max_label, l);
+  for (uint32_t cls = 0; cls <= max_label; ++cls) {
+    std::vector<uint32_t> rows;
+    for (uint32_t r = 0; r < labels.size(); ++r) {
+      if (labels[r] == cls) rows.push_back(r);
+    }
+    rng.Shuffle(rows);
+    for (uint32_t i = 0; i < rows.size(); ++i) {
+      fold_of[rows[i]] = i % num_folds;
+    }
+  }
+  return fold_of;
+}
+
+double CrossValidationResult::mean_accuracy() const {
+  if (folds.empty()) return 0.0;
+  double sum = 0.0;
+  for (const EvalOutcome& f : folds) sum += f.accuracy();
+  return sum / folds.size();
+}
+
+double CrossValidationResult::pooled_accuracy() const {
+  uint32_t correct = 0;
+  uint32_t total = 0;
+  for (const EvalOutcome& f : folds) {
+    correct += f.correct;
+    total += f.total;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+}
+
+CrossValidationResult CrossValidateDiscrete(const DiscreteDataset& data,
+                                            uint32_t num_folds, uint64_t seed,
+                                            const DiscreteTrainer& trainer) {
+  std::vector<ClassLabel> labels(data.num_rows());
+  for (RowId r = 0; r < data.num_rows(); ++r) labels[r] = data.label(r);
+  const std::vector<uint32_t> fold_of =
+      StratifiedFolds(labels, num_folds, seed);
+
+  CrossValidationResult result;
+  for (uint32_t fold = 0; fold < num_folds; ++fold) {
+    std::vector<RowId> train_rows;
+    std::vector<RowId> test_rows;
+    for (RowId r = 0; r < data.num_rows(); ++r) {
+      (fold_of[r] == fold ? test_rows : train_rows).push_back(r);
+    }
+    if (test_rows.empty() || train_rows.empty()) {
+      result.folds.push_back(EvalOutcome{});
+      continue;
+    }
+    const DiscreteDataset train = data.SelectRows(train_rows);
+    const DiscreteDataset test = data.SelectRows(test_rows);
+    const DiscretePredictor predictor = trainer(train);
+    result.folds.push_back(EvaluateDiscrete(test, predictor));
+  }
+  return result;
+}
+
+}  // namespace topkrgs

@@ -1,0 +1,46 @@
+#ifndef TOPKRGS_CLASSIFY_CROSS_VALIDATION_H_
+#define TOPKRGS_CLASSIFY_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "classify/evaluator.h"
+#include "core/dataset.h"
+
+namespace topkrgs {
+
+/// Stratified k-fold assignment: fold_of[r] in [0, num_folds), with each
+/// class's rows spread evenly across folds (shuffled by `seed`). Folds of
+/// small classes may be empty only when the class has fewer rows than
+/// folds.
+std::vector<uint32_t> StratifiedFolds(const std::vector<ClassLabel>& labels,
+                                      uint32_t num_folds, uint64_t seed);
+
+/// Result of a cross-validation run: one evaluation per fold.
+struct CrossValidationResult {
+  std::vector<EvalOutcome> folds;
+
+  double mean_accuracy() const;
+  /// Pooled accuracy over all held-out rows.
+  double pooled_accuracy() const;
+};
+
+/// A trained discrete-data classifier as a prediction closure:
+/// (row items, used_default*) -> label.
+using DiscretePredictor = std::function<ClassLabel(const Bitset&, bool*)>;
+
+/// A trainer builds a predictor from a training dataset.
+using DiscreteTrainer =
+    std::function<DiscretePredictor(const DiscreteDataset&)>;
+
+/// Runs stratified k-fold cross-validation of a discrete-data classifier on
+/// `data`: for each fold, trains on the remaining rows and evaluates on the
+/// held-out ones. The paper evaluates on fixed train/test splits; CV is the
+/// standard protocol when no independent test set exists.
+CrossValidationResult CrossValidateDiscrete(const DiscreteDataset& data,
+                                            uint32_t num_folds, uint64_t seed,
+                                            const DiscreteTrainer& trainer);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_CLASSIFY_CROSS_VALIDATION_H_

@@ -1,0 +1,279 @@
+#include "classify/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace topkrgs {
+
+namespace {
+
+double WeightedEntropy(const std::vector<double>& class_weight, double total) {
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double w : class_weight) {
+    if (w <= 0.0) continue;
+    const double p = w / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+/// Normal quantile for the upper-tail probability cf (C4.5 uses cf = 0.25,
+/// z ≈ 0.6745); small table with linear interpolation.
+double ZFromCf(double cf) {
+  struct P {
+    double cf, z;
+  };
+  static constexpr P kTable[] = {{0.001, 3.0902}, {0.005, 2.5758},
+                                 {0.01, 2.3263},  {0.05, 1.6449},
+                                 {0.10, 1.2816},  {0.20, 0.8416},
+                                 {0.25, 0.6745},  {0.40, 0.2533},
+                                 {0.50, 0.0}};
+  if (cf <= kTable[0].cf) return kTable[0].z;
+  for (size_t i = 1; i < std::size(kTable); ++i) {
+    if (cf <= kTable[i].cf) {
+      const double t =
+          (cf - kTable[i - 1].cf) / (kTable[i].cf - kTable[i - 1].cf);
+      return kTable[i - 1].z + t * (kTable[i].z - kTable[i - 1].z);
+    }
+  }
+  return 0.0;
+}
+
+/// C4.5's pessimistic error estimate: upper confidence bound on the number
+/// of errors given E observed errors out of N (weighted) cases.
+double PessimisticErrors(double errors, double n, double cf) {
+  if (n <= 0.0) return 0.0;
+  if (errors <= 0.0) {
+    return n * (1.0 - std::pow(cf, 1.0 / n));
+  }
+  const double z = ZFromCf(cf);
+  const double f = errors / n;
+  const double z2 = z * z;
+  const double p =
+      (f + z2 / (2 * n) + z * std::sqrt(f / n - f * f / n + z2 / (4 * n * n))) /
+      (1.0 + z2 / n);
+  return n * std::min(1.0, p);
+}
+
+double LeafErrors(const std::vector<double>& class_weight) {
+  double total = 0.0;
+  double best = 0.0;
+  for (double w : class_weight) {
+    total += w;
+    best = std::max(best, w);
+  }
+  return total - best;
+}
+
+class TreeBuilder {
+ public:
+  TreeBuilder(const ContinuousDataset& data, const std::vector<double>& weights,
+              const DecisionTree::Options& options)
+      : data_(data), weights_(weights), opt_(options) {}
+
+  int32_t Build(std::vector<DecisionTree::Node>& nodes,
+                std::vector<uint32_t> rows, uint32_t depth) {
+    std::vector<double> class_weight(data_.num_classes(), 0.0);
+    double total = 0.0;
+    for (uint32_t r : rows) {
+      class_weight[data_.label(r)] += weights_[r];
+      total += weights_[r];
+    }
+    const int32_t index = static_cast<int32_t>(nodes.size());
+    nodes.push_back(DecisionTree::Node{});
+    nodes[index].class_weight = class_weight;
+
+    uint32_t classes_present = 0;
+    for (double w : class_weight) classes_present += (w > 0.0);
+    const bool depth_ok = opt_.max_depth == 0 || depth < opt_.max_depth;
+    if (classes_present < 2 || total < opt_.min_split_weight || !depth_ok) {
+      return index;
+    }
+
+    GeneId best_feature = 0;
+    double best_threshold = 0.0;
+    if (!FindBestSplit(rows, class_weight, total, &best_feature,
+                       &best_threshold)) {
+      return index;
+    }
+
+    std::vector<uint32_t> left_rows;
+    std::vector<uint32_t> right_rows;
+    for (uint32_t r : rows) {
+      (data_.value(r, best_feature) <= best_threshold ? left_rows : right_rows)
+          .push_back(r);
+    }
+    if (left_rows.empty() || right_rows.empty()) return index;
+    rows.clear();
+    rows.shrink_to_fit();
+
+    nodes[index].leaf = false;
+    nodes[index].feature = best_feature;
+    nodes[index].threshold = best_threshold;
+    const int32_t left = Build(nodes, std::move(left_rows), depth + 1);
+    nodes[index].left = left;
+    const int32_t right = Build(nodes, std::move(right_rows), depth + 1);
+    nodes[index].right = right;
+
+    if (opt_.prune) MaybePrune(nodes, index);
+    return index;
+  }
+
+ private:
+  bool FindBestSplit(const std::vector<uint32_t>& rows,
+                     const std::vector<double>& parent_weight, double total,
+                     GeneId* best_feature, double* best_threshold) const {
+    const double parent_entropy = WeightedEntropy(parent_weight, total);
+    std::vector<uint32_t> order(rows);
+    std::vector<double> left(data_.num_classes());
+    std::vector<double> right(data_.num_classes());
+    double best_score = 0.0;
+    bool found = false;
+    for (GeneId g = 0; g < data_.num_genes(); ++g) {
+      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return data_.value(a, g) < data_.value(b, g);
+      });
+      std::fill(left.begin(), left.end(), 0.0);
+      double left_total = 0.0;
+      for (size_t i = 0; i + 1 < order.size(); ++i) {
+        const uint32_t r = order[i];
+        left[data_.label(r)] += weights_[r];
+        left_total += weights_[r];
+        if (data_.value(r, g) == data_.value(order[i + 1], g)) continue;
+        const double right_total = total - left_total;
+        if (left_total <= 0.0 || right_total <= 0.0) continue;
+        for (uint32_t c = 0; c < right.size(); ++c) {
+          right[c] = parent_weight[c] - left[c];
+        }
+        const double cond =
+            (left_total / total) * WeightedEntropy(left, left_total) +
+            (right_total / total) * WeightedEntropy(right, right_total);
+        const double gain = parent_entropy - cond;
+        if (gain <= 1e-12) continue;
+        double score = gain;
+        if (opt_.use_gain_ratio) {
+          const double pl = left_total / total;
+          const double split_info =
+              -pl * std::log2(pl) - (1 - pl) * std::log2(1 - pl);
+          if (split_info <= 1e-12) continue;
+          score = gain / split_info;
+        }
+        if (!found || score > best_score) {
+          found = true;
+          best_score = score;
+          *best_feature = g;
+          *best_threshold =
+              0.5 * (data_.value(r, g) + data_.value(order[i + 1], g));
+        }
+      }
+    }
+    return found;
+  }
+
+  double SubtreeErrors(const std::vector<DecisionTree::Node>& nodes,
+                       int32_t index) const {
+    const DecisionTree::Node& node = nodes[index];
+    if (node.leaf) {
+      double total = 0.0;
+      for (double w : node.class_weight) total += w;
+      return PessimisticErrors(LeafErrors(node.class_weight), total,
+                               opt_.prune_cf);
+    }
+    return SubtreeErrors(nodes, node.left) + SubtreeErrors(nodes, node.right);
+  }
+
+  /// Subtree replacement: collapse `index` into a leaf when the pessimistic
+  /// error of the leaf is no worse than that of the subtree.
+  void MaybePrune(std::vector<DecisionTree::Node>& nodes, int32_t index) const {
+    DecisionTree::Node& node = nodes[index];
+    double total = 0.0;
+    for (double w : node.class_weight) total += w;
+    const double as_leaf = PessimisticErrors(LeafErrors(node.class_weight),
+                                             total, opt_.prune_cf);
+    const double as_subtree = SubtreeErrors(nodes, index);
+    if (as_leaf <= as_subtree + 0.1) {
+      node.leaf = true;
+      node.left = node.right = -1;
+      // Child nodes become unreachable; they are left in the arena, which
+      // only costs memory during training.
+    }
+  }
+
+  const ContinuousDataset& data_;
+  const std::vector<double>& weights_;
+  const DecisionTree::Options& opt_;
+};
+
+}  // namespace
+
+DecisionTree DecisionTree::Train(const ContinuousDataset& data,
+                                 const std::vector<double>& weights,
+                                 const Options& options) {
+  TOPKRGS_CHECK(data.num_rows() > 0, "cannot train a tree on empty data");
+  std::vector<double> w = weights;
+  if (w.empty()) w.assign(data.num_rows(), 1.0);
+  TOPKRGS_CHECK(w.size() == data.num_rows(), "weights/rows size mismatch");
+
+  DecisionTree tree;
+  tree.num_classes_ = data.num_classes();
+  std::vector<uint32_t> rows(data.num_rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  TreeBuilder builder(data, w, options);
+  builder.Build(tree.nodes_, std::move(rows), 0);
+  return tree;
+}
+
+size_t DecisionTree::num_leaves() const {
+  // Count only reachable leaves (pruning may orphan arena nodes).
+  size_t leaves = 0;
+  std::vector<int32_t> stack = {0};
+  while (!stack.empty()) {
+    const int32_t index = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[index];
+    if (node.leaf) {
+      ++leaves;
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  return leaves;
+}
+
+int32_t DecisionTree::Walk(const std::vector<double>& x) const {
+  int32_t node = 0;
+  while (!nodes_[node].leaf) {
+    node = x[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return node;
+}
+
+ClassLabel DecisionTree::Predict(const std::vector<double>& x) const {
+  const Node& leaf = nodes_[Walk(x)];
+  uint32_t best = 0;
+  for (uint32_t c = 1; c < leaf.class_weight.size(); ++c) {
+    if (leaf.class_weight[c] > leaf.class_weight[best]) best = c;
+  }
+  return static_cast<ClassLabel>(best);
+}
+
+std::vector<double> DecisionTree::PredictDistribution(
+    const std::vector<double>& x) const {
+  const Node& leaf = nodes_[Walk(x)];
+  double total = 0.0;
+  for (double w : leaf.class_weight) total += w;
+  std::vector<double> dist(leaf.class_weight);
+  if (total > 0.0) {
+    for (double& w : dist) w /= total;
+  }
+  return dist;
+}
+
+}  // namespace topkrgs

@@ -1,0 +1,62 @@
+#ifndef TOPKRGS_CLASSIFY_DECISION_TREE_H_
+#define TOPKRGS_CLASSIFY_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace topkrgs {
+
+/// A C4.5-style decision tree over continuous features: binary threshold
+/// splits chosen by gain ratio, with C4.5's pessimistic (confidence-bound)
+/// error pruning. Supports per-row weights so AdaBoost can reuse it.
+class DecisionTree {
+ public:
+  struct Options {
+    /// 0 = unlimited depth.
+    uint32_t max_depth = 0;
+    /// Minimum total weight required to attempt a split.
+    double min_split_weight = 4.0;
+    /// Use gain ratio (true, C4.5) or plain information gain.
+    bool use_gain_ratio = true;
+    /// Apply pessimistic subtree-replacement pruning.
+    bool prune = true;
+    /// C4.5 pruning confidence factor.
+    double prune_cf = 0.25;
+  };
+
+  /// Tree node; exposed for tests and tools that inspect the model.
+  struct Node {
+    bool leaf = true;
+    GeneId feature = 0;
+    double threshold = 0.0;
+    int32_t left = -1;   // x[feature] <= threshold
+    int32_t right = -1;  // x[feature] >  threshold
+    std::vector<double> class_weight;
+  };
+
+  /// Trains on `data`; `weights` may be empty (uniform) or one weight per
+  /// row.
+  static DecisionTree Train(const ContinuousDataset& data,
+                            const std::vector<double>& weights,
+                            const Options& options);
+
+  ClassLabel Predict(const std::vector<double>& x) const;
+
+  /// Fraction of training weight of each class at the reached leaf.
+  std::vector<double> PredictDistribution(const std::vector<double>& x) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_leaves() const;
+
+ private:
+  int32_t Walk(const std::vector<double>& x) const;
+
+  std::vector<Node> nodes_;
+  uint32_t num_classes_ = 0;
+};
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_CLASSIFY_DECISION_TREE_H_

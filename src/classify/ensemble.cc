@@ -1,0 +1,100 @@
+#include "classify/ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace topkrgs {
+
+BaggingClassifier BaggingClassifier::Train(const ContinuousDataset& data,
+                                           const Options& options) {
+  BaggingClassifier clf;
+  clf.num_classes_ = data.num_classes();
+  Rng rng(options.seed);
+  const uint32_t n = data.num_rows();
+  std::vector<double> weights(n);
+  for (uint32_t t = 0; t < options.num_trees; ++t) {
+    // A bootstrap resample expressed as integer weights keeps one shared
+    // dataset instead of materializing copies.
+    std::fill(weights.begin(), weights.end(), 0.0);
+    for (uint32_t i = 0; i < n; ++i) {
+      weights[rng.NextBounded(n)] += 1.0;
+    }
+    clf.trees_.push_back(DecisionTree::Train(data, weights, options.tree));
+  }
+  return clf;
+}
+
+ClassLabel BaggingClassifier::Predict(const std::vector<double>& x) const {
+  std::vector<uint32_t> votes(num_classes_, 0);
+  for (const DecisionTree& tree : trees_) ++votes[tree.Predict(x)];
+  uint32_t best = 0;
+  for (uint32_t c = 1; c < num_classes_; ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  return static_cast<ClassLabel>(best);
+}
+
+AdaBoostClassifier AdaBoostClassifier::Train(const ContinuousDataset& data,
+                                             const Options& options) {
+  AdaBoostClassifier clf;
+  clf.num_classes_ = data.num_classes();
+  const uint32_t n = data.num_rows();
+  TOPKRGS_CHECK(n > 0, "cannot boost on empty data");
+
+  std::vector<double> weights(n, 1.0 / n);
+  std::vector<double> scaled(n);
+  std::vector<double> x(data.num_genes());
+  for (uint32_t round = 0; round < options.num_rounds; ++round) {
+    // The tree's stopping thresholds (min_split_weight) are calibrated in
+    // row counts; rescale the distribution to total weight n.
+    for (uint32_t r = 0; r < n; ++r) scaled[r] = weights[r] * n;
+    DecisionTree tree = DecisionTree::Train(data, scaled, options.tree);
+
+    double err = 0.0;
+    std::vector<bool> wrong(n, false);
+    for (uint32_t r = 0; r < n; ++r) {
+      for (GeneId g = 0; g < data.num_genes(); ++g) x[g] = data.value(r, g);
+      if (tree.Predict(x) != data.label(r)) {
+        wrong[r] = true;
+        err += weights[r];
+      }
+    }
+    if (err >= 0.5) break;  // weak learner failed; AdaBoost.M1 stops
+    const double safe_err = std::max(err, 1e-10);
+    const double alpha = std::log((1.0 - safe_err) / safe_err);
+    clf.trees_.push_back(std::move(tree));
+    clf.alphas_.push_back(alpha);
+    if (err <= 0.0) break;  // perfect round dominates all future votes
+
+    const double beta = safe_err / (1.0 - safe_err);
+    double total = 0.0;
+    for (uint32_t r = 0; r < n; ++r) {
+      if (!wrong[r]) weights[r] *= beta;
+      total += weights[r];
+    }
+    for (double& w : weights) w /= total;
+  }
+  if (clf.trees_.empty()) {
+    // Degenerate data: fall back to one unweighted tree with weight 1.
+    clf.trees_.push_back(DecisionTree::Train(data, {}, options.tree));
+    clf.alphas_.push_back(1.0);
+  }
+  return clf;
+}
+
+ClassLabel AdaBoostClassifier::Predict(const std::vector<double>& x) const {
+  std::vector<double> votes(num_classes_, 0.0);
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    votes[trees_[t].Predict(x)] += alphas_[t];
+  }
+  uint32_t best = 0;
+  for (uint32_t c = 1; c < num_classes_; ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  return static_cast<ClassLabel>(best);
+}
+
+}  // namespace topkrgs

@@ -1,0 +1,58 @@
+#ifndef TOPKRGS_CLASSIFY_ENSEMBLE_H_
+#define TOPKRGS_CLASSIFY_ENSEMBLE_H_
+
+#include <vector>
+
+#include "classify/decision_tree.h"
+#include "core/dataset.h"
+
+namespace topkrgs {
+
+/// Bagged decision trees (the C4.5-family "bagging" comparator): B trees
+/// trained on bootstrap resamples, majority vote.
+class BaggingClassifier {
+ public:
+  struct Options {
+    uint32_t num_trees = 10;
+    uint64_t seed = 7;
+    DecisionTree::Options tree;
+  };
+
+  static BaggingClassifier Train(const ContinuousDataset& data,
+                                 const Options& options);
+
+  ClassLabel Predict(const std::vector<double>& x) const;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  uint32_t num_classes_ = 0;
+};
+
+/// AdaBoost.M1 over decision trees (the "boosting" comparator): weighted
+/// reweighting rounds, log-odds vote. Stops early when a round's weighted
+/// error reaches 0 or exceeds 1/2.
+class AdaBoostClassifier {
+ public:
+  struct Options {
+    uint32_t num_rounds = 10;
+    DecisionTree::Options tree;
+  };
+
+  static AdaBoostClassifier Train(const ContinuousDataset& data,
+                                  const Options& options);
+
+  ClassLabel Predict(const std::vector<double>& x) const;
+
+  size_t num_rounds_used() const { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::vector<double> alphas_;
+  uint32_t num_classes_ = 0;
+};
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_CLASSIFY_ENSEMBLE_H_

@@ -1,0 +1,132 @@
+#include "classify/evaluator.h"
+
+#include "core/stats.h"
+
+namespace topkrgs {
+
+ContinuousDataset SelectGenes(const ContinuousDataset& data,
+                              const std::vector<GeneId>& genes) {
+  ContinuousDataset out(static_cast<uint32_t>(genes.size()));
+  for (uint32_t i = 0; i < genes.size(); ++i) {
+    out.set_gene_name(i, data.gene_name(genes[i]));
+  }
+  out.set_class_names(data.class_names());
+  std::vector<double> row(genes.size());
+  for (RowId r = 0; r < data.num_rows(); ++r) {
+    for (uint32_t i = 0; i < genes.size(); ++i) {
+      row[i] = data.value(r, genes[i]);
+    }
+    out.AddRow(row, data.label(r));
+  }
+  return out;
+}
+
+Pipeline PreparePipeline(const ContinuousDataset& train,
+                         const ContinuousDataset& test) {
+  Pipeline p;
+  EntropyDiscretizer discretizer;
+  p.discretization = discretizer.Fit(train);
+  p.train = p.discretization.Apply(train);
+  p.test = p.discretization.Apply(test);
+  p.train_selected = SelectGenes(train, p.discretization.selected_genes());
+  p.test_selected = SelectGenes(test, p.discretization.selected_genes());
+
+  // Entropy score of each item = best-split info gain of its gene on the
+  // training data (the ranking FindLB uses, §5.1).
+  std::vector<uint8_t> labels(train.num_rows());
+  for (RowId r = 0; r < train.num_rows(); ++r) labels[r] = train.label(r);
+  std::vector<double> gene_score(train.num_genes(), 0.0);
+  for (GeneId g : p.discretization.selected_genes()) {
+    gene_score[g] =
+        BestSplitInfoGain(train.GeneColumn(g), labels, train.num_classes());
+  }
+  p.item_scores.resize(p.discretization.num_items());
+  for (ItemId item = 0; item < p.discretization.num_items(); ++item) {
+    p.item_scores[item] = gene_score[p.discretization.item(item).gene];
+  }
+  return p;
+}
+
+uint32_t ConfusionMatrix::total() const {
+  uint32_t t = 0;
+  for (const auto& row : counts) {
+    for (uint32_t c : row) t += c;
+  }
+  return t;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const uint32_t t = total();
+  if (t == 0) return 0.0;
+  uint32_t diag = 0;
+  for (size_t c = 0; c < counts.size(); ++c) diag += counts[c][c];
+  return static_cast<double>(diag) / t;
+}
+
+double ConfusionMatrix::precision(ClassLabel c) const {
+  uint32_t predicted = 0;
+  for (const auto& row : counts) predicted += row[c];
+  return predicted == 0 ? 0.0
+                        : static_cast<double>(counts[c][c]) / predicted;
+}
+
+double ConfusionMatrix::recall(ClassLabel c) const {
+  uint32_t actual = 0;
+  for (uint32_t v : counts[c]) actual += v;
+  return actual == 0 ? 0.0 : static_cast<double>(counts[c][c]) / actual;
+}
+
+double ConfusionMatrix::f1(ClassLabel c) const {
+  const double p = precision(c);
+  const double r = recall(c);
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+ConfusionMatrix ConfusionDiscrete(
+    const DiscreteDataset& test,
+    const std::function<ClassLabel(const Bitset&, bool*)>& predict) {
+  ConfusionMatrix matrix;
+  matrix.counts.assign(test.num_classes(),
+                       std::vector<uint32_t>(test.num_classes(), 0));
+  for (RowId r = 0; r < test.num_rows(); ++r) {
+    bool used_default = false;
+    const ClassLabel got = predict(test.row_bitset(r), &used_default);
+    if (got < test.num_classes()) {
+      ++matrix.counts[test.label(r)][got];
+    }
+  }
+  return matrix;
+}
+
+EvalOutcome EvaluateDiscrete(
+    const DiscreteDataset& test,
+    const std::function<ClassLabel(const Bitset&, bool*)>& predict) {
+  EvalOutcome out;
+  for (RowId r = 0; r < test.num_rows(); ++r) {
+    bool used_default = false;
+    const ClassLabel got = predict(test.row_bitset(r), &used_default);
+    ++out.total;
+    const bool ok = got == test.label(r);
+    out.correct += ok;
+    if (used_default) {
+      ++out.default_used;
+      out.default_errors += !ok;
+    }
+  }
+  return out;
+}
+
+EvalOutcome EvaluateContinuous(
+    const ContinuousDataset& test,
+    const std::function<ClassLabel(const std::vector<double>&)>& predict) {
+  EvalOutcome out;
+  std::vector<double> x(test.num_genes());
+  for (RowId r = 0; r < test.num_rows(); ++r) {
+    for (GeneId g = 0; g < test.num_genes(); ++g) x[g] = test.value(r, g);
+    ++out.total;
+    out.correct += predict(x) == test.label(r);
+  }
+  return out;
+}
+
+}  // namespace topkrgs

@@ -1,0 +1,80 @@
+#ifndef TOPKRGS_CLASSIFY_EVALUATOR_H_
+#define TOPKRGS_CLASSIFY_EVALUATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/dataset.h"
+#include "discretize/entropy_discretizer.h"
+
+namespace topkrgs {
+
+/// Accuracy summary of one classifier on one test set, including how often
+/// the default class fired (Table 2's commentary metric).
+struct EvalOutcome {
+  uint32_t total = 0;
+  uint32_t correct = 0;
+  uint32_t default_used = 0;
+  uint32_t default_errors = 0;
+
+  double accuracy() const {
+    return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+  }
+};
+
+/// Everything the paper's evaluation pipeline derives from one train/test
+/// split: the fitted discretization, the discrete train/test datasets, the
+/// continuous datasets restricted to the selected genes (what SVM and the
+/// C4.5 family consume, per §6.2), and entropy scores per item for FindLB.
+struct Pipeline {
+  Discretization discretization;
+  DiscreteDataset train;
+  DiscreteDataset test;
+  ContinuousDataset train_selected;
+  ContinuousDataset test_selected;
+  /// Entropy (best-split info gain) score of each item's gene.
+  std::vector<double> item_scores;
+};
+
+/// Runs discretization on the training split and derives all views.
+Pipeline PreparePipeline(const ContinuousDataset& train,
+                         const ContinuousDataset& test);
+
+/// Projects a continuous dataset onto a gene subset (keeping order).
+ContinuousDataset SelectGenes(const ContinuousDataset& data,
+                              const std::vector<GeneId>& genes);
+
+/// Full confusion matrix plus the derived per-class metrics.
+struct ConfusionMatrix {
+  /// counts[actual][predicted].
+  std::vector<std::vector<uint32_t>> counts;
+
+  uint32_t total() const;
+  double accuracy() const;
+  /// Precision of class c: TP / (TP + FP); 0 when nothing was predicted c.
+  double precision(ClassLabel c) const;
+  /// Recall of class c: TP / (TP + FN); 0 when the class has no rows.
+  double recall(ClassLabel c) const;
+  /// F1 of class c (harmonic mean of precision and recall).
+  double f1(ClassLabel c) const;
+};
+
+/// Evaluates a discrete-data classifier into a confusion matrix.
+ConfusionMatrix ConfusionDiscrete(
+    const DiscreteDataset& test,
+    const std::function<ClassLabel(const Bitset&, bool*)>& predict);
+
+/// Evaluates a discrete-data classifier. `predict` returns the label and
+/// sets *used_default when the classifier fell back to its default class.
+EvalOutcome EvaluateDiscrete(
+    const DiscreteDataset& test,
+    const std::function<ClassLabel(const Bitset&, bool*)>& predict);
+
+/// Evaluates a continuous-data classifier (no default-class notion).
+EvalOutcome EvaluateContinuous(
+    const ContinuousDataset& test,
+    const std::function<ClassLabel(const std::vector<double>&)>& predict);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_CLASSIFY_EVALUATOR_H_

@@ -1,0 +1,209 @@
+#include "classify/find_lb.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/stats.h"
+#include "util/status.h"
+
+namespace topkrgs {
+
+std::vector<double> ItemScoresFromDiscrete(const DiscreteDataset& data) {
+  std::vector<double> scores(data.num_items(), 0.0);
+  std::vector<uint32_t> total(data.num_classes(), 0);
+  for (RowId r = 0; r < data.num_rows(); ++r) ++total[data.label(r)];
+  for (ItemId item = 0; item < data.num_items(); ++item) {
+    std::vector<uint32_t> with(data.num_classes(), 0);
+    data.item_rows(item).ForEach([&](size_t r) {
+      ++with[data.label(static_cast<RowId>(r))];
+    });
+    std::vector<uint32_t> without(data.num_classes(), 0);
+    for (uint32_t c = 0; c < data.num_classes(); ++c) {
+      without[c] = total[c] - with[c];
+    }
+    scores[item] = InformationGain(total, {with, without});
+  }
+  return scores;
+}
+
+namespace {
+
+/// BFS state: a candidate is a set of indices into the ranked item list,
+/// stored ascending; children extend with strictly larger indices so every
+/// combination is generated once.
+struct Candidate {
+  std::vector<uint32_t> indices;
+};
+
+}  // namespace
+
+std::vector<Rule> FindLowerBounds(const DiscreteDataset& data,
+                                  const RuleGroup& group,
+                                  const std::vector<double>& item_scores,
+                                  const FindLbOptions& options) {
+  const uint32_t nl = std::max<uint32_t>(1, options.num_lower_bounds);
+
+  // Step 1: rank the upper bound's items by descending score.
+  std::vector<ItemId> ranked = group.antecedent.ToVector();
+  std::vector<double> scores =
+      item_scores.empty() ? ItemScoresFromDiscrete(data) : item_scores;
+  TOPKRGS_CHECK(scores.size() >= data.num_items(), "item_scores too short");
+  std::stable_sort(ranked.begin(), ranked.end(), [&](ItemId a, ItemId b) {
+    return scores[a] > scores[b];
+  });
+
+  const uint32_t target_rows = group.antecedent_support;
+  auto is_lower_bound_support = [&](const std::vector<uint32_t>& indices) {
+    // Condition (2) of Lemma 5.1: R(A') == R(A). A' ⊆ A implies
+    // R(A') ⊇ R(A), so comparing cardinalities suffices.
+    Bitset rows = data.item_rows(ranked[indices[0]]);
+    for (size_t i = 1; i < indices.size(); ++i) {
+      rows.IntersectWith(data.item_rows(ranked[indices[i]]));
+    }
+    return rows.Count() == target_rows;
+  };
+
+  std::vector<Rule> found;
+  std::vector<std::vector<uint32_t>> found_indices;  // for minimality checks
+  auto contains_found_subset = [&](const std::vector<uint32_t>& indices) {
+    // Condition (3): no member of the group is a proper subset; BFS by size
+    // means it is enough that no already-found lower bound is contained.
+    for (const auto& lb : found_indices) {
+      if (std::includes(indices.begin(), indices.end(), lb.begin(), lb.end())) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Step 2: breadth-first search, iteratively widening the window of
+  // top-ranked items so the common case (short lower bounds among the most
+  // discriminative genes) stays cheap.
+  uint64_t examined = 0;
+  for (uint32_t window = std::min<size_t>(16, ranked.size());;
+       window = std::min<size_t>(static_cast<size_t>(window) * 2,
+                                 ranked.size())) {
+    found.clear();
+    found_indices.clear();
+    examined = 0;
+
+    std::vector<Candidate> frontier;
+    for (uint32_t i = 0; i < window; ++i) frontier.push_back({{i}});
+    uint32_t depth = 1;
+    while (!frontier.empty() && found.size() < nl &&
+           depth <= options.max_depth && examined < options.max_candidates) {
+      std::vector<Candidate> next;
+      for (const Candidate& c : frontier) {
+        if (found.size() >= nl || examined >= options.max_candidates) break;
+        ++examined;
+        if (contains_found_subset(c.indices)) continue;
+        if (is_lower_bound_support(c.indices)) {
+          Rule rule;
+          rule.antecedent = Bitset(data.num_items());
+          for (uint32_t idx : c.indices) rule.antecedent.Set(ranked[idx]);
+          rule.consequent = group.consequent;
+          rule.support = group.support;
+          rule.antecedent_support = group.antecedent_support;
+          found.push_back(std::move(rule));
+          found_indices.push_back(c.indices);
+          continue;  // supersets cannot be minimal
+        }
+        for (uint32_t idx = c.indices.back() + 1;
+             idx < window && next.size() < options.max_candidates; ++idx) {
+          Candidate child = c;
+          child.indices.push_back(idx);
+          next.push_back(std::move(child));
+        }
+      }
+      frontier = std::move(next);
+      ++depth;
+    }
+
+    if (found.size() >= nl || window == ranked.size() ||
+        examined >= options.max_candidates) {
+      break;
+    }
+  }
+
+  if (found.empty() && !ranked.empty()) {
+    // The bounded BFS can come up empty when every minimal lower bound is
+    // longer than max_depth (e.g. a closure that needs several items to
+    // exclude every outside row). Guarantee at least one rule by greedy
+    // minimization: drop items (least discriminative first) whenever the
+    // support set stays unchanged.
+    Bitset antecedent = group.antecedent;
+    for (auto it = ranked.rbegin(); it != ranked.rend(); ++it) {
+      if (antecedent.Count() <= 1) break;
+      Bitset trial = antecedent;
+      trial.Reset(*it);
+      if (data.ItemSupportSet(trial).Count() == target_rows) {
+        antecedent = std::move(trial);
+      }
+    }
+    Rule rule;
+    rule.antecedent = std::move(antecedent);
+    rule.consequent = group.consequent;
+    rule.support = group.support;
+    rule.antecedent_support = group.antecedent_support;
+    found.push_back(std::move(rule));
+  }
+  return found;
+}
+
+std::vector<Rule> FindAllLowerBounds(const DiscreteDataset& data,
+                                     const RuleGroup& group,
+                                     uint32_t max_depth, uint64_t max_bounds) {
+  const std::vector<ItemId> items = group.antecedent.ToVector();
+  const uint32_t target_rows = group.antecedent_support;
+
+  auto supports_match = [&](const std::vector<uint32_t>& indices) {
+    Bitset rows = data.item_rows(items[indices[0]]);
+    for (size_t i = 1; i < indices.size(); ++i) {
+      rows.IntersectWith(data.item_rows(items[indices[i]]));
+    }
+    return rows.Count() == target_rows;
+  };
+
+  std::vector<Rule> found;
+  std::vector<std::vector<uint32_t>> found_indices;
+  std::vector<Candidate> frontier;
+  for (uint32_t i = 0; i < items.size(); ++i) frontier.push_back({{i}});
+  uint32_t depth = 1;
+  while (!frontier.empty() && depth <= max_depth &&
+         (max_bounds == 0 || found.size() < max_bounds)) {
+    std::vector<Candidate> next;
+    for (const Candidate& c : frontier) {
+      if (max_bounds != 0 && found.size() >= max_bounds) break;
+      bool superset_of_found = false;
+      for (const auto& lb : found_indices) {
+        if (std::includes(c.indices.begin(), c.indices.end(), lb.begin(),
+                          lb.end())) {
+          superset_of_found = true;
+          break;
+        }
+      }
+      if (superset_of_found) continue;
+      if (supports_match(c.indices)) {
+        Rule rule;
+        rule.antecedent = Bitset(data.num_items());
+        for (uint32_t idx : c.indices) rule.antecedent.Set(items[idx]);
+        rule.consequent = group.consequent;
+        rule.support = group.support;
+        rule.antecedent_support = group.antecedent_support;
+        found.push_back(std::move(rule));
+        found_indices.push_back(c.indices);
+        continue;
+      }
+      for (uint32_t idx = c.indices.back() + 1; idx < items.size(); ++idx) {
+        Candidate child = c;
+        child.indices.push_back(idx);
+        next.push_back(std::move(child));
+      }
+    }
+    frontier = std::move(next);
+    ++depth;
+  }
+  return found;
+}
+
+}  // namespace topkrgs

@@ -1,0 +1,23 @@
+#ifndef TOPKRGS_CLASSIFY_IRG_H_
+#define TOPKRGS_CLASSIFY_IRG_H_
+
+#include "classify/cba.h"
+#include "core/dataset.h"
+
+namespace topkrgs {
+
+/// The IRG classifier of FARMER [Cong et al., SIGMOD 2004]: identical to
+/// CBA's selection procedure but built directly from the *upper bound*
+/// rules of the interesting rule groups, filtered by a fixed minimum
+/// confidence (the paper's experiments use 0.8).
+struct IrgOptions {
+  /// minsup as a fraction of the consequent class size (paper: 0.7).
+  double min_support_frac = 0.7;
+  double min_confidence = 0.8;
+};
+
+CbaClassifier TrainIrg(const DiscreteDataset& train, const IrgOptions& options);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_CLASSIFY_IRG_H_

@@ -1,0 +1,255 @@
+#include "classify/model_io.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "util/io.h"
+
+namespace topkrgs {
+
+namespace {
+
+std::string FormatRule(const Rule& rule) {
+  std::string line = "rule " + std::to_string(static_cast<int>(rule.consequent)) +
+                     ' ' + std::to_string(rule.support) + ' ' +
+                     std::to_string(rule.antecedent_support);
+  rule.antecedent.ForEach([&](size_t item) {
+    line += ' ';
+    line += std::to_string(item);
+  });
+  return line;
+}
+
+/// Parses "rule <consequent> <sup> <asup> <items...>" produced above.
+StatusOr<Rule> ParseRule(std::string_view line, uint32_t num_items) {
+  const auto fields = SplitString(line, ' ');
+  if (fields.size() < 5 || fields[0] != "rule") {
+    return Status::InvalidArgument("malformed rule line: " + std::string(line));
+  }
+  Rule rule;
+  auto consequent = ParseUint(fields[1]);
+  auto support = ParseUint(fields[2]);
+  auto asup = ParseUint(fields[3]);
+  if (!consequent.ok() || !support.ok() || !asup.ok()) {
+    return Status::InvalidArgument("malformed rule numbers: " +
+                                   std::string(line));
+  }
+  rule.consequent = static_cast<ClassLabel>(consequent.value());
+  rule.support = static_cast<uint32_t>(support.value());
+  rule.antecedent_support = static_cast<uint32_t>(asup.value());
+  rule.antecedent = Bitset(num_items);
+  for (size_t i = 4; i < fields.size(); ++i) {
+    auto item = ParseUint(fields[i]);
+    if (!item.ok() || item.value() >= num_items) {
+      return Status::InvalidArgument("rule item out of range: " +
+                                     std::string(fields[i]));
+    }
+    rule.antecedent.Set(item.value());
+  }
+  return rule;
+}
+
+StatusOr<uint64_t> ParseHeaderValue(const std::vector<std::string>& lines,
+                                    size_t index, const std::string& key) {
+  if (index >= lines.size()) {
+    return Status::InvalidArgument("truncated model file: missing " + key);
+  }
+  const auto fields = SplitString(lines[index], ' ');
+  if (fields.size() < 2 || fields[0] != key) {
+    return Status::InvalidArgument("expected '" + key +
+                                   "', got: " + lines[index]);
+  }
+  return ParseUint(fields[1]);
+}
+
+}  // namespace
+
+Status SaveDiscretization(const Discretization& disc, const std::string& path) {
+  std::vector<std::string> lines;
+  lines.push_back("topkrgs-discretization v1");
+  lines.push_back("genes " + std::to_string(disc.num_selected_genes()));
+  char buf[64];
+  for (uint32_t s = 0; s < disc.num_selected_genes(); ++s) {
+    std::string line = "gene " + std::to_string(disc.selected_genes()[s]);
+    line += ' ';
+    line += std::to_string(disc.cuts(s).size());
+    for (double cut : disc.cuts(s)) {
+      std::snprintf(buf, sizeof(buf), " %.17g", cut);
+      line += buf;
+    }
+    lines.push_back(std::move(line));
+  }
+  return WriteLines(path, lines);
+}
+
+StatusOr<Discretization> LoadDiscretization(const std::string& path) {
+  auto lines_or = ReadLines(path);
+  if (!lines_or.ok()) return lines_or.status();
+  const auto& lines = lines_or.value();
+  if (lines.empty() || lines[0] != "topkrgs-discretization v1") {
+    return Status::InvalidArgument("not a topkrgs-discretization v1 file");
+  }
+  auto count = ParseHeaderValue(lines, 1, "genes");
+  if (!count.ok()) return count.status();
+
+  std::vector<GeneId> genes;
+  std::vector<std::vector<double>> cuts;
+  for (uint64_t i = 0; i < count.value(); ++i) {
+    const size_t index = 2 + i;
+    if (index >= lines.size()) {
+      return Status::InvalidArgument("truncated discretization file");
+    }
+    const auto fields = SplitString(lines[index], ' ');
+    if (fields.size() < 3 || fields[0] != "gene") {
+      return Status::InvalidArgument("malformed gene line: " + lines[index]);
+    }
+    auto gene = ParseUint(fields[1]);
+    auto num_cuts = ParseUint(fields[2]);
+    if (!gene.ok() || !num_cuts.ok() ||
+        fields.size() != 3 + num_cuts.value()) {
+      return Status::InvalidArgument("malformed gene line: " + lines[index]);
+    }
+    std::vector<double> gene_cuts;
+    for (uint64_t c = 0; c < num_cuts.value(); ++c) {
+      auto v = ParseDouble(fields[3 + c]);
+      if (!v.ok()) return v.status();
+      gene_cuts.push_back(v.value());
+    }
+    if (!genes.empty() && gene.value() <= genes.back()) {
+      return Status::InvalidArgument("gene ids not ascending");
+    }
+    if (gene_cuts.empty() ||
+        !std::is_sorted(gene_cuts.begin(), gene_cuts.end())) {
+      return Status::InvalidArgument("cut points empty or unsorted");
+    }
+    genes.push_back(static_cast<GeneId>(gene.value()));
+    cuts.push_back(std::move(gene_cuts));
+  }
+  return Discretization::FromCuts(std::move(genes), std::move(cuts));
+}
+
+Status SaveCbaClassifier(const CbaClassifier& clf, uint32_t num_items,
+                         const std::string& path) {
+  std::vector<std::string> lines;
+  lines.push_back("topkrgs-cba v1");
+  lines.push_back("num_items " + std::to_string(num_items));
+  lines.push_back("default " + std::to_string(static_cast<int>(clf.default_class())));
+  lines.push_back("rules " + std::to_string(clf.rules().size()));
+  for (const Rule& rule : clf.rules()) lines.push_back(FormatRule(rule));
+  return WriteLines(path, lines);
+}
+
+StatusOr<CbaClassifier> LoadCbaClassifier(const std::string& path,
+                                          uint32_t* num_items) {
+  auto lines_or = ReadLines(path);
+  if (!lines_or.ok()) return lines_or.status();
+  const auto& lines = lines_or.value();
+  if (lines.empty() || lines[0] != "topkrgs-cba v1") {
+    return Status::InvalidArgument("not a topkrgs-cba v1 file");
+  }
+  auto items = ParseHeaderValue(lines, 1, "num_items");
+  if (!items.ok()) return items.status();
+  auto default_class = ParseHeaderValue(lines, 2, "default");
+  if (!default_class.ok()) return default_class.status();
+  auto num_rules = ParseHeaderValue(lines, 3, "rules");
+  if (!num_rules.ok()) return num_rules.status();
+
+  std::vector<Rule> rules;
+  for (uint64_t i = 0; i < num_rules.value(); ++i) {
+    if (4 + i >= lines.size()) {
+      return Status::InvalidArgument("truncated cba model file");
+    }
+    auto rule = ParseRule(lines[4 + i], static_cast<uint32_t>(items.value()));
+    if (!rule.ok()) return rule.status();
+    rules.push_back(std::move(rule).value());
+  }
+  if (num_items != nullptr) *num_items = static_cast<uint32_t>(items.value());
+  return CbaClassifier::FromParts(
+      std::move(rules), static_cast<ClassLabel>(default_class.value()));
+}
+
+Status SaveRcbtClassifier(const RcbtClassifier& clf, uint32_t num_items,
+                          const std::string& path) {
+  std::vector<std::string> lines;
+  lines.push_back("topkrgs-rcbt v1");
+  lines.push_back("num_items " + std::to_string(num_items));
+  {
+    std::string line = "class_counts " +
+                       std::to_string(clf.class_counts().size());
+    for (uint32_t c : clf.class_counts()) {
+      line += ' ';
+      line += std::to_string(c);
+    }
+    lines.push_back(std::move(line));
+  }
+  lines.push_back("default " +
+                  std::to_string(static_cast<int>(clf.default_class())));
+  lines.push_back("classifiers " + std::to_string(clf.num_classifiers()));
+  for (uint32_t j = 1; j <= clf.num_classifiers(); ++j) {
+    const auto& rules = clf.classifier_rules(j);
+    lines.push_back("classifier " + std::to_string(rules.size()));
+    for (const Rule& rule : rules) lines.push_back(FormatRule(rule));
+  }
+  return WriteLines(path, lines);
+}
+
+StatusOr<RcbtClassifier> LoadRcbtClassifier(const std::string& path,
+                                            uint32_t* num_items) {
+  auto lines_or = ReadLines(path);
+  if (!lines_or.ok()) return lines_or.status();
+  const auto& lines = lines_or.value();
+  if (lines.empty() || lines[0] != "topkrgs-rcbt v1") {
+    return Status::InvalidArgument("not a topkrgs-rcbt v1 file");
+  }
+  auto items = ParseHeaderValue(lines, 1, "num_items");
+  if (!items.ok()) return items.status();
+
+  // class_counts <n> <counts...>
+  if (lines.size() < 3) return Status::InvalidArgument("truncated rcbt file");
+  const auto count_fields = SplitString(lines[2], ' ');
+  if (count_fields.size() < 2 || count_fields[0] != "class_counts") {
+    return Status::InvalidArgument("expected class_counts line");
+  }
+  auto num_classes = ParseUint(count_fields[1]);
+  if (!num_classes.ok() ||
+      count_fields.size() != 2 + num_classes.value()) {
+    return Status::InvalidArgument("malformed class_counts line");
+  }
+  std::vector<uint32_t> class_counts;
+  for (uint64_t c = 0; c < num_classes.value(); ++c) {
+    auto v = ParseUint(count_fields[2 + c]);
+    if (!v.ok()) return v.status();
+    class_counts.push_back(static_cast<uint32_t>(v.value()));
+  }
+
+  auto default_class = ParseHeaderValue(lines, 3, "default");
+  if (!default_class.ok()) return default_class.status();
+  auto num_classifiers = ParseHeaderValue(lines, 4, "classifiers");
+  if (!num_classifiers.ok()) return num_classifiers.status();
+
+  std::vector<std::vector<Rule>> classifiers;
+  size_t cursor = 5;
+  for (uint64_t j = 0; j < num_classifiers.value(); ++j) {
+    auto num_rules = ParseHeaderValue(lines, cursor, "classifier");
+    if (!num_rules.ok()) return num_rules.status();
+    ++cursor;
+    std::vector<Rule> rules;
+    for (uint64_t i = 0; i < num_rules.value(); ++i, ++cursor) {
+      if (cursor >= lines.size()) {
+        return Status::InvalidArgument("truncated rcbt model file");
+      }
+      auto rule = ParseRule(lines[cursor], static_cast<uint32_t>(items.value()));
+      if (!rule.ok()) return rule.status();
+      rules.push_back(std::move(rule).value());
+    }
+    classifiers.push_back(std::move(rules));
+  }
+  if (num_items != nullptr) *num_items = static_cast<uint32_t>(items.value());
+  return RcbtClassifier::FromParts(
+      std::move(classifiers), std::move(class_counts),
+      static_cast<ClassLabel>(default_class.value()));
+}
+
+}  // namespace topkrgs

@@ -1,0 +1,40 @@
+#ifndef TOPKRGS_CLASSIFY_MODEL_IO_H_
+#define TOPKRGS_CLASSIFY_MODEL_IO_H_
+
+#include <string>
+
+#include "classify/cba.h"
+#include "classify/rcbt.h"
+#include "discretize/entropy_discretizer.h"
+#include "util/status.h"
+
+namespace topkrgs {
+
+/// Text (line-based) serialization of trained models and fitted
+/// discretizations, so a mined rule base or classifier can be shipped and
+/// applied without re-mining. Formats are versioned ("topkrgs-<kind> v1");
+/// loaders reject unknown kinds/versions and malformed payloads with
+/// InvalidArgument.
+
+/// Saves/loads a fitted discretization (selected genes and cut points; the
+/// item catalog is rebuilt on load).
+Status SaveDiscretization(const Discretization& disc, const std::string& path);
+StatusOr<Discretization> LoadDiscretization(const std::string& path);
+
+/// Saves/loads a CBA rule-list classifier. `num_items` on load must match
+/// the dataset the model will be applied to.
+Status SaveCbaClassifier(const CbaClassifier& clf, uint32_t num_items,
+                         const std::string& path);
+StatusOr<CbaClassifier> LoadCbaClassifier(const std::string& path,
+                                          uint32_t* num_items = nullptr);
+
+/// Saves/loads an RCBT classifier (all sub-classifier rule lists, the
+/// class counts and the default class).
+Status SaveRcbtClassifier(const RcbtClassifier& clf, uint32_t num_items,
+                          const std::string& path);
+StatusOr<RcbtClassifier> LoadRcbtClassifier(const std::string& path,
+                                            uint32_t* num_items = nullptr);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_CLASSIFY_MODEL_IO_H_

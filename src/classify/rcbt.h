@@ -1,0 +1,83 @@
+#ifndef TOPKRGS_CLASSIFY_RCBT_H_
+#define TOPKRGS_CLASSIFY_RCBT_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/rule.h"
+
+namespace topkrgs {
+
+/// Options of RCBT — Refined Classification Based on TopkRGS (§5.2).
+struct RcbtOptions {
+  /// Covering rule groups mined per row; builds 1 main + (k-1) standby
+  /// classifiers (paper: 10).
+  uint32_t k = 10;
+  /// Shortest lower bound rules per rule group (paper: 20).
+  uint32_t nl = 20;
+  /// minsup as a fraction of the consequent class size (paper: 0.7).
+  double min_support_frac = 0.7;
+  /// Item ranking for FindLB; empty = info gain from the discrete data.
+  std::vector<double> item_scores;
+};
+
+/// RCBT: a main classifier CL_1 built from the top-1 covering rule groups
+/// plus standby classifiers CL_2..CL_k from the lower-ranked groups. Each
+/// classifier aggregates normalized confidence-times-support voting scores
+/// over all of its matching rules; a test row falls through to the first
+/// classifier with any matching rule, and to the default class only when
+/// none matches.
+class RcbtClassifier {
+ public:
+  static RcbtClassifier Train(const DiscreteDataset& train,
+                              const RcbtOptions& options);
+
+  /// Reassembles a classifier from its parts (model deserialization):
+  /// the rule lists of CL_1..CL_k in order, the training class counts
+  /// (d_ci, the voting-score denominators), and the default class. The
+  /// per-class score normalizers are recomputed.
+  static RcbtClassifier FromParts(std::vector<std::vector<Rule>> classifiers,
+                                  std::vector<uint32_t> class_counts,
+                                  ClassLabel default_class);
+
+  /// Training rows per class (the voting-score denominators d_ci).
+  const std::vector<uint32_t>& class_counts() const { return class_counts_; }
+
+  struct Prediction {
+    ClassLabel label = 0;
+    /// 1-based index of the classifier that decided (1 = main classifier);
+    /// 0 when the default class was used.
+    uint32_t classifier_index = 0;
+    bool used_default = false;
+    /// Aggregated per-class scores of the deciding classifier (empty when
+    /// the default fired).
+    std::vector<double> scores;
+  };
+
+  Prediction Predict(const Bitset& row_items) const;
+
+  uint32_t num_classifiers() const {
+    return static_cast<uint32_t>(classifiers_.size());
+  }
+  /// Selected rules of classifier CL_j (1-based).
+  const std::vector<Rule>& classifier_rules(uint32_t j) const {
+    return classifiers_[j - 1].rules;
+  }
+  ClassLabel default_class() const { return default_class_; }
+
+ private:
+  struct SubClassifier {
+    std::vector<Rule> rules;
+    /// S_norm per class: sum of rule voting scores of that class.
+    std::vector<double> score_norm;
+  };
+
+  std::vector<SubClassifier> classifiers_;
+  std::vector<uint32_t> class_counts_;  // d_ci: training rows per class
+  ClassLabel default_class_ = 0;
+  uint32_t num_classes_ = 0;
+};
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_CLASSIFY_RCBT_H_

@@ -1,0 +1,176 @@
+#include "classify/svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace topkrgs {
+
+namespace {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+double SvmClassifier::KernelValue(const std::vector<double>& a,
+                                  const std::vector<double>& b) const {
+  const double d = Dot(a, b);
+  if (opt_.kernel == Kernel::kLinear) return d;
+  // Scale the inner product by the dimension (gamma = 1/m, the libsvm
+  // default); raw dots of thousands of standardized features would make
+  // the polynomial kernel numerically useless.
+  const double base = d / static_cast<double>(a.size()) + opt_.poly_coef0;
+  double v = 1.0;
+  for (uint32_t i = 0; i < opt_.poly_degree; ++i) v *= base;
+  return v;
+}
+
+std::vector<double> SvmClassifier::StandardizeRow(
+    const std::vector<double>& x) const {
+  std::vector<double> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    out[i] = (x[i] - feature_mean_[i]) * feature_scale_[i];
+  }
+  return out;
+}
+
+SvmClassifier SvmClassifier::Train(const ContinuousDataset& data,
+                                   const Options& options) {
+  TOPKRGS_CHECK(data.num_classes() <= 2, "SVM comparator is binary");
+  const uint32_t n = data.num_rows();
+  const uint32_t m = data.num_genes();
+  TOPKRGS_CHECK(n >= 2, "SVM needs at least two rows");
+
+  SvmClassifier clf;
+  clf.opt_ = options;
+  clf.feature_mean_.assign(m, 0.0);
+  clf.feature_scale_.assign(m, 1.0);
+  if (options.standardize) {
+    for (GeneId g = 0; g < m; ++g) {
+      double mean = 0.0;
+      for (RowId r = 0; r < n; ++r) mean += data.value(r, g);
+      mean /= n;
+      double var = 0.0;
+      for (RowId r = 0; r < n; ++r) {
+        const double d = data.value(r, g) - mean;
+        var += d * d;
+      }
+      var /= n;
+      clf.feature_mean_[g] = mean;
+      clf.feature_scale_[g] = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
+    }
+  }
+
+  std::vector<std::vector<double>> x(n, std::vector<double>(m));
+  std::vector<double> y(n);
+  for (RowId r = 0; r < n; ++r) {
+    std::vector<double> raw(m);
+    for (GeneId g = 0; g < m; ++g) raw[g] = data.value(r, g);
+    x[r] = clf.StandardizeRow(raw);
+    y[r] = data.label(r) == 1 ? 1.0 : -1.0;
+  }
+
+  // Precompute the kernel matrix; the paper's datasets have few rows.
+  std::vector<std::vector<double>> kernel(n, std::vector<double>(n));
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i; j < n; ++j) {
+      kernel[i][j] = kernel[j][i] = clf.KernelValue(x[i], x[j]);
+    }
+  }
+
+  // Simplified SMO (Platt 1998 via the simplified variant): pick violating
+  // alpha_i, pair with a random alpha_j, solve the 2-variable subproblem.
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+  Rng rng(options.seed);
+  auto decision = [&](uint32_t i) {
+    double s = b;
+    for (uint32_t j = 0; j < n; ++j) {
+      if (alpha[j] != 0.0) s += alpha[j] * y[j] * kernel[j][i];
+    }
+    return s;
+  };
+
+  uint32_t passes = 0;
+  uint32_t iterations = 0;
+  const double c = options.c;
+  const double tol = options.tolerance;
+  while (passes < options.max_passes && iterations < options.max_iterations) {
+    ++iterations;
+    uint32_t changed = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      const double ei = decision(i) - y[i];
+      if (!((y[i] * ei < -tol && alpha[i] < c) ||
+            (y[i] * ei > tol && alpha[i] > 0))) {
+        continue;
+      }
+      uint32_t j = static_cast<uint32_t>(rng.NextBounded(n - 1));
+      if (j >= i) ++j;
+      const double ej = decision(j) - y[j];
+
+      const double ai_old = alpha[i];
+      const double aj_old = alpha[j];
+      double lo, hi;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(c, c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - c);
+        hi = std::min(c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+      const double eta = 2 * kernel[i][j] - kernel[i][i] - kernel[j][j];
+      if (eta >= 0) continue;
+      double aj = aj_old - y[j] * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < 1e-7) continue;
+      const double ai = ai_old + y[i] * y[j] * (aj_old - aj);
+      alpha[i] = ai;
+      alpha[j] = aj;
+
+      const double b1 = b - ei - y[i] * (ai - ai_old) * kernel[i][i] -
+                        y[j] * (aj - aj_old) * kernel[i][j];
+      const double b2 = b - ej - y[i] * (ai - ai_old) * kernel[i][j] -
+                        y[j] * (aj - aj_old) * kernel[j][j];
+      if (ai > 0 && ai < c) {
+        b = b1;
+      } else if (aj > 0 && aj < c) {
+        b = b2;
+      } else {
+        b = 0.5 * (b1 + b2);
+      }
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  clf.bias_ = b;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-9) {
+      clf.support_vectors_.push_back(std::move(x[i]));
+      clf.coefficients_.push_back(alpha[i] * y[i]);
+    }
+  }
+  return clf;
+}
+
+double SvmClassifier::DecisionValue(const std::vector<double>& x) const {
+  const std::vector<double> z = StandardizeRow(x);
+  double s = bias_;
+  for (size_t i = 0; i < support_vectors_.size(); ++i) {
+    s += coefficients_[i] * KernelValue(support_vectors_[i], z);
+  }
+  return s;
+}
+
+ClassLabel SvmClassifier::Predict(const std::vector<double>& x) const {
+  return DecisionValue(x) >= 0.0 ? 1 : 0;
+}
+
+}  // namespace topkrgs

@@ -1,0 +1,54 @@
+#ifndef TOPKRGS_CLASSIFY_SVM_H_
+#define TOPKRGS_CLASSIFY_SVM_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace topkrgs {
+
+/// Binary soft-margin SVM trained with SMO (the SVM^light comparator of
+/// Table 2). Supports the two kernels the paper evaluates: linear and
+/// polynomial. Labels must be {0, 1}; features are standardized on the
+/// training statistics.
+class SvmClassifier {
+ public:
+  enum class Kernel { kLinear, kPolynomial };
+
+  struct Options {
+    Kernel kernel = Kernel::kLinear;
+    double c = 1.0;           // soft-margin penalty
+    uint32_t poly_degree = 3;
+    double poly_coef0 = 1.0;
+    double tolerance = 1e-3;
+    uint32_t max_passes = 20;   // SMO passes without alpha changes
+    uint32_t max_iterations = 100000;
+    bool standardize = true;
+    uint64_t seed = 11;
+  };
+
+  static SvmClassifier Train(const ContinuousDataset& data,
+                             const Options& options);
+
+  ClassLabel Predict(const std::vector<double>& x) const;
+  /// Signed decision value (positive = class 1).
+  double DecisionValue(const std::vector<double>& x) const;
+
+  size_t num_support_vectors() const { return support_vectors_.size(); }
+
+ private:
+  double KernelValue(const std::vector<double>& a,
+                     const std::vector<double>& b) const;
+  std::vector<double> StandardizeRow(const std::vector<double>& x) const;
+
+  Options opt_;
+  std::vector<std::vector<double>> support_vectors_;  // standardized
+  std::vector<double> coefficients_;                  // alpha_i * y_i
+  double bias_ = 0.0;
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_scale_;
+};
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_CLASSIFY_SVM_H_

@@ -1,0 +1,415 @@
+#include "cli/commands.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "classify/cba.h"
+#include "classify/cross_validation.h"
+#include "classify/evaluator.h"
+#include "classify/model_io.h"
+#include "classify/rcbt.h"
+#include "cli/flags.h"
+#include "mine/carpenter.h"
+#include "mine/charm.h"
+#include "mine/closet.h"
+#include "mine/farmer.h"
+#include "mine/hybrid_miner.h"
+#include "mine/topk_miner.h"
+#include "synth/generator.h"
+
+namespace topkrgs {
+
+namespace {
+
+StatusOr<DatasetProfile> ProfileByName(const std::string& name) {
+  if (name == "ALL") return DatasetProfile::ALL();
+  if (name == "LC") return DatasetProfile::LC();
+  if (name == "OC") return DatasetProfile::OC();
+  if (name == "PC") return DatasetProfile::PC();
+  if (name == "TINY") return DatasetProfile::Tiny(7);
+  return Status::InvalidArgument("unknown profile '" + name +
+                                 "' (ALL, LC, OC, PC, TINY)");
+}
+
+/// Resolves --minsup / --minsup-frac against the consequent class size.
+StatusOr<uint32_t> ResolveMinsup(const FlagParser& flags,
+                                 uint32_t class_rows) {
+  auto minsup = flags.GetInt("minsup", 0);
+  if (!minsup.ok()) return minsup.status();
+  auto frac = flags.GetDouble("minsup-frac", 0.7);
+  if (!frac.ok()) return frac.status();
+  if (minsup.value() > 0) return static_cast<uint32_t>(minsup.value());
+  if (frac.value() <= 0.0 || frac.value() > 1.0) {
+    return Status::InvalidArgument("--minsup-frac must be in (0, 1]");
+  }
+  return std::max<uint32_t>(
+      1, static_cast<uint32_t>(frac.value() * class_rows));
+}
+
+void PrintRuleGroup(const Pipeline& pipeline, const ContinuousDataset& raw,
+                    const RuleGroup& group, size_t max_items) {
+  std::string antecedent;
+  size_t printed = 0;
+  group.antecedent.ForEach([&](size_t item) {
+    if (printed >= max_items) return;
+    if (!antecedent.empty()) antecedent += " AND ";
+    antecedent += pipeline.discretization.ItemName(
+        raw, static_cast<ItemId>(item));
+    ++printed;
+  });
+  const size_t total = group.antecedent.Count();
+  if (total > max_items) {
+    antecedent += " AND ... (" + std::to_string(total - max_items) + " more)";
+  }
+  std::printf("  IF %s THEN class %d  (sup %u, conf %.1f%%)\n",
+              antecedent.c_str(), static_cast<int>(group.consequent),
+              group.support, 100.0 * group.confidence());
+}
+
+}  // namespace
+
+Status RunGenerateCommand(const std::vector<std::string>& args) {
+  auto flags_or = FlagParser::Parse(args);
+  if (!flags_or.ok()) return flags_or.status();
+  const FlagParser& flags = flags_or.value();
+  TOPKRGS_RETURN_NOT_OK(
+      flags.CheckKnown({"profile", "seed", "train", "test"}));
+
+  auto profile_or = ProfileByName(flags.GetString("profile", "TINY"));
+  if (!profile_or.ok()) return profile_or.status();
+  DatasetProfile profile = profile_or.value();
+  auto seed = flags.GetInt("seed", static_cast<int64_t>(profile.seed));
+  if (!seed.ok()) return seed.status();
+  profile.seed = static_cast<uint64_t>(seed.value());
+
+  auto train_path = flags.GetRequired("train");
+  if (!train_path.ok()) return train_path.status();
+
+  GeneratedData data = GenerateMicroarray(profile);
+  TOPKRGS_RETURN_NOT_OK(data.train.WriteTsv(train_path.value()));
+  std::printf("wrote %u train rows x %u genes to %s\n", data.train.num_rows(),
+              data.train.num_genes(), train_path.value().c_str());
+  if (flags.Has("test")) {
+    const std::string test_path = flags.GetString("test", "");
+    TOPKRGS_RETURN_NOT_OK(data.test.WriteTsv(test_path));
+    std::printf("wrote %u test rows to %s\n", data.test.num_rows(),
+                test_path.c_str());
+  }
+  return Status::OK();
+}
+
+Status RunMineCommand(const std::vector<std::string>& args) {
+  auto flags_or = FlagParser::Parse(args);
+  if (!flags_or.ok()) return flags_or.status();
+  const FlagParser& flags = flags_or.value();
+  TOPKRGS_RETURN_NOT_OK(flags.CheckKnown({"data", "algorithm", "consequent",
+                                          "minsup", "minsup-frac", "k",
+                                          "minconf", "budget", "max-print"}));
+
+  auto data_path = flags.GetRequired("data");
+  if (!data_path.ok()) return data_path.status();
+  auto raw_or = ContinuousDataset::ReadTsv(data_path.value());
+  if (!raw_or.ok()) return raw_or.status();
+  const ContinuousDataset& raw = raw_or.value();
+
+  Pipeline pipeline = PreparePipeline(raw, raw);
+  const DiscreteDataset& data = pipeline.train;
+
+  auto consequent = flags.GetInt("consequent", 1);
+  if (!consequent.ok()) return consequent.status();
+  if (consequent.value() < 0 || consequent.value() >= data.num_classes()) {
+    return Status::InvalidArgument("--consequent out of range");
+  }
+  const ClassLabel cls = static_cast<ClassLabel>(consequent.value());
+  const uint32_t class_rows = data.ClassCounts()[cls];
+  if (class_rows == 0) {
+    return Status::InvalidArgument("no rows of the requested class");
+  }
+  auto minsup = ResolveMinsup(flags, class_rows);
+  if (!minsup.ok()) return minsup.status();
+  auto k = flags.GetInt("k", 5);
+  if (!k.ok()) return k.status();
+  auto minconf = flags.GetDouble("minconf", 0.9);
+  if (!minconf.ok()) return minconf.status();
+  auto budget = flags.GetDouble("budget", 30.0);
+  if (!budget.ok()) return budget.status();
+  auto max_print = flags.GetInt("max-print", 10);
+  if (!max_print.ok()) return max_print.status();
+
+  std::printf("dataset: %u rows, %u items (%u genes selected); class %d has "
+              "%u rows; minsup %u\n",
+              data.num_rows(), data.num_items(),
+              pipeline.discretization.num_selected_genes(),
+              static_cast<int>(cls), class_rows, minsup.value());
+
+  const std::string algorithm = flags.GetString("algorithm", "topk");
+  std::vector<RuleGroupPtr> to_print;
+  MinerStats stats;
+  if (algorithm == "topk" || algorithm == "hybrid") {
+    TopkMinerOptions opt;
+    opt.k = static_cast<uint32_t>(std::max<int64_t>(1, k.value()));
+    opt.min_support = minsup.value();
+    opt.deadline = Deadline(budget.value());
+    const TopkResult result = algorithm == "topk"
+                                  ? MineTopkRGS(data, cls, opt)
+                                  : MineTopkRGSHybrid(data, cls, opt);
+    stats = result.stats;
+    to_print = result.DistinctGroups();
+    std::printf("top-%u covering rule groups: %zu distinct groups\n", opt.k,
+                to_print.size());
+  } else if (algorithm == "farmer" || algorithm == "charm" ||
+             algorithm == "closet") {
+    MiningResult result;
+    if (algorithm == "farmer") {
+      FarmerOptions opt;
+      opt.min_support = minsup.value();
+      opt.min_confidence = minconf.value();
+      opt.deadline = Deadline(budget.value());
+      result = MineFarmer(data, cls, opt);
+    } else if (algorithm == "charm") {
+      CharmOptions opt;
+      opt.min_support = minsup.value();
+      opt.deadline = Deadline(budget.value());
+      result = MineCharm(data, cls, opt);
+    } else {
+      ClosetOptions opt;
+      opt.min_support = minsup.value();
+      opt.deadline = Deadline(budget.value());
+      result = MineCloset(data, cls, opt);
+    }
+    stats = result.stats;
+    std::printf("%s found %zu rule groups%s\n", algorithm.c_str(),
+                result.groups.size(),
+                result.stats.timed_out ? " (budget hit; partial)" : "");
+    std::sort(result.groups.begin(), result.groups.end(),
+              [](const RuleGroup& a, const RuleGroup& b) {
+                return CompareSignificance(a.support, a.antecedent_support,
+                                           b.support, b.antecedent_support) > 0;
+              });
+    for (const RuleGroup& g : result.groups) {
+      to_print.push_back(std::make_shared<const RuleGroup>(g));
+      if (to_print.size() >= static_cast<size_t>(max_print.value())) break;
+    }
+  } else if (algorithm == "carpenter") {
+    CarpenterOptions opt;
+    opt.min_support = minsup.value();
+    opt.deadline = Deadline(budget.value());
+    const CarpenterResult result = MineCarpenter(data, opt);
+    std::printf("carpenter found %zu closed patterns%s (class-agnostic)\n",
+                result.patterns.size(),
+                result.stats.timed_out ? " (budget hit; partial)" : "");
+    std::printf("search: %llu nodes in %.3fs\n",
+                static_cast<unsigned long long>(result.stats.nodes_visited),
+                result.stats.seconds);
+    return Status::OK();
+  } else {
+    return Status::InvalidArgument("unknown --algorithm '" + algorithm + "'");
+  }
+
+  const size_t limit =
+      std::min<size_t>(to_print.size(),
+                       static_cast<size_t>(std::max<int64_t>(0, max_print.value())));
+  for (size_t i = 0; i < limit; ++i) {
+    PrintRuleGroup(pipeline, raw, *to_print[i], 4);
+  }
+  std::printf("search: %llu nodes in %.3fs%s\n",
+              static_cast<unsigned long long>(stats.nodes_visited),
+              stats.seconds, stats.timed_out ? " (budget hit)" : "");
+  return Status::OK();
+}
+
+Status RunClassifyCommand(const std::vector<std::string>& args) {
+  auto flags_or = FlagParser::Parse(args);
+  if (!flags_or.ok()) return flags_or.status();
+  const FlagParser& flags = flags_or.value();
+  TOPKRGS_RETURN_NOT_OK(flags.CheckKnown(
+      {"train", "test", "model", "k", "nl", "minsup-frac", "save-model",
+       "save-discretization", "load-model", "load-discretization"}));
+
+  auto test_path = flags.GetRequired("test");
+  if (!test_path.ok()) return test_path.status();
+  auto test_or = ContinuousDataset::ReadTsv(test_path.value());
+  if (!test_or.ok()) return test_or.status();
+  const ContinuousDataset& test_raw = test_or.value();
+
+  const std::string model_kind = flags.GetString("model", "rcbt");
+  if (model_kind != "rcbt" && model_kind != "cba") {
+    return Status::InvalidArgument("--model must be rcbt or cba");
+  }
+
+  if (flags.Has("load-model")) {
+    // Apply a persisted model: needs the matching discretization.
+    auto disc_path = flags.GetRequired("load-discretization");
+    if (!disc_path.ok()) return disc_path.status();
+    auto disc_or = LoadDiscretization(disc_path.value());
+    if (!disc_or.ok()) return disc_or.status();
+    const DiscreteDataset test = disc_or.value().Apply(test_raw);
+
+    const std::string model_path = flags.GetString("load-model", "");
+    EvalOutcome eval;
+    if (model_kind == "rcbt") {
+      auto model_or = LoadRcbtClassifier(model_path);
+      if (!model_or.ok()) return model_or.status();
+      const RcbtClassifier& clf = model_or.value();
+      eval = EvaluateDiscrete(test, [&](const Bitset& items, bool* dflt) {
+        const auto pred = clf.Predict(items);
+        *dflt = pred.used_default;
+        return pred.label;
+      });
+    } else {
+      auto model_or = LoadCbaClassifier(model_path);
+      if (!model_or.ok()) return model_or.status();
+      const CbaClassifier& clf = model_or.value();
+      eval = EvaluateDiscrete(test, [&](const Bitset& items, bool* dflt) {
+        return clf.Predict(items, dflt);
+      });
+    }
+    std::printf("%s (loaded): accuracy %.2f%% (%u/%u), default used %u\n",
+                model_kind.c_str(), 100.0 * eval.accuracy(), eval.correct,
+                eval.total, eval.default_used);
+    return Status::OK();
+  }
+
+  auto train_path = flags.GetRequired("train");
+  if (!train_path.ok()) return train_path.status();
+  auto train_or = ContinuousDataset::ReadTsv(train_path.value());
+  if (!train_or.ok()) return train_or.status();
+
+  Pipeline pipeline = PreparePipeline(train_or.value(), test_raw);
+  auto frac = flags.GetDouble("minsup-frac", 0.7);
+  if (!frac.ok()) return frac.status();
+  auto k = flags.GetInt("k", 10);
+  if (!k.ok()) return k.status();
+  auto nl = flags.GetInt("nl", 20);
+  if (!nl.ok()) return nl.status();
+
+  EvalOutcome eval;
+  if (model_kind == "rcbt") {
+    RcbtOptions opt;
+    opt.k = static_cast<uint32_t>(std::max<int64_t>(1, k.value()));
+    opt.nl = static_cast<uint32_t>(std::max<int64_t>(1, nl.value()));
+    opt.min_support_frac = frac.value();
+    opt.item_scores = pipeline.item_scores;
+    RcbtClassifier clf = RcbtClassifier::Train(pipeline.train, opt);
+    eval = EvaluateDiscrete(pipeline.test, [&](const Bitset& items, bool* d) {
+      const auto pred = clf.Predict(items);
+      *d = pred.used_default;
+      return pred.label;
+    });
+    if (flags.Has("save-model")) {
+      TOPKRGS_RETURN_NOT_OK(SaveRcbtClassifier(
+          clf, pipeline.train.num_items(), flags.GetString("save-model", "")));
+    }
+  } else {
+    CbaOptions opt;
+    opt.min_support_frac = frac.value();
+    opt.item_scores = pipeline.item_scores;
+    CbaClassifier clf = TrainCba(pipeline.train, opt);
+    eval = EvaluateDiscrete(pipeline.test, [&](const Bitset& items, bool* d) {
+      return clf.Predict(items, d);
+    });
+    if (flags.Has("save-model")) {
+      TOPKRGS_RETURN_NOT_OK(SaveCbaClassifier(
+          clf, pipeline.train.num_items(), flags.GetString("save-model", "")));
+    }
+  }
+  if (flags.Has("save-discretization")) {
+    TOPKRGS_RETURN_NOT_OK(SaveDiscretization(
+        pipeline.discretization, flags.GetString("save-discretization", "")));
+  }
+  std::printf("%s: accuracy %.2f%% (%u/%u), default used %u (%u errors)\n",
+              model_kind.c_str(), 100.0 * eval.accuracy(), eval.correct,
+              eval.total, eval.default_used, eval.default_errors);
+  return Status::OK();
+}
+
+Status RunCvCommand(const std::vector<std::string>& args) {
+  auto flags_or = FlagParser::Parse(args);
+  if (!flags_or.ok()) return flags_or.status();
+  const FlagParser& flags = flags_or.value();
+  TOPKRGS_RETURN_NOT_OK(flags.CheckKnown(
+      {"data", "model", "folds", "seed", "k", "nl", "minsup-frac"}));
+
+  auto data_path = flags.GetRequired("data");
+  if (!data_path.ok()) return data_path.status();
+  auto raw_or = ContinuousDataset::ReadTsv(data_path.value());
+  if (!raw_or.ok()) return raw_or.status();
+
+  const std::string model_kind = flags.GetString("model", "rcbt");
+  if (model_kind != "rcbt" && model_kind != "cba") {
+    return Status::InvalidArgument("--model must be rcbt or cba");
+  }
+  auto folds = flags.GetInt("folds", 5);
+  if (!folds.ok()) return folds.status();
+  if (folds.value() < 2) {
+    return Status::InvalidArgument("--folds must be >= 2");
+  }
+  auto seed = flags.GetInt("seed", 1);
+  if (!seed.ok()) return seed.status();
+  auto frac = flags.GetDouble("minsup-frac", 0.7);
+  if (!frac.ok()) return frac.status();
+  auto k = flags.GetInt("k", 10);
+  if (!k.ok()) return k.status();
+  auto nl = flags.GetInt("nl", 20);
+  if (!nl.ok()) return nl.status();
+
+  // Fold over the RAW data and refit the discretization inside every fold:
+  // fitting cuts on all rows before splitting would leak the held-out
+  // labels into the item definitions.
+  const ContinuousDataset& raw = raw_or.value();
+  std::vector<ClassLabel> labels(raw.num_rows());
+  for (RowId r = 0; r < raw.num_rows(); ++r) labels[r] = raw.label(r);
+  const auto fold_of = StratifiedFolds(
+      labels, static_cast<uint32_t>(folds.value()),
+      static_cast<uint64_t>(seed.value()));
+
+  CrossValidationResult result;
+  for (uint32_t fold = 0; fold < folds.value(); ++fold) {
+    ContinuousDataset train(raw.num_genes());
+    ContinuousDataset test(raw.num_genes());
+    std::vector<double> row(raw.num_genes());
+    for (RowId r = 0; r < raw.num_rows(); ++r) {
+      for (GeneId g = 0; g < raw.num_genes(); ++g) row[g] = raw.value(r, g);
+      (fold_of[r] == fold ? test : train).AddRow(row, raw.label(r));
+    }
+    if (train.num_rows() == 0 || test.num_rows() == 0) {
+      result.folds.push_back(EvalOutcome{});
+      continue;
+    }
+    Pipeline pipeline = PreparePipeline(train, test);
+    EvalOutcome eval;
+    if (model_kind == "rcbt") {
+      RcbtOptions opt;
+      opt.k = static_cast<uint32_t>(std::max<int64_t>(1, k.value()));
+      opt.nl = static_cast<uint32_t>(std::max<int64_t>(1, nl.value()));
+      opt.min_support_frac = frac.value();
+      opt.item_scores = pipeline.item_scores;
+      RcbtClassifier clf = RcbtClassifier::Train(pipeline.train, opt);
+      eval = EvaluateDiscrete(pipeline.test,
+                              [&](const Bitset& items, bool* dflt) {
+                                const auto pred = clf.Predict(items);
+                                *dflt = pred.used_default;
+                                return pred.label;
+                              });
+    } else {
+      CbaOptions opt;
+      opt.min_support_frac = frac.value();
+      opt.item_scores = pipeline.item_scores;
+      CbaClassifier clf = TrainCba(pipeline.train, opt);
+      eval = EvaluateDiscrete(pipeline.test,
+                              [&](const Bitset& items, bool* dflt) {
+                                return clf.Predict(items, dflt);
+                              });
+    }
+    std::printf("fold %u: %.2f%% (%u/%u)\n", fold, 100.0 * eval.accuracy(),
+                eval.correct, eval.total);
+    result.folds.push_back(eval);
+  }
+  std::printf("%s %lld-fold CV: mean %.2f%%, pooled %.2f%%\n",
+              model_kind.c_str(), static_cast<long long>(folds.value()),
+              100.0 * result.mean_accuracy(),
+              100.0 * result.pooled_accuracy());
+  return Status::OK();
+}
+
+}  // namespace topkrgs

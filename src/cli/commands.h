@@ -1,0 +1,59 @@
+#ifndef TOPKRGS_CLI_COMMANDS_H_
+#define TOPKRGS_CLI_COMMANDS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace topkrgs {
+
+/// The topkrgs command-line tools, exposed as Status-returning functions so
+/// tests can drive them directly; each tool binary is a thin main() around
+/// one of these. Output goes to stdout; `args` excludes the program name.
+
+/// topkrgs-generate: write a synthetic microarray dataset to TSV.
+///   --profile ALL|LC|OC|PC|TINY   dataset shape (default TINY)
+///   --seed N                      RNG seed override
+///   --train PATH (required)      training-split TSV output
+///   --test PATH                  optional test-split TSV output
+Status RunGenerateCommand(const std::vector<std::string>& args);
+
+/// topkrgs-mine: mine rule groups from a continuous TSV dataset
+/// (label column + gene columns; entropy-MDL discretization is fitted on
+/// the input).
+///   --data PATH (required)       input TSV
+///   --algorithm topk|hybrid|farmer|charm|closet|carpenter (default topk)
+///   --consequent N               class label to mine for (default 1)
+///   --minsup N | --minsup-frac F absolute or class-relative support
+///                                (default --minsup-frac 0.7)
+///   --k N                        covering rule groups per row (default 5)
+///   --minconf F                  FARMER confidence threshold (default 0.9)
+///   --budget SECONDS             wall-clock budget (default 30)
+///   --max-print N                rule groups to print (default 10)
+Status RunMineCommand(const std::vector<std::string>& args);
+
+/// topkrgs-classify: train RCBT or CBA on a training TSV, evaluate on a
+/// test TSV, optionally persist/reuse the model and discretization.
+///   --train PATH                 training TSV (required unless loading)
+///   --test PATH (required)       test TSV
+///   --model rcbt|cba             classifier (default rcbt)
+///   --k N --nl N                 RCBT parameters (defaults 10 / 20)
+///   --minsup-frac F              support fraction (default 0.7)
+///   --save-model PATH --save-discretization PATH
+///   --load-model PATH --load-discretization PATH
+Status RunClassifyCommand(const std::vector<std::string>& args);
+
+/// topkrgs-cv: stratified k-fold cross-validation of RCBT or CBA on one
+/// continuous TSV dataset (no independent test split needed).
+///   --data PATH (required)       input TSV
+///   --model rcbt|cba             classifier (default rcbt)
+///   --folds N                    number of folds (default 5)
+///   --seed N                     fold assignment seed (default 1)
+///   --k N --nl N                 RCBT parameters (defaults 10 / 20)
+///   --minsup-frac F              support fraction (default 0.7)
+Status RunCvCommand(const std::vector<std::string>& args);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_CLI_COMMANDS_H_

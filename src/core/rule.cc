@@ -1,0 +1,78 @@
+#include "core/rule.h"
+
+#include <cstdio>
+
+namespace topkrgs {
+
+namespace {
+
+std::string ItemsetToString(const Bitset& items) {
+  std::string out = "{";
+  bool first = true;
+  items.ForEach([&](size_t i) {
+    if (!first) out += ',';
+    out += 'i';
+    out += std::to_string(i);
+    first = false;
+  });
+  out += '}';
+  return out;
+}
+
+std::string Describe(const Bitset& antecedent, ClassLabel consequent,
+                     uint32_t support, double confidence) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " -> %d (sup=%u, conf=%.3f)",
+                static_cast<int>(consequent), support, confidence);
+  return ItemsetToString(antecedent) + buf;
+}
+
+}  // namespace
+
+std::string Rule::ToString() const {
+  return Describe(antecedent, consequent, support, confidence());
+}
+
+std::string RuleGroup::ToString() const {
+  return Describe(antecedent, consequent, support, confidence());
+}
+
+int CompareSignificance(uint32_t sup1, uint32_t as1, uint32_t sup2,
+                        uint32_t as2) {
+  // Confidence comparison sup1/as1 vs sup2/as2; a zero antecedent support
+  // denotes a dummy entry with confidence 0.
+  const uint64_t lhs = static_cast<uint64_t>(sup1) * as2;
+  const uint64_t rhs = static_cast<uint64_t>(sup2) * as1;
+  if (as1 == 0 || as2 == 0) {
+    // Dummies: confidence 0 and support 0; fall through with conf ranks.
+    const double c1 = as1 == 0 ? 0.0 : static_cast<double>(sup1) / as1;
+    const double c2 = as2 == 0 ? 0.0 : static_cast<double>(sup2) / as2;
+    if (c1 > c2) return 1;
+    if (c1 < c2) return -1;
+  } else {
+    if (lhs > rhs) return 1;
+    if (lhs < rhs) return -1;
+  }
+  if (sup1 > sup2) return 1;
+  if (sup1 < sup2) return -1;
+  return 0;
+}
+
+bool MoreSignificant(const RuleGroup& a, const RuleGroup& b) {
+  return CompareSignificance(a.support, a.antecedent_support, b.support,
+                             b.antecedent_support) > 0;
+}
+
+RuleGroup CloseItemset(const DiscreteDataset& data, const Bitset& itemset,
+                       ClassLabel consequent) {
+  RuleGroup group;
+  group.consequent = consequent;
+  group.row_support = data.ItemSupportSet(itemset);
+  group.antecedent = data.RowSupportSet(group.row_support);
+  group.antecedent_support = static_cast<uint32_t>(group.row_support.Count());
+  group.support = static_cast<uint32_t>(
+      group.row_support.IntersectCount(data.ClassRowset(consequent)));
+  return group;
+}
+
+}  // namespace topkrgs

@@ -1,0 +1,73 @@
+#ifndef TOPKRGS_CORE_RULE_H_
+#define TOPKRGS_CORE_RULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/types.h"
+#include "util/bitset.h"
+
+namespace topkrgs {
+
+/// An association rule A -> c where A is an itemset and c a class label.
+/// support = |R(A ∪ c)|, antecedent_support = |R(A)|,
+/// confidence = support / antecedent_support.
+struct Rule {
+  Bitset antecedent;
+  ClassLabel consequent = 0;
+  uint32_t support = 0;
+  uint32_t antecedent_support = 0;
+
+  double confidence() const {
+    return antecedent_support == 0
+               ? 0.0
+               : static_cast<double>(support) / antecedent_support;
+  }
+
+  /// "{i3,i7} -> 1 (sup=5, conf=0.83)" style rendering for logs/examples.
+  std::string ToString() const;
+};
+
+/// A rule group, represented by its unique upper bound rule (Lemma 2.1):
+/// the maximal antecedent shared by every rule derived from the same
+/// antecedent support set.
+struct RuleGroup {
+  /// Upper bound antecedent: I(R), the closure of the group.
+  Bitset antecedent;
+  /// Antecedent support set R over all rows (both classes).
+  Bitset row_support;
+  ClassLabel consequent = 0;
+  /// Rows of `consequent` class in row_support.
+  uint32_t support = 0;
+  /// |row_support|.
+  uint32_t antecedent_support = 0;
+
+  double confidence() const {
+    return antecedent_support == 0
+               ? 0.0
+               : static_cast<double>(support) / antecedent_support;
+  }
+
+  std::string ToString() const;
+};
+
+/// Exact comparison of rule significances (Definition 2.2) without floating
+/// point: confidence sup1/as1 vs sup2/as2 compared by cross-multiplication.
+/// Returns +1 when (sup1, as1) is more significant, -1 when less, 0 on ties
+/// (equal confidence and equal support).
+int CompareSignificance(uint32_t sup1, uint32_t as1, uint32_t sup2,
+                        uint32_t as2);
+
+/// True iff rule group a is more significant than b (Definition 2.2).
+bool MoreSignificant(const RuleGroup& a, const RuleGroup& b);
+
+/// Computes the full RuleGroup whose antecedent support set is R(itemset):
+/// closes the itemset against `data` and counts class support.
+RuleGroup CloseItemset(const DiscreteDataset& data, const Bitset& itemset,
+                       ClassLabel consequent);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_CORE_RULE_H_

@@ -1,0 +1,137 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace topkrgs {
+
+double Entropy(const std::vector<uint32_t>& counts) {
+  uint64_t total = 0;
+  for (uint32_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (uint32_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double PartitionEntropy(const std::vector<std::vector<uint32_t>>& partitions) {
+  uint64_t total = 0;
+  for (const auto& part : partitions) {
+    for (uint32_t c : part) total += c;
+  }
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& part : partitions) {
+    uint64_t part_total = 0;
+    for (uint32_t c : part) part_total += c;
+    if (part_total == 0) continue;
+    h += (static_cast<double>(part_total) / static_cast<double>(total)) *
+         Entropy(part);
+  }
+  return h;
+}
+
+double InformationGain(const std::vector<uint32_t>& total,
+                       const std::vector<std::vector<uint32_t>>& partitions) {
+  return Entropy(total) - PartitionEntropy(partitions);
+}
+
+double ChiSquare(const std::vector<std::vector<uint32_t>>& table) {
+  if (table.empty()) return 0.0;
+  const size_t cols = table[0].size();
+  std::vector<uint64_t> row_totals(table.size(), 0);
+  std::vector<uint64_t> col_totals(cols, 0);
+  uint64_t grand = 0;
+  for (size_t r = 0; r < table.size(); ++r) {
+    TOPKRGS_CHECK(table[r].size() == cols, "ragged contingency table");
+    for (size_t c = 0; c < cols; ++c) {
+      row_totals[r] += table[r][c];
+      col_totals[c] += table[r][c];
+      grand += table[r][c];
+    }
+  }
+  if (grand == 0) return 0.0;
+  double chi = 0.0;
+  for (size_t r = 0; r < table.size(); ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const double expected = static_cast<double>(row_totals[r]) *
+                              static_cast<double>(col_totals[c]) /
+                              static_cast<double>(grand);
+      if (expected <= 0.0) continue;
+      const double diff = static_cast<double>(table[r][c]) - expected;
+      chi += diff * diff / expected;
+    }
+  }
+  return chi;
+}
+
+namespace {
+
+/// Sorts (value, label) pairs and evaluates every boundary threshold,
+/// returning class histograms of the best binary split by info gain.
+/// Returns false when no split exists (constant feature).
+bool BestBinarySplit(const std::vector<double>& values,
+                     const std::vector<uint8_t>& labels, uint32_t num_classes,
+                     std::vector<uint32_t>* best_left,
+                     std::vector<uint32_t>* best_right) {
+  TOPKRGS_CHECK(values.size() == labels.size(), "values/labels size mismatch");
+  const size_t n = values.size();
+  if (n < 2) return false;
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return values[a] < values[b];
+  });
+
+  std::vector<uint32_t> total(num_classes, 0);
+  for (uint8_t l : labels) ++total[l];
+
+  std::vector<uint32_t> left(num_classes, 0);
+  std::vector<uint32_t> right = total;
+  double best_cond = -1.0;
+  bool found = false;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const uint8_t l = labels[order[i]];
+    ++left[l];
+    --right[l];
+    if (values[order[i]] == values[order[i + 1]]) continue;
+    const double cond = PartitionEntropy({left, right});
+    if (!found || cond < best_cond) {
+      best_cond = cond;
+      *best_left = left;
+      *best_right = right;
+      found = true;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+double BestSplitInfoGain(const std::vector<double>& values,
+                         const std::vector<uint8_t>& labels,
+                         uint32_t num_classes) {
+  std::vector<uint32_t> left, right;
+  if (!BestBinarySplit(values, labels, num_classes, &left, &right)) return 0.0;
+  std::vector<uint32_t> total(num_classes, 0);
+  for (uint8_t l : labels) ++total[l];
+  return InformationGain(total, {left, right});
+}
+
+double BestSplitChiSquare(const std::vector<double>& values,
+                          const std::vector<uint8_t>& labels,
+                          uint32_t num_classes) {
+  std::vector<uint32_t> left, right;
+  if (!BestBinarySplit(values, labels, num_classes, &left, &right)) return 0.0;
+  return ChiSquare({left, right});
+}
+
+}  // namespace topkrgs

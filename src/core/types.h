@@ -1,0 +1,26 @@
+#ifndef TOPKRGS_CORE_TYPES_H_
+#define TOPKRGS_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace topkrgs {
+
+/// Identifies one discretized item: a (gene, expression interval) pair.
+using ItemId = uint32_t;
+
+/// Identifies one row (tissue sample) of a dataset.
+using RowId = uint32_t;
+
+/// Identifies one gene (column) of a continuous expression matrix.
+using GeneId = uint32_t;
+
+/// Class label. The paper's datasets are binary (class C vs ¬C); the code
+/// supports any small number of classes but the miners target one
+/// consequent class at a time, exactly as in the paper.
+using ClassLabel = uint8_t;
+
+inline constexpr uint32_t kInvalidId = UINT32_MAX;
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_CORE_TYPES_H_

@@ -1,0 +1,134 @@
+#include "discretize/binning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/stats.h"
+#include "util/status.h"
+
+namespace topkrgs {
+
+Discretization FitEqualWidth(const ContinuousDataset& train,
+                             uint32_t num_bins) {
+  TOPKRGS_CHECK(num_bins >= 2, "need at least 2 bins");
+  std::vector<GeneId> genes;
+  std::vector<std::vector<double>> cuts;
+  for (GeneId g = 0; g < train.num_genes(); ++g) {
+    double lo = train.value(0, g);
+    double hi = lo;
+    for (RowId r = 1; r < train.num_rows(); ++r) {
+      lo = std::min(lo, train.value(r, g));
+      hi = std::max(hi, train.value(r, g));
+    }
+    if (!(hi > lo)) continue;  // constant gene
+    std::vector<double> gene_cuts;
+    const double width = (hi - lo) / num_bins;
+    for (uint32_t b = 1; b < num_bins; ++b) {
+      gene_cuts.push_back(lo + b * width);
+    }
+    genes.push_back(g);
+    cuts.push_back(std::move(gene_cuts));
+  }
+  return Discretization::FromCuts(std::move(genes), std::move(cuts));
+}
+
+Discretization FitEqualFrequency(const ContinuousDataset& train,
+                                 uint32_t num_bins) {
+  TOPKRGS_CHECK(num_bins >= 2, "need at least 2 bins");
+  const uint32_t n = train.num_rows();
+  std::vector<GeneId> genes;
+  std::vector<std::vector<double>> cuts;
+  std::vector<double> values(n);
+  for (GeneId g = 0; g < train.num_genes(); ++g) {
+    for (RowId r = 0; r < n; ++r) values[r] = train.value(r, g);
+    std::sort(values.begin(), values.end());
+    std::vector<double> gene_cuts;
+    for (uint32_t b = 1; b < num_bins; ++b) {
+      const size_t index =
+          std::min<size_t>(n - 1, static_cast<size_t>(
+                                      std::llround(1.0 * b * n / num_bins)));
+      if (index == 0) continue;
+      // Place the cut between the two values around the quantile so ties
+      // cannot straddle a boundary ambiguously.
+      const double cut = 0.5 * (values[index - 1] + values[index]);
+      if (values[index - 1] == values[index]) continue;  // tied quantile
+      if (!gene_cuts.empty() && cut <= gene_cuts.back()) continue;
+      gene_cuts.push_back(cut);
+    }
+    if (gene_cuts.empty()) continue;
+    genes.push_back(g);
+    cuts.push_back(std::move(gene_cuts));
+  }
+  return Discretization::FromCuts(std::move(genes), std::move(cuts));
+}
+
+Discretization FitChiMerge(const ContinuousDataset& train,
+                           double chi_threshold, uint32_t max_intervals) {
+  TOPKRGS_CHECK(max_intervals >= 2, "need at least 2 intervals");
+  const uint32_t n = train.num_rows();
+  const uint32_t num_classes = train.num_classes();
+  std::vector<GeneId> genes;
+  std::vector<std::vector<double>> cuts;
+
+  struct Interval {
+    double min_value;               // smallest value inside the interval
+    double max_value;               // largest value inside the interval
+    std::vector<uint32_t> classes;  // class histogram
+  };
+
+  std::vector<uint32_t> order(n);
+  for (GeneId g = 0; g < train.num_genes(); ++g) {
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return train.value(a, g) < train.value(b, g);
+    });
+
+    // One interval per distinct value.
+    std::vector<Interval> intervals;
+    for (uint32_t i = 0; i < n; ++i) {
+      const double v = train.value(order[i], g);
+      if (intervals.empty() || v > intervals.back().max_value) {
+        intervals.push_back({v, v, std::vector<uint32_t>(num_classes, 0)});
+      }
+      ++intervals.back().classes[train.label(order[i])];
+    }
+
+    // Merge the adjacent pair with the lowest chi-square until all pairs
+    // are above the threshold (or the interval cap binds from above).
+    while (intervals.size() > 1) {
+      double best_chi = 0.0;
+      size_t best_i = 0;
+      for (size_t i = 0; i + 1 < intervals.size(); ++i) {
+        const double chi =
+            ChiSquare({intervals[i].classes, intervals[i + 1].classes});
+        if (i == 0 || chi < best_chi) {
+          best_chi = chi;
+          best_i = i;
+        }
+      }
+      if (best_chi > chi_threshold && intervals.size() <= max_intervals) {
+        break;
+      }
+      for (uint32_t c = 0; c < num_classes; ++c) {
+        intervals[best_i].classes[c] += intervals[best_i + 1].classes[c];
+      }
+      intervals[best_i].max_value = intervals[best_i + 1].max_value;
+      intervals.erase(intervals.begin() + best_i + 1);
+    }
+
+    if (intervals.size() < 2) continue;  // no class signal: gene dropped
+    // Cut midway between adjacent intervals so boundary values stay on
+    // their own side under the half-open [lo, hi) item semantics.
+    std::vector<double> gene_cuts;
+    for (size_t i = 0; i + 1 < intervals.size(); ++i) {
+      gene_cuts.push_back(
+          0.5 * (intervals[i].max_value + intervals[i + 1].min_value));
+    }
+    genes.push_back(g);
+    cuts.push_back(std::move(gene_cuts));
+  }
+  return Discretization::FromCuts(std::move(genes), std::move(cuts));
+}
+
+}  // namespace topkrgs

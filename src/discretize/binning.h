@@ -1,0 +1,39 @@
+#ifndef TOPKRGS_DISCRETIZE_BINNING_H_
+#define TOPKRGS_DISCRETIZE_BINNING_H_
+
+#include "core/dataset.h"
+#include "discretize/entropy_discretizer.h"
+
+namespace topkrgs {
+
+/// Unsupervised binning baselines for the discretization ablation
+/// (DESIGN.md A3): the paper's pipeline uses entropy-MDL discretization,
+/// which both selects genes and places class-aware cuts; these baselines
+/// do neither, so comparing them isolates its contribution.
+
+/// Equal-width binning: each gene's observed [min, max] range is split
+/// into `num_bins` equal intervals. Genes with constant values are
+/// dropped (no meaningful cut exists).
+Discretization FitEqualWidth(const ContinuousDataset& train, uint32_t num_bins);
+
+/// Equal-frequency binning: cut points at the empirical quantiles so each
+/// bin holds ~the same number of training values. Duplicate quantiles
+/// (heavily tied values) are merged; genes left without any distinct cut
+/// are dropped.
+Discretization FitEqualFrequency(const ContinuousDataset& train,
+                                 uint32_t num_bins);
+
+/// ChiMerge [Kerber, AAAI 1992]: supervised bottom-up discretization —
+/// start from one interval per distinct value and repeatedly merge the
+/// adjacent pair with the lowest chi-square until every remaining pair
+/// exceeds `chi_threshold` (e.g. 2.706 = chi-square at p=0.1, 1 df for two
+/// classes) or only `max_intervals` remain. Genes that merge down to a
+/// single interval carry no class signal and are dropped, so ChiMerge
+/// also performs feature selection, like the entropy-MDL discretizer.
+Discretization FitChiMerge(const ContinuousDataset& train,
+                           double chi_threshold = 2.706,
+                           uint32_t max_intervals = 6);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_DISCRETIZE_BINNING_H_

@@ -1,0 +1,227 @@
+#include "discretize/entropy_discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "core/stats.h"
+#include "util/status.h"
+
+namespace topkrgs {
+
+Discretization Discretization::FromCuts(std::vector<GeneId> genes,
+                                        std::vector<std::vector<double>> cuts) {
+  TOPKRGS_CHECK(genes.size() == cuts.size(), "genes/cuts size mismatch");
+  Discretization out;
+  for (uint32_t s = 0; s < genes.size(); ++s) {
+    TOPKRGS_CHECK(!cuts[s].empty(), "a selected gene needs >= 1 cut");
+    TOPKRGS_CHECK(s == 0 || genes[s] > genes[s - 1],
+                  "gene ids must be strictly ascending");
+    TOPKRGS_CHECK(std::is_sorted(cuts[s].begin(), cuts[s].end()),
+                  "cut points must be sorted");
+    out.selected_genes_.push_back(genes[s]);
+    out.gene_first_item_.push_back(static_cast<ItemId>(out.items_.size()));
+    for (uint32_t interval = 0; interval <= cuts[s].size(); ++interval) {
+      ItemInfo info;
+      info.gene = genes[s];
+      info.interval = interval;
+      if (interval > 0) info.lo = cuts[s][interval - 1];
+      if (interval < cuts[s].size()) info.hi = cuts[s][interval];
+      out.items_.push_back(info);
+    }
+    out.cuts_.push_back(std::move(cuts[s]));
+  }
+  return out;
+}
+
+std::vector<ItemId> Discretization::DiscretizeRow(
+    const std::vector<double>& gene_values) const {
+  std::vector<ItemId> items;
+  items.reserve(selected_genes_.size());
+  for (uint32_t s = 0; s < selected_genes_.size(); ++s) {
+    const double v = gene_values[selected_genes_[s]];
+    const auto& cut = cuts_[s];
+    // Interval index = number of cuts <= v (value v falls in [cut[i-1], cut[i])).
+    const uint32_t idx = static_cast<uint32_t>(
+        std::upper_bound(cut.begin(), cut.end(), v) - cut.begin());
+    items.push_back(gene_first_item_[s] + idx);
+  }
+  return items;
+}
+
+DiscreteDataset Discretization::Apply(const ContinuousDataset& data) const {
+  std::vector<std::vector<ItemId>> rows;
+  std::vector<ClassLabel> labels;
+  rows.reserve(data.num_rows());
+  labels.reserve(data.num_rows());
+  std::vector<double> values(data.num_genes());
+  for (RowId r = 0; r < data.num_rows(); ++r) {
+    for (GeneId g = 0; g < data.num_genes(); ++g) values[g] = data.value(r, g);
+    rows.push_back(DiscretizeRow(values));
+    labels.push_back(data.label(r));
+  }
+  return DiscreteDataset(num_items(), std::move(rows), std::move(labels));
+}
+
+std::string Discretization::ItemName(const ContinuousDataset& data,
+                                     ItemId id) const {
+  const ItemInfo& info = items_[id];
+  char buf[96];
+  auto fmt = [](double v, char* out, size_t len) {
+    if (std::isinf(v)) {
+      std::snprintf(out, len, v < 0 ? "-inf" : "+inf");
+    } else {
+      std::snprintf(out, len, "%.4g", v);
+    }
+  };
+  char lo[32], hi[32];
+  fmt(info.lo, lo, sizeof(lo));
+  fmt(info.hi, hi, sizeof(hi));
+  std::snprintf(buf, sizeof(buf), "[%s,%s)", lo, hi);
+  return data.gene_name(info.gene) + buf;
+}
+
+namespace {
+
+/// Recursive Fayyad–Irani partitioning of rows [begin, end) of the sorted
+/// (value, label) sequence. Appends accepted cut values to `cuts`.
+class GeneSplitter {
+ public:
+  GeneSplitter(const std::vector<double>& sorted_values,
+               const std::vector<uint8_t>& sorted_labels, uint32_t num_classes,
+               const EntropyDiscretizer::Options& options)
+      : values_(sorted_values),
+        labels_(sorted_labels),
+        num_classes_(num_classes),
+        options_(options) {}
+
+  void Run(std::vector<double>* cuts) {
+    Split(0, values_.size(), 0, cuts);
+    std::sort(cuts->begin(), cuts->end());
+  }
+
+ private:
+  /// Class histogram of rows [begin, end).
+  std::vector<uint32_t> Histogram(size_t begin, size_t end) const {
+    std::vector<uint32_t> h(num_classes_, 0);
+    for (size_t i = begin; i < end; ++i) ++h[labels_[i]];
+    return h;
+  }
+
+  /// Number of classes present in a histogram.
+  static uint32_t ClassesPresent(const std::vector<uint32_t>& h) {
+    uint32_t k = 0;
+    for (uint32_t c : h) k += (c != 0);
+    return k;
+  }
+
+  void Split(size_t begin, size_t end, uint32_t depth,
+             std::vector<double>* cuts) {
+    const size_t n = end - begin;
+    if (n < 2) return;
+    if (options_.max_depth != 0 && depth >= options_.max_depth) return;
+
+    const std::vector<uint32_t> total = Histogram(begin, end);
+    if (ClassesPresent(total) < 2) return;  // pure partition
+
+    // Scan boundary points: candidate cut between i and i+1 where the value
+    // changes. Track the split minimizing conditional entropy.
+    std::vector<uint32_t> left(num_classes_, 0);
+    std::vector<uint32_t> right = total;
+    double best_cond = -1.0;
+    size_t best_i = 0;
+    std::vector<uint32_t> best_left, best_right;
+    for (size_t i = begin; i + 1 < end; ++i) {
+      ++left[labels_[i]];
+      --right[labels_[i]];
+      if (values_[i] == values_[i + 1]) continue;
+      const double cond = PartitionEntropy({left, right});
+      if (best_cond < 0 || cond < best_cond) {
+        best_cond = cond;
+        best_i = i;
+        best_left = left;
+        best_right = right;
+      }
+    }
+    if (best_cond < 0) return;  // constant values: no boundary
+
+    const double ent_s = Entropy(total);
+    const double gain = ent_s - best_cond;
+    if (options_.use_mdl) {
+      // MDL acceptance (Fayyad & Irani 1993):
+      //   gain > log2(n-1)/n + delta/n
+      //   delta = log2(3^k - 2) - (k*Ent(S) - k1*Ent(S1) - k2*Ent(S2))
+      const double k = ClassesPresent(total);
+      const double k1 = ClassesPresent(best_left);
+      const double k2 = ClassesPresent(best_right);
+      const double ent1 = Entropy(best_left);
+      const double ent2 = Entropy(best_right);
+      const double delta = std::log2(std::pow(3.0, k) - 2.0) -
+                           (k * ent_s - k1 * ent1 - k2 * ent2);
+      const double threshold =
+          (std::log2(static_cast<double>(n) - 1.0) + delta) /
+          static_cast<double>(n);
+      if (gain <= threshold) return;
+    } else if (gain <= 0) {
+      return;
+    }
+
+    // Cut at the midpoint between the boundary values.
+    cuts->push_back(0.5 * (values_[best_i] + values_[best_i + 1]));
+    Split(begin, best_i + 1, depth + 1, cuts);
+    Split(best_i + 1, end, depth + 1, cuts);
+  }
+
+  const std::vector<double>& values_;
+  const std::vector<uint8_t>& labels_;
+  const uint32_t num_classes_;
+  const EntropyDiscretizer::Options& options_;
+};
+
+}  // namespace
+
+Discretization EntropyDiscretizer::Fit(const ContinuousDataset& train) const {
+  TOPKRGS_CHECK(train.num_rows() > 0, "cannot fit on empty dataset");
+  Discretization result;
+
+  const uint32_t n = train.num_rows();
+  std::vector<uint32_t> order(n);
+  std::vector<double> sorted_values(n);
+  std::vector<uint8_t> sorted_labels(n);
+
+  for (GeneId g = 0; g < train.num_genes(); ++g) {
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return train.value(a, g) < train.value(b, g);
+    });
+    for (uint32_t i = 0; i < n; ++i) {
+      sorted_values[i] = train.value(order[i], g);
+      sorted_labels[i] = train.label(order[i]);
+    }
+    std::vector<double> cuts;
+    GeneSplitter splitter(sorted_values, sorted_labels, train.num_classes(),
+                          options_);
+    splitter.Run(&cuts);
+    if (cuts.empty()) continue;  // gene dropped: no MDL-accepted cut
+
+    const uint32_t selected_index =
+        static_cast<uint32_t>(result.selected_genes_.size());
+    result.selected_genes_.push_back(g);
+    result.gene_first_item_.push_back(
+        static_cast<ItemId>(result.items_.size()));
+    for (uint32_t interval = 0; interval <= cuts.size(); ++interval) {
+      ItemInfo info;
+      info.gene = g;
+      info.interval = interval;
+      if (interval > 0) info.lo = cuts[interval - 1];
+      if (interval < cuts.size()) info.hi = cuts[interval];
+      result.items_.push_back(info);
+    }
+    result.cuts_.push_back(std::move(cuts));
+    (void)selected_index;
+  }
+  return result;
+}
+
+}  // namespace topkrgs

@@ -1,0 +1,44 @@
+#ifndef TOPKRGS_MINE_CARPENTER_H_
+#define TOPKRGS_MINE_CARPENTER_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "mine/miner_common.h"
+#include "util/timer.h"
+
+namespace topkrgs {
+
+/// A closed pattern: a closed itemset with its full row support set.
+struct ClosedPattern {
+  Bitset items;
+  Bitset rows;
+  uint32_t support = 0;  // |rows|
+};
+
+/// Options of CARPENTER [Pan et al., KDD 2003] — the first row enumeration
+/// miner and the ancestor of FARMER and MineTopkRGS (§7). Mines all closed
+/// patterns with total support >= min_support, with no class labels
+/// involved.
+struct CarpenterOptions {
+  uint32_t min_support = 1;
+  /// Prefix-tree projections (like MineTopkRGS) or explicit projected
+  /// transposed tables (the original implementation).
+  bool use_prefix_tree = false;
+  Deadline deadline;
+  /// Safety valve: stop after this many patterns (0 = off).
+  uint64_t max_patterns = 0;
+};
+
+struct CarpenterResult {
+  std::vector<ClosedPattern> patterns;
+  MinerStats stats;
+};
+
+/// Runs CARPENTER over `data`, ignoring class labels.
+CarpenterResult MineCarpenter(const DiscreteDataset& data,
+                              const CarpenterOptions& options);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_MINE_CARPENTER_H_

@@ -1,0 +1,222 @@
+#include "mine/charm.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace topkrgs {
+
+namespace {
+
+/// One IT-pair of the CHARM search. `diffset` is relative to the parent
+/// prefix: d(Px) = t(P) \ t(Px); supports and tid sums are maintained
+/// arithmetically from it (Zaki's dCHARM scheme), so tidsets are never
+/// intersected during the search.
+struct CharmNode {
+  Bitset items;
+  std::vector<uint32_t> diffset;
+  uint32_t support = 0;        // |t(Px)|
+  uint32_t class_support = 0;  // |t(Px) ∩ consequent rows|
+  uint64_t tid_sum = 0;
+  bool removed = false;
+};
+
+class CharmSearch {
+ public:
+  CharmSearch(const DiscreteDataset& data, ClassLabel consequent,
+              const CharmOptions& options)
+      : data_(data), consequent_(consequent), opt_(options) {}
+
+  MiningResult Run();
+
+ private:
+  void Extend(const std::vector<uint32_t>& prefix_tidset,
+              std::vector<CharmNode>& nodes);
+  void Emit(const CharmNode& node, const std::vector<uint32_t>& tidset);
+  bool Subsumed(const CharmNode& node) const;
+
+  uint32_t ClassCount(const std::vector<uint32_t>& rows) const {
+    uint32_t c = 0;
+    for (uint32_t r : rows) c += (data_.label(r) == consequent_);
+    return c;
+  }
+
+  const DiscreteDataset& data_;
+  const ClassLabel consequent_;
+  const CharmOptions& opt_;
+  uint32_t minsup_ = 1;
+
+  // Closed-set index for subsumption checking: tid_sum -> result indices.
+  std::unordered_map<uint64_t, std::vector<size_t>> closed_index_;
+  std::vector<std::pair<Bitset, uint32_t>> closed_sets_;  // (items, support)
+
+  bool stopped_ = false;
+  MiningResult result_;
+};
+
+bool CharmSearch::Subsumed(const CharmNode& node) const {
+  const auto it = closed_index_.find(node.tid_sum);
+  if (it == closed_index_.end()) return false;
+  for (size_t idx : it->second) {
+    // items ⊆ Z.items implies t ⊇ t(Z); with equal supports the tidsets are
+    // equal, so Z subsumes node.
+    if (closed_sets_[idx].second == node.support &&
+        node.items.IsSubsetOf(closed_sets_[idx].first)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CharmSearch::Emit(const CharmNode& node,
+                       const std::vector<uint32_t>& tidset) {
+  if (node.class_support < minsup_) return;
+  if (Subsumed(node)) return;
+  closed_index_[node.tid_sum].push_back(closed_sets_.size());
+  closed_sets_.emplace_back(node.items, node.support);
+
+  RuleGroup group;
+  group.antecedent = node.items;
+  group.consequent = consequent_;
+  group.support = node.class_support;
+  group.antecedent_support = node.support;
+  if (opt_.materialize_rowsets) {
+    Bitset rows(data_.num_rows());
+    for (uint32_t r : tidset) rows.Set(r);
+    group.row_support = std::move(rows);
+  }
+  result_.groups.push_back(std::move(group));
+  ++result_.stats.groups_emitted;
+  if (opt_.max_groups != 0 && result_.stats.groups_emitted >= opt_.max_groups) {
+    stopped_ = true;
+    result_.stats.timed_out = true;
+  }
+}
+
+void CharmSearch::Extend(const std::vector<uint32_t>& prefix_tidset,
+                         std::vector<CharmNode>& nodes) {
+  for (size_t i = 0; i < nodes.size() && !stopped_; ++i) {
+    if (nodes[i].removed) continue;
+    CharmNode& x = nodes[i];
+    ++result_.stats.nodes_visited;
+    if (opt_.deadline.Expired()) {
+      stopped_ = true;
+      result_.stats.timed_out = true;
+      return;
+    }
+
+    // t(Px) = t(P) \ d(Px).
+    std::vector<uint32_t> tidset_x;
+    tidset_x.reserve(prefix_tidset.size() - x.diffset.size());
+    std::set_difference(prefix_tidset.begin(), prefix_tidset.end(),
+                        x.diffset.begin(), x.diffset.end(),
+                        std::back_inserter(tidset_x));
+
+    std::vector<CharmNode> children;
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      if (nodes[j].removed) continue;
+      // d(Pxy) = d(Py) \ d(Px).
+      std::vector<uint32_t> diff;
+      std::set_difference(nodes[j].diffset.begin(), nodes[j].diffset.end(),
+                          x.diffset.begin(), x.diffset.end(),
+                          std::back_inserter(diff));
+      const uint32_t sup = x.support - static_cast<uint32_t>(diff.size());
+      const uint32_t class_sup = x.class_support - ClassCount(diff);
+      uint64_t diff_sum = 0;
+      for (uint32_t r : diff) diff_sum += r;
+      const uint64_t tid_sum = x.tid_sum - diff_sum;
+
+      if (sup == x.support && sup == nodes[j].support) {
+        // Property 1: t(x) == t(y) — fold y into x everywhere.
+        x.items.UnionWith(nodes[j].items);
+        for (auto& child : children) child.items.UnionWith(nodes[j].items);
+        nodes[j].removed = true;
+      } else if (sup == x.support) {
+        // Property 2: t(x) ⊂ t(y) — y belongs to x's closure, keep y.
+        x.items.UnionWith(nodes[j].items);
+        for (auto& child : children) child.items.UnionWith(nodes[j].items);
+      } else if (sup == nodes[j].support) {
+        // Property 3: t(y) ⊂ t(x) — every closed set with y also has x;
+        // continue y only inside x's subtree.
+        nodes[j].removed = true;
+        CharmNode child;
+        child.items = Union(x.items, nodes[j].items);
+        child.diffset = std::move(diff);
+        child.support = sup;
+        child.class_support = class_sup;
+        child.tid_sum = tid_sum;
+        children.push_back(std::move(child));
+      } else if (class_sup >= minsup_) {
+        // Property 4: incomparable tidsets.
+        CharmNode child;
+        child.items = Union(x.items, nodes[j].items);
+        child.diffset = std::move(diff);
+        child.support = sup;
+        child.class_support = class_sup;
+        child.tid_sum = tid_sum;
+        children.push_back(std::move(child));
+      }
+    }
+
+    Emit(x, tidset_x);
+
+    if (!children.empty()) {
+      std::stable_sort(children.begin(), children.end(),
+                       [](const CharmNode& a, const CharmNode& b) {
+                         return a.support < b.support;
+                       });
+      Extend(tidset_x, children);
+    }
+  }
+}
+
+MiningResult CharmSearch::Run() {
+  Stopwatch timer;
+  minsup_ = std::max<uint32_t>(1, opt_.min_support);
+  const Bitset class_rows = data_.ClassRowset(consequent_);
+
+  std::vector<uint32_t> all_rows(data_.num_rows());
+  for (uint32_t r = 0; r < data_.num_rows(); ++r) all_rows[r] = r;
+
+  std::vector<CharmNode> level1;
+  for (ItemId item = 0; item < data_.num_items(); ++item) {
+    const Bitset& rows = data_.item_rows(item);
+    const uint32_t class_sup =
+        static_cast<uint32_t>(rows.IntersectCount(class_rows));
+    if (class_sup < minsup_) continue;
+    CharmNode node;
+    node.items = Bitset(data_.num_items());
+    node.items.Set(item);
+    node.support = static_cast<uint32_t>(rows.Count());
+    node.class_support = class_sup;
+    // d(x) = t(∅) \ t(x); tid_sum tracked alongside.
+    node.diffset.reserve(data_.num_rows() - node.support);
+    for (uint32_t r = 0; r < data_.num_rows(); ++r) {
+      if (rows.Test(r)) {
+        node.tid_sum += r;
+      } else {
+        node.diffset.push_back(r);
+      }
+    }
+    level1.push_back(std::move(node));
+  }
+  std::stable_sort(level1.begin(), level1.end(),
+                   [](const CharmNode& a, const CharmNode& b) {
+                     return a.support < b.support;
+                   });
+  Extend(all_rows, level1);
+
+  result_.stats.seconds = timer.ElapsedSeconds();
+  return std::move(result_);
+}
+
+}  // namespace
+
+MiningResult MineCharm(const DiscreteDataset& data, ClassLabel consequent,
+                       const CharmOptions& options) {
+  CharmSearch search(data, consequent, options);
+  return search.Run();
+}
+
+}  // namespace topkrgs

@@ -1,0 +1,31 @@
+#ifndef TOPKRGS_MINE_CHARM_H_
+#define TOPKRGS_MINE_CHARM_H_
+
+#include "core/dataset.h"
+#include "mine/miner_common.h"
+#include "util/timer.h"
+
+namespace topkrgs {
+
+/// Options of the CHARM baseline [Zaki & Hsiao, SDM 2002], the column
+/// enumeration closed itemset miner the paper compares against ("CHARM
+/// which uses diff-sets"). Mines all closed itemsets whose support counted
+/// over rows of `consequent` class is >= min_support — exactly the upper
+/// bounds of the qualifying rule groups.
+struct CharmOptions {
+  uint32_t min_support = 1;
+  /// Fill RuleGroup::row_support on emission (costs one tidset
+  /// reconstruction per group). Benchmarks disable it.
+  bool materialize_rowsets = true;
+  Deadline deadline;
+  /// Safety valve: stop after this many groups (0 = off).
+  uint64_t max_groups = 0;
+};
+
+/// Runs CHARM with diffsets over the item (column) enumeration space.
+MiningResult MineCharm(const DiscreteDataset& data, ClassLabel consequent,
+                       const CharmOptions& options);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_MINE_CHARM_H_

@@ -1,0 +1,265 @@
+#include "mine/closet.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace topkrgs {
+
+namespace {
+
+/// FP-tree over item ranks (rank 0 = most frequent). Paths store ranks in
+/// ascending order from the root, i.e. most frequent items first.
+class FpTree {
+ public:
+  struct Node {
+    uint32_t rank = 0;
+    uint32_t count = 0;
+    uint32_t class_count = 0;
+    int32_t parent = -1;
+    int32_t first_child = -1;
+    int32_t next_sibling = -1;
+    int32_t header_next = -1;
+  };
+
+  explicit FpTree(uint32_t num_ranks)
+      : header_head_(num_ranks, -1),
+        header_count_(num_ranks, 0),
+        header_class_(num_ranks, 0) {
+    nodes_.push_back(Node{});  // synthetic root
+  }
+
+  void Insert(const uint32_t* ranks, size_t len, uint32_t count,
+              uint32_t class_count) {
+    int32_t current = 0;
+    for (size_t i = 0; i < len; ++i) {
+      const uint32_t rank = ranks[i];
+      int32_t child = nodes_[current].first_child;
+      while (child != -1 && nodes_[child].rank != rank) {
+        child = nodes_[child].next_sibling;
+      }
+      if (child == -1) {
+        child = static_cast<int32_t>(nodes_.size());
+        Node node;
+        node.rank = rank;
+        node.parent = current;
+        node.next_sibling = nodes_[current].first_child;
+        node.header_next = header_head_[rank];
+        nodes_.push_back(node);
+        nodes_[current].first_child = child;
+        header_head_[rank] = child;
+      }
+      nodes_[child].count += count;
+      nodes_[child].class_count += class_count;
+      header_count_[rank] += count;
+      header_class_[rank] += class_count;
+      current = child;
+    }
+  }
+
+  uint32_t num_ranks() const {
+    return static_cast<uint32_t>(header_head_.size());
+  }
+  uint32_t count(uint32_t rank) const { return header_count_[rank]; }
+  uint32_t class_count(uint32_t rank) const { return header_class_[rank]; }
+
+  /// Invokes fn(path_ranks_ascending, count, class_count) for every prefix
+  /// path of `rank`'s node chain.
+  template <typename Fn>
+  void ForEachPrefixPath(uint32_t rank, Fn&& fn) const {
+    std::vector<uint32_t> path;
+    for (int32_t node = header_head_[rank]; node != -1;
+         node = nodes_[node].header_next) {
+      path.clear();
+      for (int32_t up = nodes_[node].parent; up != 0; up = nodes_[up].parent) {
+        path.push_back(nodes_[up].rank);
+      }
+      std::reverse(path.begin(), path.end());
+      fn(path, nodes_[node].count, nodes_[node].class_count);
+    }
+  }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<int32_t> header_head_;
+  std::vector<uint32_t> header_count_;
+  std::vector<uint32_t> header_class_;
+};
+
+class ClosetSearch {
+ public:
+  ClosetSearch(const DiscreteDataset& data, ClassLabel consequent,
+               const ClosetOptions& options)
+      : data_(data), consequent_(consequent), opt_(options) {}
+
+  MiningResult Run();
+
+ private:
+  void Mine(const FpTree& tree, const Bitset& prefix);
+  bool SubsumedOrRecord(const Bitset& items, uint32_t support);
+  void Emit(const Bitset& items, uint32_t support, uint32_t class_support);
+
+  const DiscreteDataset& data_;
+  const ClassLabel consequent_;
+  const ClosetOptions& opt_;
+  uint32_t minsup_ = 1;
+
+  std::vector<ItemId> rank_to_item_;
+  // support -> indices of closed sets with that support.
+  std::unordered_map<uint32_t, std::vector<size_t>> closed_index_;
+  std::vector<Bitset> closed_sets_;
+
+  bool stopped_ = false;
+  MiningResult result_;
+};
+
+bool ClosetSearch::SubsumedOrRecord(const Bitset& items, uint32_t support) {
+  auto& bucket = closed_index_[support];
+  for (size_t idx : bucket) {
+    if (items.IsSubsetOf(closed_sets_[idx])) return true;
+  }
+  bucket.push_back(closed_sets_.size());
+  closed_sets_.push_back(items);
+  return false;
+}
+
+void ClosetSearch::Emit(const Bitset& items, uint32_t support,
+                        uint32_t class_support) {
+  RuleGroup group;
+  group.antecedent = items;
+  group.consequent = consequent_;
+  group.support = class_support;
+  group.antecedent_support = support;
+  if (opt_.materialize_rowsets) {
+    group.row_support = data_.ItemSupportSet(items);
+  }
+  result_.groups.push_back(std::move(group));
+  ++result_.stats.groups_emitted;
+  if (opt_.max_groups != 0 && result_.stats.groups_emitted >= opt_.max_groups) {
+    stopped_ = true;
+    result_.stats.timed_out = true;
+  }
+}
+
+void ClosetSearch::Mine(const FpTree& tree, const Bitset& prefix) {
+  if (stopped_) return;
+  // Bottom-up: least frequent suffix item first.
+  for (uint32_t rank = tree.num_ranks(); rank-- > 0;) {
+    if (stopped_) return;
+    ++result_.stats.nodes_visited;
+    if (opt_.deadline.Expired()) {
+      stopped_ = true;
+      result_.stats.timed_out = true;
+      return;
+    }
+    const uint32_t support = tree.count(rank);
+    const uint32_t class_support = tree.class_count(rank);
+    if (support == 0 || class_support < minsup_) continue;
+
+    // Per-rank totals over the conditional pattern base of `rank`.
+    std::vector<uint32_t> base_count(tree.num_ranks(), 0);
+    std::vector<uint32_t> base_class(tree.num_ranks(), 0);
+    tree.ForEachPrefixPath(rank, [&](const std::vector<uint32_t>& path,
+                                     uint32_t count, uint32_t class_count) {
+      for (uint32_t r : path) {
+        base_count[r] += count;
+        base_class[r] += class_count;
+      }
+    });
+
+    // Item merging: ranks occurring in the entire base belong to the
+    // closure of prefix ∪ {rank}.
+    Bitset closed_items = prefix;
+    closed_items.Set(rank_to_item_[rank]);
+    std::vector<bool> merged(tree.num_ranks(), false);
+    for (uint32_t r = 0; r < rank; ++r) {
+      if (base_count[r] == support) {
+        merged[r] = true;
+        closed_items.Set(rank_to_item_[r]);
+      }
+    }
+
+    // Subsumption prune: a same-support closed superset was found already;
+    // every closed set of this subtree is reachable elsewhere.
+    if (SubsumedOrRecord(closed_items, support)) {
+      ++result_.stats.pruned_backward;
+      continue;
+    }
+    Emit(closed_items, support, class_support);
+
+    // Conditional tree over the unmerged, still-promising ranks.
+    bool any = false;
+    for (uint32_t r = 0; r < rank; ++r) {
+      if (!merged[r] && base_class[r] >= minsup_) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    FpTree cond(tree.num_ranks());
+    std::vector<uint32_t> filtered;
+    tree.ForEachPrefixPath(rank, [&](const std::vector<uint32_t>& path,
+                                     uint32_t count, uint32_t class_count) {
+      filtered.clear();
+      for (uint32_t r : path) {
+        if (!merged[r] && base_class[r] >= minsup_) filtered.push_back(r);
+      }
+      if (!filtered.empty()) {
+        cond.Insert(filtered.data(), filtered.size(), count, class_count);
+      }
+    });
+    Mine(cond, closed_items);
+  }
+}
+
+MiningResult ClosetSearch::Run() {
+  Stopwatch timer;
+  minsup_ = std::max<uint32_t>(1, opt_.min_support);
+  const Bitset class_rows = data_.ClassRowset(consequent_);
+
+  // Global item order: descending class support, ties by ascending id.
+  std::vector<std::pair<uint32_t, ItemId>> freq;
+  for (ItemId item = 0; item < data_.num_items(); ++item) {
+    const uint32_t class_sup = static_cast<uint32_t>(
+        data_.item_rows(item).IntersectCount(class_rows));
+    if (class_sup >= minsup_) freq.emplace_back(class_sup, item);
+  }
+  std::stable_sort(freq.begin(), freq.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  });
+  rank_to_item_.resize(freq.size());
+  std::vector<uint32_t> item_to_rank(data_.num_items(), UINT32_MAX);
+  for (uint32_t rank = 0; rank < freq.size(); ++rank) {
+    rank_to_item_[rank] = freq[rank].second;
+    item_to_rank[freq[rank].second] = rank;
+  }
+
+  FpTree root(static_cast<uint32_t>(freq.size()));
+  std::vector<uint32_t> ranks;
+  for (RowId r = 0; r < data_.num_rows(); ++r) {
+    ranks.clear();
+    for (ItemId item : data_.row_items(r)) {
+      if (item_to_rank[item] != UINT32_MAX) ranks.push_back(item_to_rank[item]);
+    }
+    std::sort(ranks.begin(), ranks.end());
+    const uint32_t is_class = data_.label(r) == consequent_ ? 1 : 0;
+    root.Insert(ranks.data(), ranks.size(), 1, is_class);
+  }
+
+  Mine(root, Bitset(data_.num_items()));
+
+  result_.stats.seconds = timer.ElapsedSeconds();
+  return std::move(result_);
+}
+
+}  // namespace
+
+MiningResult MineCloset(const DiscreteDataset& data, ClassLabel consequent,
+                        const ClosetOptions& options) {
+  ClosetSearch search(data, consequent, options);
+  return search.Run();
+}
+
+}  // namespace topkrgs

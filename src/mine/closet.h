@@ -1,0 +1,31 @@
+#ifndef TOPKRGS_MINE_CLOSET_H_
+#define TOPKRGS_MINE_CLOSET_H_
+
+#include "core/dataset.h"
+#include "mine/miner_common.h"
+#include "util/timer.h"
+
+namespace topkrgs {
+
+/// Options of the CLOSET+ baseline [Wang, Han & Pei, KDD 2003]: FP-tree
+/// based column (item) enumeration of closed itemsets. We implement its
+/// core strategy — bottom-up FP-growth over conditional trees, item
+/// merging of full-support items, and result-set subsumption checking —
+/// which is the part whose item enumeration space explodes on
+/// high-dimensional gene expression data (the behaviour Figure 6 reports).
+struct ClosetOptions {
+  uint32_t min_support = 1;
+  /// Fill RuleGroup::row_support on emission. Benchmarks disable it.
+  bool materialize_rowsets = true;
+  Deadline deadline;
+  uint64_t max_groups = 0;
+};
+
+/// Runs CLOSET+ and returns every closed itemset whose support over rows of
+/// `consequent` class is >= min_support, as rule groups.
+MiningResult MineCloset(const DiscreteDataset& data, ClassLabel consequent,
+                        const ClosetOptions& options);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_MINE_CLOSET_H_

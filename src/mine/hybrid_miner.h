@@ -1,0 +1,38 @@
+#ifndef TOPKRGS_MINE_HYBRID_MINER_H_
+#define TOPKRGS_MINE_HYBRID_MINER_H_
+
+#include "core/dataset.h"
+#include "mine/topk_miner.h"
+
+namespace topkrgs {
+
+/// The §8 extension of the paper: "extend TopkRGS to other large datasets
+/// ... by utilizing column-wise mining first, then switching to row-wise
+/// enumeration in later levels to mine top-k covering rules in the
+/// partition formed by column-wise mining, and finally aggregating the
+/// top-k covering rules in all partitions."
+///
+/// This implementation realizes that sketch exactly and *losslessly*:
+///
+///  1. Column step: enumerate every frequent item i. Its partition is the
+///     conditional dataset D_i = rows containing i.
+///  2. Row step: run the ordinary row-enumeration MineTopkRGS inside D_i.
+///     For any rule group whose antecedent contains i, its antecedent
+///     support set, closure, support and confidence are identical in D_i
+///     and in the full dataset, and if the group ranks in a row's global
+///     top-k it must also rank in that row's top-k within D_i (the
+///     partition exposes only a subset of the row's covering groups).
+///  3. Aggregation: merge the per-row lists of all partitions, dedup by
+///     antecedent support set, and keep each row's k most significant.
+///
+/// The result therefore equals MineTopkRGS's, while each row-enumeration
+/// instance only sees the (much smaller) rows of one partition — the
+/// property that makes the approach viable for datasets with many rows or
+/// datasets that do not fit in memory (partitions can be mined
+/// independently, even on separate machines).
+TopkResult MineTopkRGSHybrid(const DiscreteDataset& data, ClassLabel consequent,
+                             const TopkMinerOptions& options);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_MINE_HYBRID_MINER_H_

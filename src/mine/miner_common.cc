@@ -1,0 +1,50 @@
+#include "mine/miner_common.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace topkrgs {
+
+std::vector<RowId> ClassDominantOrder(const DiscreteDataset& data,
+                                      ClassLabel consequent,
+                                      const Bitset& frequent_items) {
+  const uint32_t n = data.num_rows();
+  std::vector<uint32_t> weight(n);
+  for (RowId r = 0; r < n; ++r) {
+    weight[r] = frequent_items.empty()
+                    ? static_cast<uint32_t>(data.row_items(r).size())
+                    : static_cast<uint32_t>(
+                          data.row_bitset(r).IntersectCount(frequent_items));
+  }
+  std::vector<RowId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](RowId a, RowId b) {
+    const bool a_pos = data.label(a) == consequent;
+    const bool b_pos = data.label(b) == consequent;
+    if (a_pos != b_pos) return a_pos;  // consequent class first
+    return weight[a] < weight[b];      // fewer frequent items first
+  });
+  return order;
+}
+
+uint32_t CountClassRows(const DiscreteDataset& data, ClassLabel consequent) {
+  uint32_t count = 0;
+  for (RowId r = 0; r < data.num_rows(); ++r) {
+    if (data.label(r) == consequent) ++count;
+  }
+  return count;
+}
+
+Bitset FrequentItems(const DiscreteDataset& data, ClassLabel consequent,
+                     uint32_t min_support) {
+  const Bitset class_rows = data.ClassRowset(consequent);
+  Bitset items(data.num_items());
+  for (ItemId i = 0; i < data.num_items(); ++i) {
+    if (data.item_rows(i).IntersectCount(class_rows) >= min_support) {
+      items.Set(i);
+    }
+  }
+  return items;
+}
+
+}  // namespace topkrgs

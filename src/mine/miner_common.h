@@ -1,0 +1,52 @@
+#ifndef TOPKRGS_MINE_MINER_COMMON_H_
+#define TOPKRGS_MINE_MINER_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/rule.h"
+#include "core/types.h"
+
+namespace topkrgs {
+
+/// Counters shared by all miners; benchmark harnesses report these next to
+/// wall-clock time so pruning effectiveness can be compared directly.
+struct MinerStats {
+  uint64_t nodes_visited = 0;
+  uint64_t groups_emitted = 0;
+  uint64_t pruned_backward = 0;
+  uint64_t pruned_bounds = 0;
+  double seconds = 0.0;
+  bool timed_out = false;
+};
+
+/// A generic mining result: the discovered rule groups (upper bounds) plus
+/// search statistics.
+struct MiningResult {
+  std::vector<RuleGroup> groups;
+  MinerStats stats;
+};
+
+/// Computes the class dominant order ORD of the rows (Definition 3.1):
+/// all rows of `consequent` class first, then the rest; within each class,
+/// ascending number of frequent items (the ordering refinement of §4.1.2).
+/// `frequent_items` may be empty, in which case all items count.
+/// Returns a permutation: position -> original RowId.
+std::vector<RowId> ClassDominantOrder(const DiscreteDataset& data,
+                                      ClassLabel consequent,
+                                      const Bitset& frequent_items);
+
+/// Number of rows of `consequent` class (they occupy the first positions of
+/// the class dominant order).
+uint32_t CountClassRows(const DiscreteDataset& data, ClassLabel consequent);
+
+/// Items whose support within the `consequent` class is >= min_support.
+/// This is Step 1 of MineTopkRGS: rule support is counted on consequent
+/// rows only, so item frequency is too.
+Bitset FrequentItems(const DiscreteDataset& data, ClassLabel consequent,
+                     uint32_t min_support);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_MINE_MINER_COMMON_H_

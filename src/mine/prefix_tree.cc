@@ -1,0 +1,82 @@
+#include "mine/prefix_tree.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace topkrgs {
+
+PrefixTree::PrefixTree(uint32_t num_positions) : headers_(num_positions) {
+  nodes_.push_back(Node{});  // synthetic root
+}
+
+void PrefixTree::InsertPath(const uint32_t* path, size_t len, uint32_t count) {
+  tuple_count_ += count;
+  int32_t current = 0;
+  for (size_t i = 0; i < len; ++i) {
+    const uint32_t pos = path[i];
+    // Find a child of `current` with this position.
+    int32_t child = nodes_[current].first_child;
+    while (child != -1 && nodes_[child].pos != pos) {
+      child = nodes_[child].next_sibling;
+    }
+    if (child == -1) {
+      child = static_cast<int32_t>(nodes_.size());
+      Node node;
+      node.pos = pos;
+      node.parent = current;
+      node.next_sibling = nodes_[current].first_child;
+      node.header_next = headers_[pos].head;
+      nodes_.push_back(node);
+      nodes_[current].first_child = child;
+      headers_[pos].head = child;
+    }
+    nodes_[child].count += count;
+    headers_[pos].freq += count;
+    current = child;
+  }
+}
+
+PrefixTree PrefixTree::BuildRoot(const DiscreteDataset& data,
+                                 const std::vector<RowId>& order,
+                                 const Bitset& items) {
+  const uint32_t n = data.num_rows();
+  TOPKRGS_CHECK(order.size() == n, "order must cover all rows");
+  std::vector<uint32_t> position_of(n);
+  for (uint32_t pos = 0; pos < n; ++pos) position_of[order[pos]] = pos;
+
+  PrefixTree tree(n);
+  std::vector<uint32_t> path;
+  items.ForEach([&](size_t item) {
+    path.clear();
+    data.item_rows(static_cast<ItemId>(item)).ForEach([&](size_t row) {
+      path.push_back(position_of[row]);
+    });
+    // Descending positions: conditional trees then contain only the rows
+    // ordered after the projection row.
+    std::sort(path.begin(), path.end(), std::greater<uint32_t>());
+    tree.InsertPath(path.data(), path.size(), 1);
+  });
+  return tree;
+}
+
+PrefixTree PrefixTree::Conditional(uint32_t pos) const {
+  PrefixTree out(static_cast<uint32_t>(headers_.size()));
+  std::vector<uint32_t> path;
+  for (int32_t node = headers_[pos].head; node != -1;
+       node = nodes_[node].header_next) {
+    const uint32_t count = nodes_[node].count;
+    if (count == 0) continue;
+    // Prefix path above this node: ascending positions while climbing, so
+    // the reversed buffer is the descending path to insert.
+    path.clear();
+    for (int32_t up = nodes_[node].parent; up != 0; up = nodes_[up].parent) {
+      path.push_back(nodes_[up].pos);
+    }
+    std::reverse(path.begin(), path.end());
+    out.InsertPath(path.data(), path.size(), count);
+  }
+  return out;
+}
+
+}  // namespace topkrgs

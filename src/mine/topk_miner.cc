@@ -1,0 +1,485 @@
+#include "mine/topk_miner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "mine/projection.h"
+#include "util/status.h"
+
+namespace topkrgs {
+
+namespace {
+
+/// A rule group shared between the per-row lists of every row it covers.
+/// Seeded single-item groups start `provisional`: their antecedent is the
+/// single item, not yet the closure (upper bound); they are upgraded in
+/// place when the real upper bound is emitted, or closed explicitly in the
+/// finalization pass.
+struct GroupHandle {
+  RuleGroup group;
+  bool provisional = false;
+};
+using HandlePtr = std::shared_ptr<GroupHandle>;
+
+/// Significance threshold (sup, antecedent_sup); (0, 0) is the dummy with
+/// confidence 0 and support 0.
+struct Thresh {
+  uint32_t sup = 0;
+  uint32_t asup = 0;
+};
+
+class TopkSearch {
+ public:
+  TopkSearch(const DiscreteDataset& data, ClassLabel consequent,
+             const TopkMinerOptions& options)
+      : data_(data), consequent_(consequent), opt_(options) {}
+
+  TopkResult Run();
+
+ private:
+  template <typename Proj>
+  void Visit(const Proj& proj, const Bitset& items, uint32_t items_count,
+             uint32_t branch_pos, bool closed_on_left);
+
+  void SeedSingleItems(const Bitset& frequent_items);
+  void MaybeRaiseMinsup();
+  Thresh ComputeCut(const std::vector<uint32_t>& candidates) const;
+  bool Hopeless(uint32_t best_sup, uint32_t min_neg, const Thresh& cut) const;
+  void EmitAt(const Bitset& items, const Thresh& cut);
+  void TryInsert(uint32_t pos, const HandlePtr& handle);
+  void Finalize(const Bitset& frequent_items, TopkResult* result);
+
+  bool IsPos(uint32_t pos) const { return pos_positive_[pos] != 0; }
+
+  Thresh KthOf(uint32_t pos) const {
+    const auto& list = lists_[pos];
+    if (list.size() < opt_.k) return Thresh{0, 0};
+    const RuleGroup& g = list.back()->group;
+    return Thresh{g.support, g.antecedent_support};
+  }
+
+  const DiscreteDataset& data_;
+  const ClassLabel consequent_;
+  const TopkMinerOptions& opt_;
+
+  std::vector<RowId> order_;           // position -> original row id
+  std::vector<uint32_t> position_of_;  // original row id -> position
+  std::vector<uint8_t> pos_positive_;  // position -> is consequent-class
+  uint32_t np_ = 0;                    // number of consequent-class rows
+
+  // Per positive position: top-k list, most significant first.
+  std::vector<std::vector<HandlePtr>> lists_;
+
+  // DFS state for the current enumeration node X.
+  std::vector<uint32_t> x_stack_;
+  std::vector<bool> in_x_;
+  uint32_t xp_ = 0;
+  uint32_t xn_ = 0;
+
+  uint32_t minsup_dyn_ = 1;
+  bool stopped_ = false;
+  MinerStats stats_;
+};
+
+void TopkSearch::TryInsert(uint32_t pos, const HandlePtr& handle) {
+  auto& list = lists_[pos];
+  const RuleGroup& g = handle->group;
+
+  // Dedup by antecedent support set; upgrades a provisional entry in place
+  // when the matching upper bound arrives (§4.1.1, first optimization).
+  for (auto& existing : list) {
+    RuleGroup& e = existing->group;
+    if (e.support == g.support && e.antecedent_support == g.antecedent_support &&
+        e.row_support == g.row_support) {
+      if (existing->provisional && !handle->provisional) {
+        e.antecedent = g.antecedent;
+        existing->provisional = false;
+      }
+      return;
+    }
+  }
+
+  if (list.size() >= opt_.k) {
+    const RuleGroup& kth = list.back()->group;
+    if (CompareSignificance(g.support, g.antecedent_support, kth.support,
+                            kth.antecedent_support) <= 0) {
+      return;  // not more significant than the current k-th entry
+    }
+  }
+  // Insert before the first strictly-less-significant entry (stable for
+  // ties: earlier-discovered groups stay first, matching CBA's "<" order).
+  auto it = std::find_if(list.begin(), list.end(), [&](const HandlePtr& e) {
+    return CompareSignificance(g.support, g.antecedent_support,
+                               e->group.support,
+                               e->group.antecedent_support) > 0;
+  });
+  list.insert(it, handle);
+  if (list.size() > opt_.k) list.pop_back();
+}
+
+void TopkSearch::SeedSingleItems(const Bitset& frequent_items) {
+  const Bitset class_rows = data_.ClassRowset(consequent_);
+  frequent_items.ForEach([&](size_t item_index) {
+    const ItemId item = static_cast<ItemId>(item_index);
+    const Bitset& rows = data_.item_rows(item);
+    auto handle = std::make_shared<GroupHandle>();
+    handle->provisional = true;
+    handle->group.antecedent = Bitset(data_.num_items());
+    handle->group.antecedent.Set(item);
+    handle->group.row_support = rows;
+    handle->group.consequent = consequent_;
+    handle->group.antecedent_support = static_cast<uint32_t>(rows.Count());
+    handle->group.support =
+        static_cast<uint32_t>(rows.IntersectCount(class_rows));
+    rows.ForEach([&](size_t row) {
+      if (data_.label(static_cast<RowId>(row)) != consequent_) return;
+      TryInsert(position_of_[row], handle);
+    });
+  });
+}
+
+void TopkSearch::MaybeRaiseMinsup() {
+  if (!opt_.dynamic_min_support) return;
+  uint32_t lowest = UINT32_MAX;
+  for (uint32_t pos = 0; pos < pos_positive_.size(); ++pos) {
+    if (!IsPos(pos)) continue;
+    const auto& list = lists_[pos];
+    if (list.size() < opt_.k) return;
+    const RuleGroup& kth = list.back()->group;
+    if (kth.support == 0 || kth.support != kth.antecedent_support) {
+      return;  // some k-th entry is below 100% confidence
+    }
+    lowest = std::min(lowest, kth.support);
+  }
+  // Every row already holds k groups of 100% confidence with support >=
+  // lowest; only a 100%-confidence group with support > lowest can still
+  // displace anything.
+  if (lowest != UINT32_MAX && lowest + 1 > minsup_dyn_) {
+    minsup_dyn_ = lowest + 1;
+  }
+}
+
+Thresh TopkSearch::ComputeCut(const std::vector<uint32_t>& candidates) const {
+  // Equation 1/2: the weakest k-th entry over the rows the subtree can still
+  // cover (Lemma 3.2: Xp ∪ Rp).
+  bool first = true;
+  Thresh cut{0, 0};
+  auto consider = [&](uint32_t pos) {
+    const Thresh t = KthOf(pos);
+    if (first ||
+        CompareSignificance(t.sup, t.asup, cut.sup, cut.asup) < 0) {
+      cut = t;
+      first = false;
+    }
+  };
+  for (uint32_t pos : x_stack_) {
+    if (IsPos(pos)) consider(pos);
+  }
+  for (uint32_t pos : candidates) {
+    if (IsPos(pos)) consider(pos);
+  }
+  if (first) cut = Thresh{UINT32_MAX, UINT32_MAX};  // no coverable row: prune all
+  return cut;
+}
+
+bool TopkSearch::Hopeless(uint32_t best_sup, uint32_t min_neg,
+                          const Thresh& cut) const {
+  if (best_sup < minsup_dyn_) return true;
+  if (!opt_.use_topk_pruning) return false;
+  // Best achievable significance in the subtree: support best_sup with
+  // confidence best_sup / (best_sup + min_neg).
+  return CompareSignificance(best_sup, best_sup + min_neg, cut.sup,
+                             cut.asup) <= 0;
+}
+
+void TopkSearch::EmitAt(const Bitset& items, const Thresh& cut) {
+  if (xp_ < minsup_dyn_) return;
+  if (opt_.use_topk_pruning &&
+      CompareSignificance(xp_, xp_ + xn_, cut.sup, cut.asup) <= 0) {
+    // Cannot beat any row's k-th entry (cut is the minimum over them); a
+    // provisional twin, if any, is closed in the finalization pass.
+    return;
+  }
+  auto handle = std::make_shared<GroupHandle>();
+  handle->group.antecedent = items;
+  handle->group.consequent = consequent_;
+  handle->group.support = xp_;
+  handle->group.antecedent_support = xp_ + xn_;
+  Bitset rows(data_.num_rows());
+  for (uint32_t pos : x_stack_) rows.Set(order_[pos]);
+  handle->group.row_support = std::move(rows);
+  ++stats_.groups_emitted;
+  for (uint32_t pos : x_stack_) {
+    if (IsPos(pos)) TryInsert(pos, handle);
+  }
+}
+
+template <typename Proj>
+void TopkSearch::Visit(const Proj& proj, const Bitset& items,
+                       uint32_t items_count, uint32_t branch_pos,
+                       bool closed_on_left) {
+  (void)branch_pos;  // kept for symmetry with the paper's Depthfirst()
+  if (stopped_) return;
+  ++stats_.nodes_visited;
+  if (opt_.deadline.Expired()) {
+    stopped_ = true;
+    stats_.timed_out = true;
+    return;
+  }
+  if (items_count == 0) return;  // I(X) = ∅: no rules below this node
+
+  std::vector<uint32_t> cand;
+  proj.Positions(&cand);
+  std::erase_if(cand, [&](uint32_t p) { return in_x_[p]; });
+
+  uint32_t rp = 0;
+  uint32_t rn = 0;
+  for (uint32_t p : cand) {
+    IsPos(p) ? ++rp : ++rn;
+  }
+
+  // Step 8: threshold updating.
+  MaybeRaiseMinsup();
+  const Thresh cut = ComputeCut(cand);
+
+  // Step 9: loose bounds (no scan needed).
+  if (opt_.use_bound_pruning && Hopeless(xp_ + rp, xn_, cut)) {
+    ++stats_.pruned_bounds;
+    return;
+  }
+
+  // Step 10: scan TT'|_X — frequencies, then absorb rows occurring in every
+  // tuple (they appear in all descendants).
+  std::vector<uint32_t> live;
+  std::vector<uint32_t> live_freq;
+  std::vector<uint32_t> absorbed;
+  uint32_t mp = 0;
+  for (uint32_t p : cand) {
+    const uint32_t f = proj.Freq(p, items);
+    if (f == items_count) {
+      absorbed.push_back(p);
+    } else if (f > 0) {
+      live.push_back(p);
+      live_freq.push_back(f);
+      if (IsPos(p)) ++mp;
+    }
+  }
+  for (uint32_t p : absorbed) {
+    in_x_[p] = true;
+    x_stack_.push_back(p);
+    IsPos(p) ? ++xp_ : ++xn_;
+  }
+
+  // Step 11: tight bounds (mp = candidate consequent rows that can still
+  // appear in a descendant antecedent support set).
+  const bool pruned =
+      opt_.use_bound_pruning && Hopeless(xp_ + mp, xn_, ComputeCut(live));
+  if (pruned) {
+    ++stats_.pruned_bounds;
+  } else {
+    // Step 13: emit the rule group of this node and update covered rows.
+    // Only nodes with X == R(I(X)) carry a rule group; when the backward
+    // check failed we are in a redundant subtree that emits nothing.
+    if (closed_on_left) EmitAt(items, cut);
+
+    // Positive candidates at positions after live[i] — the only rows that
+    // can still raise a child subtree's support beyond X.
+    std::vector<uint32_t> suffix_pos(live.size() + 1, 0);
+    for (size_t i = live.size(); i-- > 0;) {
+      suffix_pos[i] = suffix_pos[i + 1] + (IsPos(live[i]) ? 1 : 0);
+    }
+
+    // Step 14: enumerate children in ORD order. Step 7's backward check
+    // runs here, before the child projection is built: a skipped earlier
+    // row containing I(X ∪ {p}) means the child duplicates an earlier
+    // branch (X' != R(I(X')) there and at every descendant), so nothing in
+    // it may be emitted and — when the pruning is enabled — the projection
+    // need not even be constructed. Redundancy propagates downward (the
+    // earlier row also contains every descendant's smaller I), so in
+    // ablation mode each descendant's own check re-detects it.
+    for (size_t i = 0; i < live.size() && !stopped_; ++i) {
+      const uint32_t p = live[i];
+      if (opt_.use_bound_pruning) {
+        // Per-child loose bounds before any per-child work: support in the
+        // child subtree is capped by X, the branch row, and the positive
+        // candidates ordered after it; the parent's cut is a lower bound on
+        // every child's cut, so pruning against it is sound.
+        const uint32_t child_sup_ub =
+            xp_ + (IsPos(p) ? 1 : 0) + suffix_pos[i + 1];
+        const uint32_t child_min_neg = xn_ + (IsPos(p) ? 0 : 1);
+        if (Hopeless(child_sup_ub, child_min_neg, cut)) {
+          ++stats_.pruned_bounds;
+          continue;
+        }
+      }
+      Bitset child_items = Intersect(items, data_.row_bitset(order_[p]));
+      bool child_closed = true;
+      for (uint32_t q = 0; q < p; ++q) {
+        if (!in_x_[q] && child_items.IsSubsetOf(data_.row_bitset(order_[q]))) {
+          child_closed = false;
+          break;
+        }
+      }
+      if (!child_closed) {
+        ++stats_.pruned_backward;
+        if (opt_.use_backward_pruning) continue;
+      }
+      in_x_[p] = true;
+      x_stack_.push_back(p);
+      IsPos(p) ? ++xp_ : ++xn_;
+      Visit(proj.Child(p, live), child_items, live_freq[i], p, child_closed);
+      IsPos(p) ? --xp_ : --xn_;
+      x_stack_.pop_back();
+      in_x_[p] = false;
+    }
+  }
+
+  for (auto it = absorbed.rbegin(); it != absorbed.rend(); ++it) {
+    const uint32_t p = *it;
+    IsPos(p) ? --xp_ : --xn_;
+    x_stack_.pop_back();
+    in_x_[p] = false;
+  }
+}
+
+void TopkSearch::Finalize(const Bitset& frequent_items, TopkResult* result) {
+  result->per_row.assign(data_.num_rows(), {});
+  for (uint32_t pos = 0; pos < pos_positive_.size(); ++pos) {
+    if (!IsPos(pos)) continue;
+    auto& out = result->per_row[order_[pos]];
+    for (const HandlePtr& handle : lists_[pos]) {
+      if (handle->provisional) {
+        // Close the seeded single item: its upper bound was never emitted
+        // (the emitting node was pruned as exactly-equal in significance).
+        Bitset closure = data_.RowSupportSet(handle->group.row_support);
+        closure.IntersectWith(frequent_items);
+        handle->group.antecedent = std::move(closure);
+        handle->provisional = false;
+      }
+      out.push_back(RuleGroupPtr(handle, &handle->group));
+    }
+  }
+}
+
+TopkResult TopkSearch::Run() {
+  Stopwatch timer;
+  TOPKRGS_CHECK(opt_.k >= 1, "k must be >= 1");
+  minsup_dyn_ = std::max<uint32_t>(1, opt_.min_support);
+
+  const Bitset frequent = FrequentItems(data_, consequent_, minsup_dyn_);
+  switch (opt_.row_order) {
+    case TopkMinerOptions::RowOrder::kClassDominantWeighted:
+      order_ = ClassDominantOrder(data_, consequent_, frequent);
+      break;
+    case TopkMinerOptions::RowOrder::kClassDominant:
+      // Empty weight set keeps rows in original order within each class.
+      order_.clear();
+      for (RowId r = 0; r < data_.num_rows(); ++r) {
+        if (data_.label(r) == consequent_) order_.push_back(r);
+      }
+      for (RowId r = 0; r < data_.num_rows(); ++r) {
+        if (data_.label(r) != consequent_) order_.push_back(r);
+      }
+      break;
+    case TopkMinerOptions::RowOrder::kNatural:
+      order_.resize(data_.num_rows());
+      for (RowId r = 0; r < data_.num_rows(); ++r) order_[r] = r;
+      break;
+  }
+  position_of_.assign(data_.num_rows(), 0);
+  pos_positive_.assign(data_.num_rows(), 0);
+  for (uint32_t pos = 0; pos < order_.size(); ++pos) {
+    position_of_[order_[pos]] = pos;
+    pos_positive_[pos] = data_.label(order_[pos]) == consequent_ ? 1 : 0;
+  }
+  np_ = CountClassRows(data_, consequent_);
+  lists_.assign(data_.num_rows(), {});
+  in_x_.assign(data_.num_rows(), false);
+
+  if (opt_.seed_single_items) SeedSingleItems(frequent);
+
+  const uint32_t items_count = static_cast<uint32_t>(frequent.Count());
+  if (items_count > 0 && np_ > 0) {
+    switch (opt_.backend) {
+      case TopkMinerOptions::Backend::kPrefixTree: {
+        TreeProjection root(PrefixTree::BuildRoot(data_, order_, frequent));
+        Visit(root, frequent, items_count, 0, /*closed_on_left=*/true);
+        break;
+      }
+      case TopkMinerOptions::Backend::kBitset: {
+        BitsetProjection root(&data_, &order_);
+        Visit(root, frequent, items_count, 0, /*closed_on_left=*/true);
+        break;
+      }
+      case TopkMinerOptions::Backend::kVector: {
+        VectorProjection root(&data_, &order_, frequent);
+        Visit(root, frequent, items_count, 0, /*closed_on_left=*/true);
+        break;
+      }
+    }
+  }
+
+  TopkResult result;
+  Finalize(frequent, &result);
+  result.effective_min_support = minsup_dyn_;
+  stats_.seconds = timer.ElapsedSeconds();
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace
+
+std::vector<RuleGroupPtr> TopkResult::DistinctGroups() const {
+  std::vector<RuleGroupPtr> out;
+  std::unordered_map<uint64_t, std::vector<size_t>> seen;  // rowset hash -> indices
+  for (const auto& list : per_row) {
+    for (const RuleGroupPtr& g : list) {
+      const uint64_t h = g->row_support.Hash();
+      auto& bucket = seen[h];
+      bool dup = false;
+      for (size_t idx : bucket) {
+        if (out[idx]->row_support == g->row_support) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        bucket.push_back(out.size());
+        out.push_back(g);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<RuleGroupPtr> TopkResult::GroupsAtRank(uint32_t j) const {
+  TOPKRGS_CHECK(j >= 1, "rank is 1-based");
+  std::vector<RuleGroupPtr> out;
+  std::unordered_map<uint64_t, std::vector<size_t>> seen;
+  for (const auto& list : per_row) {
+    if (list.size() < j) continue;
+    const RuleGroupPtr& g = list[j - 1];
+    const uint64_t h = g->row_support.Hash();
+    auto& bucket = seen[h];
+    bool dup = false;
+    for (size_t idx : bucket) {
+      if (out[idx]->row_support == g->row_support) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      bucket.push_back(out.size());
+      out.push_back(g);
+    }
+  }
+  return out;
+}
+
+TopkResult MineTopkRGS(const DiscreteDataset& data, ClassLabel consequent,
+                       const TopkMinerOptions& options) {
+  TopkSearch search(data, consequent, options);
+  return search.Run();
+}
+
+}  // namespace topkrgs

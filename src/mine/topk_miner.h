@@ -1,0 +1,95 @@
+#ifndef TOPKRGS_MINE_TOPK_MINER_H_
+#define TOPKRGS_MINE_TOPK_MINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/rule.h"
+#include "mine/miner_common.h"
+#include "util/timer.h"
+
+namespace topkrgs {
+
+/// Options of algorithm MineTopkRGS (Figure 3 of the paper). The pruning
+/// toggles exist for the ablation benchmarks; all default to the paper's
+/// configuration.
+struct TopkMinerOptions {
+  /// Number of covering rule groups kept per row.
+  uint32_t k = 1;
+  /// Minimum rule support, counted over rows of the consequent class.
+  uint32_t min_support = 1;
+
+  enum class Backend {
+    kPrefixTree,  // projected prefix trees (the paper's implementation)
+    kBitset,      // packed-bitset per-candidate intersection counting
+    kVector,      // explicit projected transposed tables (FARMER-style)
+  };
+  Backend backend = Backend::kPrefixTree;
+
+  enum class RowOrder {
+    /// Class dominant, ascending frequent-item count within each class
+    /// (the paper's ORD, §4.1.2).
+    kClassDominantWeighted,
+    /// Class dominant, original row order within each class.
+    kClassDominant,
+    /// Original dataset order — for the ordering ablation only; the paper
+    /// calls class dominance essential for confidence pruning.
+    kNatural,
+  };
+  RowOrder row_order = RowOrder::kClassDominantWeighted;
+
+  /// Top-k pruning with the dynamically derived minimum confidence (§4.1.1).
+  bool use_topk_pruning = true;
+  /// Loose/tight support+confidence upper bound pruning (Steps 9 and 11).
+  bool use_bound_pruning = true;
+  /// Backward pruning (Step 7, §4.1.2).
+  bool use_backward_pruning = true;
+  /// Seed per-row lists with single-item rule groups (first optimization of
+  /// §4.1.1).
+  bool seed_single_items = true;
+  /// Raise minsup when all lists hold k rule groups of 100% confidence
+  /// (second optimization of §4.1.1).
+  bool dynamic_min_support = true;
+
+  /// Optional wall-clock budget; on expiry the miner stops and flags
+  /// stats.timed_out (results are then incomplete).
+  Deadline deadline;
+
+  /// Worker threads for MineTopkRGSHybrid, whose per-item partitions are
+  /// independent (the row-enumeration miner itself is single-threaded;
+  /// this field is ignored by MineTopkRGS). 0 = one thread per hardware
+  /// core. Results are deterministic regardless of the thread count.
+  uint32_t hybrid_threads = 1;
+};
+
+/// A discovered rule group shared between the rows it covers.
+using RuleGroupPtr = std::shared_ptr<const RuleGroup>;
+
+/// Result of MineTopkRGS.
+struct TopkResult {
+  /// per_row[r] = the top-k covering rule groups of row r, most significant
+  /// first; empty for rows whose class is not the consequent. Lists may hold
+  /// fewer than k entries when fewer covering groups meet minsup.
+  std::vector<std::vector<RuleGroupPtr>> per_row;
+  /// minsup after dynamic raises (== options.min_support unless raised).
+  uint32_t effective_min_support = 0;
+  MinerStats stats;
+
+  /// All distinct rule groups across rows.
+  std::vector<RuleGroupPtr> DistinctGroups() const;
+
+  /// RG_j (1-based j <= k): the distinct groups appearing as a top-j group
+  /// of at least one row — the rule-group sets RCBT builds classifier CL_j
+  /// from (§5.2).
+  std::vector<RuleGroupPtr> GroupsAtRank(uint32_t j) const;
+};
+
+/// Mines the top-k covering rule groups for every row of `data` whose class
+/// is `consequent` (algorithm MineTopkRGS, Figure 3).
+TopkResult MineTopkRGS(const DiscreteDataset& data, ClassLabel consequent,
+                       const TopkMinerOptions& options);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_MINE_TOPK_MINER_H_

@@ -1,0 +1,71 @@
+#include "mine/transposed_table.h"
+
+#include <algorithm>
+
+namespace topkrgs {
+
+TransposedTable TransposedTable::Build(const DiscreteDataset& data,
+                                       const std::vector<RowId>& order,
+                                       const Bitset& items) {
+  // position_of[r] = position of original row r in the enumeration order.
+  std::vector<uint32_t> position_of(data.num_rows());
+  for (uint32_t pos = 0; pos < order.size(); ++pos) {
+    position_of[order[pos]] = pos;
+  }
+  TransposedTable tt;
+  items.ForEach([&](size_t item) {
+    Tuple tuple;
+    tuple.item = static_cast<ItemId>(item);
+    data.item_rows(static_cast<ItemId>(item)).ForEach([&](size_t row) {
+      tuple.positions.push_back(position_of[row]);
+    });
+    std::sort(tuple.positions.begin(), tuple.positions.end());
+    tt.tuples_.push_back(std::move(tuple));
+  });
+  return tt;
+}
+
+TransposedTable TransposedTable::Project(uint32_t pos) const {
+  TransposedTable out;
+  for (const Tuple& tuple : tuples_) {
+    if (!std::binary_search(tuple.positions.begin(), tuple.positions.end(),
+                            pos)) {
+      continue;
+    }
+    Tuple projected;
+    projected.item = tuple.item;
+    for (uint32_t p : tuple.positions) {
+      if (p > pos) projected.positions.push_back(p);
+    }
+    out.tuples_.push_back(std::move(projected));
+  }
+  return out;
+}
+
+uint32_t TransposedTable::Frequency(uint32_t pos) const {
+  uint32_t freq = 0;
+  for (const Tuple& tuple : tuples_) {
+    if (std::binary_search(tuple.positions.begin(), tuple.positions.end(),
+                           pos)) {
+      ++freq;
+    }
+  }
+  return freq;
+}
+
+std::string TransposedTable::ToString() const {
+  std::string out;
+  for (const Tuple& tuple : tuples_) {
+    out += 'i';
+    out += std::to_string(tuple.item);
+    out += ':';
+    for (uint32_t p : tuple.positions) {
+      out += ' ';
+      out += std::to_string(p);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace topkrgs

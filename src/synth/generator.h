@@ -1,0 +1,95 @@
+#ifndef TOPKRGS_SYNTH_GENERATOR_H_
+#define TOPKRGS_SYNTH_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace topkrgs {
+
+/// Shape and signal parameters of one synthetic microarray dataset.
+///
+/// The paper evaluates on four clinical datasets (Table 1) that are no
+/// longer publicly retrievable; this generator reproduces their statistical
+/// shape: the same row/gene counts and train/test splits, a planted set of
+/// class-informative genes of graded strength (so the entropy-MDL
+/// discretizer selects a comparable feature subset), and correlated gene
+/// blocks (co-expressed genes, which give rule groups the large upper
+/// bounds and huge lower-bound counts the paper describes).
+struct DatasetProfile {
+  std::string name;
+  uint32_t num_genes = 1000;
+  // Training rows per class (class 1 listed first, as in Table 1).
+  uint32_t train_class1 = 20;
+  uint32_t train_class0 = 20;
+  // Test rows per class.
+  uint32_t test_class1 = 10;
+  uint32_t test_class0 = 10;
+  /// Contamination-immune on/off marker genes (huge shift, no flips) —
+  /// the clean biomarkers that make datasets like the ovarian proteomics
+  /// profiles nearly perfectly separable.
+  uint32_t perfect_genes = 0;
+  /// Trap genes: flawless class signal on the training batch, pure noise on
+  /// the test batch. Models the batch-specific artifacts of the prostate
+  /// data that make greedy top-ranked-gene methods (C4.5, and partially
+  /// SVM) collapse while rule conjunctions merely abstain (§6.2).
+  uint32_t trap_genes = 0;
+  /// Genes carrying a strong class signal (mean shift kStrongShift sigmas).
+  uint32_t strong_genes = 40;
+  /// Genes carrying a weak class signal (mean shift drawn from
+  /// [weak_shift_lo, weak_shift_hi] sigmas).
+  uint32_t weak_genes = 400;
+  double weak_shift_lo = 0.8;
+  double weak_shift_hi = 1.6;
+  /// Number of correlated blocks among informative genes; genes in a block
+  /// share one latent class-dependent factor, creating co-expression.
+  uint32_t correlated_blocks = 12;
+  /// Genes per correlated block.
+  uint32_t block_size = 8;
+  /// Probability that an informative gene's value for a sample is drawn
+  /// from the opposite class's distribution (class overlap / noise).
+  double contamination = 0.08;
+  /// Fraction of informative genes that are one-sided markers: their
+  /// class-1 expression is clean (every class-1 sample shows it) and only
+  /// class-0 samples spill over. One-sided items cover the whole class —
+  /// the "present in all tumors, sometimes in normals" biomarker pattern —
+  /// which is what gives the full-class rule groups genuine, transferable
+  /// lower bounds.
+  double one_sided_frac = 0.5;
+  /// Probability that a *test* row is atypical: drawn with heavy
+  /// contamination that also hits the perfect marker genes. Models the
+  /// distribution shift of the paper's independent test sets (collected in
+  /// different labs/batches than the training data).
+  double test_flip_prob = 0.0;
+  /// Constant added to every gene value of every test row (global batch /
+  /// intensity shift between training and test experiments).
+  double test_batch_shift = 0.0;
+  uint64_t seed = 1;
+
+  /// Profiles approximating the paper's Table 1 datasets.
+  static DatasetProfile ALL();  // ALL/AML leukemia: 38 train (27:11), 34 test
+  static DatasetProfile LC();   // Lung cancer: 32 train (16:16), 149 test
+  static DatasetProfile OC();   // Ovarian cancer: 210 train (133:77), 43 test
+  static DatasetProfile PC();   // Prostate cancer: 102 train (52:50), 34 test
+
+  /// Scaled-down profiles of the same shape for fast unit tests and CI.
+  static DatasetProfile Tiny(uint64_t seed);
+};
+
+/// A generated dataset split into the paper's fixed train/test partitions.
+struct GeneratedData {
+  ContinuousDataset train;
+  ContinuousDataset test;
+};
+
+/// Deterministically generates a dataset from a profile (same seed, same
+/// bytes on every platform).
+GeneratedData GenerateMicroarray(const DatasetProfile& profile);
+
+/// The four Table 1 profiles in paper order.
+std::vector<DatasetProfile> PaperProfiles();
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_SYNTH_GENERATOR_H_

@@ -1,0 +1,44 @@
+#ifndef TOPKRGS_TOPKRGS_H_
+#define TOPKRGS_TOPKRGS_H_
+
+/// Umbrella header for the topkrgs library — a C++ implementation of
+/// "Mining Top-k Covering Rule Groups for Gene Expression Data"
+/// (Cong, Tan, Tung, Xu — SIGMOD 2005): the MineTopkRGS miner, the RCBT /
+/// CBA / IRG classifiers, the FARMER / CHARM / CLOSET+ baselines, and the
+/// preprocessing substrates (entropy-MDL discretization, synthetic
+/// microarray generation).
+
+#include "analyze/rule_report.h"
+#include "classify/cba.h"
+#include "classify/cross_validation.h"
+#include "classify/decision_tree.h"
+#include "classify/ensemble.h"
+#include "classify/evaluator.h"
+#include "classify/find_lb.h"
+#include "classify/irg.h"
+#include "classify/model_io.h"
+#include "classify/rcbt.h"
+#include "classify/svm.h"
+#include "core/dataset.h"
+#include "core/rule.h"
+#include "core/stats.h"
+#include "core/types.h"
+#include "discretize/binning.h"
+#include "discretize/entropy_discretizer.h"
+#include "mine/carpenter.h"
+#include "mine/charm.h"
+#include "mine/closet.h"
+#include "mine/farmer.h"
+#include "mine/hybrid_miner.h"
+#include "mine/miner_common.h"
+#include "mine/naive_miner.h"
+#include "mine/prefix_tree.h"
+#include "mine/topk_miner.h"
+#include "mine/transposed_table.h"
+#include "synth/generator.h"
+#include "util/bitset.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+#endif  // TOPKRGS_TOPKRGS_H_

@@ -1,0 +1,135 @@
+#include "util/bitset.h"
+
+#include <bit>
+
+namespace topkrgs {
+
+Bitset Bitset::AllSet(size_t size) {
+  Bitset b(size);
+  for (auto& w : b.words_) w = ~Word{0};
+  // Mask off bits beyond the universe in the last word.
+  const size_t tail = size % kWordBits;
+  if (tail != 0 && !b.words_.empty()) {
+    b.words_.back() &= (Word{1} << tail) - 1;
+  }
+  return b;
+}
+
+void Bitset::Clear() {
+  for (auto& w : words_) w = 0;
+}
+
+size_t Bitset::Count() const {
+  size_t total = 0;
+  for (Word w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+bool Bitset::None() const {
+  for (Word w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+void Bitset::IntersectWith(const Bitset& other) {
+  TOPKRGS_CHECK(size_ == other.size_, "bitset universe mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void Bitset::UnionWith(const Bitset& other) {
+  TOPKRGS_CHECK(size_ == other.size_, "bitset universe mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void Bitset::SubtractWith(const Bitset& other) {
+  TOPKRGS_CHECK(size_ == other.size_, "bitset universe mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+size_t Bitset::IntersectCount(const Bitset& other) const {
+  TOPKRGS_CHECK(size_ == other.size_, "bitset universe mismatch");
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+bool Bitset::IsSubsetOf(const Bitset& other) const {
+  TOPKRGS_CHECK(size_ == other.size_, "bitset universe mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool Bitset::Intersects(const Bitset& other) const {
+  TOPKRGS_CHECK(size_ == other.size_, "bitset universe mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+size_t Bitset::FindFirst() const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * kWordBits + static_cast<size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return size_;
+}
+
+size_t Bitset::FindNext(size_t pos) const {
+  ++pos;
+  if (pos >= size_) return size_;
+  size_t w = pos / kWordBits;
+  Word word = words_[w] & (~Word{0} << (pos % kWordBits));
+  while (true) {
+    if (word != 0) {
+      return w * kWordBits + static_cast<size_t>(std::countr_zero(word));
+    }
+    if (++w == words_.size()) return size_;
+    word = words_[w];
+  }
+}
+
+std::vector<uint32_t> Bitset::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  ForEach([&out](size_t i) { out.push_back(static_cast<uint32_t>(i)); });
+  return out;
+}
+
+uint64_t Bitset::Hash() const {
+  // SplitMix64-style per-word mixing.
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(size_);
+  for (Word w : words_) {
+    uint64_t z = w + 0x9e3779b97f4a7c15ULL + h;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h = z ^ (z >> 31);
+  }
+  return h;
+}
+
+Bitset Intersect(const Bitset& a, const Bitset& b) {
+  Bitset out = a;
+  out.IntersectWith(b);
+  return out;
+}
+
+Bitset Union(const Bitset& a, const Bitset& b) {
+  Bitset out = a;
+  out.UnionWith(b);
+  return out;
+}
+
+Bitset Subtract(const Bitset& a, const Bitset& b) {
+  Bitset out = a;
+  out.SubtractWith(b);
+  return out;
+}
+
+}  // namespace topkrgs

@@ -1,0 +1,115 @@
+#ifndef TOPKRGS_UTIL_BITSET_H_
+#define TOPKRGS_UTIL_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace topkrgs {
+
+/// A fixed-universe dynamic bitset tuned for the set algebra this library
+/// runs in its inner loops: itemset intersection (closure computation),
+/// subset tests for backward pruning and rule containment, and popcounts
+/// for support counting.
+///
+/// All binary operations require both operands to share the same universe
+/// size; this is an invariant of the call sites, checked in debug builds.
+class Bitset {
+ public:
+  using Word = uint64_t;
+  static constexpr size_t kWordBits = 64;
+
+  Bitset() = default;
+  /// Creates an empty (all-zero) set over a universe of `size` elements.
+  explicit Bitset(size_t size)
+      : size_(size), words_((size + kWordBits - 1) / kWordBits, 0) {}
+
+  /// Creates a set with every element of the universe present.
+  static Bitset AllSet(size_t size);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Set(size_t pos) { words_[pos / kWordBits] |= Word{1} << (pos % kWordBits); }
+  void Reset(size_t pos) {
+    words_[pos / kWordBits] &= ~(Word{1} << (pos % kWordBits));
+  }
+  bool Test(size_t pos) const {
+    return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1;
+  }
+
+  /// Clears all bits.
+  void Clear();
+
+  /// Number of elements in the set.
+  size_t Count() const;
+
+  /// True iff no element is set.
+  bool None() const;
+  bool Any() const { return !None(); }
+
+  /// In-place intersection: *this &= other.
+  void IntersectWith(const Bitset& other);
+  /// In-place union: *this |= other.
+  void UnionWith(const Bitset& other);
+  /// In-place difference: *this &= ~other.
+  void SubtractWith(const Bitset& other);
+
+  /// |*this & other| without materializing the intersection.
+  size_t IntersectCount(const Bitset& other) const;
+
+  /// True iff *this ⊆ other. Early-exits on the first violating word.
+  bool IsSubsetOf(const Bitset& other) const;
+
+  /// True iff the two sets share at least one element.
+  bool Intersects(const Bitset& other) const;
+
+  /// Index of the lowest set bit, or size() when empty.
+  size_t FindFirst() const;
+  /// Index of the lowest set bit strictly after `pos`, or size() when none.
+  size_t FindNext(size_t pos) const;
+
+  /// Invokes fn(index) for every set bit in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      Word word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(w * kWordBits + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Returns the set elements as a sorted vector of indices.
+  std::vector<uint32_t> ToVector() const;
+
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// 64-bit mixing hash over the words; used for closed-set subsumption
+  /// indices in CHARM/CLOSET+.
+  uint64_t Hash() const;
+
+  const std::vector<Word>& words() const { return words_; }
+
+ private:
+  size_t size_ = 0;
+  std::vector<Word> words_;
+};
+
+/// Intersection of two sets as a new bitset.
+Bitset Intersect(const Bitset& a, const Bitset& b);
+/// Union of two sets as a new bitset.
+Bitset Union(const Bitset& a, const Bitset& b);
+/// Difference a \ b as a new bitset.
+Bitset Subtract(const Bitset& a, const Bitset& b);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_UTIL_BITSET_H_

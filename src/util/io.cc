@@ -1,0 +1,72 @@
+#include "util/io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+
+namespace topkrgs {
+
+std::vector<std::string_view> SplitString(std::string_view line, char delim) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = line.find(delim, start);
+    if (pos == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+StatusOr<double> ParseDouble(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty numeric field");
+  // std::from_chars for doubles is missing on some libstdc++ versions the
+  // project targets; strtod on a bounded copy is portable and sufficient
+  // for file parsing.
+  std::string buf(text);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("malformed double: '" + buf + "'");
+  }
+  return value;
+}
+
+StatusOr<uint64_t> ParseUint(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty integer field");
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("malformed integer: '" + std::string(text) +
+                                     "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+StatusOr<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+Status WriteLines(const std::string& path, const std::vector<std::string>& lines) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  for (const auto& line : lines) out << line << '\n';
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace topkrgs

@@ -1,0 +1,29 @@
+#ifndef TOPKRGS_UTIL_IO_H_
+#define TOPKRGS_UTIL_IO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace topkrgs {
+
+/// Splits `line` at `delim`, keeping empty fields.
+std::vector<std::string_view> SplitString(std::string_view line, char delim);
+
+/// Parses a double; returns InvalidArgument on malformed input.
+StatusOr<double> ParseDouble(std::string_view text);
+
+/// Parses a non-negative integer; returns InvalidArgument on malformed input.
+StatusOr<uint64_t> ParseUint(std::string_view text);
+
+/// Reads a whole text file into lines (without trailing newlines).
+StatusOr<std::vector<std::string>> ReadLines(const std::string& path);
+
+/// Writes lines to a file, one per line.
+Status WriteLines(const std::string& path, const std::vector<std::string>& lines);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_UTIL_IO_H_

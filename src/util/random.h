@@ -1,0 +1,64 @@
+#ifndef TOPKRGS_UTIL_RANDOM_H_
+#define TOPKRGS_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace topkrgs {
+
+/// Deterministic, fast PRNG (xoshiro256**) used for synthetic data
+/// generation, bootstrap resampling and property-test dataset sweeps.
+/// std::mt19937 distributions are not bit-stable across standard library
+/// implementations; this generator plus our own distribution code keeps
+/// every experiment reproducible from its seed alone.
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Uniform 64-bit word.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) using rejection to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Standard normal variate (Box–Muller, cached pair).
+  double NextGaussian();
+
+  /// Normal variate with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(NextBounded(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n).
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_UTIL_RANDOM_H_

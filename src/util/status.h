@@ -1,0 +1,125 @@
+#ifndef TOPKRGS_UTIL_STATUS_H_
+#define TOPKRGS_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace topkrgs {
+
+/// Error codes for fallible operations. Algorithmic invariant violations are
+/// programming errors and use CHECK-style aborts instead (see CHECK below).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kTimeout,
+};
+
+/// A Status carries either success (ok) or an error code plus message.
+/// Modeled after the Arrow/RocksDB idiom: no exceptions cross the public API.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" representation.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+/// Accessing the value of an errored StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  /*implicit*/ StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /*implicit*/ StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      std::fprintf(stderr, "StatusOr constructed from OK status without value\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return value_;
+  }
+  T& value() & {
+    CheckOk();
+    return value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(value_);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr, "StatusOr::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK status from an expression to the caller.
+#define TOPKRGS_RETURN_NOT_OK(expr)         \
+  do {                                      \
+    ::topkrgs::Status _st = (expr);         \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+/// Aborts with a message when an internal invariant does not hold.
+#define TOPKRGS_CHECK(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, (msg));                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_UTIL_STATUS_H_

@@ -1,0 +1,153 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+
+namespace topkrgs {
+namespace {
+
+TEST(BitsetTest, EmptyAndSize) {
+  Bitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+}
+
+TEST(BitsetTest, SetResetTest) {
+  Bitset b(200);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(199);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(199));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Reset(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitsetTest, AllSetMasksTail) {
+  for (size_t n : {1u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    Bitset b = Bitset::AllSet(n);
+    EXPECT_EQ(b.Count(), n) << n;
+    EXPECT_TRUE(b.Test(n - 1));
+  }
+}
+
+TEST(BitsetTest, AllSetZero) {
+  Bitset b = Bitset::AllSet(0);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+}
+
+TEST(BitsetTest, IntersectUnionSubtract) {
+  Bitset a(100), b(100);
+  a.Set(1);
+  a.Set(50);
+  a.Set(99);
+  b.Set(50);
+  b.Set(60);
+  EXPECT_EQ(Intersect(a, b).ToVector(), (std::vector<uint32_t>{50}));
+  EXPECT_EQ(Union(a, b).ToVector(), (std::vector<uint32_t>{1, 50, 60, 99}));
+  EXPECT_EQ(Subtract(a, b).ToVector(), (std::vector<uint32_t>{1, 99}));
+}
+
+TEST(BitsetTest, IntersectCountMatchesMaterialized) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    Bitset a(300), b(300);
+    for (int i = 0; i < 80; ++i) {
+      a.Set(rng.NextBounded(300));
+      b.Set(rng.NextBounded(300));
+    }
+    EXPECT_EQ(a.IntersectCount(b), Intersect(a, b).Count());
+  }
+}
+
+TEST(BitsetTest, SubsetTests) {
+  Bitset a(100), b(100);
+  a.Set(10);
+  a.Set(20);
+  b.Set(10);
+  b.Set(20);
+  b.Set(30);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  Bitset empty(100);
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(empty));
+}
+
+TEST(BitsetTest, Intersects) {
+  Bitset a(100), b(100), c(100);
+  a.Set(5);
+  b.Set(5);
+  c.Set(6);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(BitsetTest, FindFirstNext) {
+  Bitset b(200);
+  EXPECT_EQ(b.FindFirst(), 200u);
+  b.Set(3);
+  b.Set(64);
+  b.Set(190);
+  EXPECT_EQ(b.FindFirst(), 3u);
+  EXPECT_EQ(b.FindNext(3), 64u);
+  EXPECT_EQ(b.FindNext(64), 190u);
+  EXPECT_EQ(b.FindNext(190), 200u);
+  EXPECT_EQ(b.FindNext(0), 3u);
+}
+
+TEST(BitsetTest, ForEachAscending) {
+  Bitset b(150);
+  std::vector<size_t> expected = {0, 63, 64, 65, 149};
+  for (size_t i : expected) b.Set(i);
+  std::vector<size_t> seen;
+  b.ForEach([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitsetTest, EqualityAndHash) {
+  Bitset a(100), b(100);
+  a.Set(7);
+  b.Set(7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Set(8);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BitsetTest, HashDistinguishesTypicalSets) {
+  Rng rng(7);
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 200; ++i) {
+    Bitset b(128);
+    for (int j = 0; j < 10; ++j) b.Set(rng.NextBounded(128));
+    hashes.insert(b.Hash());
+  }
+  // Random distinct sets should essentially never collide.
+  EXPECT_GT(hashes.size(), 195u);
+}
+
+TEST(BitsetTest, ClearResetsAll) {
+  Bitset b(100);
+  b.Set(1);
+  b.Set(99);
+  b.Clear();
+  EXPECT_TRUE(b.None());
+  EXPECT_EQ(b.size(), 100u);
+}
+
+}  // namespace
+}  // namespace topkrgs

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "classify/decision_tree.h"
+#include "classify/ensemble.h"
+#include "classify/evaluator.h"
+#include "classify/svm.h"
+#include "synth/generator.h"
+#include "util/random.h"
+
+namespace topkrgs {
+namespace {
+
+/// Linearly separable 2D data: class = (x0 > 5).
+ContinuousDataset Separable2d(uint32_t per_class, uint64_t seed) {
+  ContinuousDataset d(2);
+  Rng rng(seed);
+  for (uint32_t i = 0; i < per_class; ++i) {
+    d.AddRow({rng.NextGaussian(2.0, 1.0), rng.NextGaussian(0.0, 1.0)}, 0);
+    d.AddRow({rng.NextGaussian(8.0, 1.0), rng.NextGaussian(0.0, 1.0)}, 1);
+  }
+  return d;
+}
+
+/// XOR-style data no linear model can fit.
+ContinuousDataset XorData(uint32_t per_quadrant, uint64_t seed) {
+  ContinuousDataset d(2);
+  Rng rng(seed);
+  for (uint32_t i = 0; i < per_quadrant; ++i) {
+    for (int sx : {-1, 1}) {
+      for (int sy : {-1, 1}) {
+        const double x = sx * (2.0 + rng.NextDouble());
+        const double y = sy * (2.0 + rng.NextDouble());
+        d.AddRow({x, y}, (sx * sy > 0) ? 1 : 0);
+      }
+    }
+  }
+  return d;
+}
+
+double TrainAccuracy(const ContinuousDataset& d,
+                     const std::function<ClassLabel(const std::vector<double>&)>&
+                         predict) {
+  return EvaluateContinuous(d, predict).accuracy();
+}
+
+TEST(DecisionTreeTest, FitsSeparableData) {
+  ContinuousDataset d = Separable2d(20, 1);
+  DecisionTree tree = DecisionTree::Train(d, {}, {});
+  EXPECT_DOUBLE_EQ(
+      TrainAccuracy(d, [&](const auto& x) { return tree.Predict(x); }), 1.0);
+  EXPECT_GE(tree.num_leaves(), 2u);
+}
+
+TEST(DecisionTreeTest, FitsXor) {
+  ContinuousDataset d = XorData(10, 2);
+  DecisionTree tree = DecisionTree::Train(d, {}, {});
+  EXPECT_DOUBLE_EQ(
+      TrainAccuracy(d, [&](const auto& x) { return tree.Predict(x); }), 1.0);
+}
+
+TEST(DecisionTreeTest, MaxDepthOneIsAStump) {
+  ContinuousDataset d = XorData(10, 3);
+  DecisionTree::Options opt;
+  opt.max_depth = 1;
+  opt.prune = false;
+  DecisionTree stump = DecisionTree::Train(d, {}, opt);
+  EXPECT_LE(stump.num_leaves(), 2u);
+}
+
+TEST(DecisionTreeTest, PureDataYieldsSingleLeaf) {
+  ContinuousDataset d(2);
+  for (int i = 0; i < 6; ++i) d.AddRow({1.0 * i, 2.0}, 0);
+  DecisionTree tree = DecisionTree::Train(d, {}, {});
+  EXPECT_EQ(tree.num_leaves(), 1u);
+}
+
+TEST(DecisionTreeTest, WeightsShiftTheModel) {
+  // Class 0 everywhere except one heavily weighted class-1 point; with a
+  // dominant weight, the tree must predict class 1 around that point.
+  ContinuousDataset d(1);
+  d.AddRow({1.0}, 0);
+  d.AddRow({2.0}, 0);
+  d.AddRow({3.0}, 0);
+  d.AddRow({10.0}, 1);
+  std::vector<double> weights = {1, 1, 1, 100};
+  DecisionTree::Options opt;
+  opt.min_split_weight = 2.0;
+  opt.prune = false;
+  DecisionTree tree = DecisionTree::Train(d, weights, opt);
+  EXPECT_EQ(tree.Predict({10.0}), 1);
+  EXPECT_EQ(tree.Predict({1.0}), 0);
+}
+
+TEST(DecisionTreeTest, PredictDistributionSumsToOne) {
+  ContinuousDataset d = Separable2d(10, 4);
+  DecisionTree tree = DecisionTree::Train(d, {}, {});
+  const auto dist = tree.PredictDistribution({5.0, 0.0});
+  double sum = 0;
+  for (double p : dist) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(BaggingTest, FitsSeparableData) {
+  ContinuousDataset d = Separable2d(15, 5);
+  BaggingClassifier::Options opt;
+  opt.num_trees = 7;
+  BaggingClassifier clf = BaggingClassifier::Train(d, opt);
+  EXPECT_EQ(clf.num_trees(), 7u);
+  EXPECT_GE(TrainAccuracy(d, [&](const auto& x) { return clf.Predict(x); }),
+            0.95);
+}
+
+TEST(AdaBoostTest, FitsXor) {
+  ContinuousDataset d = XorData(8, 6);
+  AdaBoostClassifier::Options opt;
+  opt.num_rounds = 10;
+  AdaBoostClassifier clf = AdaBoostClassifier::Train(d, opt);
+  EXPECT_GE(clf.num_rounds_used(), 1u);
+  EXPECT_GE(TrainAccuracy(d, [&](const auto& x) { return clf.Predict(x); }),
+            0.95);
+}
+
+TEST(AdaBoostTest, StumpsImproveWithRounds) {
+  // Diagonal boundary x0 + x1 > 9 on a grid: one axis-aligned stump is a
+  // weak learner here, and boosting many stumps approximates the diagonal.
+  ContinuousDataset d(2);
+  for (int x0 = 0; x0 < 10; ++x0) {
+    for (int x1 = 0; x1 < 10; ++x1) {
+      d.AddRow({static_cast<double>(x0), static_cast<double>(x1)},
+               x0 + x1 > 9 ? 1 : 0);
+    }
+  }
+  AdaBoostClassifier::Options one;
+  one.num_rounds = 1;
+  one.tree.max_depth = 1;
+  one.tree.prune = false;
+  AdaBoostClassifier::Options many = one;
+  many.num_rounds = 80;
+  const double acc1 = TrainAccuracy(d, [clf = AdaBoostClassifier::Train(d, one)](
+                                           const auto& x) {
+    return clf.Predict(x);
+  });
+  const double acc2 = TrainAccuracy(
+      d, [clf = AdaBoostClassifier::Train(d, many)](const auto& x) {
+        return clf.Predict(x);
+      });
+  EXPECT_GE(acc2, acc1);
+  EXPECT_GT(acc2, 0.9);
+  EXPECT_LT(acc1, 1.0);  // a single stump cannot draw a diagonal
+}
+
+TEST(SvmTest, LinearKernelFitsSeparableData) {
+  ContinuousDataset d = Separable2d(15, 8);
+  SvmClassifier::Options opt;
+  SvmClassifier clf = SvmClassifier::Train(d, opt);
+  EXPECT_GT(clf.num_support_vectors(), 0u);
+  EXPECT_GE(TrainAccuracy(d, [&](const auto& x) { return clf.Predict(x); }),
+            0.95);
+}
+
+TEST(SvmTest, PolynomialKernelFitsXor) {
+  ContinuousDataset d = XorData(8, 9);
+  SvmClassifier::Options lin;
+  SvmClassifier::Options poly;
+  poly.kernel = SvmClassifier::Kernel::kPolynomial;
+  poly.poly_degree = 2;
+  const double lin_acc = TrainAccuracy(
+      d, [clf = SvmClassifier::Train(d, lin)](const auto& x) {
+        return clf.Predict(x);
+      });
+  const double poly_acc = TrainAccuracy(
+      d, [clf = SvmClassifier::Train(d, poly)](const auto& x) {
+        return clf.Predict(x);
+      });
+  EXPECT_GE(poly_acc, 0.9);
+  EXPECT_GT(poly_acc, lin_acc);
+}
+
+TEST(SvmTest, DecisionValueSignMatchesPrediction) {
+  ContinuousDataset d = Separable2d(10, 10);
+  SvmClassifier clf = SvmClassifier::Train(d, {});
+  for (double x0 : {0.0, 4.0, 10.0}) {
+    const std::vector<double> x = {x0, 0.0};
+    EXPECT_EQ(clf.Predict(x), clf.DecisionValue(x) >= 0 ? 1 : 0);
+  }
+}
+
+TEST(SvmTest, HighDimensionalMicroarrayShape) {
+  // Few rows, many features — the regime the paper's comparators run in.
+  GeneratedData data = GenerateMicroarray(DatasetProfile::Tiny(11));
+  SvmClassifier clf = SvmClassifier::Train(data.train, {});
+  const double train_acc = TrainAccuracy(
+      data.train, [&](const auto& x) { return clf.Predict(x); });
+  EXPECT_GE(train_acc, 0.9);
+}
+
+}  // namespace
+}  // namespace topkrgs

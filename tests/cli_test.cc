@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "cli/commands.h"
+#include "cli/flags.h"
+
+namespace topkrgs {
+namespace {
+
+// ctest runs each test case as its own process in parallel; qualify temp
+// file names with the pid and test name so concurrent cases never collide.
+std::string TempPath(const std::string& name) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string test = info != nullptr ? info->name() : "unknown";
+  return ::testing::TempDir() + "/" + std::to_string(getpid()) + "_" + test +
+         "_" + name;
+}
+
+TEST(FlagParserTest, ParsesBothSyntaxes) {
+  auto parser_or = FlagParser::Parse({"--alpha", "1", "--beta=two"});
+  ASSERT_TRUE(parser_or.ok());
+  const FlagParser& flags = parser_or.value();
+  EXPECT_TRUE(flags.Has("alpha"));
+  EXPECT_EQ(flags.GetInt("alpha", 0).value(), 1);
+  EXPECT_EQ(flags.GetString("beta", ""), "two");
+  EXPECT_EQ(flags.GetString("gamma", "dflt"), "dflt");
+}
+
+TEST(FlagParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(FlagParser::Parse({"positional"}).ok());
+  EXPECT_FALSE(FlagParser::Parse({"--dangling"}).ok());
+  EXPECT_FALSE(FlagParser::Parse({"--x", "1", "--x", "2"}).ok());
+}
+
+TEST(FlagParserTest, TypedAccessors) {
+  auto flags = FlagParser::Parse({"--n", "42", "--f", "0.5", "--s", "abc"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags.value().GetInt("n", 0).value(), 42);
+  EXPECT_DOUBLE_EQ(flags.value().GetDouble("f", 0).value(), 0.5);
+  EXPECT_FALSE(flags.value().GetInt("s", 0).ok());
+  EXPECT_FALSE(flags.value().GetDouble("s", 0).ok());
+  EXPECT_TRUE(flags.value().GetRequired("s").ok());
+  EXPECT_FALSE(flags.value().GetRequired("missing").ok());
+}
+
+TEST(FlagParserTest, CheckKnownCatchesTypos) {
+  auto flags = FlagParser::Parse({"--profle", "ALL"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_FALSE(flags.value().CheckKnown({"profile"}).ok());
+  EXPECT_TRUE(flags.value().CheckKnown({"profle"}).ok());
+}
+
+class CliCommandsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    train_ = TempPath("cli_train.tsv");
+    test_ = TempPath("cli_test.tsv");
+    ASSERT_TRUE(RunGenerateCommand({"--profile", "TINY", "--seed", "9",
+                                    "--train", train_, "--test", test_})
+                    .ok());
+  }
+  void TearDown() override {
+    std::remove(train_.c_str());
+    std::remove(test_.c_str());
+  }
+
+  std::string train_;
+  std::string test_;
+};
+
+TEST_F(CliCommandsTest, GenerateRejectsBadProfile) {
+  EXPECT_FALSE(RunGenerateCommand({"--profile", "XX", "--train", train_}).ok());
+  EXPECT_FALSE(RunGenerateCommand({}).ok());  // missing --train
+}
+
+TEST_F(CliCommandsTest, MineTopk) {
+  EXPECT_TRUE(RunMineCommand({"--data", train_, "--algorithm", "topk", "--k",
+                              "2", "--max-print", "2"})
+                  .ok());
+}
+
+TEST_F(CliCommandsTest, MineEveryAlgorithm) {
+  for (const char* algo :
+       {"topk", "hybrid", "farmer", "charm", "closet", "carpenter"}) {
+    EXPECT_TRUE(RunMineCommand({"--data", train_, "--algorithm", algo,
+                                "--budget", "10", "--max-print", "1"})
+                    .ok())
+        << algo;
+  }
+  EXPECT_FALSE(RunMineCommand({"--data", train_, "--algorithm", "nope"}).ok());
+}
+
+TEST_F(CliCommandsTest, MineValidatesArguments) {
+  EXPECT_FALSE(RunMineCommand({}).ok());                       // no --data
+  EXPECT_FALSE(RunMineCommand({"--data", "/nope.tsv"}).ok());  // missing file
+  EXPECT_FALSE(
+      RunMineCommand({"--data", train_, "--consequent", "9"}).ok());
+  EXPECT_FALSE(
+      RunMineCommand({"--data", train_, "--minsup-frac", "1.5"}).ok());
+}
+
+TEST_F(CliCommandsTest, ClassifyTrainEvaluateSaveLoad) {
+  const std::string model = TempPath("cli_model.txt");
+  const std::string disc = TempPath("cli_disc.txt");
+  ASSERT_TRUE(RunClassifyCommand({"--train", train_, "--test", test_,
+                                  "--model", "rcbt", "--k", "3", "--nl", "4",
+                                  "--save-model", model,
+                                  "--save-discretization", disc})
+                  .ok());
+  // Apply the persisted model without retraining.
+  EXPECT_TRUE(RunClassifyCommand({"--test", test_, "--model", "rcbt",
+                                  "--load-model", model,
+                                  "--load-discretization", disc})
+                  .ok());
+  // Loading requires the discretization too.
+  EXPECT_FALSE(
+      RunClassifyCommand({"--test", test_, "--load-model", model}).ok());
+  std::remove(model.c_str());
+  std::remove(disc.c_str());
+}
+
+TEST_F(CliCommandsTest, CrossValidationCommand) {
+  EXPECT_TRUE(RunCvCommand({"--data", train_, "--model", "cba", "--folds",
+                            "3", "--k", "2", "--nl", "3"})
+                  .ok());
+  EXPECT_TRUE(RunCvCommand({"--data", train_, "--model", "rcbt", "--folds",
+                            "3", "--k", "2", "--nl", "3"})
+                  .ok());
+  EXPECT_FALSE(RunCvCommand({"--data", train_, "--folds", "1"}).ok());
+  EXPECT_FALSE(RunCvCommand({"--model", "cba"}).ok());
+  EXPECT_FALSE(RunCvCommand({"--data", train_, "--model", "tree"}).ok());
+}
+
+TEST_F(CliCommandsTest, ClassifyCba) {
+  EXPECT_TRUE(RunClassifyCommand(
+                  {"--train", train_, "--test", test_, "--model", "cba"})
+                  .ok());
+  EXPECT_FALSE(RunClassifyCommand(
+                   {"--train", train_, "--test", test_, "--model", "svm"})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace topkrgs

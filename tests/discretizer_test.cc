@@ -1,0 +1,125 @@
+#include "discretize/entropy_discretizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synth/generator.h"
+
+namespace topkrgs {
+namespace {
+
+ContinuousDataset TwoGeneDataset() {
+  // Gene 0: cleanly separates the classes; gene 1: identical noise values.
+  ContinuousDataset d(2);
+  const double noise[] = {0.3, 0.1, 0.4, 0.1, 0.5, 0.9, 0.2, 0.6};
+  for (int i = 0; i < 4; ++i) d.AddRow({static_cast<double>(i), noise[i]}, 0);
+  for (int i = 4; i < 8; ++i) d.AddRow({static_cast<double>(i) + 10, noise[i]}, 1);
+  return d;
+}
+
+TEST(EntropyDiscretizerTest, SelectsInformativeGeneOnly) {
+  EntropyDiscretizer disc;
+  Discretization result = disc.Fit(TwoGeneDataset());
+  ASSERT_EQ(result.num_selected_genes(), 1u);
+  EXPECT_EQ(result.selected_genes()[0], 0u);
+  // One MDL-accepted cut -> two intervals.
+  EXPECT_EQ(result.num_items(), 2u);
+  const auto& cuts = result.cuts(0);
+  ASSERT_EQ(cuts.size(), 1u);
+  // Cut between 3 (last of class 0) and 14 (first of class 1).
+  EXPECT_GT(cuts[0], 3.0);
+  EXPECT_LT(cuts[0], 14.0);
+}
+
+TEST(EntropyDiscretizerTest, ItemIntervalsPartitionTheLine) {
+  EntropyDiscretizer disc;
+  Discretization result = disc.Fit(TwoGeneDataset());
+  ASSERT_EQ(result.num_items(), 2u);
+  const ItemInfo& lo = result.item(0);
+  const ItemInfo& hi = result.item(1);
+  EXPECT_TRUE(std::isinf(lo.lo));
+  EXPECT_DOUBLE_EQ(lo.hi, hi.lo);
+  EXPECT_TRUE(std::isinf(hi.hi));
+  EXPECT_EQ(lo.gene, 0u);
+  EXPECT_EQ(hi.gene, 0u);
+}
+
+TEST(EntropyDiscretizerTest, ApplyAssignsCorrectIntervals) {
+  EntropyDiscretizer disc;
+  ContinuousDataset train = TwoGeneDataset();
+  Discretization result = disc.Fit(train);
+  DiscreteDataset dd = result.Apply(train);
+  EXPECT_EQ(dd.num_rows(), 8u);
+  EXPECT_EQ(dd.num_items(), 2u);
+  // Every row gets exactly one item per selected gene.
+  for (RowId r = 0; r < dd.num_rows(); ++r) {
+    ASSERT_EQ(dd.row_items(r).size(), 1u);
+    EXPECT_EQ(dd.row_items(r)[0], dd.label(r) == 0 ? 0u : 1u);
+  }
+}
+
+TEST(EntropyDiscretizerTest, DiscretizeRowHandlesBoundaryValues) {
+  EntropyDiscretizer disc;
+  Discretization result = disc.Fit(TwoGeneDataset());
+  const double cut = result.cuts(0)[0];
+  // Exactly at the cut: upper_bound sends it to the right interval's left
+  // side only if v < cut; v == cut belongs to the upper interval.
+  EXPECT_EQ(result.DiscretizeRow({cut - 1e-9, 0.0})[0], 0u);
+  EXPECT_EQ(result.DiscretizeRow({cut, 0.0})[0], 1u);
+  EXPECT_EQ(result.DiscretizeRow({cut + 1e-9, 0.0})[0], 1u);
+}
+
+TEST(EntropyDiscretizerTest, PureLabelsYieldNoGenes) {
+  ContinuousDataset d(3);
+  for (int i = 0; i < 6; ++i) {
+    d.AddRow({static_cast<double>(i), 1.0 * i, -2.0 * i}, 0);
+  }
+  EntropyDiscretizer disc;
+  EXPECT_EQ(disc.Fit(d).num_selected_genes(), 0u);
+}
+
+TEST(EntropyDiscretizerTest, MdlRejectsRandomNoise) {
+  // Pure noise genes should mostly be rejected by the MDL criterion.
+  DatasetProfile profile = DatasetProfile::Tiny(77);
+  profile.strong_genes = 0;
+  profile.weak_genes = 0;
+  profile.correlated_blocks = 0;
+  GeneratedData data = GenerateMicroarray(profile);
+  EntropyDiscretizer disc;
+  Discretization result = disc.Fit(data.train);
+  EXPECT_LT(result.num_selected_genes(), profile.num_genes / 4);
+}
+
+TEST(EntropyDiscretizerTest, NoMdlOptionAcceptsMoreGenes) {
+  GeneratedData data = GenerateMicroarray(DatasetProfile::Tiny(3));
+  Discretization with_mdl = EntropyDiscretizer().Fit(data.train);
+  EntropyDiscretizer::Options opt;
+  opt.use_mdl = false;
+  opt.max_depth = 1;
+  Discretization without = EntropyDiscretizer(opt).Fit(data.train);
+  EXPECT_GT(without.num_selected_genes(), with_mdl.num_selected_genes());
+}
+
+TEST(EntropyDiscretizerTest, MaxDepthLimitsIntervalCount) {
+  GeneratedData data = GenerateMicroarray(DatasetProfile::Tiny(4));
+  EntropyDiscretizer::Options opt;
+  opt.max_depth = 1;
+  Discretization result = EntropyDiscretizer(opt).Fit(data.train);
+  for (uint32_t s = 0; s < result.num_selected_genes(); ++s) {
+    EXPECT_LE(result.cuts(s).size(), 1u);
+  }
+}
+
+TEST(EntropyDiscretizerTest, ItemNameFormatsInterval) {
+  EntropyDiscretizer disc;
+  ContinuousDataset train = TwoGeneDataset();
+  train.set_gene_name(0, "X95735_at");
+  Discretization result = disc.Fit(train);
+  const std::string name = result.ItemName(train, 0);
+  EXPECT_EQ(name.find("X95735_at"), 0u);
+  EXPECT_NE(name.find("-inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace topkrgs

@@ -1,0 +1,141 @@
+#include "classify/find_lb.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rule.h"
+#include "mine/naive_miner.h"
+#include "test_util.h"
+
+namespace topkrgs {
+namespace {
+
+using testing_util::RandomDataset;
+
+RuleGroup GroupFor(const DiscreteDataset& d, const std::string& items,
+                   ClassLabel cls) {
+  Bitset b(d.num_items());
+  for (char c : items) b.Set(RunningExampleItem(c));
+  return CloseItemset(d, b, cls);
+}
+
+TEST(FindLbTest, RunningExampleAbcHasLowerBoundsAandB) {
+  // Example 2.2: group {a..abc -> C} has lower bounds a -> C and b -> C.
+  DiscreteDataset d = MakeRunningExampleDataset();
+  RuleGroup g = GroupFor(d, "abc", 1);
+  FindLbOptions opt;
+  opt.num_lower_bounds = 5;
+  const auto lbs = FindLowerBounds(d, g, {}, opt);
+  ASSERT_EQ(lbs.size(), 2u);
+  for (const Rule& lb : lbs) {
+    EXPECT_EQ(lb.antecedent.Count(), 1u);
+    const uint32_t item = lb.antecedent.ToVector()[0];
+    EXPECT_TRUE(item == RunningExampleItem('a') ||
+                item == RunningExampleItem('b'));
+    EXPECT_EQ(lb.support, g.support);
+    EXPECT_EQ(lb.antecedent_support, g.antecedent_support);
+  }
+}
+
+TEST(FindLbTest, StopsAtRequestedCount) {
+  DiscreteDataset d = MakeRunningExampleDataset();
+  RuleGroup g = GroupFor(d, "abc", 1);
+  FindLbOptions opt;
+  opt.num_lower_bounds = 1;
+  EXPECT_EQ(FindLowerBounds(d, g, {}, opt).size(), 1u);
+}
+
+TEST(FindLbTest, MultiItemLowerBound) {
+  // Group cde -> C over rows {1,3,4}: c alone covers {1,2,3,4}, d alone
+  // {1,3,4}, e alone {1,3,4,5} — d is a single-item lower bound.
+  DiscreteDataset d = MakeRunningExampleDataset();
+  RuleGroup g = GroupFor(d, "cde", 1);
+  FindLbOptions opt;
+  opt.num_lower_bounds = 10;
+  const auto lbs = FindLowerBounds(d, g, {}, opt);
+  bool found_d = false;
+  bool found_ce = false;
+  for (const Rule& lb : lbs) {
+    const auto items = lb.antecedent.ToVector();
+    if (items == std::vector<uint32_t>{RunningExampleItem('d')}) found_d = true;
+    if (items == std::vector<uint32_t>{RunningExampleItem('c'),
+                                       RunningExampleItem('e')}) {
+      found_ce = true;
+    }
+  }
+  EXPECT_TRUE(found_d);
+  // {c, e}: R(ce) = {1,3,4} as well, and neither c nor e alone suffices.
+  EXPECT_TRUE(found_ce);
+}
+
+void ValidateLowerBounds(const DiscreteDataset& d, const RuleGroup& g,
+                         const std::vector<Rule>& lbs) {
+  for (const Rule& lb : lbs) {
+    // Lemma 5.1 (1): subset of the upper bound.
+    EXPECT_TRUE(lb.antecedent.IsSubsetOf(g.antecedent));
+    // Lemma 5.1 (2): same antecedent support set.
+    EXPECT_EQ(d.ItemSupportSet(lb.antecedent), g.row_support);
+    // Lemma 5.1 (3): minimal — removing any item enlarges the support set.
+    const auto items = lb.antecedent.ToVector();
+    if (items.size() > 1) {
+      for (uint32_t drop : items) {
+        Bitset sub = lb.antecedent;
+        sub.Reset(drop);
+        EXPECT_GT(d.ItemSupportSet(sub).Count(), g.row_support.Count())
+            << "non-minimal lower bound";
+      }
+    }
+  }
+  // No duplicates.
+  for (size_t i = 0; i < lbs.size(); ++i) {
+    for (size_t j = i + 1; j < lbs.size(); ++j) {
+      EXPECT_FALSE(lbs[i].antecedent == lbs[j].antecedent);
+    }
+  }
+}
+
+class FindLbPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FindLbPropertyTest, LowerBoundInvariants) {
+  DiscreteDataset d = RandomDataset(static_cast<uint64_t>(GetParam()), 10, 12, 0.45);
+  const auto groups = NaiveRuleGroups(d, 1, 2);
+  FindLbOptions opt;
+  opt.num_lower_bounds = 4;
+  for (const RuleGroup& g : groups) {
+    const auto lbs = FindLowerBounds(d, g, {}, opt);
+    ASSERT_GE(lbs.size(), 1u) << "every group has at least one lower bound";
+    ValidateLowerBounds(d, g, lbs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FindLbPropertyTest, ::testing::Range(0, 10));
+
+TEST(FindLbTest, ScoresSteerSelection) {
+  // With item 'a' scored far above 'b', nl=1 must pick {a}.
+  DiscreteDataset d = MakeRunningExampleDataset();
+  RuleGroup g = GroupFor(d, "abc", 1);
+  std::vector<double> scores(d.num_items(), 0.0);
+  scores[RunningExampleItem('a')] = 10.0;
+  scores[RunningExampleItem('b')] = 1.0;
+  FindLbOptions opt;
+  opt.num_lower_bounds = 1;
+  const auto lbs = FindLowerBounds(d, g, scores, opt);
+  ASSERT_EQ(lbs.size(), 1u);
+  EXPECT_TRUE(lbs[0].antecedent.Test(RunningExampleItem('a')));
+
+  scores[RunningExampleItem('a')] = 1.0;
+  scores[RunningExampleItem('b')] = 10.0;
+  const auto lbs_b = FindLowerBounds(d, g, scores, opt);
+  ASSERT_EQ(lbs_b.size(), 1u);
+  EXPECT_TRUE(lbs_b[0].antecedent.Test(RunningExampleItem('b')));
+}
+
+TEST(ItemScoresTest, DiscriminativeItemScoresHigher) {
+  DiscreteDataset d = MakeRunningExampleDataset();
+  const auto scores = ItemScoresFromDiscrete(d);
+  // 'a' appears only in class-C rows (perfectly one-sided); 'e' appears in
+  // 4 of 5 rows across both classes (nearly useless).
+  EXPECT_GT(scores[RunningExampleItem('a')], scores[RunningExampleItem('e')]);
+}
+
+}  // namespace
+}  // namespace topkrgs

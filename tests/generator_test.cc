@@ -1,0 +1,101 @@
+#include "synth/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "classify/evaluator.h"
+#include "core/stats.h"
+
+namespace topkrgs {
+namespace {
+
+TEST(GeneratorTest, ShapesMatchProfile) {
+  DatasetProfile p = DatasetProfile::Tiny(1);
+  GeneratedData data = GenerateMicroarray(p);
+  EXPECT_EQ(data.train.num_genes(), p.num_genes);
+  EXPECT_EQ(data.train.num_rows(), p.train_class0 + p.train_class1);
+  EXPECT_EQ(data.test.num_rows(), p.test_class0 + p.test_class1);
+  const auto counts = data.train.ClassCounts();
+  EXPECT_EQ(counts[0], p.train_class0);
+  EXPECT_EQ(counts[1], p.train_class1);
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  GeneratedData a = GenerateMicroarray(DatasetProfile::Tiny(9));
+  GeneratedData b = GenerateMicroarray(DatasetProfile::Tiny(9));
+  ASSERT_EQ(a.train.num_rows(), b.train.num_rows());
+  for (RowId r = 0; r < a.train.num_rows(); ++r) {
+    for (GeneId g = 0; g < a.train.num_genes(); ++g) {
+      ASSERT_DOUBLE_EQ(a.train.value(r, g), b.train.value(r, g));
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratedData a = GenerateMicroarray(DatasetProfile::Tiny(1));
+  GeneratedData b = GenerateMicroarray(DatasetProfile::Tiny(2));
+  bool any_diff = false;
+  for (GeneId g = 0; g < a.train.num_genes() && !any_diff; ++g) {
+    any_diff = a.train.value(0, g) != b.train.value(0, g);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, PlantedSignalIsDetectable) {
+  GeneratedData data = GenerateMicroarray(DatasetProfile::Tiny(5));
+  std::vector<uint8_t> labels(data.train.num_rows());
+  for (RowId r = 0; r < data.train.num_rows(); ++r) {
+    labels[r] = data.train.label(r);
+  }
+  // Some gene should have near-perfect split gain (a strong marker).
+  double best = 0.0;
+  for (GeneId g = 0; g < data.train.num_genes(); ++g) {
+    best = std::max(best, BestSplitInfoGain(data.train.GeneColumn(g), labels,
+                                            data.train.num_classes()));
+  }
+  EXPECT_GT(best, 0.7);
+}
+
+TEST(GeneratorTest, PaperProfilesHaveTable1Shapes) {
+  const auto profiles = PaperProfiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  EXPECT_EQ(profiles[0].name, "ALL");
+  EXPECT_EQ(profiles[0].num_genes, 7129u);
+  EXPECT_EQ(profiles[0].train_class1 + profiles[0].train_class0, 38u);
+  EXPECT_EQ(profiles[1].name, "LC");
+  EXPECT_EQ(profiles[1].num_genes, 12533u);
+  EXPECT_EQ(profiles[1].train_class1 + profiles[1].train_class0, 32u);
+  EXPECT_EQ(profiles[2].name, "OC");
+  EXPECT_EQ(profiles[2].num_genes, 15154u);
+  EXPECT_EQ(profiles[2].train_class1 + profiles[2].train_class0, 210u);
+  EXPECT_EQ(profiles[3].name, "PC");
+  EXPECT_EQ(profiles[3].num_genes, 12600u);
+  EXPECT_EQ(profiles[3].train_class1 + profiles[3].train_class0, 102u);
+}
+
+TEST(GeneratorTest, PipelineProducesItemsOnTinyProfile) {
+  GeneratedData data = GenerateMicroarray(DatasetProfile::Tiny(6));
+  Pipeline p = PreparePipeline(data.train, data.test);
+  EXPECT_GT(p.discretization.num_selected_genes(), 0u);
+  EXPECT_EQ(p.train.num_rows(), data.train.num_rows());
+  EXPECT_EQ(p.test.num_rows(), data.test.num_rows());
+  EXPECT_EQ(p.train.num_items(), p.discretization.num_items());
+  // Every row has one item per selected gene.
+  for (RowId r = 0; r < p.train.num_rows(); ++r) {
+    EXPECT_EQ(p.train.row_items(r).size(),
+              p.discretization.num_selected_genes());
+  }
+  EXPECT_EQ(p.item_scores.size(), p.discretization.num_items());
+}
+
+TEST(GeneratorTest, SelectGenesProjects) {
+  GeneratedData data = GenerateMicroarray(DatasetProfile::Tiny(8));
+  ContinuousDataset sub = SelectGenes(data.train, {3, 7});
+  EXPECT_EQ(sub.num_genes(), 2u);
+  EXPECT_EQ(sub.num_rows(), data.train.num_rows());
+  EXPECT_DOUBLE_EQ(sub.value(0, 0), data.train.value(0, 3));
+  EXPECT_DOUBLE_EQ(sub.value(0, 1), data.train.value(0, 7));
+  EXPECT_EQ(sub.gene_name(1), data.train.gene_name(7));
+}
+
+}  // namespace
+}  // namespace topkrgs

@@ -1,0 +1,138 @@
+#include "classify/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "classify/cba.h"
+#include "classify/rcbt.h"
+#include "synth/generator.h"
+#include "classify/evaluator.h"
+#include "test_util.h"
+#include "util/io.h"
+
+namespace topkrgs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string test = info != nullptr ? info->name() : "unknown";
+  return ::testing::TempDir() + "/" + std::to_string(getpid()) + "_" + test +
+         "_" + name;
+}
+
+TEST(DiscretizationIoTest, RoundtripPreservesAssignments) {
+  GeneratedData data = GenerateMicroarray(DatasetProfile::Tiny(21));
+  Pipeline p = PreparePipeline(data.train, data.test);
+  const std::string path = TempPath("disc.txt");
+  ASSERT_TRUE(SaveDiscretization(p.discretization, path).ok());
+  auto loaded_or = LoadDiscretization(path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const Discretization& loaded = loaded_or.value();
+
+  EXPECT_EQ(loaded.num_items(), p.discretization.num_items());
+  EXPECT_EQ(loaded.num_selected_genes(),
+            p.discretization.num_selected_genes());
+  EXPECT_EQ(loaded.selected_genes(), p.discretization.selected_genes());
+  // Re-discretizing the test set must give identical items.
+  DiscreteDataset original = p.discretization.Apply(data.test);
+  DiscreteDataset redone = loaded.Apply(data.test);
+  for (RowId r = 0; r < original.num_rows(); ++r) {
+    EXPECT_EQ(original.row_items(r), redone.row_items(r)) << r;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiscretizationIoTest, RejectsCorruptFiles) {
+  const std::string path = TempPath("disc_bad.txt");
+  ASSERT_TRUE(WriteLines(path, {"not a model"}).ok());
+  EXPECT_FALSE(LoadDiscretization(path).ok());
+  ASSERT_TRUE(WriteLines(path, {"topkrgs-discretization v1", "genes 2",
+                                "gene 5 1 0.5"}).ok());
+  EXPECT_FALSE(LoadDiscretization(path).ok());  // truncated
+  ASSERT_TRUE(WriteLines(path, {"topkrgs-discretization v1", "genes 1",
+                                "gene 5 2 0.9 0.1"}).ok());
+  EXPECT_FALSE(LoadDiscretization(path).ok());  // unsorted cuts
+  std::remove(path.c_str());
+}
+
+TEST(CbaIoTest, RoundtripPreservesPredictions) {
+  DiscreteDataset d = testing_util::RandomDataset(31, 14, 10, 0.4);
+  CbaOptions opt;
+  opt.min_support_frac = 0.4;
+  CbaClassifier clf = TrainCba(d, opt);
+  const std::string path = TempPath("cba.txt");
+  ASSERT_TRUE(SaveCbaClassifier(clf, d.num_items(), path).ok());
+  uint32_t num_items = 0;
+  auto loaded_or = LoadCbaClassifier(path, &num_items);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const CbaClassifier& loaded = loaded_or.value();
+  EXPECT_EQ(num_items, d.num_items());
+  EXPECT_EQ(loaded.rules().size(), clf.rules().size());
+  EXPECT_EQ(loaded.default_class(), clf.default_class());
+  for (RowId r = 0; r < d.num_rows(); ++r) {
+    bool dflt1 = false, dflt2 = false;
+    EXPECT_EQ(loaded.Predict(d.row_bitset(r), &dflt1),
+              clf.Predict(d.row_bitset(r), &dflt2));
+    EXPECT_EQ(dflt1, dflt2);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RcbtIoTest, RoundtripPreservesPredictions) {
+  GeneratedData data = GenerateMicroarray(DatasetProfile::Tiny(22));
+  Pipeline p = PreparePipeline(data.train, data.test);
+  RcbtOptions opt;
+  opt.k = 3;
+  opt.nl = 4;
+  opt.item_scores = p.item_scores;
+  RcbtClassifier clf = RcbtClassifier::Train(p.train, opt);
+  const std::string path = TempPath("rcbt.txt");
+  ASSERT_TRUE(SaveRcbtClassifier(clf, p.train.num_items(), path).ok());
+  auto loaded_or = LoadRcbtClassifier(path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const RcbtClassifier& loaded = loaded_or.value();
+  EXPECT_EQ(loaded.num_classifiers(), clf.num_classifiers());
+  EXPECT_EQ(loaded.default_class(), clf.default_class());
+  EXPECT_EQ(loaded.class_counts(), clf.class_counts());
+  for (RowId r = 0; r < p.test.num_rows(); ++r) {
+    const auto a = clf.Predict(p.test.row_bitset(r));
+    const auto b = loaded.Predict(p.test.row_bitset(r));
+    EXPECT_EQ(a.label, b.label) << r;
+    EXPECT_EQ(a.classifier_index, b.classifier_index) << r;
+    EXPECT_EQ(a.used_default, b.used_default) << r;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RcbtIoTest, RejectsWrongKind) {
+  GeneratedData data = GenerateMicroarray(DatasetProfile::Tiny(23));
+  Pipeline p = PreparePipeline(data.train, data.test);
+  CbaOptions copt;
+  copt.item_scores = p.item_scores;
+  CbaClassifier cba = TrainCba(p.train, copt);
+  const std::string path = TempPath("kind.txt");
+  ASSERT_TRUE(SaveCbaClassifier(cba, p.train.num_items(), path).ok());
+  EXPECT_FALSE(LoadRcbtClassifier(path).ok());
+  EXPECT_TRUE(LoadCbaClassifier(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CbaIoTest, RejectsItemOutOfRange) {
+  const std::string path = TempPath("cba_bad.txt");
+  ASSERT_TRUE(WriteLines(path, {"topkrgs-cba v1", "num_items 4", "default 0",
+                                "rules 1", "rule 1 2 3 9"}).ok());
+  EXPECT_FALSE(LoadCbaClassifier(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadCbaClassifier("/nonexistent/model.txt").ok());
+  EXPECT_FALSE(LoadRcbtClassifier("/nonexistent/model.txt").ok());
+  EXPECT_FALSE(LoadDiscretization("/nonexistent/model.txt").ok());
+}
+
+}  // namespace
+}  // namespace topkrgs

@@ -1,0 +1,123 @@
+#include "classify/rcbt.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generator.h"
+#include "classify/evaluator.h"
+#include "test_util.h"
+
+namespace topkrgs {
+namespace {
+
+DiscreteDataset SeparableData(uint32_t per_class) {
+  std::vector<std::vector<ItemId>> rows;
+  std::vector<ClassLabel> labels;
+  Rng rng(17);
+  for (uint32_t i = 0; i < per_class; ++i) {
+    std::vector<ItemId> row1 = {0, 2};
+    std::vector<ItemId> row0 = {1, 3};
+    for (ItemId noise = 4; noise < 10; ++noise) {
+      if (rng.NextBool(0.5)) row1.push_back(noise);
+      if (rng.NextBool(0.5)) row0.push_back(noise);
+    }
+    rows.push_back(row1);
+    labels.push_back(1);
+    rows.push_back(row0);
+    labels.push_back(0);
+  }
+  return DiscreteDataset(10, std::move(rows), std::move(labels));
+}
+
+TEST(RcbtTest, SeparableDataPerfectTraining) {
+  DiscreteDataset d = SeparableData(8);
+  RcbtOptions opt;
+  opt.k = 3;
+  opt.nl = 5;
+  opt.min_support_frac = 0.7;
+  RcbtClassifier clf = RcbtClassifier::Train(d, opt);
+  EXPECT_GE(clf.num_classifiers(), 1u);
+  for (RowId r = 0; r < d.num_rows(); ++r) {
+    const auto pred = clf.Predict(d.row_bitset(r));
+    EXPECT_EQ(pred.label, d.label(r)) << r;
+    EXPECT_FALSE(pred.used_default);
+    EXPECT_EQ(pred.classifier_index, 1u);  // main classifier decides
+  }
+}
+
+TEST(RcbtTest, DefaultClassFiresOnAlienRow) {
+  DiscreteDataset d = SeparableData(6);
+  RcbtOptions opt;
+  opt.k = 2;
+  opt.nl = 3;
+  RcbtClassifier clf = RcbtClassifier::Train(d, opt);
+  Bitset alien(d.num_items());  // empty row matches no rule
+  const auto pred = clf.Predict(alien);
+  EXPECT_TRUE(pred.used_default);
+  EXPECT_EQ(pred.classifier_index, 0u);
+  EXPECT_EQ(pred.label, clf.default_class());
+}
+
+TEST(RcbtTest, StandbyClassifierHandlesRowsMainCannot) {
+  DiscreteDataset d = SeparableData(6);
+  RcbtOptions opt;
+  opt.k = 3;
+  opt.nl = 3;
+  RcbtClassifier clf = RcbtClassifier::Train(d, opt);
+  if (clf.num_classifiers() < 2) GTEST_SKIP() << "no standby built";
+  // Construct a row matching a standby rule but no main rule: take a
+  // standby rule's antecedent directly.
+  const auto& rules = clf.classifier_rules(2);
+  if (rules.empty()) GTEST_SKIP();
+  Bitset row = rules[0].antecedent;
+  const auto pred = clf.Predict(row);
+  EXPECT_FALSE(pred.used_default);
+  EXPECT_GE(pred.classifier_index, 1u);
+}
+
+TEST(RcbtTest, ScoresAreNormalizedPerClass) {
+  DiscreteDataset d = SeparableData(8);
+  RcbtOptions opt;
+  opt.k = 1;
+  opt.nl = 10;
+  RcbtClassifier clf = RcbtClassifier::Train(d, opt);
+  for (RowId r = 0; r < d.num_rows(); ++r) {
+    const auto pred = clf.Predict(d.row_bitset(r));
+    if (pred.used_default) continue;
+    for (double s : pred.scores) {
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(RcbtTest, PipelineAccuracyOnTinyProfileBeatsMajority) {
+  GeneratedData data = GenerateMicroarray(DatasetProfile::Tiny(42));
+  Pipeline p = PreparePipeline(data.train, data.test);
+  RcbtOptions opt;
+  opt.k = 4;
+  opt.nl = 5;
+  opt.item_scores = p.item_scores;
+  RcbtClassifier clf = RcbtClassifier::Train(p.train, opt);
+  EvalOutcome eval = EvaluateDiscrete(
+      p.test, [&](const Bitset& row, bool* used_default) {
+        const auto pred = clf.Predict(row);
+        *used_default = pred.used_default;
+        return pred.label;
+      });
+  const auto counts = p.test.ClassCounts();
+  const double majority =
+      static_cast<double>(std::max(counts[0], counts[1])) / p.test.num_rows();
+  EXPECT_GT(eval.accuracy(), majority);
+}
+
+TEST(RcbtTest, KOneEqualsSingleClassifier) {
+  DiscreteDataset d = SeparableData(5);
+  RcbtOptions opt;
+  opt.k = 1;
+  opt.nl = 2;
+  RcbtClassifier clf = RcbtClassifier::Train(d, opt);
+  EXPECT_EQ(clf.num_classifiers(), 1u);
+}
+
+}  // namespace
+}  // namespace topkrgs

@@ -1,0 +1,96 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace topkrgs {
+namespace {
+
+TEST(EntropyTest, PureIsZero) {
+  EXPECT_DOUBLE_EQ(Entropy({10, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({}), 0.0);
+}
+
+TEST(EntropyTest, UniformBinaryIsOne) {
+  EXPECT_DOUBLE_EQ(Entropy({5, 5}), 1.0);
+}
+
+TEST(EntropyTest, UniformKClasses) {
+  EXPECT_NEAR(Entropy({3, 3, 3, 3}), 2.0, 1e-12);
+  EXPECT_NEAR(Entropy({2, 2, 2, 2, 2, 2, 2, 2}), 3.0, 1e-12);
+}
+
+TEST(EntropyTest, KnownValue) {
+  // H(0.25) = 0.811278...
+  EXPECT_NEAR(Entropy({1, 3}), 0.8112781244591328, 1e-12);
+}
+
+TEST(PartitionEntropyTest, WeightedAverage) {
+  // Partition {4,0} and {0,4}: both pure -> 0.
+  EXPECT_DOUBLE_EQ(PartitionEntropy({{4, 0}, {0, 4}}), 0.0);
+  // Partition {2,2} and {2,2}: both uniform -> 1.
+  EXPECT_DOUBLE_EQ(PartitionEntropy({{2, 2}, {2, 2}}), 1.0);
+  // 3/4 weight pure, 1/4 weight uniform: 0.25.
+  EXPECT_NEAR(PartitionEntropy({{6, 0}, {1, 1}}), 0.25, 1e-12);
+}
+
+TEST(InformationGainTest, PerfectSplit) {
+  EXPECT_DOUBLE_EQ(InformationGain({4, 4}, {{4, 0}, {0, 4}}), 1.0);
+}
+
+TEST(InformationGainTest, UselessSplit) {
+  EXPECT_NEAR(InformationGain({4, 4}, {{2, 2}, {2, 2}}), 0.0, 1e-12);
+}
+
+TEST(ChiSquareTest, IndependenceGivesZero) {
+  EXPECT_NEAR(ChiSquare({{10, 20}, {20, 40}}), 0.0, 1e-9);
+}
+
+TEST(ChiSquareTest, PerfectAssociation) {
+  // 2x2 perfect split of N = 20: chi-square = N.
+  EXPECT_NEAR(ChiSquare({{10, 0}, {0, 10}}), 20.0, 1e-9);
+}
+
+TEST(ChiSquareTest, KnownTextbookValue) {
+  // Classic 2x2: ((ad-bc)^2 * n) / ((a+b)(c+d)(a+c)(b+d)).
+  const double expected =
+      std::pow(30.0 * 34.0 - 10.0 * 26.0, 2) * 100.0 /
+      (40.0 * 60.0 * 56.0 * 44.0);
+  EXPECT_NEAR(ChiSquare({{30, 10}, {26, 34}}), expected, 1e-9);
+}
+
+TEST(ChiSquareTest, EmptyTable) {
+  EXPECT_DOUBLE_EQ(ChiSquare({}), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquare({{0, 0}, {0, 0}}), 0.0);
+}
+
+TEST(BestSplitTest, SeparableFeatureHasFullGain) {
+  const std::vector<double> values = {1, 2, 3, 10, 11, 12};
+  const std::vector<uint8_t> labels = {0, 0, 0, 1, 1, 1};
+  EXPECT_NEAR(BestSplitInfoGain(values, labels, 2), 1.0, 1e-12);
+  EXPECT_NEAR(BestSplitChiSquare(values, labels, 2), 6.0, 1e-9);
+}
+
+TEST(BestSplitTest, ConstantFeatureHasZeroGain) {
+  const std::vector<double> values = {5, 5, 5, 5};
+  const std::vector<uint8_t> labels = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(BestSplitInfoGain(values, labels, 2), 0.0);
+  EXPECT_DOUBLE_EQ(BestSplitChiSquare(values, labels, 2), 0.0);
+}
+
+TEST(BestSplitTest, NoisyFeatureHasPartialGain) {
+  const std::vector<double> values = {1, 2, 3, 4, 10, 11, 12, 13};
+  const std::vector<uint8_t> labels = {0, 0, 0, 1, 0, 1, 1, 1};
+  const double gain = BestSplitInfoGain(values, labels, 2);
+  EXPECT_GT(gain, 0.0);
+  EXPECT_LT(gain, 1.0);
+}
+
+TEST(BestSplitTest, SingletonInput) {
+  EXPECT_DOUBLE_EQ(BestSplitInfoGain({1.0}, {0}, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace topkrgs
