@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_discretizer.dir/bench_ablation_discretizer.cc.o"
+  "CMakeFiles/bench_ablation_discretizer.dir/bench_ablation_discretizer.cc.o.d"
+  "bench_ablation_discretizer"
+  "bench_ablation_discretizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_discretizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_minsup.dir/bench_fig6_minsup.cc.o"
+  "CMakeFiles/bench_fig6_minsup.dir/bench_fig6_minsup.cc.o.d"
+  "bench_fig6_minsup"
+  "bench_fig6_minsup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_minsup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_generank.dir/bench_fig8_generank.cc.o"
+  "CMakeFiles/bench_fig8_generank.dir/bench_fig8_generank.cc.o.d"
+  "bench_fig8_generank"
+  "bench_fig8_generank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_generank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

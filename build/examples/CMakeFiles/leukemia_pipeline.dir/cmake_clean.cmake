@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leukemia_pipeline.dir/leukemia_pipeline.cpp.o"
+  "CMakeFiles/leukemia_pipeline.dir/leukemia_pipeline.cpp.o.d"
+  "leukemia_pipeline"
+  "leukemia_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leukemia_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

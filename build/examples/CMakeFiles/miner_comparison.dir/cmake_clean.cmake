@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_comparison.dir/miner_comparison.cpp.o"
+  "CMakeFiles/miner_comparison.dir/miner_comparison.cpp.o.d"
+  "miner_comparison"
+  "miner_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_and_cv.dir/report_and_cv.cpp.o"
+  "CMakeFiles/report_and_cv.dir/report_and_cv.cpp.o.d"
+  "report_and_cv"
+  "report_and_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_and_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_exploration.dir/rule_exploration.cpp.o"
+  "CMakeFiles/rule_exploration.dir/rule_exploration.cpp.o.d"
+  "rule_exploration"
+  "rule_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topkrgs_analyze.dir/analyze/rule_report.cc.o"
+  "CMakeFiles/topkrgs_analyze.dir/analyze/rule_report.cc.o.d"
+  "libtopkrgs_analyze.a"
+  "libtopkrgs_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topkrgs_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

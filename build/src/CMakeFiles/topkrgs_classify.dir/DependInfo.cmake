@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/cba.cc" "src/CMakeFiles/topkrgs_classify.dir/classify/cba.cc.o" "gcc" "src/CMakeFiles/topkrgs_classify.dir/classify/cba.cc.o.d"
+  "/root/repo/src/classify/cross_validation.cc" "src/CMakeFiles/topkrgs_classify.dir/classify/cross_validation.cc.o" "gcc" "src/CMakeFiles/topkrgs_classify.dir/classify/cross_validation.cc.o.d"
+  "/root/repo/src/classify/decision_tree.cc" "src/CMakeFiles/topkrgs_classify.dir/classify/decision_tree.cc.o" "gcc" "src/CMakeFiles/topkrgs_classify.dir/classify/decision_tree.cc.o.d"
+  "/root/repo/src/classify/ensemble.cc" "src/CMakeFiles/topkrgs_classify.dir/classify/ensemble.cc.o" "gcc" "src/CMakeFiles/topkrgs_classify.dir/classify/ensemble.cc.o.d"
+  "/root/repo/src/classify/evaluator.cc" "src/CMakeFiles/topkrgs_classify.dir/classify/evaluator.cc.o" "gcc" "src/CMakeFiles/topkrgs_classify.dir/classify/evaluator.cc.o.d"
+  "/root/repo/src/classify/find_lb.cc" "src/CMakeFiles/topkrgs_classify.dir/classify/find_lb.cc.o" "gcc" "src/CMakeFiles/topkrgs_classify.dir/classify/find_lb.cc.o.d"
+  "/root/repo/src/classify/irg.cc" "src/CMakeFiles/topkrgs_classify.dir/classify/irg.cc.o" "gcc" "src/CMakeFiles/topkrgs_classify.dir/classify/irg.cc.o.d"
+  "/root/repo/src/classify/model_io.cc" "src/CMakeFiles/topkrgs_classify.dir/classify/model_io.cc.o" "gcc" "src/CMakeFiles/topkrgs_classify.dir/classify/model_io.cc.o.d"
+  "/root/repo/src/classify/rcbt.cc" "src/CMakeFiles/topkrgs_classify.dir/classify/rcbt.cc.o" "gcc" "src/CMakeFiles/topkrgs_classify.dir/classify/rcbt.cc.o.d"
+  "/root/repo/src/classify/svm.cc" "src/CMakeFiles/topkrgs_classify.dir/classify/svm.cc.o" "gcc" "src/CMakeFiles/topkrgs_classify.dir/classify/svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topkrgs_mine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_discretize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

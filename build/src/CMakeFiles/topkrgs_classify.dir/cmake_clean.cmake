@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topkrgs_classify.dir/classify/cba.cc.o"
+  "CMakeFiles/topkrgs_classify.dir/classify/cba.cc.o.d"
+  "CMakeFiles/topkrgs_classify.dir/classify/cross_validation.cc.o"
+  "CMakeFiles/topkrgs_classify.dir/classify/cross_validation.cc.o.d"
+  "CMakeFiles/topkrgs_classify.dir/classify/decision_tree.cc.o"
+  "CMakeFiles/topkrgs_classify.dir/classify/decision_tree.cc.o.d"
+  "CMakeFiles/topkrgs_classify.dir/classify/ensemble.cc.o"
+  "CMakeFiles/topkrgs_classify.dir/classify/ensemble.cc.o.d"
+  "CMakeFiles/topkrgs_classify.dir/classify/evaluator.cc.o"
+  "CMakeFiles/topkrgs_classify.dir/classify/evaluator.cc.o.d"
+  "CMakeFiles/topkrgs_classify.dir/classify/find_lb.cc.o"
+  "CMakeFiles/topkrgs_classify.dir/classify/find_lb.cc.o.d"
+  "CMakeFiles/topkrgs_classify.dir/classify/irg.cc.o"
+  "CMakeFiles/topkrgs_classify.dir/classify/irg.cc.o.d"
+  "CMakeFiles/topkrgs_classify.dir/classify/model_io.cc.o"
+  "CMakeFiles/topkrgs_classify.dir/classify/model_io.cc.o.d"
+  "CMakeFiles/topkrgs_classify.dir/classify/rcbt.cc.o"
+  "CMakeFiles/topkrgs_classify.dir/classify/rcbt.cc.o.d"
+  "CMakeFiles/topkrgs_classify.dir/classify/svm.cc.o"
+  "CMakeFiles/topkrgs_classify.dir/classify/svm.cc.o.d"
+  "libtopkrgs_classify.a"
+  "libtopkrgs_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topkrgs_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

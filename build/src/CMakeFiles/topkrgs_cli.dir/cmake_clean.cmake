@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topkrgs_cli.dir/cli/commands.cc.o"
+  "CMakeFiles/topkrgs_cli.dir/cli/commands.cc.o.d"
+  "CMakeFiles/topkrgs_cli.dir/cli/flags.cc.o"
+  "CMakeFiles/topkrgs_cli.dir/cli/flags.cc.o.d"
+  "libtopkrgs_cli.a"
+  "libtopkrgs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topkrgs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

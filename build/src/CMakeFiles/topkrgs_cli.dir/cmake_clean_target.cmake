@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtopkrgs_cli.a"
+)

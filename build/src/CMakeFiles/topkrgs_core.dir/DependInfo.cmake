@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dataset.cc" "src/CMakeFiles/topkrgs_core.dir/core/dataset.cc.o" "gcc" "src/CMakeFiles/topkrgs_core.dir/core/dataset.cc.o.d"
+  "/root/repo/src/core/rule.cc" "src/CMakeFiles/topkrgs_core.dir/core/rule.cc.o" "gcc" "src/CMakeFiles/topkrgs_core.dir/core/rule.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/CMakeFiles/topkrgs_core.dir/core/stats.cc.o" "gcc" "src/CMakeFiles/topkrgs_core.dir/core/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topkrgs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

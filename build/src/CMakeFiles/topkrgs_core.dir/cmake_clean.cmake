@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topkrgs_core.dir/core/dataset.cc.o"
+  "CMakeFiles/topkrgs_core.dir/core/dataset.cc.o.d"
+  "CMakeFiles/topkrgs_core.dir/core/rule.cc.o"
+  "CMakeFiles/topkrgs_core.dir/core/rule.cc.o.d"
+  "CMakeFiles/topkrgs_core.dir/core/stats.cc.o"
+  "CMakeFiles/topkrgs_core.dir/core/stats.cc.o.d"
+  "libtopkrgs_core.a"
+  "libtopkrgs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topkrgs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

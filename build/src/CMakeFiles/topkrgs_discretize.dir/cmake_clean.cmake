@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topkrgs_discretize.dir/discretize/binning.cc.o"
+  "CMakeFiles/topkrgs_discretize.dir/discretize/binning.cc.o.d"
+  "CMakeFiles/topkrgs_discretize.dir/discretize/entropy_discretizer.cc.o"
+  "CMakeFiles/topkrgs_discretize.dir/discretize/entropy_discretizer.cc.o.d"
+  "libtopkrgs_discretize.a"
+  "libtopkrgs_discretize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topkrgs_discretize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

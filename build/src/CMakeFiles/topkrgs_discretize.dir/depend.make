@@ -1,0 +1,2 @@
+# Empty dependencies file for topkrgs_discretize.
+# This may be replaced when dependencies are built.

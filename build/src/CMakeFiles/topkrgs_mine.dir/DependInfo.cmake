@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mine/carpenter.cc" "src/CMakeFiles/topkrgs_mine.dir/mine/carpenter.cc.o" "gcc" "src/CMakeFiles/topkrgs_mine.dir/mine/carpenter.cc.o.d"
+  "/root/repo/src/mine/charm.cc" "src/CMakeFiles/topkrgs_mine.dir/mine/charm.cc.o" "gcc" "src/CMakeFiles/topkrgs_mine.dir/mine/charm.cc.o.d"
+  "/root/repo/src/mine/closet.cc" "src/CMakeFiles/topkrgs_mine.dir/mine/closet.cc.o" "gcc" "src/CMakeFiles/topkrgs_mine.dir/mine/closet.cc.o.d"
+  "/root/repo/src/mine/farmer.cc" "src/CMakeFiles/topkrgs_mine.dir/mine/farmer.cc.o" "gcc" "src/CMakeFiles/topkrgs_mine.dir/mine/farmer.cc.o.d"
+  "/root/repo/src/mine/hybrid_miner.cc" "src/CMakeFiles/topkrgs_mine.dir/mine/hybrid_miner.cc.o" "gcc" "src/CMakeFiles/topkrgs_mine.dir/mine/hybrid_miner.cc.o.d"
+  "/root/repo/src/mine/miner_common.cc" "src/CMakeFiles/topkrgs_mine.dir/mine/miner_common.cc.o" "gcc" "src/CMakeFiles/topkrgs_mine.dir/mine/miner_common.cc.o.d"
+  "/root/repo/src/mine/naive_miner.cc" "src/CMakeFiles/topkrgs_mine.dir/mine/naive_miner.cc.o" "gcc" "src/CMakeFiles/topkrgs_mine.dir/mine/naive_miner.cc.o.d"
+  "/root/repo/src/mine/prefix_tree.cc" "src/CMakeFiles/topkrgs_mine.dir/mine/prefix_tree.cc.o" "gcc" "src/CMakeFiles/topkrgs_mine.dir/mine/prefix_tree.cc.o.d"
+  "/root/repo/src/mine/topk_miner.cc" "src/CMakeFiles/topkrgs_mine.dir/mine/topk_miner.cc.o" "gcc" "src/CMakeFiles/topkrgs_mine.dir/mine/topk_miner.cc.o.d"
+  "/root/repo/src/mine/transposed_table.cc" "src/CMakeFiles/topkrgs_mine.dir/mine/transposed_table.cc.o" "gcc" "src/CMakeFiles/topkrgs_mine.dir/mine/transposed_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topkrgs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

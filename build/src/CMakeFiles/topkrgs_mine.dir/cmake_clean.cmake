@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topkrgs_mine.dir/mine/carpenter.cc.o"
+  "CMakeFiles/topkrgs_mine.dir/mine/carpenter.cc.o.d"
+  "CMakeFiles/topkrgs_mine.dir/mine/charm.cc.o"
+  "CMakeFiles/topkrgs_mine.dir/mine/charm.cc.o.d"
+  "CMakeFiles/topkrgs_mine.dir/mine/closet.cc.o"
+  "CMakeFiles/topkrgs_mine.dir/mine/closet.cc.o.d"
+  "CMakeFiles/topkrgs_mine.dir/mine/farmer.cc.o"
+  "CMakeFiles/topkrgs_mine.dir/mine/farmer.cc.o.d"
+  "CMakeFiles/topkrgs_mine.dir/mine/hybrid_miner.cc.o"
+  "CMakeFiles/topkrgs_mine.dir/mine/hybrid_miner.cc.o.d"
+  "CMakeFiles/topkrgs_mine.dir/mine/miner_common.cc.o"
+  "CMakeFiles/topkrgs_mine.dir/mine/miner_common.cc.o.d"
+  "CMakeFiles/topkrgs_mine.dir/mine/naive_miner.cc.o"
+  "CMakeFiles/topkrgs_mine.dir/mine/naive_miner.cc.o.d"
+  "CMakeFiles/topkrgs_mine.dir/mine/prefix_tree.cc.o"
+  "CMakeFiles/topkrgs_mine.dir/mine/prefix_tree.cc.o.d"
+  "CMakeFiles/topkrgs_mine.dir/mine/topk_miner.cc.o"
+  "CMakeFiles/topkrgs_mine.dir/mine/topk_miner.cc.o.d"
+  "CMakeFiles/topkrgs_mine.dir/mine/transposed_table.cc.o"
+  "CMakeFiles/topkrgs_mine.dir/mine/transposed_table.cc.o.d"
+  "libtopkrgs_mine.a"
+  "libtopkrgs_mine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topkrgs_mine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

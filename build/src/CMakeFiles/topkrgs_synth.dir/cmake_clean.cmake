@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topkrgs_synth.dir/synth/generator.cc.o"
+  "CMakeFiles/topkrgs_synth.dir/synth/generator.cc.o.d"
+  "libtopkrgs_synth.a"
+  "libtopkrgs_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topkrgs_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

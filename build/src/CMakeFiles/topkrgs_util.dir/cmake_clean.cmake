@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topkrgs_util.dir/util/bitset.cc.o"
+  "CMakeFiles/topkrgs_util.dir/util/bitset.cc.o.d"
+  "CMakeFiles/topkrgs_util.dir/util/io.cc.o"
+  "CMakeFiles/topkrgs_util.dir/util/io.cc.o.d"
+  "CMakeFiles/topkrgs_util.dir/util/random.cc.o"
+  "CMakeFiles/topkrgs_util.dir/util/random.cc.o.d"
+  "CMakeFiles/topkrgs_util.dir/util/status.cc.o"
+  "CMakeFiles/topkrgs_util.dir/util/status.cc.o.d"
+  "libtopkrgs_util.a"
+  "libtopkrgs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topkrgs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_miners_test.dir/baseline_miners_test.cc.o"
+  "CMakeFiles/baseline_miners_test.dir/baseline_miners_test.cc.o.d"
+  "baseline_miners_test"
+  "baseline_miners_test.pdb"
+  "baseline_miners_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_miners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

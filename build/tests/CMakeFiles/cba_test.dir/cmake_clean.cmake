@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cba_test.dir/cba_test.cc.o"
+  "CMakeFiles/cba_test.dir/cba_test.cc.o.d"
+  "cba_test"
+  "cba_test.pdb"
+  "cba_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

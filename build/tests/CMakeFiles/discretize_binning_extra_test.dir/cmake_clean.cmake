@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discretize_binning_extra_test.dir/discretize_binning_extra_test.cc.o"
+  "CMakeFiles/discretize_binning_extra_test.dir/discretize_binning_extra_test.cc.o.d"
+  "discretize_binning_extra_test"
+  "discretize_binning_extra_test.pdb"
+  "discretize_binning_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discretize_binning_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

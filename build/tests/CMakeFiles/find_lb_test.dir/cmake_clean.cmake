@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_lb_test.dir/find_lb_test.cc.o"
+  "CMakeFiles/find_lb_test.dir/find_lb_test.cc.o.d"
+  "find_lb_test"
+  "find_lb_test.pdb"
+  "find_lb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_lb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcbt_test.dir/rcbt_test.cc.o"
+  "CMakeFiles/rcbt_test.dir/rcbt_test.cc.o.d"
+  "rcbt_test"
+  "rcbt_test.pdb"
+  "rcbt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcbt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

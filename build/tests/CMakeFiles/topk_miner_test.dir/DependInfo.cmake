@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topk_miner_test.cc" "tests/CMakeFiles/topk_miner_test.dir/topk_miner_test.cc.o" "gcc" "tests/CMakeFiles/topk_miner_test.dir/topk_miner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topkrgs_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_analyze.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_discretize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_mine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topkrgs_classify_tool.dir/topkrgs_classify.cc.o"
+  "CMakeFiles/topkrgs_classify_tool.dir/topkrgs_classify.cc.o.d"
+  "topkrgs-classify"
+  "topkrgs-classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topkrgs_classify_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

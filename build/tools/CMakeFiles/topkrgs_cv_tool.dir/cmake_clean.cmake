@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topkrgs_cv_tool.dir/topkrgs_cv.cc.o"
+  "CMakeFiles/topkrgs_cv_tool.dir/topkrgs_cv.cc.o.d"
+  "topkrgs-cv"
+  "topkrgs-cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topkrgs_cv_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topkrgs_generate_tool.dir/topkrgs_generate.cc.o"
+  "CMakeFiles/topkrgs_generate_tool.dir/topkrgs_generate.cc.o.d"
+  "topkrgs-generate"
+  "topkrgs-generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topkrgs_generate_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

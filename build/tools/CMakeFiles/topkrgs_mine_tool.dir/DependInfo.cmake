@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/topkrgs_mine.cc" "tools/CMakeFiles/topkrgs_mine_tool.dir/topkrgs_mine.cc.o" "gcc" "tools/CMakeFiles/topkrgs_mine_tool.dir/topkrgs_mine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topkrgs_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_analyze.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_discretize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_mine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topkrgs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topkrgs_mine_tool.dir/topkrgs_mine.cc.o"
+  "CMakeFiles/topkrgs_mine_tool.dir/topkrgs_mine.cc.o.d"
+  "topkrgs-mine"
+  "topkrgs-mine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topkrgs_mine_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
