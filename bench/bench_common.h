@@ -1,6 +1,8 @@
 #ifndef TOPKRGS_BENCH_BENCH_COMMON_H_
 #define TOPKRGS_BENCH_BENCH_COMMON_H_
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -88,6 +90,85 @@ inline void PrintTableRow(const std::string& label,
   for (const auto& cell : cells) std::printf(" %14s", cell.c_str());
   std::printf("\n");
 }
+
+/// Peak resident set size of this process in KiB (Linux ru_maxrss units).
+/// Process-lifetime maximum: in a sweep it only ever grows, so per-record
+/// values tell which configuration first touched a high-water mark.
+inline long PeakRssKb() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return -1;
+  return usage.ru_maxrss;
+}
+
+/// Machine-readable perf-regression records: one flat JSON object per
+/// measurement, emitted as a JSON array. Kept to scalar fields on purpose —
+/// diffing two BENCH_*.json files in CI needs no schema knowledge.
+class JsonRecord {
+ public:
+  JsonRecord& Str(const std::string& key, const std::string& value) {
+    std::string escaped;
+    for (char c : value) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    return Raw(key, "\"" + escaped + "\"");
+  }
+  JsonRecord& Num(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return Raw(key, buf);
+  }
+  JsonRecord& Int(const std::string& key, long long value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonRecord& Bool(const std::string& key, bool value) {
+    return Raw(key, value ? "true" : "false");
+  }
+
+  /// Every MinerStats field the harness regresses on, under one prefix.
+  JsonRecord& Stats(const MinerStats& stats) {
+    Int("nodes_visited", static_cast<long long>(stats.nodes_visited));
+    Int("groups_emitted", static_cast<long long>(stats.groups_emitted));
+    Int("pruned_bounds", static_cast<long long>(stats.pruned_bounds));
+    Int("pruned_backward", static_cast<long long>(stats.pruned_backward));
+    Bool("timed_out", stats.timed_out);
+    return *this;
+  }
+
+  std::string ToString() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonRecord& Raw(const std::string& key, const std::string& value) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"" + key + "\": " + value;
+    return *this;
+  }
+  std::string body_;
+};
+
+/// Accumulates records and writes them as a pretty-enough JSON array.
+class JsonWriter {
+ public:
+  void Add(const JsonRecord& record) { records_.push_back(record.ToString()); }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", records_[i].c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+  size_t size() const { return records_.size(); }
+
+ private:
+  std::vector<std::string> records_;
+};
 
 }  // namespace bench
 }  // namespace topkrgs

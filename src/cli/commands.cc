@@ -104,7 +104,8 @@ Status RunMineCommand(const std::vector<std::string>& args) {
   const FlagParser& flags = flags_or.value();
   TOPKRGS_RETURN_NOT_OK(flags.CheckKnown({"data", "algorithm", "consequent",
                                           "minsup", "minsup-frac", "k",
-                                          "minconf", "budget", "max-print"}));
+                                          "minconf", "budget", "max-print",
+                                          "threads"}));
 
   auto data_path = flags.GetRequired("data");
   if (!data_path.ok()) return data_path.status();
@@ -135,6 +136,11 @@ Status RunMineCommand(const std::vector<std::string>& args) {
   if (!budget.ok()) return budget.status();
   auto max_print = flags.GetInt("max-print", 10);
   if (!max_print.ok()) return max_print.status();
+  auto threads = flags.GetInt("threads", 1);
+  if (!threads.ok()) return threads.status();
+  if (threads.value() < 0) {
+    return Status::InvalidArgument("--threads must be >= 0 (0 = all cores)");
+  }
 
   std::printf("dataset: %u rows, %u items (%u genes selected); class %d has "
               "%u rows; minsup %u\n",
@@ -150,6 +156,7 @@ Status RunMineCommand(const std::vector<std::string>& args) {
     opt.k = static_cast<uint32_t>(std::max<int64_t>(1, k.value()));
     opt.min_support = minsup.value();
     opt.deadline = Deadline(budget.value());
+    opt.threads = static_cast<uint32_t>(threads.value());
     const TopkResult result = algorithm == "topk"
                                   ? MineTopkRGS(data, cls, opt)
                                   : MineTopkRGSHybrid(data, cls, opt);

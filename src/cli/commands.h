@@ -31,6 +31,9 @@ Status RunGenerateCommand(const std::vector<std::string>& args);
 ///   --minconf F                  FARMER confidence threshold (default 0.9)
 ///   --budget SECONDS             wall-clock budget (default 30)
 ///   --max-print N                rule groups to print (default 10)
+///   --threads N                  topk/hybrid worker threads; 0 = all cores
+///                                (default 1; results are thread-count
+///                                invariant)
 Status RunMineCommand(const std::vector<std::string>& args);
 
 /// topkrgs-classify: train RCBT or CBA on a training TSV, evaluate on a

@@ -79,12 +79,16 @@ TopkResult MineTopkRGSHybrid(const DiscreteDataset& data, ClassLabel consequent,
       const DiscreteDataset partition = data.SelectRows(out.row_ids);
       TopkMinerOptions part_options = options;
       part_options.min_support = minsup;
+      // Partitions are themselves the unit of parallelism here; nesting the
+      // row-enumeration pool inside each would oversubscribe the machine.
+      part_options.threads = 1;
+      part_options.hybrid_threads = TopkMinerOptions::kThreadsUnset;
       out.result = MineTopkRGS(partition, consequent, part_options);
       if (out.result.stats.timed_out) timed_out.store(true);
     }
   };
 
-  uint32_t num_threads = options.hybrid_threads;
+  uint32_t num_threads = options.RequestedThreads();
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }

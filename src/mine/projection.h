@@ -10,17 +10,21 @@
 
 namespace topkrgs {
 
-/// The two interchangeable encodings of a projected transposed table used by
-/// the row-enumeration miners. Both expose the same contract:
+/// The interchangeable encodings of a projected transposed table used by
+/// the row-enumeration miners. All expose the same contract:
 ///
 ///  * Positions(out): the candidate row positions present in this projection
-///    (ascending). Cheap for both backends.
+///    (ascending). Cheap for all backends.
 ///  * Freq(pos): freq(pos) = number of transposed tuples of this projection
 ///    containing pos = |I(X) ∩ items(row)|. This is the "scan TT|_X" cost of
 ///    Step 10: the bitset backend pays an intersection-popcount per call,
 ///    the prefix-tree backend reads a header counter (its cost was paid once
 ///    when the conditional tree was built).
 ///  * Child(pos): the {X ∪ {pos}}-projected table.
+///  * WithArena(arena): a view of the same projection whose descendants
+///    allocate through `arena` (a per-worker buffer recycler). Backends
+///    without arena-backed construction return themselves; the parallel
+///    miner calls this once per worker over the shared root projection.
 
 /// Bitset-backed projection: candidates kept as an explicit position list;
 /// frequencies computed against I(X) on demand. This mirrors the original
@@ -31,6 +35,10 @@ class BitsetProjection {
       : data_(data), order_(order) {
     positions_.resize(order->size());
     for (uint32_t i = 0; i < positions_.size(); ++i) positions_[i] = i;
+  }
+
+  const BitsetProjection& WithArena(PrefixTree::Arena* /*arena*/) const {
+    return *this;
   }
 
   void Positions(std::vector<uint32_t>* out) const { *out = positions_; }
@@ -45,8 +53,8 @@ class BitsetProjection {
   /// and thus with any descendant antecedent either).
   BitsetProjection Child(uint32_t pos,
                          const std::vector<uint32_t>& live_positions) const {
-    BitsetProjection child(*this);
-    child.positions_.clear();
+    BitsetProjection child(data_, order_, Unpopulated{});
+    child.positions_.reserve(live_positions.size());
     for (uint32_t p : live_positions) {
       if (p > pos) child.positions_.push_back(p);
     }
@@ -54,6 +62,11 @@ class BitsetProjection {
   }
 
  private:
+  struct Unpopulated {};
+  BitsetProjection(const DiscreteDataset* data, const std::vector<RowId>* order,
+                   Unpopulated)
+      : data_(data), order_(order) {}
+
   const DiscreteDataset* data_;
   const std::vector<RowId>* order_;
   std::vector<uint32_t> positions_;
@@ -83,6 +96,10 @@ class VectorProjection {
       for (uint32_t p : tuple) ++freq_[p];
       tuples_.push_back(std::move(tuple));
     });
+  }
+
+  const VectorProjection& WithArena(PrefixTree::Arena* /*arena*/) const {
+    return *this;
   }
 
   void Positions(std::vector<uint32_t>* out) const {
@@ -128,27 +145,44 @@ class VectorProjection {
 /// prefixes, so frequency counting is amortized across items.
 class TreeProjection {
  public:
-  explicit TreeProjection(PrefixTree tree) : tree_(std::move(tree)) {}
+  explicit TreeProjection(PrefixTree tree, PrefixTree::Arena* arena = nullptr)
+      : tree_(std::move(tree)), arena_(arena) {}
+
+  /// A borrowed view over this projection's tree whose conditional trees
+  /// allocate from `arena`. The view must not outlive the viewed
+  /// projection; children built from it are owning as usual.
+  TreeProjection WithArena(PrefixTree::Arena* arena) const {
+    return TreeProjection(&ref(), arena);
+  }
 
   void Positions(std::vector<uint32_t>* out) const {
     out->clear();
-    tree_.ForEachFrequentPosition(
+    ref().ForEachFrequentPosition(
         [out](uint32_t pos, uint32_t) { out->push_back(pos); });
   }
 
   uint32_t Freq(uint32_t pos, const Bitset& /*items*/) const {
-    return tree_.freq(pos);
+    return ref().freq(pos);
   }
 
   TreeProjection Child(uint32_t pos,
                        const std::vector<uint32_t>& /*live_positions*/) const {
-    return TreeProjection(tree_.Conditional(pos));
+    return TreeProjection(ref().Conditional(pos, arena_), arena_);
   }
 
-  const PrefixTree& tree() const { return tree_; }
+  const PrefixTree& tree() const { return ref(); }
 
  private:
+  TreeProjection(const PrefixTree* borrowed, PrefixTree::Arena* arena)
+      : borrowed_(borrowed), arena_(arena) {}
+
+  const PrefixTree& ref() const {
+    return borrowed_ != nullptr ? *borrowed_ : tree_;
+  }
+
   PrefixTree tree_;
+  const PrefixTree* borrowed_ = nullptr;
+  PrefixTree::Arena* arena_ = nullptr;
 };
 
 }  // namespace topkrgs

@@ -1,9 +1,16 @@
 #include "mine/topk_miner.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
 #include <unordered_map>
 
 #include "mine/projection.h"
+#include "util/arena.h"
 #include "util/status.h"
 
 namespace topkrgs {
@@ -21,11 +28,182 @@ struct GroupHandle {
 };
 using HandlePtr = std::shared_ptr<GroupHandle>;
 
-/// Significance threshold (sup, antecedent_sup); (0, 0) is the dummy with
-/// confidence 0 and support 0.
+/// Canonical origin of a shared-list entry: where it falls in the replay
+/// (merge) order. Seeds replay first, then the root node's emissions, then
+/// task i's emissions — so origin 0 / 1 / i+2. Within one task, wall-clock
+/// order IS canonical order (a single worker mines a task sequentially), so
+/// comparing origins alone decides "canonically no later than".
+/// kOriginInf marks an origin too large to encode: entries carrying it can
+/// never justify suppressing a tie (conservative).
+constexpr uint32_t kOriginMax = 0xfffeu;
+constexpr uint32_t kOriginInf = 0xffffu;
+
+/// Significance threshold (sup, antecedent_sup) with the canonical origin
+/// attached: `origin` is the latest origin among the top-k entries tied
+/// with the k-th (the ones a tying candidate must beat in the replay's
+/// earlier-discovery tiebreak). (0, 0) is the dummy with confidence 0.
 struct Thresh {
   uint32_t sup = 0;
   uint32_t asup = 0;
+  uint32_t origin = kOriginInf;
+};
+
+/// Whether a candidate of significance (sup, asup) discovered at
+/// `candidate_origin` can never enter a final top-k list guarded by `cut`.
+/// Strictly worse always loses; an exact tie loses only to entries that
+/// canonically precede it — the replay resolves ties by discovery order,
+/// so a tie with a canonically-later entry must still be recorded.
+inline bool Dominated(uint32_t sup, uint32_t asup, const Thresh& cut,
+                      uint32_t candidate_origin) {
+  const int cmp = CompareSignificance(sup, asup, cut.sup, cut.asup);
+  if (cmp != 0) return cmp < 0;
+  return cut.origin <= candidate_origin;
+}
+
+/// Shared pruning state of the parallel search: per-row candidate top-k
+/// lists guarded by striped locks, with each row's k-th-entry significance
+/// and tie origin mirrored into a packed atomic so the hot pruning reads
+/// (ComputeCut runs at every enumeration node) never take a lock. The
+/// dynamically raised minimum support lives here too.
+///
+/// This structure only steers pruning; the final per-row lists are rebuilt
+/// afterwards by a deterministic replay of the recorded emissions, so the
+/// timing-dependent insertion order here never leaks into results.
+class SharedTopk {
+ public:
+  SharedTopk(uint32_t num_positions, uint32_t k, uint32_t initial_minsup)
+      : k_(k),
+        // Support counts must fit the 24-bit packed fields; beyond that
+        // (unheard of for row enumeration) thresholds stay at the dummy and
+        // top-k pruning degrades to none, which is slow but correct.
+        packable_(num_positions < (1u << 24)),
+        lists_(num_positions),
+        packed_(num_positions),
+        minsup_dyn_(initial_minsup) {
+    for (auto& p : packed_) p.store(0, std::memory_order_relaxed);
+  }
+
+  /// The significance + tie origin of the k-th entry of `pos`'s list;
+  /// (0, 0) while the list holds fewer than k groups (a real group always
+  /// has support >= 1, so the sentinel is unambiguous). Lock-free.
+  Thresh KthOf(uint32_t pos) const {
+    const uint64_t packed = packed_[pos].load(std::memory_order_acquire);
+    return Thresh{static_cast<uint32_t>(packed >> 40),
+                  static_cast<uint32_t>((packed >> 16) & 0xffffffu),
+                  static_cast<uint32_t>(packed & 0xffffu)};
+  }
+
+  uint32_t minsup() const {
+    return minsup_dyn_.load(std::memory_order_acquire);
+  }
+
+  /// Monotone maximum update (CAS loop).
+  void RaiseMinsup(uint32_t value) {
+    uint32_t current = minsup_dyn_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !minsup_dyn_.compare_exchange_weak(current, value,
+                                              std::memory_order_acq_rel)) {
+    }
+  }
+
+  /// Offers a candidate group to `pos`'s pruning list. Deduplicates by
+  /// (support, antecedent support, row support) — a seed and its closure
+  /// must not occupy two slots, which would fake a tighter threshold than
+  /// the real list can have. Unlike the replay-side insert, a duplicate is
+  /// never "upgraded" here: handles stay immutable while workers run.
+  /// Duplicates keep the first arrival's origin, which is the canonically
+  /// smallest one (cross-task duplicates are impossible — first-level
+  /// subtrees cover disjoint row combinations — so any duplicate arrives
+  /// on the same worker, in canonical order).
+  void Insert(uint32_t pos, const HandlePtr& handle, uint32_t origin) {
+    const RuleGroup& g = handle->group;
+    std::lock_guard<std::mutex> lock(stripes_[pos & (kStripes - 1)]);
+    auto& list = lists_[pos];
+    for (const Entry& existing : list) {
+      const RuleGroup& e = existing.handle->group;
+      if (e.support == g.support &&
+          e.antecedent_support == g.antecedent_support &&
+          e.row_support == g.row_support) {
+        return;
+      }
+    }
+    const uint32_t encoded = origin >= kOriginMax ? kOriginInf : origin;
+    if (list.size() >= k_) {
+      const RuleGroup& kth = list.back().handle->group;
+      const int cmp = CompareSignificance(g.support, g.antecedent_support,
+                                          kth.support, kth.antecedent_support);
+      if (cmp < 0) return;
+      if (cmp == 0) {
+        // A tie with the k-th entry can't deepen the list, but a
+        // canonically EARLIER tie can sharpen the published tie-origin
+        // (workers run out of canonical order, so late arrivals may
+        // precede what's stored): replace the latest-origin tied entry.
+        size_t worst = list.size();
+        for (size_t i = list.size(); i-- > 0;) {
+          const RuleGroup& e = list[i].handle->group;
+          if (CompareSignificance(e.support, e.antecedent_support, kth.support,
+                                  kth.antecedent_support) != 0) {
+            break;
+          }
+          if (worst == list.size() || list[i].origin > list[worst].origin) {
+            worst = i;
+          }
+        }
+        if (worst == list.size() || list[worst].origin <= encoded) return;
+        list[worst] = Entry{handle, encoded};
+        PublishKth(pos);
+        return;
+      }
+    }
+    auto it = std::find_if(list.begin(), list.end(), [&](const Entry& e) {
+      return CompareSignificance(g.support, g.antecedent_support,
+                                 e.handle->group.support,
+                                 e.handle->group.antecedent_support) > 0;
+    });
+    list.insert(it, Entry{handle, encoded});
+    if (list.size() > k_) list.pop_back();
+    if (list.size() >= k_) PublishKth(pos);
+  }
+
+ private:
+  static constexpr size_t kStripes = 64;  // power of two (masked indexing)
+
+  struct Entry {
+    HandlePtr handle;
+    uint32_t origin;  // encoded: >= kOriginMax is stored as kOriginInf,
+                      // because the clamp value is shared by several late
+                      // tasks and may never justify suppressing a tie
+  };
+
+  /// Publishes the k-th significance plus the latest origin among the
+  /// top-k entries tied with it: a tying candidate is beaten only if ALL
+  /// of them canonically precede it. Caller holds the stripe lock and has
+  /// ensured the list is full.
+  void PublishKth(uint32_t pos) {
+    if (!packable_) return;
+    const auto& list = lists_[pos];
+    const RuleGroup& kth = list.back().handle->group;
+    uint32_t tie_origin = 0;
+    for (size_t i = list.size(); i-- > 0;) {
+      const RuleGroup& e = list[i].handle->group;
+      if (CompareSignificance(e.support, e.antecedent_support, kth.support,
+                              kth.antecedent_support) != 0) {
+        break;
+      }
+      tie_origin = std::max(tie_origin, list[i].origin);
+    }
+    packed_[pos].store(
+        (static_cast<uint64_t>(kth.support) << 40) |
+            (static_cast<uint64_t>(kth.antecedent_support) << 16) | tie_origin,
+        std::memory_order_release);
+  }
+
+  const uint32_t k_;
+  const bool packable_;
+  std::vector<std::vector<Entry>> lists_;
+  std::vector<std::atomic<uint64_t>> packed_;
+  std::atomic<uint32_t> minsup_dyn_;
+  mutable std::array<std::mutex, kStripes> stripes_;
 };
 
 class TopkSearch {
@@ -37,26 +215,95 @@ class TopkSearch {
   TopkResult Run();
 
  private:
+  /// One recorded rule-group emission: the handle plus the positive row
+  /// positions it covers, in discovery (x-stack) order. Emissions are
+  /// recorded per first-level subtree and replayed in canonical order
+  /// after the workers join, which is what makes the parallel search
+  /// bit-for-bit deterministic.
+  struct Emission {
+    HandlePtr handle;
+    std::vector<uint32_t> covered;
+  };
+
+  /// Per-worker DFS state: the enumeration stack, scratch-buffer pool and
+  /// prefix-tree arena persist across the tasks a worker drains, so a
+  /// steady-state worker stops allocating.
+  struct WorkerState {
+    std::vector<uint32_t> x_stack;
+    std::vector<uint8_t> in_x;
+    uint32_t xp = 0;
+    uint32_t xn = 0;
+    uint32_t origin = kOriginInf;  // canonical origin of emissions made here
+    MinerStats stats;
+    std::vector<Emission>* sink = nullptr;
+    VectorPool<uint32_t> scratch;
+    PrefixTree::Arena tree_arena;
+  };
+
+  /// A processed first-level enumeration node whose children became the
+  /// parallel tasks: the frozen DFS state a worker needs to resume any of
+  /// them. Built serially during expansion, read-only while workers run.
+  struct Level1Ctx {
+    uint32_t p = 0;                   // the node's own branch position
+    std::vector<uint32_t> x_stack;    // full stack at the node (incl. absorbed)
+    uint32_t xp = 0;
+    uint32_t xn = 0;
+    Bitset items;                     // I(X) at the node
+    std::vector<uint32_t> live;       // surviving candidate positions
+    std::vector<uint32_t> live_freq;  // their item counts (child items_count)
+    std::vector<uint32_t> suffix_pos; // positive candidates after live[i]
+    std::vector<Emission> node_emissions;
+  };
+
+  /// One second-level subtree: the unit of parallel work.
+  struct SubtreeTask {
+    uint32_t ctx_index = 0;  // owning Level1Ctx
+    uint32_t child = 0;      // index into ctx.live
+    uint32_t origin = 0;     // canonical replay rank of its emissions
+    std::vector<Emission> emissions;
+  };
+
+  /// When `freeze` is non-null, Visit stops before the child loop and
+  /// snapshots the node's state into it instead of recursing (the serial
+  /// expansion pass uses this to turn the node's children into tasks).
   template <typename Proj>
-  void Visit(const Proj& proj, const Bitset& items, uint32_t items_count,
-             uint32_t branch_pos, bool closed_on_left);
+  void Visit(WorkerState& ws, const Proj& proj, const Bitset& items,
+             uint32_t items_count, uint32_t branch_pos, bool closed_on_left,
+             Level1Ctx* freeze = nullptr);
+
+  /// Processes the root node and every first-level node serially (the
+  /// expansion pass — ~1% of all nodes, but it seeds the shared thresholds
+  /// with every shallow high-support group and fixes the canonical origin
+  /// numbering), then fans the second-level subtrees out over the worker
+  /// pool. Partitioning one level deeper than the tasks' natural grain
+  /// breaks up the heavily skewed first subtree, which otherwise IS the
+  /// critical path.
+  template <typename Proj>
+  void MineRoot(const Proj& root, const Bitset& items, uint32_t items_count);
+
+  /// Runs one task: checks, builds and descends into the subtree rooted at
+  /// ctx.live[task.child]. `proj1` is the (worker-cached) projection of the
+  /// task's first-level node.
+  template <typename Proj>
+  void RunTask(WorkerState& ws, const Proj& proj1, SubtreeTask& task);
+
+  /// Rebinds a worker's DFS state to another first-level context.
+  void SwitchCtx(WorkerState& ws, const Level1Ctx& ctx) const;
 
   void SeedSingleItems(const Bitset& frequent_items);
   void MaybeRaiseMinsup();
-  Thresh ComputeCut(const std::vector<uint32_t>& candidates) const;
-  bool Hopeless(uint32_t best_sup, uint32_t min_neg, const Thresh& cut) const;
-  void EmitAt(const Bitset& items, const Thresh& cut);
-  void TryInsert(uint32_t pos, const HandlePtr& handle);
+  Thresh ComputeCut(const std::vector<uint32_t>& x_stack,
+                    const std::vector<uint32_t>& candidates) const;
+  bool Hopeless(uint32_t best_sup, uint32_t min_neg, const Thresh& cut,
+                uint32_t origin) const;
+  void EmitAt(WorkerState& ws, const Bitset& items, const Thresh& cut);
+  void ReplayInsert(uint32_t pos, const HandlePtr& handle);
+  void ReplayEmissions(const std::vector<Emission>& emissions);
+  uint32_t FinalEffectiveMinsup() const;
   void Finalize(const Bitset& frequent_items, TopkResult* result);
+  void MergeStats(const MinerStats& s);
 
   bool IsPos(uint32_t pos) const { return pos_positive_[pos] != 0; }
-
-  Thresh KthOf(uint32_t pos) const {
-    const auto& list = lists_[pos];
-    if (list.size() < opt_.k) return Thresh{0, 0};
-    const RuleGroup& g = list.back()->group;
-    return Thresh{g.support, g.antecedent_support};
-  }
 
   const DiscreteDataset& data_;
   const ClassLabel consequent_;
@@ -65,28 +312,45 @@ class TopkSearch {
   std::vector<RowId> order_;           // position -> original row id
   std::vector<uint32_t> position_of_;  // original row id -> position
   std::vector<uint8_t> pos_positive_;  // position -> is consequent-class
-  uint32_t np_ = 0;                    // number of consequent-class rows
+  std::vector<uint32_t> positive_positions_;
+  uint32_t np_ = 0;  // number of consequent-class rows
+  uint32_t initial_minsup_ = 1;
+  uint32_t num_workers_ = 1;
 
-  // Per positive position: top-k list, most significant first.
+  std::unique_ptr<SharedTopk> shared_;
+
+  // Deterministic-merge state; only touched single-threaded (seeding and
+  // expansion before the workers start, replay after they join).
   std::vector<std::vector<HandlePtr>> lists_;
+  std::vector<Emission> root_emissions_;
+  std::vector<Level1Ctx> level1_;
+  std::vector<SubtreeTask> tasks_;
 
-  // DFS state for the current enumeration node X.
-  std::vector<uint32_t> x_stack_;
-  std::vector<bool> in_x_;
-  uint32_t xp_ = 0;
-  uint32_t xn_ = 0;
+  // Root context, read-only while workers run (the root's live list is the
+  // parent candidate set for first-level Child() rebuilds).
+  std::vector<uint32_t> root_live_;
 
-  uint32_t minsup_dyn_ = 1;
-  bool stopped_ = false;
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> timed_out_{false};
   MinerStats stats_;
 };
 
-void TopkSearch::TryInsert(uint32_t pos, const HandlePtr& handle) {
+void TopkSearch::MergeStats(const MinerStats& s) {
+  stats_.nodes_visited += s.nodes_visited;
+  stats_.groups_emitted += s.groups_emitted;
+  stats_.pruned_backward += s.pruned_backward;
+  stats_.pruned_bounds += s.pruned_bounds;
+}
+
+/// Replay-side insert: exactly the paper's per-row list maintenance, run
+/// single-threaded over the canonical emission order. Dedups by antecedent
+/// support set, upgrading a provisional seed in place when the matching
+/// upper bound arrives (§4.1.1, first optimization); ties on significance
+/// keep the earlier-discovered group, matching CBA's "<" order.
+void TopkSearch::ReplayInsert(uint32_t pos, const HandlePtr& handle) {
   auto& list = lists_[pos];
   const RuleGroup& g = handle->group;
 
-  // Dedup by antecedent support set; upgrades a provisional entry in place
-  // when the matching upper bound arrives (§4.1.1, first optimization).
   for (auto& existing : list) {
     RuleGroup& e = existing->group;
     if (e.support == g.support && e.antecedent_support == g.antecedent_support &&
@@ -106,8 +370,6 @@ void TopkSearch::TryInsert(uint32_t pos, const HandlePtr& handle) {
       return;  // not more significant than the current k-th entry
     }
   }
-  // Insert before the first strictly-less-significant entry (stable for
-  // ties: earlier-discovered groups stay first, matching CBA's "<" order).
   auto it = std::find_if(list.begin(), list.end(), [&](const HandlePtr& e) {
     return CompareSignificance(g.support, g.antecedent_support,
                                e->group.support,
@@ -115,6 +377,14 @@ void TopkSearch::TryInsert(uint32_t pos, const HandlePtr& handle) {
   });
   list.insert(it, handle);
   if (list.size() > opt_.k) list.pop_back();
+}
+
+void TopkSearch::ReplayEmissions(const std::vector<Emission>& emissions) {
+  for (const Emission& emission : emissions) {
+    for (uint32_t pos : emission.covered) {
+      ReplayInsert(pos, emission.handle);
+    }
+  }
 }
 
 void TopkSearch::SeedSingleItems(const Bitset& frequent_items) {
@@ -133,7 +403,9 @@ void TopkSearch::SeedSingleItems(const Bitset& frequent_items) {
         static_cast<uint32_t>(rows.IntersectCount(class_rows));
     rows.ForEach([&](size_t row) {
       if (data_.label(static_cast<RowId>(row)) != consequent_) return;
-      TryInsert(position_of_[row], handle);
+      const uint32_t pos = position_of_[row];
+      ReplayInsert(pos, handle);
+      shared_->Insert(pos, handle, /*origin=*/0);  // seeds replay first
     });
   });
 }
@@ -141,118 +413,146 @@ void TopkSearch::SeedSingleItems(const Bitset& frequent_items) {
 void TopkSearch::MaybeRaiseMinsup() {
   if (!opt_.dynamic_min_support) return;
   uint32_t lowest = UINT32_MAX;
-  for (uint32_t pos = 0; pos < pos_positive_.size(); ++pos) {
-    if (!IsPos(pos)) continue;
-    const auto& list = lists_[pos];
-    if (list.size() < opt_.k) return;
-    const RuleGroup& kth = list.back()->group;
-    if (kth.support == 0 || kth.support != kth.antecedent_support) {
-      return;  // some k-th entry is below 100% confidence
+  for (uint32_t pos : positive_positions_) {
+    const Thresh t = shared_->KthOf(pos);
+    if (t.sup == 0 || t.sup != t.asup) {
+      return;  // some list not full yet, or its k-th below 100% confidence
     }
-    lowest = std::min(lowest, kth.support);
+    lowest = std::min(lowest, t.sup);
   }
   // Every row already holds k groups of 100% confidence with support >=
-  // lowest; only a 100%-confidence group with support > lowest can still
-  // displace anything.
-  if (lowest != UINT32_MAX && lowest + 1 > minsup_dyn_) {
-    minsup_dyn_ = lowest + 1;
+  // lowest: anything with support < lowest is strictly less significant
+  // than every k-th entry. (The paper raises to lowest+1; that extra level
+  // would also prune exact significance ties, which the deterministic
+  // replay merge must still get to see — the reported effective minimum
+  // support is recomputed with the paper's rule in FinalEffectiveMinsup.)
+  if (lowest != UINT32_MAX && lowest > shared_->minsup()) {
+    shared_->RaiseMinsup(lowest);
   }
 }
 
-Thresh TopkSearch::ComputeCut(const std::vector<uint32_t>& candidates) const {
+Thresh TopkSearch::ComputeCut(const std::vector<uint32_t>& x_stack,
+                              const std::vector<uint32_t>& candidates) const {
   // Equation 1/2: the weakest k-th entry over the rows the subtree can still
-  // cover (Lemma 3.2: Xp ∪ Rp).
+  // cover (Lemma 3.2: Xp ∪ Rp). The cut's origin must justify tie
+  // suppression against EVERY coverable row, so among the rows tied at the
+  // minimum significance it keeps the latest (largest) tie origin.
   bool first = true;
-  Thresh cut{0, 0};
+  Thresh cut{0, 0, 0};
   auto consider = [&](uint32_t pos) {
-    const Thresh t = KthOf(pos);
-    if (first ||
-        CompareSignificance(t.sup, t.asup, cut.sup, cut.asup) < 0) {
+    const Thresh t = shared_->KthOf(pos);
+    if (first) {
       cut = t;
       first = false;
+      return;
+    }
+    const int cmp = CompareSignificance(t.sup, t.asup, cut.sup, cut.asup);
+    if (cmp < 0) {
+      cut = t;
+    } else if (cmp == 0 && t.origin > cut.origin) {
+      cut.origin = t.origin;
     }
   };
-  for (uint32_t pos : x_stack_) {
+  for (uint32_t pos : x_stack) {
     if (IsPos(pos)) consider(pos);
   }
   for (uint32_t pos : candidates) {
     if (IsPos(pos)) consider(pos);
   }
-  if (first) cut = Thresh{UINT32_MAX, UINT32_MAX};  // no coverable row: prune all
+  if (first) {
+    cut = Thresh{UINT32_MAX, UINT32_MAX, 0};  // no coverable row: prune all
+  }
   return cut;
 }
 
 bool TopkSearch::Hopeless(uint32_t best_sup, uint32_t min_neg,
-                          const Thresh& cut) const {
-  if (best_sup < minsup_dyn_) return true;
+                          const Thresh& cut, uint32_t origin) const {
+  if (best_sup < shared_->minsup()) return true;
   if (!opt_.use_topk_pruning) return false;
   // Best achievable significance in the subtree: support best_sup with
-  // confidence best_sup / (best_sup + min_neg).
-  return CompareSignificance(best_sup, best_sup + min_neg, cut.sup,
-                             cut.asup) <= 0;
+  // confidence best_sup / (best_sup + min_neg). Strictly-worse subtrees
+  // are always hopeless; a subtree that merely TIES the cut is hopeless
+  // only when every tied threshold entry canonically precedes anything
+  // this subtree could emit (cut.origin <= origin) — otherwise its tie
+  // might still win the replay merge's discovery-order tiebreak and must
+  // be explored. At one thread every prior entry precedes the current
+  // node, so this degenerates to the serial search's tie pruning exactly.
+  return Dominated(best_sup, best_sup + min_neg, cut, origin);
 }
 
-void TopkSearch::EmitAt(const Bitset& items, const Thresh& cut) {
-  if (xp_ < minsup_dyn_) return;
-  if (opt_.use_topk_pruning &&
-      CompareSignificance(xp_, xp_ + xn_, cut.sup, cut.asup) <= 0) {
-    // Cannot beat any row's k-th entry (cut is the minimum over them); a
-    // provisional twin, if any, is closed in the finalization pass.
+void TopkSearch::EmitAt(WorkerState& ws, const Bitset& items,
+                        const Thresh& cut) {
+  if (ws.xp < shared_->minsup()) return;
+  if (opt_.use_topk_pruning && Dominated(ws.xp, ws.xp + ws.xn, cut, ws.origin)) {
+    // Beaten on every coverable row by k recorded entries — strictly more
+    // significant ones, or exact ties that canonically precede this node
+    // (see Hopeless): it can never enter a final list, so it need not be
+    // recorded. (A suppressed emission may duplicate a provisional seed's
+    // support set; Finalize closes surviving provisionals itself, so the
+    // lost upgrade is harmless.)
     return;
   }
   auto handle = std::make_shared<GroupHandle>();
   handle->group.antecedent = items;
   handle->group.consequent = consequent_;
-  handle->group.support = xp_;
-  handle->group.antecedent_support = xp_ + xn_;
+  handle->group.support = ws.xp;
+  handle->group.antecedent_support = ws.xp + ws.xn;
   Bitset rows(data_.num_rows());
-  for (uint32_t pos : x_stack_) rows.Set(order_[pos]);
+  for (uint32_t pos : ws.x_stack) rows.Set(order_[pos]);
   handle->group.row_support = std::move(rows);
-  ++stats_.groups_emitted;
-  for (uint32_t pos : x_stack_) {
-    if (IsPos(pos)) TryInsert(pos, handle);
+  ++ws.stats.groups_emitted;
+  Emission emission;
+  emission.handle = handle;
+  for (uint32_t pos : ws.x_stack) {
+    if (!IsPos(pos)) continue;
+    emission.covered.push_back(pos);
+    shared_->Insert(pos, handle, ws.origin);
   }
+  ws.sink->push_back(std::move(emission));
 }
 
 template <typename Proj>
-void TopkSearch::Visit(const Proj& proj, const Bitset& items,
+void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const Bitset& items,
                        uint32_t items_count, uint32_t branch_pos,
-                       bool closed_on_left) {
+                       bool closed_on_left, Level1Ctx* freeze) {
   (void)branch_pos;  // kept for symmetry with the paper's Depthfirst()
-  if (stopped_) return;
-  ++stats_.nodes_visited;
+  if (stopped_.load(std::memory_order_relaxed)) return;
+  ++ws.stats.nodes_visited;
   if (opt_.deadline.Expired()) {
-    stopped_ = true;
-    stats_.timed_out = true;
+    stopped_.store(true, std::memory_order_relaxed);
+    timed_out_.store(true, std::memory_order_relaxed);
     return;
   }
   if (items_count == 0) return;  // I(X) = ∅: no rules below this node
 
-  std::vector<uint32_t> cand;
+  PooledVector<uint32_t> cand_lease(&ws.scratch);
+  std::vector<uint32_t>& cand = *cand_lease;
   proj.Positions(&cand);
-  std::erase_if(cand, [&](uint32_t p) { return in_x_[p]; });
+  std::erase_if(cand, [&](uint32_t p) { return ws.in_x[p] != 0; });
 
-  uint32_t rp = 0;
-  uint32_t rn = 0;
+  uint32_t rp = 0;  // positive candidate rows (bounds the subtree's support)
   for (uint32_t p : cand) {
-    IsPos(p) ? ++rp : ++rn;
+    if (IsPos(p)) ++rp;
   }
 
   // Step 8: threshold updating.
   MaybeRaiseMinsup();
-  const Thresh cut = ComputeCut(cand);
+  const Thresh cut = ComputeCut(ws.x_stack, cand);
 
   // Step 9: loose bounds (no scan needed).
-  if (opt_.use_bound_pruning && Hopeless(xp_ + rp, xn_, cut)) {
-    ++stats_.pruned_bounds;
+  if (opt_.use_bound_pruning && Hopeless(ws.xp + rp, ws.xn, cut, ws.origin)) {
+    ++ws.stats.pruned_bounds;
     return;
   }
 
   // Step 10: scan TT'|_X — frequencies, then absorb rows occurring in every
   // tuple (they appear in all descendants).
-  std::vector<uint32_t> live;
-  std::vector<uint32_t> live_freq;
-  std::vector<uint32_t> absorbed;
+  PooledVector<uint32_t> live_lease(&ws.scratch);
+  PooledVector<uint32_t> freq_lease(&ws.scratch);
+  PooledVector<uint32_t> absorbed_lease(&ws.scratch);
+  std::vector<uint32_t>& live = *live_lease;
+  std::vector<uint32_t>& live_freq = *freq_lease;
+  std::vector<uint32_t>& absorbed = *absorbed_lease;
   uint32_t mp = 0;
   for (uint32_t p : cand) {
     const uint32_t f = proj.Freq(p, items);
@@ -265,28 +565,52 @@ void TopkSearch::Visit(const Proj& proj, const Bitset& items,
     }
   }
   for (uint32_t p : absorbed) {
-    in_x_[p] = true;
-    x_stack_.push_back(p);
-    IsPos(p) ? ++xp_ : ++xn_;
+    ws.in_x[p] = 1;
+    ws.x_stack.push_back(p);
+    IsPos(p) ? ++ws.xp : ++ws.xn;
   }
 
   // Step 11: tight bounds (mp = candidate consequent rows that can still
   // appear in a descendant antecedent support set).
   const bool pruned =
-      opt_.use_bound_pruning && Hopeless(xp_ + mp, xn_, ComputeCut(live));
+      opt_.use_bound_pruning &&
+      Hopeless(ws.xp + mp, ws.xn, ComputeCut(ws.x_stack, live), ws.origin);
   if (pruned) {
-    ++stats_.pruned_bounds;
+    ++ws.stats.pruned_bounds;
   } else {
     // Step 13: emit the rule group of this node and update covered rows.
     // Only nodes with X == R(I(X)) carry a rule group; when the backward
     // check failed we are in a redundant subtree that emits nothing.
-    if (closed_on_left) EmitAt(items, cut);
+    if (closed_on_left) EmitAt(ws, items, cut);
 
     // Positive candidates at positions after live[i] — the only rows that
     // can still raise a child subtree's support beyond X.
-    std::vector<uint32_t> suffix_pos(live.size() + 1, 0);
+    PooledVector<uint32_t> suffix_lease(&ws.scratch);
+    std::vector<uint32_t>& suffix_pos = *suffix_lease;
+    suffix_pos.assign(live.size() + 1, 0);
     for (size_t i = live.size(); i-- > 0;) {
       suffix_pos[i] = suffix_pos[i + 1] + (IsPos(live[i]) ? 1 : 0);
+    }
+
+    if (freeze != nullptr) {
+      // Expansion pass: snapshot this node instead of recursing — its
+      // children become the worker pool's tasks. The stack still holds the
+      // absorbed rows, which is exactly the state a task must resume from.
+      freeze->p = branch_pos;
+      freeze->x_stack = ws.x_stack;
+      freeze->xp = ws.xp;
+      freeze->xn = ws.xn;
+      freeze->items = items;
+      freeze->live = live;
+      freeze->live_freq = live_freq;
+      freeze->suffix_pos = suffix_pos;
+      for (auto it = absorbed.rbegin(); it != absorbed.rend(); ++it) {
+        const uint32_t p = *it;
+        IsPos(p) ? --ws.xp : --ws.xn;
+        ws.x_stack.pop_back();
+        ws.in_x[p] = 0;
+      }
+      return;
     }
 
     // Step 14: enumerate children in ORD order. Step 7's backward check
@@ -297,7 +621,8 @@ void TopkSearch::Visit(const Proj& proj, const Bitset& items,
     // need not even be constructed. Redundancy propagates downward (the
     // earlier row also contains every descendant's smaller I), so in
     // ablation mode each descendant's own check re-detects it.
-    for (size_t i = 0; i < live.size() && !stopped_; ++i) {
+    for (size_t i = 0;
+         i < live.size() && !stopped_.load(std::memory_order_relaxed); ++i) {
       const uint32_t p = live[i];
       if (opt_.use_bound_pruning) {
         // Per-child loose bounds before any per-child work: support in the
@@ -305,41 +630,389 @@ void TopkSearch::Visit(const Proj& proj, const Bitset& items,
         // candidates ordered after it; the parent's cut is a lower bound on
         // every child's cut, so pruning against it is sound.
         const uint32_t child_sup_ub =
-            xp_ + (IsPos(p) ? 1 : 0) + suffix_pos[i + 1];
-        const uint32_t child_min_neg = xn_ + (IsPos(p) ? 0 : 1);
-        if (Hopeless(child_sup_ub, child_min_neg, cut)) {
-          ++stats_.pruned_bounds;
+            ws.xp + (IsPos(p) ? 1 : 0) + suffix_pos[i + 1];
+        const uint32_t child_min_neg = ws.xn + (IsPos(p) ? 0 : 1);
+        if (Hopeless(child_sup_ub, child_min_neg, cut, ws.origin)) {
+          ++ws.stats.pruned_bounds;
           continue;
         }
       }
       Bitset child_items = Intersect(items, data_.row_bitset(order_[p]));
       bool child_closed = true;
       for (uint32_t q = 0; q < p; ++q) {
-        if (!in_x_[q] && child_items.IsSubsetOf(data_.row_bitset(order_[q]))) {
+        if (!ws.in_x[q] &&
+            child_items.IsSubsetOf(data_.row_bitset(order_[q]))) {
           child_closed = false;
           break;
         }
       }
       if (!child_closed) {
-        ++stats_.pruned_backward;
+        ++ws.stats.pruned_backward;
         if (opt_.use_backward_pruning) continue;
       }
-      in_x_[p] = true;
-      x_stack_.push_back(p);
-      IsPos(p) ? ++xp_ : ++xn_;
-      Visit(proj.Child(p, live), child_items, live_freq[i], p, child_closed);
-      IsPos(p) ? --xp_ : --xn_;
-      x_stack_.pop_back();
-      in_x_[p] = false;
+      ws.in_x[p] = 1;
+      ws.x_stack.push_back(p);
+      IsPos(p) ? ++ws.xp : ++ws.xn;
+      Visit(ws, proj.Child(p, live), child_items, live_freq[i], p,
+            child_closed);
+      IsPos(p) ? --ws.xp : --ws.xn;
+      ws.x_stack.pop_back();
+      ws.in_x[p] = 0;
     }
   }
 
   for (auto it = absorbed.rbegin(); it != absorbed.rend(); ++it) {
     const uint32_t p = *it;
-    IsPos(p) ? --xp_ : --xn_;
-    x_stack_.pop_back();
-    in_x_[p] = false;
+    IsPos(p) ? --ws.xp : --ws.xn;
+    ws.x_stack.pop_back();
+    ws.in_x[p] = 0;
   }
+}
+
+void TopkSearch::SwitchCtx(WorkerState& ws, const Level1Ctx& ctx) const {
+  for (uint32_t p : ws.x_stack) ws.in_x[p] = 0;
+  ws.x_stack = ctx.x_stack;
+  for (uint32_t p : ws.x_stack) ws.in_x[p] = 1;
+  ws.xp = ctx.xp;
+  ws.xn = ctx.xn;
+}
+
+template <typename Proj>
+void TopkSearch::RunTask(WorkerState& ws, const Proj& proj1,
+                         SubtreeTask& task) {
+  const Level1Ctx& ctx = level1_[task.ctx_index];
+  const uint32_t p = ctx.live[task.child];
+  ws.origin = task.origin;
+  ws.sink = &task.emissions;
+  if (opt_.use_bound_pruning) {
+    // The serial search checks each child against its parent's cut before
+    // building its projection; here the check runs when the task is
+    // claimed, against the freshest thresholds (any achieved threshold is
+    // a sound pruning bound).
+    const Thresh cut = ComputeCut(ws.x_stack, ctx.live);
+    const uint32_t child_sup_ub =
+        ws.xp + (IsPos(p) ? 1 : 0) + ctx.suffix_pos[task.child + 1];
+    const uint32_t child_min_neg = ws.xn + (IsPos(p) ? 0 : 1);
+    if (Hopeless(child_sup_ub, child_min_neg, cut, ws.origin)) {
+      ++ws.stats.pruned_bounds;
+      return;
+    }
+  }
+  Bitset child_items = Intersect(ctx.items, data_.row_bitset(order_[p]));
+  bool child_closed = true;
+  for (uint32_t q = 0; q < p; ++q) {
+    if (!ws.in_x[q] && child_items.IsSubsetOf(data_.row_bitset(order_[q]))) {
+      child_closed = false;
+      break;
+    }
+  }
+  if (!child_closed) {
+    ++ws.stats.pruned_backward;
+    if (opt_.use_backward_pruning) return;
+  }
+  ws.in_x[p] = 1;
+  ws.x_stack.push_back(p);
+  IsPos(p) ? ++ws.xp : ++ws.xn;
+  Visit(ws, proj1.Child(p, ctx.live), child_items, ctx.live_freq[task.child],
+        p, child_closed);
+  IsPos(p) ? --ws.xp : --ws.xn;
+  ws.x_stack.pop_back();
+  ws.in_x[p] = 0;
+}
+
+template <typename Proj>
+void TopkSearch::MineRoot(const Proj& root, const Bitset& items,
+                          uint32_t items_count) {
+  WorkerState root_ws;
+  root_ws.in_x.assign(data_.num_rows(), 0);
+  root_ws.sink = &root_emissions_;
+  root_ws.origin = 1;  // root emissions replay right after the seeds
+
+  ++root_ws.stats.nodes_visited;
+  bool fan_out = false;
+  std::vector<uint32_t> root_freq;
+  std::vector<uint32_t> root_suffix;
+  if (opt_.deadline.Expired()) {
+    timed_out_.store(true, std::memory_order_relaxed);
+  } else if (items_count > 0) {
+    std::vector<uint32_t> cand;
+    root.Positions(&cand);
+
+    uint32_t rp = 0;
+    for (uint32_t p : cand) {
+      if (IsPos(p)) ++rp;
+    }
+
+    MaybeRaiseMinsup();
+    const Thresh cut = ComputeCut(root_ws.x_stack, cand);
+
+    if (opt_.use_bound_pruning && Hopeless(rp, 0, cut, root_ws.origin)) {
+      ++root_ws.stats.pruned_bounds;
+    } else {
+      std::vector<uint32_t> live;
+      std::vector<uint32_t> live_freq;
+      std::vector<uint32_t> absorbed;
+      uint32_t mp = 0;
+      for (uint32_t p : cand) {
+        const uint32_t f = root.Freq(p, items);
+        if (f == items_count) {
+          absorbed.push_back(p);
+        } else if (f > 0) {
+          live.push_back(p);
+          live_freq.push_back(f);
+          if (IsPos(p)) ++mp;
+        }
+      }
+      for (uint32_t p : absorbed) {
+        root_ws.in_x[p] = 1;
+        root_ws.x_stack.push_back(p);
+        IsPos(p) ? ++root_ws.xp : ++root_ws.xn;
+      }
+
+      const bool pruned =
+          opt_.use_bound_pruning &&
+          Hopeless(root_ws.xp + mp, root_ws.xn,
+                   ComputeCut(root_ws.x_stack, live), root_ws.origin);
+      if (pruned) {
+        ++root_ws.stats.pruned_bounds;
+      } else {
+        EmitAt(root_ws, items, cut);
+
+        root_suffix.assign(live.size() + 1, 0);
+        for (size_t i = live.size(); i-- > 0;) {
+          root_suffix[i] = root_suffix[i + 1] + (IsPos(live[i]) ? 1 : 0);
+        }
+        root_live_ = std::move(live);
+        root_freq = std::move(live_freq);
+        fan_out = true;
+      }
+    }
+  }
+
+  if (!fan_out) {
+    MergeStats(root_ws.stats);
+    return;
+  }
+
+  // Single-threaded: mine each first-level subtree inline, in canonical
+  // order, recording each subtree's emissions as one contiguous stream
+  // (DFS order == replay order, so each stream is a ready-made replay
+  // segment). This is the paper's serial search with zero partitioning
+  // overhead; the expansion pass below exists only to feed a real worker
+  // pool. The two paths may prune differently — the partition shifts which
+  // origins emissions carry — but both only ever suppress groups that can
+  // never enter a final list, so the replayed results are identical (the
+  // determinism tests compare exactly this).
+  if (num_workers_ <= 1) {
+    auto&& view = root.WithArena(&root_ws.tree_arena);
+    for (size_t i = 0; i < root_live_.size(); ++i) {
+      if (stopped_.load(std::memory_order_relaxed)) break;
+      if (opt_.deadline.Expired()) {
+        stopped_.store(true, std::memory_order_relaxed);
+        timed_out_.store(true, std::memory_order_relaxed);
+        break;
+      }
+      const uint32_t p = root_live_[i];
+      root_ws.origin =
+          std::min(static_cast<uint32_t>(i) + 2, kOriginMax);
+      if (opt_.use_bound_pruning) {
+        const Thresh cut = ComputeCut(root_ws.x_stack, root_live_);
+        const uint32_t child_sup_ub =
+            root_ws.xp + (IsPos(p) ? 1 : 0) + root_suffix[i + 1];
+        const uint32_t child_min_neg = root_ws.xn + (IsPos(p) ? 0 : 1);
+        if (Hopeless(child_sup_ub, child_min_neg, cut, root_ws.origin)) {
+          ++root_ws.stats.pruned_bounds;
+          continue;
+        }
+      }
+      Bitset child_items = Intersect(items, data_.row_bitset(order_[p]));
+      bool child_closed = true;
+      for (uint32_t q = 0; q < p; ++q) {
+        if (!root_ws.in_x[q] &&
+            child_items.IsSubsetOf(data_.row_bitset(order_[q]))) {
+          child_closed = false;
+          break;
+        }
+      }
+      if (!child_closed) {
+        ++root_ws.stats.pruned_backward;
+        if (opt_.use_backward_pruning) continue;
+      }
+      Level1Ctx ctx;  // only node_emissions used: the whole subtree's stream
+      root_ws.sink = &ctx.node_emissions;
+      root_ws.in_x[p] = 1;
+      root_ws.x_stack.push_back(p);
+      IsPos(p) ? ++root_ws.xp : ++root_ws.xn;
+      Visit(root_ws, view.Child(p, root_live_), child_items, root_freq[i], p,
+            child_closed);
+      IsPos(p) ? --root_ws.xp : --root_ws.xn;
+      root_ws.x_stack.pop_back();
+      root_ws.in_x[p] = 0;
+      if (!ctx.node_emissions.empty()) level1_.push_back(std::move(ctx));
+    }
+    root_ws.sink = &root_emissions_;
+    MergeStats(root_ws.stats);
+    return;
+  }
+
+  // Serial expansion pass: process every live first-level node now (each
+  // is a single enumeration node — one projection scan plus EmitAt), and
+  // freeze its children as the worker pool's task list. This is ~1% of the
+  // search, run serially, but it buys the two properties the parallel run
+  // lives on: the second-level partition splits the heavily skewed first
+  // subtree (whose first-level task would otherwise BE the critical path),
+  // and every shallow high-support group reaches the shared thresholds
+  // before any worker starts, which is most of the pruning power a serial
+  // search would have accumulated by the time it reaches the deep
+  // subtrees. Expansion also fixes the canonical origin numbering: node i,
+  // then its children left to right, then node i+1 — exactly the replay
+  // (= serial DFS) order.
+  level1_.reserve(root_live_.size());
+  uint32_t next_origin = 2;  // 0 = seeds, 1 = root
+  for (size_t i = 0; i < root_live_.size(); ++i) {
+    if (stopped_.load(std::memory_order_relaxed)) break;
+    if (opt_.deadline.Expired()) {
+      stopped_.store(true, std::memory_order_relaxed);
+      timed_out_.store(true, std::memory_order_relaxed);
+      break;
+    }
+    const uint32_t p = root_live_[i];
+    root_ws.origin = std::min(next_origin, kOriginMax);
+    if (opt_.use_bound_pruning) {
+      const Thresh cut = ComputeCut(root_ws.x_stack, root_live_);
+      const uint32_t child_sup_ub =
+          root_ws.xp + (IsPos(p) ? 1 : 0) + root_suffix[i + 1];
+      const uint32_t child_min_neg = root_ws.xn + (IsPos(p) ? 0 : 1);
+      if (Hopeless(child_sup_ub, child_min_neg, cut, root_ws.origin)) {
+        ++root_ws.stats.pruned_bounds;
+        continue;
+      }
+    }
+    Bitset child_items = Intersect(items, data_.row_bitset(order_[p]));
+    bool child_closed = true;
+    for (uint32_t q = 0; q < p; ++q) {
+      if (!root_ws.in_x[q] &&
+          child_items.IsSubsetOf(data_.row_bitset(order_[q]))) {
+        child_closed = false;
+        break;
+      }
+    }
+    if (!child_closed) {
+      ++root_ws.stats.pruned_backward;
+      if (opt_.use_backward_pruning) continue;
+    }
+    Level1Ctx ctx;
+    root_ws.sink = &ctx.node_emissions;
+    root_ws.in_x[p] = 1;
+    root_ws.x_stack.push_back(p);
+    IsPos(p) ? ++root_ws.xp : ++root_ws.xn;
+    Visit(root_ws, root.Child(p, root_live_), child_items, root_freq[i], p,
+          child_closed, &ctx);
+    IsPos(p) ? --root_ws.xp : --root_ws.xn;
+    root_ws.x_stack.pop_back();
+    root_ws.in_x[p] = 0;
+    ++next_origin;  // the node's own slot (consumed even if it emitted nothing)
+    if (ctx.x_stack.empty()) continue;  // pruned inside Visit: no children
+    const uint32_t ctx_index = static_cast<uint32_t>(level1_.size());
+    for (uint32_t j = 0; j < ctx.live.size(); ++j) {
+      tasks_.push_back(
+          SubtreeTask{ctx_index, j, std::min(next_origin, kOriginMax), {}});
+      ++next_origin;
+    }
+    if (!ctx.node_emissions.empty() || !ctx.live.empty()) {
+      level1_.push_back(std::move(ctx));
+    }
+  }
+  root_ws.sink = &root_emissions_;
+
+  if (tasks_.empty()) {
+    MergeStats(root_ws.stats);
+    return;
+  }
+
+  // Workers claim tasks through an atomic cursor in canonical order (the
+  // earliest subtrees are the largest, so the big tasks start first and
+  // the tail of small ones balances the load). Each worker caches the
+  // first-level projection of the task's parent node — consecutive tasks
+  // usually share it.
+  std::atomic<size_t> next{0};
+
+  auto drain = [&](WorkerState& ws) {
+    auto&& view = root.WithArena(&ws.tree_arena);
+    using ChildProj = std::decay_t<decltype(view.Child(0u, root_live_))>;
+    std::optional<ChildProj> proj1;
+    uint32_t cached_ctx = UINT32_MAX;
+    while (!stopped_.load(std::memory_order_relaxed)) {
+      const size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= tasks_.size()) break;
+      if (opt_.deadline.Expired()) {
+        stopped_.store(true, std::memory_order_relaxed);
+        timed_out_.store(true, std::memory_order_relaxed);
+        break;
+      }
+      SubtreeTask& task = tasks_[index];
+      if (cached_ctx != task.ctx_index) {
+        const Level1Ctx& ctx = level1_[task.ctx_index];
+        SwitchCtx(ws, ctx);
+        proj1.reset();  // release the old tree to the arena first
+        proj1.emplace(view.Child(ctx.p, root_live_));
+        cached_ctx = task.ctx_index;
+      }
+      RunTask(ws, *proj1, task);
+    }
+  };
+
+  const uint32_t workers = std::min<uint32_t>(
+      num_workers_, static_cast<uint32_t>(std::max<size_t>(
+                        1, tasks_.size())));
+  if (workers <= 1) {
+    drain(root_ws);
+    MergeStats(root_ws.stats);
+    return;
+  }
+
+  std::vector<std::unique_ptr<WorkerState>> pool_states;
+  pool_states.reserve(workers);
+  for (uint32_t t = 0; t < workers; ++t) {
+    auto ws = std::make_unique<WorkerState>();
+    ws->x_stack = root_ws.x_stack;
+    ws->in_x = root_ws.in_x;
+    ws->xp = root_ws.xp;
+    ws->xn = root_ws.xn;
+    pool_states.push_back(std::move(ws));
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (uint32_t t = 0; t < workers; ++t) {
+    pool.emplace_back([&drain, &pool_states, t] { drain(*pool_states[t]); });
+  }
+  for (std::thread& t : pool) t.join();
+
+  MergeStats(root_ws.stats);
+  for (const auto& ws : pool_states) MergeStats(ws->stats);
+}
+
+uint32_t TopkSearch::FinalEffectiveMinsup() const {
+  // Deterministic recomputation of the paper's dynamic minsup raise
+  // (§4.1.1, second optimization) from the final merged lists: the raises
+  // applied during the search depend on thread timing and are only ever
+  // weaker than this value.
+  uint32_t effective = initial_minsup_;
+  if (!opt_.dynamic_min_support || positive_positions_.empty()) {
+    return effective;
+  }
+  uint32_t lowest = UINT32_MAX;
+  for (uint32_t pos : positive_positions_) {
+    const auto& list = lists_[pos];
+    if (list.size() < opt_.k) return effective;
+    const RuleGroup& kth = list.back()->group;
+    if (kth.support == 0 || kth.support != kth.antecedent_support) {
+      return effective;
+    }
+    lowest = std::min(lowest, kth.support);
+  }
+  if (lowest != UINT32_MAX) effective = std::max(effective, lowest + 1);
+  return effective;
 }
 
 void TopkSearch::Finalize(const Bitset& frequent_items, TopkResult* result) {
@@ -350,7 +1023,7 @@ void TopkSearch::Finalize(const Bitset& frequent_items, TopkResult* result) {
     for (const HandlePtr& handle : lists_[pos]) {
       if (handle->provisional) {
         // Close the seeded single item: its upper bound was never emitted
-        // (the emitting node was pruned as exactly-equal in significance).
+        // (the emitting node was pruned as strictly-dominated).
         Bitset closure = data_.RowSupportSet(handle->group.row_support);
         closure.IntersectWith(frequent_items);
         handle->group.antecedent = std::move(closure);
@@ -364,9 +1037,9 @@ void TopkSearch::Finalize(const Bitset& frequent_items, TopkResult* result) {
 TopkResult TopkSearch::Run() {
   Stopwatch timer;
   TOPKRGS_CHECK(opt_.k >= 1, "k must be >= 1");
-  minsup_dyn_ = std::max<uint32_t>(1, opt_.min_support);
+  initial_minsup_ = std::max<uint32_t>(1, opt_.min_support);
 
-  const Bitset frequent = FrequentItems(data_, consequent_, minsup_dyn_);
+  const Bitset frequent = FrequentItems(data_, consequent_, initial_minsup_);
   switch (opt_.row_order) {
     case TopkMinerOptions::RowOrder::kClassDominantWeighted:
       order_ = ClassDominantOrder(data_, consequent_, frequent);
@@ -388,13 +1061,22 @@ TopkResult TopkSearch::Run() {
   }
   position_of_.assign(data_.num_rows(), 0);
   pos_positive_.assign(data_.num_rows(), 0);
+  positive_positions_.clear();
   for (uint32_t pos = 0; pos < order_.size(); ++pos) {
     position_of_[order_[pos]] = pos;
     pos_positive_[pos] = data_.label(order_[pos]) == consequent_ ? 1 : 0;
+    if (pos_positive_[pos] != 0) positive_positions_.push_back(pos);
   }
   np_ = CountClassRows(data_, consequent_);
   lists_.assign(data_.num_rows(), {});
-  in_x_.assign(data_.num_rows(), false);
+  shared_ = std::make_unique<SharedTopk>(data_.num_rows(), opt_.k,
+                                         initial_minsup_);
+
+  uint32_t threads = opt_.RequestedThreads();
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_workers_ = threads;
 
   if (opt_.seed_single_items) SeedSingleItems(frequent);
 
@@ -403,25 +1085,44 @@ TopkResult TopkSearch::Run() {
     switch (opt_.backend) {
       case TopkMinerOptions::Backend::kPrefixTree: {
         TreeProjection root(PrefixTree::BuildRoot(data_, order_, frequent));
-        Visit(root, frequent, items_count, 0, /*closed_on_left=*/true);
+        MineRoot(root, frequent, items_count);
         break;
       }
       case TopkMinerOptions::Backend::kBitset: {
         BitsetProjection root(&data_, &order_);
-        Visit(root, frequent, items_count, 0, /*closed_on_left=*/true);
+        MineRoot(root, frequent, items_count);
         break;
       }
       case TopkMinerOptions::Backend::kVector: {
         VectorProjection root(&data_, &order_, frequent);
-        Visit(root, frequent, items_count, 0, /*closed_on_left=*/true);
+        MineRoot(root, frequent, items_count);
         break;
       }
     }
   }
 
+  // Deterministic merge: replay every recorded emission in canonical
+  // discovery order — seeds (inserted during setup), the root node's
+  // groups, then each first-level node's groups followed by its
+  // second-level subtrees in enumeration order. This is exactly the serial
+  // DFS order, so the merged lists match a serial search bit for bit. The
+  // final lists depend only on WHAT was recorded, never on when;
+  // pruning-timing differences across thread counts only vary the set of
+  // recorded never-winner emissions, which the replay rejects anyway.
+  ReplayEmissions(root_emissions_);
+  size_t ti = 0;
+  for (size_t ci = 0; ci < level1_.size(); ++ci) {
+    ReplayEmissions(level1_[ci].node_emissions);
+    while (ti < tasks_.size() && tasks_[ti].ctx_index == ci) {
+      ReplayEmissions(tasks_[ti].emissions);
+      ++ti;
+    }
+  }
+
   TopkResult result;
   Finalize(frequent, &result);
-  result.effective_min_support = minsup_dyn_;
+  result.effective_min_support = FinalEffectiveMinsup();
+  stats_.timed_out = timed_out_.load(std::memory_order_relaxed);
   stats_.seconds = timer.ElapsedSeconds();
   result.stats = stats_;
   return result;

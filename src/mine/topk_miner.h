@@ -56,11 +56,28 @@ struct TopkMinerOptions {
   /// stats.timed_out (results are then incomplete).
   Deadline deadline;
 
-  /// Worker threads for MineTopkRGSHybrid, whose per-item partitions are
-  /// independent (the row-enumeration miner itself is single-threaded;
-  /// this field is ignored by MineTopkRGS). 0 = one thread per hardware
-  /// core. Results are deterministic regardless of the thread count.
-  uint32_t hybrid_threads = 1;
+  /// Worker threads, honored by both MineTopkRGS and MineTopkRGSHybrid.
+  /// MineTopkRGS partitions the first level of the row-enumeration tree
+  /// into independent subtree tasks drained by a worker pool that shares
+  /// the per-row top-k pruning thresholds; the hybrid miner fans its
+  /// per-item partitions over the same number of workers. 0 = one thread
+  /// per hardware core. Results are bit-for-bit deterministic regardless
+  /// of the thread count (search statistics such as nodes_visited depend
+  /// on pruning timing and are not).
+  uint32_t threads = 1;
+
+  /// Deprecated alias for `threads` (historically this field only applied
+  /// to MineTopkRGSHybrid). When assigned, it overrides `threads` so
+  /// existing call sites keep their behavior; new code should set
+  /// `threads`.
+  static constexpr uint32_t kThreadsUnset = 0xffffffffu;
+  uint32_t hybrid_threads = kThreadsUnset;
+
+  /// The thread count requested, resolving the deprecated alias (but not
+  /// the 0 = hardware-default convention).
+  uint32_t RequestedThreads() const {
+    return hybrid_threads != kThreadsUnset ? hybrid_threads : threads;
+  }
 };
 
 /// A discovered rule group shared between the rows it covers.

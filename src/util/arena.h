@@ -1,0 +1,86 @@
+#ifndef TOPKRGS_UTIL_ARENA_H_
+#define TOPKRGS_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace topkrgs {
+
+/// Recycles std::vector buffers so hot loops that repeatedly build and drop
+/// short-lived vectors (prefix-tree projections, DFS scratch lists) reuse
+/// capacity instead of round-tripping through the allocator on every
+/// enumeration edge. Buffers come back cleared but keep their capacity, so
+/// a steady-state search stops allocating entirely.
+///
+/// Deliberately not thread-safe: each miner worker owns its own pool, which
+/// is both faster (no synchronization) and keeps buffer capacity resident
+/// on the thread that grew it.
+template <typename T>
+class VectorPool {
+ public:
+  VectorPool() = default;
+  VectorPool(const VectorPool&) = delete;
+  VectorPool& operator=(const VectorPool&) = delete;
+  VectorPool(VectorPool&&) = default;
+  VectorPool& operator=(VectorPool&&) = default;
+
+  /// Hands out a cleared buffer, recycled when possible.
+  std::vector<T> Acquire() {
+    ++acquires_;
+    if (free_.empty()) {
+      ++heap_allocations_;
+      return {};
+    }
+    std::vector<T> v = std::move(free_.back());
+    free_.pop_back();
+    v.clear();
+    return v;
+  }
+
+  /// Returns a buffer to the pool. Buffers that never allocated are
+  /// dropped — there is no capacity to recycle.
+  void Release(std::vector<T>&& v) {
+    if (v.capacity() == 0) return;
+    free_.push_back(std::move(v));
+  }
+
+  /// Buffers handed out since construction.
+  size_t acquires() const { return acquires_; }
+
+  /// Acquires that found the pool empty and fell back to a fresh vector.
+  /// acquires() - heap_allocations() is the allocation churn the pool
+  /// absorbed.
+  size_t heap_allocations() const { return heap_allocations_; }
+
+ private:
+  std::vector<std::vector<T>> free_;
+  size_t acquires_ = 0;
+  size_t heap_allocations_ = 0;
+};
+
+/// RAII lease of a pooled vector: acquires on construction, releases on
+/// scope exit. Safe to use across recursion — each frame leases its own
+/// buffers and the pool grows to the maximum live depth.
+template <typename T>
+class PooledVector {
+ public:
+  explicit PooledVector(VectorPool<T>* pool)
+      : pool_(pool), v_(pool->Acquire()) {}
+  ~PooledVector() { pool_->Release(std::move(v_)); }
+  PooledVector(const PooledVector&) = delete;
+  PooledVector& operator=(const PooledVector&) = delete;
+
+  std::vector<T>& operator*() { return v_; }
+  const std::vector<T>& operator*() const { return v_; }
+  std::vector<T>* operator->() { return &v_; }
+  const std::vector<T>* operator->() const { return &v_; }
+
+ private:
+  VectorPool<T>* pool_;
+  std::vector<T> v_;
+};
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_UTIL_ARENA_H_

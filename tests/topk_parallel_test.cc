@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "classify/evaluator.h"
+#include "mine/hybrid_miner.h"
+#include "mine/naive_miner.h"
+#include "mine/topk_miner.h"
+#include "synth/generator.h"
+#include "test_util.h"
+
+namespace topkrgs {
+namespace {
+
+using testing_util::RandomDataset;
+using testing_util::SignificanceSeq;
+
+/// Deep equality of two mining results: every per-row list must match
+/// group-for-group (antecedent, supports, row support, order), along with
+/// the derived threshold and the distinct-group ordering. This is the
+/// "bit-for-bit deterministic for any thread count" contract of
+/// TopkMinerOptions::threads.
+void ExpectIdenticalResults(const TopkResult& a, const TopkResult& b,
+                            const std::string& context) {
+  EXPECT_EQ(a.effective_min_support, b.effective_min_support) << context;
+  ASSERT_EQ(a.per_row.size(), b.per_row.size()) << context;
+  for (size_t r = 0; r < a.per_row.size(); ++r) {
+    const auto& la = a.per_row[r];
+    const auto& lb = b.per_row[r];
+    ASSERT_EQ(la.size(), lb.size()) << context << " row " << r;
+    for (size_t i = 0; i < la.size(); ++i) {
+      const RuleGroup& ga = *la[i];
+      const RuleGroup& gb = *lb[i];
+      EXPECT_EQ(ga.antecedent, gb.antecedent)
+          << context << " row " << r << " rank " << i;
+      EXPECT_EQ(ga.consequent, gb.consequent)
+          << context << " row " << r << " rank " << i;
+      EXPECT_EQ(ga.support, gb.support)
+          << context << " row " << r << " rank " << i;
+      EXPECT_EQ(ga.antecedent_support, gb.antecedent_support)
+          << context << " row " << r << " rank " << i;
+      EXPECT_EQ(ga.row_support, gb.row_support)
+          << context << " row " << r << " rank " << i;
+    }
+  }
+  const auto da = a.DistinctGroups();
+  const auto db = b.DistinctGroups();
+  ASSERT_EQ(da.size(), db.size()) << context;
+  for (size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i]->antecedent, db[i]->antecedent) << context << " #" << i;
+    EXPECT_EQ(da[i]->row_support, db[i]->row_support) << context << " #" << i;
+  }
+}
+
+/// Mines `data` with every thread count in `thread_counts` and asserts all
+/// runs reproduce the threads=1 result exactly.
+void CheckThreadInvariance(const DiscreteDataset& data, ClassLabel consequent,
+                           TopkMinerOptions opt, const std::string& context) {
+  opt.threads = 1;
+  const TopkResult reference = MineTopkRGS(data, consequent, opt);
+  EXPECT_FALSE(reference.stats.timed_out) << context;
+  for (uint32_t threads : {2u, 8u, 0u /* auto = hardware cores */}) {
+    TopkMinerOptions par = opt;
+    par.threads = threads;
+    const TopkResult result = MineTopkRGS(data, consequent, par);
+    ExpectIdenticalResults(reference, result,
+                           context + " threads=" + std::to_string(threads));
+  }
+}
+
+TEST(TopkParallelTest, DeterministicOnSyntheticPipelineData) {
+  for (uint64_t seed : {7u, 19u}) {
+    const GeneratedData data = GenerateMicroarray(DatasetProfile::Tiny(seed));
+    const Pipeline pipeline = PreparePipeline(data.train, data.test);
+    for (ClassLabel consequent : {0, 1}) {
+      TopkMinerOptions opt;
+      opt.k = 3;
+      opt.min_support = 2;
+      CheckThreadInvariance(pipeline.train, consequent, opt,
+                            "tiny seed " + std::to_string(seed) + " class " +
+                                std::to_string(consequent));
+    }
+  }
+}
+
+TEST(TopkParallelTest, DeterministicAcrossBackends) {
+  const DiscreteDataset data = RandomDataset(11, 28, 40, 0.35);
+  for (auto backend : {TopkMinerOptions::Backend::kPrefixTree,
+                       TopkMinerOptions::Backend::kBitset,
+                       TopkMinerOptions::Backend::kVector}) {
+    TopkMinerOptions opt;
+    opt.k = 4;
+    opt.min_support = 2;
+    opt.backend = backend;
+    CheckThreadInvariance(
+        data, 1, opt,
+        "backend " + std::to_string(static_cast<int>(backend)));
+  }
+}
+
+TEST(TopkParallelTest, DeterministicOverRandomDatasets) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const DiscreteDataset data = RandomDataset(seed, 24, 32, 0.4);
+    for (uint32_t k : {1u, 2u, 5u}) {
+      TopkMinerOptions opt;
+      opt.k = k;
+      opt.min_support = 1 + static_cast<uint32_t>(seed % 3);
+      CheckThreadInvariance(data, 1, opt,
+                            "seed " + std::to_string(seed) + " k " +
+                                std::to_string(k));
+    }
+  }
+}
+
+TEST(TopkParallelTest, DeterministicWithoutTopkPruningAblation) {
+  // The strict-inequality pruning argument is moot when top-k pruning is
+  // off; determinism must then come purely from the replay merge.
+  const DiscreteDataset data = RandomDataset(3, 22, 30, 0.4);
+  TopkMinerOptions opt;
+  opt.k = 3;
+  opt.min_support = 2;
+  opt.use_topk_pruning = false;
+  CheckThreadInvariance(data, 1, opt, "no-topk-pruning");
+
+  opt.use_topk_pruning = true;
+  opt.use_bound_pruning = false;
+  CheckThreadInvariance(data, 1, opt, "no-bound-pruning");
+
+  opt.use_bound_pruning = true;
+  opt.seed_single_items = false;
+  opt.dynamic_min_support = false;
+  CheckThreadInvariance(data, 1, opt, "no-seeding-no-dynamic-minsup");
+}
+
+TEST(TopkParallelTest, ParallelResultMatchesOracle) {
+  // The exhaustive oracle pins the parallel miner to the paper's
+  // Definition 2.3 semantics, not merely to its own serial run.
+  for (uint64_t seed : {2u, 5u}) {
+    const DiscreteDataset data = RandomDataset(seed, 16, 18, 0.45);
+    TopkMinerOptions opt;
+    opt.k = 2;
+    opt.min_support = 2;
+    opt.threads = 8;
+    const TopkResult fast = MineTopkRGS(data, 1, opt);
+    const auto oracle = NaiveTopkRGS(data, 1, opt.min_support, opt.k);
+    ASSERT_EQ(fast.per_row.size(), oracle.size());
+    for (size_t r = 0; r < fast.per_row.size(); ++r) {
+      EXPECT_EQ(SignificanceSeq(fast.per_row[r]),
+                testing_util::SignificanceSeqValues(oracle[r]))
+          << "seed " << seed << " row " << r;
+    }
+  }
+}
+
+TEST(TopkParallelTest, HybridMinerHonorsThreadsField) {
+  const DiscreteDataset data = RandomDataset(13, 20, 24, 0.4);
+  TopkMinerOptions serial;
+  serial.k = 2;
+  serial.min_support = 2;
+  serial.threads = 1;
+  const TopkResult reference = MineTopkRGSHybrid(data, 1, serial);
+  TopkMinerOptions parallel = serial;
+  parallel.threads = 4;  // new field name; no hybrid_threads assignment
+  const TopkResult result = MineTopkRGSHybrid(data, 1, parallel);
+  ExpectIdenticalResults(reference, result, "hybrid threads=4");
+
+  TopkMinerOptions alias = serial;
+  alias.hybrid_threads = 4;  // deprecated alias must still be honored
+  const TopkResult alias_result = MineTopkRGSHybrid(data, 1, alias);
+  ExpectIdenticalResults(reference, alias_result, "hybrid alias threads=4");
+}
+
+TEST(TopkParallelTest, ThreadsAliasOverridesNewField) {
+  TopkMinerOptions opt;
+  EXPECT_EQ(opt.RequestedThreads(), 1u);
+  opt.threads = 8;
+  EXPECT_EQ(opt.RequestedThreads(), 8u);
+  opt.hybrid_threads = 2;
+  EXPECT_EQ(opt.RequestedThreads(), 2u);  // alias wins once assigned
+  opt.hybrid_threads = TopkMinerOptions::kThreadsUnset;
+  EXPECT_EQ(opt.RequestedThreads(), 8u);
+}
+
+}  // namespace
+}  // namespace topkrgs

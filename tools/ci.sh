@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate: build the ThreadSanitizer preset and run the parallel-miner
+# determinism tests under it. The parallel MineTopkRGS promises bit-for-bit
+# identical results for any thread count; this script is the race detector
+# backing that promise — run it before merging anything that touches
+# src/mine/ or src/util/arena.h.
+#
+# Usage: tools/ci.sh [extra ctest -R patterns...]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRESET=tsan
+PATTERN="${1:-TopkParallel}"
+
+echo "== configure (${PRESET}) =="
+cmake --preset "${PRESET}"
+
+echo "== build (${PRESET}) =="
+cmake --build --preset "${PRESET}" -j
+
+echo "== determinism tests under ThreadSanitizer (-R ${PATTERN}) =="
+ctest --test-dir "build-${PRESET}" -R "${PATTERN}" --output-on-failure
+
+echo "CI gate passed: no data races, results thread-count invariant."
