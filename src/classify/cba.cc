@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "classify/find_lb.h"
+#include "mine/miner_common.h"
 #include "mine/topk_miner.h"
 #include "util/status.h"
 
@@ -159,8 +160,8 @@ CbaClassifier TrainCba(const DiscreteDataset& train, const CbaOptions& options) 
     if (class_counts[cls] == 0) continue;
     TopkMinerOptions mopt;
     mopt.k = 1;
-    mopt.min_support = std::max<uint32_t>(
-        1, static_cast<uint32_t>(options.min_support_frac * class_counts[cls]));
+    mopt.min_support =
+        MinSupportFromFrac(options.min_support_frac, class_counts[cls]);
     TopkResult mined =
         MineTopkRGS(train, static_cast<ClassLabel>(cls), mopt);
     FindLbOptions lopt;

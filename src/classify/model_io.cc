@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
@@ -23,22 +24,42 @@ std::string FormatRule(const Rule& rule) {
 }
 
 /// Parses "rule <consequent> <sup> <asup> <items...>" produced above.
-StatusOr<Rule> ParseRule(std::string_view line, uint32_t num_items) {
+/// Enforces the semantic rule invariants, not just the syntax: the
+/// consequent must name a known class (RcbtClassifier::FromParts indexes
+/// score_norm[consequent], so an unchecked value is an out-of-bounds
+/// write), the antecedent support must be >= 1 (confidence() would divide
+/// by zero), and support <= antecedent_support (confidence > 1 corrupts
+/// SortRulesByPrecedence and RCBT voting).
+StatusOr<Rule> ParseRule(std::string_view line, uint32_t num_items,
+                         uint32_t num_classes) {
   const auto fields = SplitString(line, ' ');
   if (fields.size() < 5 || fields[0] != "rule") {
     return Status::InvalidArgument("malformed rule line: " + std::string(line));
   }
-  Rule rule;
-  auto consequent = ParseUint(fields[1]);
-  auto support = ParseUint(fields[2]);
-  auto asup = ParseUint(fields[3]);
+  auto consequent = ParseUint32(fields[1]);
+  auto support = ParseUint32(fields[2]);
+  auto asup = ParseUint32(fields[3]);
   if (!consequent.ok() || !support.ok() || !asup.ok()) {
     return Status::InvalidArgument("malformed rule numbers: " +
                                    std::string(line));
   }
+  if (consequent.value() >= num_classes) {
+    return Status::InvalidArgument(
+        "rule consequent " + std::to_string(consequent.value()) +
+        " out of range (num classes " + std::to_string(num_classes) + ")");
+  }
+  if (asup.value() == 0) {
+    return Status::InvalidArgument("rule antecedent support must be >= 1: " +
+                                   std::string(line));
+  }
+  if (support.value() > asup.value()) {
+    return Status::InvalidArgument(
+        "rule support exceeds antecedent support: " + std::string(line));
+  }
+  Rule rule;
   rule.consequent = static_cast<ClassLabel>(consequent.value());
-  rule.support = static_cast<uint32_t>(support.value());
-  rule.antecedent_support = static_cast<uint32_t>(asup.value());
+  rule.support = support.value();
+  rule.antecedent_support = asup.value();
   rule.antecedent = Bitset(num_items);
   for (size_t i = 4; i < fields.size(); ++i) {
     auto item = ParseUint(fields[i]);
@@ -57,11 +78,39 @@ StatusOr<uint64_t> ParseHeaderValue(const std::vector<std::string>& lines,
     return Status::InvalidArgument("truncated model file: missing " + key);
   }
   const auto fields = SplitString(lines[index], ' ');
-  if (fields.size() < 2 || fields[0] != key) {
+  if (fields.size() != 2 || fields[0] != key) {
     return Status::InvalidArgument("expected '" + key +
-                                   "', got: " + lines[index]);
+                                   " <value>', got: " + lines[index]);
   }
   return ParseUint(fields[1]);
+}
+
+/// "num_items <n>" with the ingestion cap: every rule antecedent is a
+/// Bitset over this universe, so an unchecked count is an allocation bomb.
+StatusOr<uint32_t> ParseNumItemsHeader(const std::vector<std::string>& lines,
+                                       size_t index) {
+  auto items = ParseHeaderValue(lines, index, "num_items");
+  if (!items.ok()) return items.status();
+  if (items.value() > kMaxItemUniverse) {
+    return Status::InvalidArgument("num_items implausibly large: " +
+                                   std::to_string(items.value()));
+  }
+  return static_cast<uint32_t>(items.value());
+}
+
+/// The line counts declared in headers must account for every line of the
+/// file: anything left over is either a corrupt header undercounting its
+/// payload or appended garbage, and both mean the file cannot be trusted.
+/// Trailing blank lines are tolerated (editors add them).
+Status ExpectNoTrailingContent(const std::vector<std::string>& lines,
+                               size_t cursor) {
+  for (size_t i = cursor; i < lines.size(); ++i) {
+    if (!lines[i].empty()) {
+      return Status::InvalidArgument("trailing garbage at line " +
+                                     std::to_string(i + 1) + ": " + lines[i]);
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -84,10 +133,8 @@ Status SaveDiscretization(const Discretization& disc, const std::string& path) {
   return WriteLines(path, lines);
 }
 
-StatusOr<Discretization> LoadDiscretization(const std::string& path) {
-  auto lines_or = ReadLines(path);
-  if (!lines_or.ok()) return lines_or.status();
-  const auto& lines = lines_or.value();
+StatusOr<Discretization> ParseDiscretizationModel(
+    const std::vector<std::string>& lines) {
   if (lines.empty() || lines[0] != "topkrgs-discretization v1") {
     return Status::InvalidArgument("not a topkrgs-discretization v1 file");
   }
@@ -105,15 +152,17 @@ StatusOr<Discretization> LoadDiscretization(const std::string& path) {
     if (fields.size() < 3 || fields[0] != "gene") {
       return Status::InvalidArgument("malformed gene line: " + lines[index]);
     }
-    auto gene = ParseUint(fields[1]);
-    auto num_cuts = ParseUint(fields[2]);
+    auto gene = ParseUint32(fields[1]);
+    auto num_cuts = ParseUint32(fields[2]);
     if (!gene.ok() || !num_cuts.ok() ||
-        fields.size() != 3 + num_cuts.value()) {
+        fields.size() != static_cast<size_t>(3) + num_cuts.value()) {
       return Status::InvalidArgument("malformed gene line: " + lines[index]);
     }
     std::vector<double> gene_cuts;
     for (uint64_t c = 0; c < num_cuts.value(); ++c) {
-      auto v = ParseDouble(fields[3 + c]);
+      // Cut points define interval boundaries; a NaN cut would break the
+      // strict weak ordering DiscretizeRow's binary search relies on.
+      auto v = ParseFiniteDouble(fields[3 + c]);
       if (!v.ok()) return v.status();
       gene_cuts.push_back(v.value());
     }
@@ -124,10 +173,18 @@ StatusOr<Discretization> LoadDiscretization(const std::string& path) {
         !std::is_sorted(gene_cuts.begin(), gene_cuts.end())) {
       return Status::InvalidArgument("cut points empty or unsorted");
     }
-    genes.push_back(static_cast<GeneId>(gene.value()));
+    genes.push_back(gene.value());
     cuts.push_back(std::move(gene_cuts));
   }
+  TOPKRGS_RETURN_NOT_OK(
+      ExpectNoTrailingContent(lines, 2 + static_cast<size_t>(count.value())));
   return Discretization::FromCuts(std::move(genes), std::move(cuts));
+}
+
+StatusOr<Discretization> LoadDiscretization(const std::string& path) {
+  auto lines_or = ReadLines(path);
+  if (!lines_or.ok()) return lines_or.status();
+  return ParseDiscretizationModel(lines_or.value());
 }
 
 Status SaveCbaClassifier(const CbaClassifier& clf, uint32_t num_items,
@@ -141,18 +198,21 @@ Status SaveCbaClassifier(const CbaClassifier& clf, uint32_t num_items,
   return WriteLines(path, lines);
 }
 
-StatusOr<CbaClassifier> LoadCbaClassifier(const std::string& path,
-                                          uint32_t* num_items) {
-  auto lines_or = ReadLines(path);
-  if (!lines_or.ok()) return lines_or.status();
-  const auto& lines = lines_or.value();
+StatusOr<CbaClassifier> ParseCbaModel(const std::vector<std::string>& lines,
+                                      uint32_t* num_items) {
   if (lines.empty() || lines[0] != "topkrgs-cba v1") {
     return Status::InvalidArgument("not a topkrgs-cba v1 file");
   }
-  auto items = ParseHeaderValue(lines, 1, "num_items");
+  auto items = ParseNumItemsHeader(lines, 1);
   if (!items.ok()) return items.status();
   auto default_class = ParseHeaderValue(lines, 2, "default");
   if (!default_class.ok()) return default_class.status();
+  // The CBA format carries no class count, so the only hard bound is the
+  // label type itself; anything wider would silently alias on narrowing.
+  if (default_class.value() >= kMaxClasses) {
+    return Status::InvalidArgument("default class out of range: " +
+                                   std::to_string(default_class.value()));
+  }
   auto num_rules = ParseHeaderValue(lines, 3, "rules");
   if (!num_rules.ok()) return num_rules.status();
 
@@ -161,13 +221,22 @@ StatusOr<CbaClassifier> LoadCbaClassifier(const std::string& path,
     if (4 + i >= lines.size()) {
       return Status::InvalidArgument("truncated cba model file");
     }
-    auto rule = ParseRule(lines[4 + i], static_cast<uint32_t>(items.value()));
+    auto rule = ParseRule(lines[4 + i], items.value(), kMaxClasses);
     if (!rule.ok()) return rule.status();
     rules.push_back(std::move(rule).value());
   }
-  if (num_items != nullptr) *num_items = static_cast<uint32_t>(items.value());
+  TOPKRGS_RETURN_NOT_OK(ExpectNoTrailingContent(
+      lines, 4 + static_cast<size_t>(num_rules.value())));
+  if (num_items != nullptr) *num_items = items.value();
   return CbaClassifier::FromParts(
       std::move(rules), static_cast<ClassLabel>(default_class.value()));
+}
+
+StatusOr<CbaClassifier> LoadCbaClassifier(const std::string& path,
+                                          uint32_t* num_items) {
+  auto lines_or = ReadLines(path);
+  if (!lines_or.ok()) return lines_or.status();
+  return ParseCbaModel(lines_or.value(), num_items);
 }
 
 Status SaveRcbtClassifier(const RcbtClassifier& clf, uint32_t num_items,
@@ -195,15 +264,12 @@ Status SaveRcbtClassifier(const RcbtClassifier& clf, uint32_t num_items,
   return WriteLines(path, lines);
 }
 
-StatusOr<RcbtClassifier> LoadRcbtClassifier(const std::string& path,
-                                            uint32_t* num_items) {
-  auto lines_or = ReadLines(path);
-  if (!lines_or.ok()) return lines_or.status();
-  const auto& lines = lines_or.value();
+StatusOr<RcbtClassifier> ParseRcbtModel(const std::vector<std::string>& lines,
+                                        uint32_t* num_items) {
   if (lines.empty() || lines[0] != "topkrgs-rcbt v1") {
     return Status::InvalidArgument("not a topkrgs-rcbt v1 file");
   }
-  auto items = ParseHeaderValue(lines, 1, "num_items");
+  auto items = ParseNumItemsHeader(lines, 1);
   if (!items.ok()) return items.status();
 
   // class_counts <n> <counts...>
@@ -212,20 +278,28 @@ StatusOr<RcbtClassifier> LoadRcbtClassifier(const std::string& path,
   if (count_fields.size() < 2 || count_fields[0] != "class_counts") {
     return Status::InvalidArgument("expected class_counts line");
   }
-  auto num_classes = ParseUint(count_fields[1]);
-  if (!num_classes.ok() ||
-      count_fields.size() != 2 + num_classes.value()) {
-    return Status::InvalidArgument("malformed class_counts line");
+  auto num_classes = ParseUint32(count_fields[1]);
+  if (!num_classes.ok() || num_classes.value() == 0 ||
+      num_classes.value() > kMaxClasses) {
+    return Status::InvalidArgument("malformed class_counts line: " + lines[2]);
+  }
+  if (count_fields.size() !=
+      static_cast<size_t>(2) + num_classes.value()) {
+    return Status::InvalidArgument("class_counts count mismatch: " + lines[2]);
   }
   std::vector<uint32_t> class_counts;
-  for (uint64_t c = 0; c < num_classes.value(); ++c) {
-    auto v = ParseUint(count_fields[2 + c]);
+  for (uint32_t c = 0; c < num_classes.value(); ++c) {
+    auto v = ParseUint32(count_fields[2 + c]);
     if (!v.ok()) return v.status();
-    class_counts.push_back(static_cast<uint32_t>(v.value()));
+    class_counts.push_back(v.value());
   }
 
   auto default_class = ParseHeaderValue(lines, 3, "default");
   if (!default_class.ok()) return default_class.status();
+  if (default_class.value() >= num_classes.value()) {
+    return Status::InvalidArgument("default class out of range: " +
+                                   std::to_string(default_class.value()));
+  }
   auto num_classifiers = ParseHeaderValue(lines, 4, "classifiers");
   if (!num_classifiers.ok()) return num_classifiers.status();
 
@@ -240,16 +314,24 @@ StatusOr<RcbtClassifier> LoadRcbtClassifier(const std::string& path,
       if (cursor >= lines.size()) {
         return Status::InvalidArgument("truncated rcbt model file");
       }
-      auto rule = ParseRule(lines[cursor], static_cast<uint32_t>(items.value()));
+      auto rule = ParseRule(lines[cursor], items.value(), num_classes.value());
       if (!rule.ok()) return rule.status();
       rules.push_back(std::move(rule).value());
     }
     classifiers.push_back(std::move(rules));
   }
-  if (num_items != nullptr) *num_items = static_cast<uint32_t>(items.value());
+  TOPKRGS_RETURN_NOT_OK(ExpectNoTrailingContent(lines, cursor));
+  if (num_items != nullptr) *num_items = items.value();
   return RcbtClassifier::FromParts(
       std::move(classifiers), std::move(class_counts),
       static_cast<ClassLabel>(default_class.value()));
+}
+
+StatusOr<RcbtClassifier> LoadRcbtClassifier(const std::string& path,
+                                            uint32_t* num_items) {
+  auto lines_or = ReadLines(path);
+  if (!lines_or.ok()) return lines_or.status();
+  return ParseRcbtModel(lines_or.value(), num_items);
 }
 
 }  // namespace topkrgs

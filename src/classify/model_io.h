@@ -2,6 +2,7 @@
 #define TOPKRGS_CLASSIFY_MODEL_IO_H_
 
 #include <string>
+#include <vector>
 
 #include "classify/cba.h"
 #include "classify/rcbt.h"
@@ -12,19 +13,36 @@ namespace topkrgs {
 
 /// Text (line-based) serialization of trained models and fitted
 /// discretizations, so a mined rule base or classifier can be shipped and
-/// applied without re-mining. Formats are versioned ("topkrgs-<kind> v1");
-/// loaders reject unknown kinds/versions and malformed payloads with
-/// InvalidArgument.
+/// applied without re-mining. Formats are versioned ("topkrgs-<kind> v1").
+///
+/// The Parse* functions are the hardened ingestion boundary: they consume
+/// untrusted lines (a file, a network payload, fuzzer input) and either
+/// return a fully validated object or a non-OK Status — never an abort,
+/// never a partially checked object. Validated invariants, per README's
+/// format spec: magic line and header keys, counts consistent with the
+/// number of lines (truncation and trailing garbage both rejected), all
+/// ids/counts fit their storage width (no silent narrowing, no integer
+/// overflow), consequent/default < num_classes, item < num_items,
+/// 1 <= antecedent_support, support <= antecedent_support, cut points
+/// finite/sorted/non-empty, gene ids strictly ascending, and declared
+/// universes bounded by kMaxItemUniverse/kMaxClasses.
+///
+/// The Load* wrappers add file I/O (IOError on unreadable paths) and are
+/// what the CLI uses.
 
 /// Saves/loads a fitted discretization (selected genes and cut points; the
 /// item catalog is rebuilt on load).
 Status SaveDiscretization(const Discretization& disc, const std::string& path);
+StatusOr<Discretization> ParseDiscretizationModel(
+    const std::vector<std::string>& lines);
 StatusOr<Discretization> LoadDiscretization(const std::string& path);
 
 /// Saves/loads a CBA rule-list classifier. `num_items` on load must match
 /// the dataset the model will be applied to.
 Status SaveCbaClassifier(const CbaClassifier& clf, uint32_t num_items,
                          const std::string& path);
+StatusOr<CbaClassifier> ParseCbaModel(const std::vector<std::string>& lines,
+                                      uint32_t* num_items = nullptr);
 StatusOr<CbaClassifier> LoadCbaClassifier(const std::string& path,
                                           uint32_t* num_items = nullptr);
 
@@ -32,6 +50,8 @@ StatusOr<CbaClassifier> LoadCbaClassifier(const std::string& path,
 /// class counts and the default class).
 Status SaveRcbtClassifier(const RcbtClassifier& clf, uint32_t num_items,
                           const std::string& path);
+StatusOr<RcbtClassifier> ParseRcbtModel(const std::vector<std::string>& lines,
+                                        uint32_t* num_items = nullptr);
 StatusOr<RcbtClassifier> LoadRcbtClassifier(const std::string& path,
                                             uint32_t* num_items = nullptr);
 

@@ -4,6 +4,7 @@
 
 #include "classify/cba.h"
 #include "classify/find_lb.h"
+#include "mine/miner_common.h"
 #include "mine/topk_miner.h"
 #include "util/status.h"
 
@@ -32,6 +33,11 @@ RcbtClassifier RcbtClassifier::FromParts(
     sub.rules = std::move(rules);
     sub.score_norm.assign(clf.num_classes_, 0.0);
     for (const Rule& rule : sub.rules) {
+      // Deserialization (ParseRcbtModel) validates consequents against the
+      // class count before calling here; an out-of-range consequent at this
+      // point is a caller bug, not bad input.
+      TOPKRGS_CHECK(rule.consequent < clf.num_classes_,
+                    "FromParts: rule consequent out of range");
       sub.score_norm[rule.consequent] += VotingScore(rule, clf.class_counts_);
     }
     clf.classifiers_.push_back(std::move(sub));
@@ -52,9 +58,8 @@ RcbtClassifier RcbtClassifier::Train(const DiscreteDataset& train,
     if (clf.class_counts_[cls] == 0) continue;
     TopkMinerOptions mopt;
     mopt.k = options.k;
-    mopt.min_support = std::max<uint32_t>(
-        1, static_cast<uint32_t>(options.min_support_frac *
-                                 clf.class_counts_[cls]));
+    mopt.min_support =
+        MinSupportFromFrac(options.min_support_frac, clf.class_counts_[cls]);
     mined[cls] = MineTopkRGS(train, static_cast<ClassLabel>(cls), mopt);
   }
 

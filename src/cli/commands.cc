@@ -14,6 +14,7 @@
 #include "mine/closet.h"
 #include "mine/farmer.h"
 #include "mine/hybrid_miner.h"
+#include "mine/miner_common.h"
 #include "mine/topk_miner.h"
 #include "synth/generator.h"
 
@@ -42,8 +43,7 @@ StatusOr<uint32_t> ResolveMinsup(const FlagParser& flags,
   if (frac.value() <= 0.0 || frac.value() > 1.0) {
     return Status::InvalidArgument("--minsup-frac must be in (0, 1]");
   }
-  return std::max<uint32_t>(
-      1, static_cast<uint32_t>(frac.value() * class_rows));
+  return MinSupportFromFrac(frac.value(), class_rows);
 }
 
 void PrintRuleGroup(const Pipeline& pipeline, const ContinuousDataset& raw,
@@ -67,6 +67,26 @@ void PrintRuleGroup(const Pipeline& pipeline, const ContinuousDataset& raw,
 }
 
 }  // namespace
+
+int ExitCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 2;
+    case StatusCode::kNotFound:
+      return 3;
+    case StatusCode::kIOError:
+      return 4;
+    case StatusCode::kOutOfRange:
+      return 5;
+    case StatusCode::kFailedPrecondition:
+      return 6;
+    case StatusCode::kTimeout:
+      return 7;
+  }
+  return 1;
+}
 
 Status RunGenerateCommand(const std::vector<std::string>& args) {
   auto flags_or = FlagParser::Parse(args);
@@ -250,13 +270,30 @@ Status RunClassifyCommand(const std::vector<std::string>& args) {
     if (!disc_path.ok()) return disc_path.status();
     auto disc_or = LoadDiscretization(disc_path.value());
     if (!disc_or.ok()) return disc_or.status();
+    // A loaded discretization is untrusted relative to the test matrix: it
+    // may reference genes the matrix does not have. Gate before Apply.
+    TOPKRGS_RETURN_NOT_OK(disc_or.value().CheckCompatible(test_raw));
     const DiscreteDataset test = disc_or.value().Apply(test_raw);
 
     const std::string model_path = flags.GetString("load-model", "");
+    // Rule antecedents and discretized rows must live in the same item
+    // universe; mismatched files would hit the bitset universe-mismatch
+    // abort inside Predict, so reject the pair up front.
+    const auto check_universe = [&](uint32_t model_items) {
+      if (model_items != disc_or.value().num_items()) {
+        return Status::FailedPrecondition(
+            "model expects " + std::to_string(model_items) +
+            " items but the discretization defines " +
+            std::to_string(disc_or.value().num_items()));
+      }
+      return Status::OK();
+    };
     EvalOutcome eval;
     if (model_kind == "rcbt") {
-      auto model_or = LoadRcbtClassifier(model_path);
+      uint32_t model_items = 0;
+      auto model_or = LoadRcbtClassifier(model_path, &model_items);
       if (!model_or.ok()) return model_or.status();
+      TOPKRGS_RETURN_NOT_OK(check_universe(model_items));
       const RcbtClassifier& clf = model_or.value();
       eval = EvaluateDiscrete(test, [&](const Bitset& items, bool* dflt) {
         const auto pred = clf.Predict(items);
@@ -264,8 +301,10 @@ Status RunClassifyCommand(const std::vector<std::string>& args) {
         return pred.label;
       });
     } else {
-      auto model_or = LoadCbaClassifier(model_path);
+      uint32_t model_items = 0;
+      auto model_or = LoadCbaClassifier(model_path, &model_items);
       if (!model_or.ok()) return model_or.status();
+      TOPKRGS_RETURN_NOT_OK(check_universe(model_items));
       const CbaClassifier& clf = model_or.value();
       eval = EvaluateDiscrete(test, [&](const Bitset& items, bool* dflt) {
         return clf.Predict(items, dflt);
@@ -281,6 +320,11 @@ Status RunClassifyCommand(const std::vector<std::string>& args) {
   if (!train_path.ok()) return train_path.status();
   auto train_or = ContinuousDataset::ReadTsv(train_path.value());
   if (!train_or.ok()) return train_or.status();
+  if (train_or.value().num_genes() != test_raw.num_genes()) {
+    return Status::FailedPrecondition(
+        "train has " + std::to_string(train_or.value().num_genes()) +
+        " genes but test has " + std::to_string(test_raw.num_genes()));
+  }
 
   Pipeline pipeline = PreparePipeline(train_or.value(), test_raw);
   auto frac = flags.GetDouble("minsup-frac", 0.7);

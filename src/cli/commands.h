@@ -57,6 +57,15 @@ Status RunClassifyCommand(const std::vector<std::string>& args);
 ///   --minsup-frac F              support fraction (default 0.7)
 Status RunCvCommand(const std::vector<std::string>& args);
 
+/// Maps a command Status to a process exit code so scripted callers can
+/// distinguish failure modes without parsing stderr:
+///   0 OK, 2 InvalidArgument (bad flags or malformed/corrupt input file),
+///   3 NotFound, 4 IOError (unreadable/unwritable path), 5 OutOfRange,
+///   6 FailedPrecondition, 7 Timeout, 1 anything else.
+/// Exit code 1 is reserved for unclassified errors so new StatusCodes never
+/// silently collide with an existing meaning.
+int ExitCodeForStatus(const Status& status);
+
 }  // namespace topkrgs
 
 #endif  // TOPKRGS_CLI_COMMANDS_H_

@@ -58,10 +58,8 @@ Status ContinuousDataset::WriteTsv(const std::string& path) const {
   return WriteLines(path, lines);
 }
 
-StatusOr<ContinuousDataset> ContinuousDataset::ReadTsv(const std::string& path) {
-  auto lines_or = ReadLines(path);
-  if (!lines_or.ok()) return lines_or.status();
-  const auto& lines = lines_or.value();
+StatusOr<ContinuousDataset> ContinuousDataset::ParseTsv(
+    const std::vector<std::string>& lines) {
   if (lines.empty()) return Status::InvalidArgument("empty dataset file");
 
   const auto header = SplitString(lines[0], '\t');
@@ -83,14 +81,29 @@ StatusOr<ContinuousDataset> ContinuousDataset::ReadTsv(const std::string& path) 
     }
     auto label_or = ParseUint(fields[0]);
     if (!label_or.ok()) return label_or.status();
+    if (label_or.value() >= kMaxClasses) {
+      return Status::InvalidArgument("class label out of range: " +
+                                     std::string(fields[0]));
+    }
     for (uint32_t g = 0; g < num_genes; ++g) {
-      auto v = ParseDouble(fields[g + 1]);
+      // Non-finite expression values would poison the value sort inside
+      // the entropy discretizer (NaN breaks strict weak ordering).
+      auto v = ParseFiniteDouble(fields[g + 1]);
       if (!v.ok()) return v.status();
       row[g] = v.value();
     }
     ds.AddRow(row, static_cast<ClassLabel>(label_or.value()));
   }
+  if (ds.num_rows() == 0) {
+    return Status::InvalidArgument("dataset has no data rows");
+  }
   return ds;
+}
+
+StatusOr<ContinuousDataset> ContinuousDataset::ReadTsv(const std::string& path) {
+  auto lines_or = ReadLines(path);
+  if (!lines_or.ok()) return lines_or.status();
+  return ParseTsv(lines_or.value());
 }
 
 DiscreteDataset::DiscreteDataset(uint32_t num_items,
@@ -202,14 +215,15 @@ Status DiscreteDataset::WriteItemData(const std::string& path) const {
   return WriteLines(path, lines);
 }
 
-StatusOr<DiscreteDataset> DiscreteDataset::ReadItemData(const std::string& path,
-                                                        uint32_t num_items) {
-  auto lines_or = ReadLines(path);
-  if (!lines_or.ok()) return lines_or.status();
+StatusOr<DiscreteDataset> DiscreteDataset::ParseItemData(
+    const std::vector<std::string>& lines, uint32_t num_items) {
+  if (num_items > kMaxItemUniverse) {
+    return Status::InvalidArgument("declared item universe implausibly large");
+  }
   std::vector<std::vector<ItemId>> rows;
   std::vector<ClassLabel> labels;
   uint32_t max_item = 0;
-  for (const std::string& line : lines_or.value()) {
+  for (const std::string& line : lines) {
     if (line.empty()) continue;
     const auto parts = SplitString(line, '\t');
     if (parts.size() != 2) {
@@ -217,13 +231,23 @@ StatusOr<DiscreteDataset> DiscreteDataset::ReadItemData(const std::string& path,
     }
     auto label = ParseUint(parts[0]);
     if (!label.ok()) return label.status();
+    if (label.value() >= kMaxClasses) {
+      return Status::InvalidArgument("class label out of range: " +
+                                     std::string(parts[0]));
+    }
     std::vector<ItemId> items;
     for (std::string_view field : SplitString(parts[1], ' ')) {
       if (field.empty()) continue;
       auto item = ParseUint(field);
       if (!item.ok()) return item.status();
-      if (num_items != 0 && item.value() >= num_items) {
-        return Status::InvalidArgument("item id exceeds the declared universe");
+      // Bound the universe before the id is ever used: the per-item row
+      // index allocates one bitset per universe slot, so admitting a huge
+      // id here means allocating gigabytes for a one-line file.
+      const uint64_t bound = num_items != 0 ? num_items : kMaxItemUniverse;
+      if (item.value() >= bound) {
+        return Status::InvalidArgument(
+            num_items != 0 ? "item id exceeds the declared universe"
+                           : "item id exceeds the supported universe");
       }
       max_item = std::max<uint32_t>(max_item,
                                     static_cast<uint32_t>(item.value()));
@@ -235,6 +259,13 @@ StatusOr<DiscreteDataset> DiscreteDataset::ReadItemData(const std::string& path,
   if (rows.empty()) return Status::InvalidArgument("empty item dataset");
   const uint32_t universe = num_items != 0 ? num_items : max_item + 1;
   return DiscreteDataset(universe, std::move(rows), std::move(labels));
+}
+
+StatusOr<DiscreteDataset> DiscreteDataset::ReadItemData(const std::string& path,
+                                                        uint32_t num_items) {
+  auto lines_or = ReadLines(path);
+  if (!lines_or.ok()) return lines_or.status();
+  return ParseItemData(lines_or.value(), num_items);
 }
 
 ItemId RunningExampleItem(char name) {

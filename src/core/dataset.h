@@ -49,7 +49,14 @@ class ContinuousDataset {
 
   /// Serializes as TSV: header "label\t<gene names...>", one row per line.
   Status WriteTsv(const std::string& path) const;
-  /// Parses the format produced by WriteTsv.
+  /// Parses the format produced by WriteTsv from in-memory lines — the
+  /// ingestion boundary for untrusted matrices. Validates per-row field
+  /// counts, labels representable as ClassLabel, finite expression values
+  /// (a NaN would void the sort order the discretizer relies on), and at
+  /// least one data row.
+  static StatusOr<ContinuousDataset> ParseTsv(
+      const std::vector<std::string>& lines);
+  /// ParseTsv over a file's contents.
   static StatusOr<ContinuousDataset> ReadTsv(const std::string& path);
 
  private:
@@ -113,8 +120,14 @@ class DiscreteDataset {
   /// Writes the dataset in transactional form, the usual exchange format of
   /// itemset-mining datasets: one row per line, "label<TAB>item item ...".
   Status WriteItemData(const std::string& path) const;
-  /// Parses the format produced by WriteItemData. `num_items` fixes the
-  /// item universe; 0 infers it as max item id + 1.
+  /// Parses the format produced by WriteItemData from in-memory lines.
+  /// `num_items` fixes the item universe; 0 infers it as max item id + 1.
+  /// Validates labels representable as ClassLabel and bounds the (declared
+  /// or inferred) universe by kMaxItemUniverse so a single hostile item id
+  /// cannot force a multi-gigabyte index allocation.
+  static StatusOr<DiscreteDataset> ParseItemData(
+      const std::vector<std::string>& lines, uint32_t num_items = 0);
+  /// ParseItemData over a file's contents.
   static StatusOr<DiscreteDataset> ReadItemData(const std::string& path,
                                                 uint32_t num_items = 0);
 

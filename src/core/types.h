@@ -21,6 +21,18 @@ using ClassLabel = uint8_t;
 
 inline constexpr uint32_t kInvalidId = UINT32_MAX;
 
+/// Number of representable class labels (ClassLabel is uint8_t). Loaders
+/// must reject any class value from an external file that is >= this bound:
+/// a silent narrowing cast would alias label 256 to 0.
+inline constexpr uint32_t kMaxClasses = 256;
+
+/// Largest item universe the ingestion layer accepts from untrusted files
+/// (ids and declared counts). The paper's datasets stay below ~10^5 items
+/// (Table 1 genes times a few intervals); this cap keeps a hostile header
+/// or a single huge item id from forcing multi-gigabyte index allocations
+/// before any real validation can run.
+inline constexpr uint32_t kMaxItemUniverse = 1u << 20;
+
 }  // namespace topkrgs
 
 #endif  // TOPKRGS_CORE_TYPES_H_

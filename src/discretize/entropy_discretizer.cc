@@ -50,7 +50,23 @@ std::vector<ItemId> Discretization::DiscretizeRow(
   return items;
 }
 
+Status Discretization::CheckCompatible(const ContinuousDataset& data) const {
+  // selected_genes_ is strictly ascending, so the last id is the largest.
+  // FailedPrecondition, not InvalidArgument: each input is well-formed on
+  // its own; the pair is what's inconsistent.
+  if (!selected_genes_.empty() && selected_genes_.back() >= data.num_genes()) {
+    return Status::FailedPrecondition(
+        "discretization references gene " +
+        std::to_string(selected_genes_.back()) + " but the dataset has only " +
+        std::to_string(data.num_genes()) + " genes");
+  }
+  return Status::OK();
+}
+
 DiscreteDataset Discretization::Apply(const ContinuousDataset& data) const {
+  TOPKRGS_CHECK(CheckCompatible(data).ok(),
+                "Apply on an incompatible dataset; validate with "
+                "CheckCompatible at the ingestion boundary first");
   std::vector<std::vector<ItemId>> rows;
   std::vector<ClassLabel> labels;
   rows.reserve(data.num_rows());

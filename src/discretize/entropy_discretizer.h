@@ -7,6 +7,7 @@
 
 #include "core/dataset.h"
 #include "core/types.h"
+#include "util/status.h"
 
 namespace topkrgs {
 
@@ -50,7 +51,15 @@ class Discretization {
   /// selected gene: the interval its value falls into).
   std::vector<ItemId> DiscretizeRow(const std::vector<double>& gene_values) const;
 
-  /// Discretizes a whole continuous dataset with these cuts.
+  /// Whether this discretization can be applied to `data`: every selected
+  /// gene must exist in the dataset. A discretization loaded from a file
+  /// must pass this gate before Apply — a persisted model referencing gene
+  /// 9000 applied to a 100-gene matrix would otherwise read out of bounds.
+  Status CheckCompatible(const ContinuousDataset& data) const;
+
+  /// Discretizes a whole continuous dataset with these cuts. The dataset
+  /// must satisfy CheckCompatible (callers crossing a trust boundary check
+  /// first; violating it is a programming error and aborts).
   DiscreteDataset Apply(const ContinuousDataset& data) const;
 
   /// Human-readable item description, e.g. "G17[-inf,994.0)".

@@ -1,6 +1,8 @@
 #ifndef TOPKRGS_MINE_MINER_COMMON_H_
 #define TOPKRGS_MINE_MINER_COMMON_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -9,6 +11,17 @@
 #include "core/types.h"
 
 namespace topkrgs {
+
+/// Resolves a fractional minimum support against a class size: the paper's
+/// minsup = frac·|C| rounded to the nearest integer, clamped to >= 1.
+/// Rounding matters: the canonical frac = 0.7 on a 10-row class must give
+/// minsup 7, but 0.7 * 10 is 6.999... in binary floating point, so a
+/// truncating cast silently mined at minsup 6. Every frac-to-minsup
+/// conversion (RCBT, CBA, the CLI) must go through this helper.
+inline uint32_t MinSupportFromFrac(double frac, uint32_t class_rows) {
+  const long rounded = std::lround(frac * static_cast<double>(class_rows));
+  return static_cast<uint32_t>(std::max<long>(1, rounded));
+}
 
 /// Counters shared by all miners; benchmark harnesses report these next to
 /// wall-clock time so pruning effectiveness can be compared directly.

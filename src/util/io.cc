@@ -1,8 +1,11 @@
 #include "util/io.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
+#include <sstream>
 
 namespace topkrgs {
 
@@ -21,6 +24,20 @@ std::vector<std::string_view> SplitString(std::string_view line, char delim) {
   return fields;
 }
 
+std::vector<std::string> SplitIntoLines(std::string_view text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    lines.emplace_back(line);
+    start = end + 1;
+  }
+  return lines;
+}
+
 StatusOr<double> ParseDouble(std::string_view text) {
   if (text.empty()) return Status::InvalidArgument("empty numeric field");
   // std::from_chars for doubles is missing on some libstdc++ versions the
@@ -36,6 +53,16 @@ StatusOr<double> ParseDouble(std::string_view text) {
   return value;
 }
 
+StatusOr<double> ParseFiniteDouble(std::string_view text) {
+  auto value = ParseDouble(text);
+  if (!value.ok()) return value.status();
+  if (!std::isfinite(value.value())) {
+    return Status::InvalidArgument("non-finite value: '" + std::string(text) +
+                                   "'");
+  }
+  return value;
+}
+
 StatusOr<uint64_t> ParseUint(std::string_view text) {
   if (text.empty()) return Status::InvalidArgument("empty integer field");
   uint64_t value = 0;
@@ -44,21 +71,33 @@ StatusOr<uint64_t> ParseUint(std::string_view text) {
       return Status::InvalidArgument("malformed integer: '" + std::string(text) +
                                      "'");
     }
-    value = value * 10 + static_cast<uint64_t>(c - '0');
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return Status::InvalidArgument("integer overflow: '" + std::string(text) +
+                                     "'");
+    }
+    value = value * 10 + digit;
   }
   return value;
 }
 
-StatusOr<std::vector<std::string>> ReadLines(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for read: " + path);
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    lines.push_back(line);
+StatusOr<uint32_t> ParseUint32(std::string_view text) {
+  auto value = ParseUint(text);
+  if (!value.ok()) return value.status();
+  if (value.value() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("value out of 32-bit range: '" +
+                                   std::string(text) + "'");
   }
-  return lines;
+  return static_cast<uint32_t>(value.value());
+}
+
+StatusOr<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return SplitIntoLines(contents.str());
 }
 
 Status WriteLines(const std::string& path, const std::vector<std::string>& lines) {

@@ -1,6 +1,7 @@
 #ifndef TOPKRGS_UTIL_IO_H_
 #define TOPKRGS_UTIL_IO_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,11 +13,30 @@ namespace topkrgs {
 /// Splits `line` at `delim`, keeping empty fields.
 std::vector<std::string_view> SplitString(std::string_view line, char delim);
 
+/// Splits an in-memory buffer into lines exactly as ReadLines splits a
+/// file: '\n' terminates a line, a trailing '\r' is stripped (CRLF input),
+/// and a final '\n' does not produce an extra empty line. This is the
+/// entry point the fuzz targets share with the file loaders, so fuzzed
+/// parsing exercises the same line semantics as production parsing.
+std::vector<std::string> SplitIntoLines(std::string_view text);
+
 /// Parses a double; returns InvalidArgument on malformed input.
+/// Accepts "inf"/"nan" spellings; use ParseFiniteDouble where a
+/// non-finite value would poison downstream arithmetic or sorting.
 StatusOr<double> ParseDouble(std::string_view text);
 
-/// Parses a non-negative integer; returns InvalidArgument on malformed input.
+/// Parses a double and rejects NaN and infinities with InvalidArgument.
+StatusOr<double> ParseFiniteDouble(std::string_view text);
+
+/// Parses a non-negative integer; returns InvalidArgument on malformed
+/// input and on values that overflow uint64 (overflow is detected, never
+/// silently wrapped).
 StatusOr<uint64_t> ParseUint(std::string_view text);
+
+/// ParseUint restricted to values representable in 32 bits; file formats
+/// whose ids/counts are stored in uint32 fields must use this so oversized
+/// values are rejected instead of truncated.
+StatusOr<uint32_t> ParseUint32(std::string_view text);
 
 /// Reads a whole text file into lines (without trailing newlines).
 StatusOr<std::vector<std::string>> ReadLines(const std::string& path);

@@ -1,0 +1,120 @@
+// Replays the committed fuzz corpus through the ingestion parsers as plain
+// unit tests, so CI exercises every known crasher and malformed input
+// without needing the libFuzzer toolchain. Two contracts:
+//   * every file under tests/fuzz/regressions/<format>/ must parse to a
+//     non-OK Status — no abort, no sanitizer report, no silent acceptance;
+//   * every file under tests/fuzz/seeds/<format>/ must parse OK, keeping
+//     the seed corpus meaningful as fuzzing starting points.
+// TOPKRGS_FUZZ_CORPUS_DIR is injected by tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "classify/model_io.h"
+#include "core/dataset.h"
+#include "util/io.h"
+
+namespace topkrgs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Parser adapter: returns the Status a corpus file parses to.
+using ParseFn = std::function<Status(const std::vector<std::string>&)>;
+
+struct FormatCase {
+  const char* corpus_name;
+  ParseFn parse;
+};
+
+std::vector<FormatCase> AllFormats() {
+  return {
+      {"discretization",
+       [](const std::vector<std::string>& lines) {
+         return ParseDiscretizationModel(lines).status();
+       }},
+      {"cba_model",
+       [](const std::vector<std::string>& lines) {
+         return ParseCbaModel(lines).status();
+       }},
+      {"rcbt_model",
+       [](const std::vector<std::string>& lines) {
+         return ParseRcbtModel(lines).status();
+       }},
+      {"tsv_dataset",
+       [](const std::vector<std::string>& lines) {
+         return ContinuousDataset::ParseTsv(lines).status();
+       }},
+      {"item_dataset",
+       [](const std::vector<std::string>& lines) {
+         return DiscreteDataset::ParseItemData(lines).status();
+       }},
+  };
+}
+
+std::vector<fs::path> CorpusFiles(const std::string& kind,
+                                  const std::string& corpus_name) {
+  const fs::path dir =
+      fs::path(TOPKRGS_FUZZ_CORPUS_DIR) / kind / corpus_name;
+  std::vector<fs::path> files;
+  if (fs::exists(dir)) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CorpusReplayTest, EveryRegressionInputIsRejected) {
+  size_t replayed = 0;
+  for (const FormatCase& format : AllFormats()) {
+    for (const fs::path& file : CorpusFiles("regressions", format.corpus_name)) {
+      auto lines_or = ReadLines(file.string());
+      ASSERT_TRUE(lines_or.ok()) << file;
+      const Status status = format.parse(lines_or.value());
+      EXPECT_FALSE(status.ok())
+          << file << " parsed OK but is a malformed-input regression";
+      ++replayed;
+    }
+  }
+  // Guard against the corpus silently going missing (e.g. a bad path after
+  // a directory rename): an empty replay proves nothing.
+  EXPECT_GE(replayed, 30u) << "regression corpus appears to be missing";
+}
+
+TEST(CorpusReplayTest, EverySeedInputParses) {
+  size_t replayed = 0;
+  for (const FormatCase& format : AllFormats()) {
+    for (const fs::path& file : CorpusFiles("seeds", format.corpus_name)) {
+      auto lines_or = ReadLines(file.string());
+      ASSERT_TRUE(lines_or.ok()) << file;
+      const Status status = format.parse(lines_or.value());
+      EXPECT_TRUE(status.ok())
+          << file << " failed to parse: " << status.ToString();
+      ++replayed;
+    }
+  }
+  EXPECT_GE(replayed, 5u) << "seed corpus appears to be missing";
+}
+
+/// The malformed corpus must fail for the *right* reason: every regression
+/// Status is InvalidArgument (bad content), never IOError (bad test setup).
+TEST(CorpusReplayTest, RegressionsFailAsInvalidArgument) {
+  for (const FormatCase& format : AllFormats()) {
+    for (const fs::path& file : CorpusFiles("regressions", format.corpus_name)) {
+      auto lines_or = ReadLines(file.string());
+      ASSERT_TRUE(lines_or.ok()) << file;
+      const Status status = format.parse(lines_or.value());
+      EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+          << file << ": " << status.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topkrgs

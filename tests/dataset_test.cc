@@ -141,6 +141,38 @@ TEST(ContinuousDatasetTest, ReadRejectsMalformed) {
   std::remove(path.c_str());
 }
 
+TEST(ContinuousDatasetTest, ParseTsvRejectsSemanticViolations) {
+  // Label 300 does not fit in ClassLabel (uint8_t); a silent narrowing
+  // cast would alias it to class 44.
+  EXPECT_FALSE(ContinuousDataset::ParseTsv({"label\tG0", "300\t2.0"}).ok());
+  // NaN breaks strict weak ordering in the discretizer's value sorts.
+  EXPECT_FALSE(ContinuousDataset::ParseTsv({"label\tG0", "1\tnan"}).ok());
+  EXPECT_FALSE(ContinuousDataset::ParseTsv({"label\tG0", "1\tinf"}).ok());
+  // Header-only input: zero data rows would make EntropyDiscretizer::Fit
+  // abort downstream.
+  EXPECT_FALSE(ContinuousDataset::ParseTsv({"label\tG0\tG1"}).ok());
+  EXPECT_FALSE(ContinuousDataset::ParseTsv({}).ok());
+}
+
+TEST(DiscreteDatasetTest, ParseItemDataRejectsSemanticViolations) {
+  // Valid baseline parses.
+  auto ok = DiscreteDataset::ParseItemData({"0\t1 2 5", "1\t0 3"});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().num_rows(), 2u);
+  // Label beyond ClassLabel range.
+  EXPECT_FALSE(DiscreteDataset::ParseItemData({"300\t1 2"}).ok());
+  // Item id beyond the declared universe.
+  EXPECT_FALSE(DiscreteDataset::ParseItemData({"0\t1 9"}, /*num_items=*/4).ok());
+  // Inferred-universe allocation bomb: one huge id would size the whole
+  // per-item row index.
+  EXPECT_FALSE(DiscreteDataset::ParseItemData({"0\t99999999"}).ok());
+  // uint64 overflow in an item id.
+  EXPECT_FALSE(
+      DiscreteDataset::ParseItemData({"0\t18446744073709551616"}).ok());
+  // Missing the label<TAB>items separator entirely.
+  EXPECT_FALSE(DiscreteDataset::ParseItemData({"0 1 2"}).ok());
+}
+
 TEST(RuleSignificanceTest, Definition22) {
   // Higher confidence wins regardless of support.
   EXPECT_GT(CompareSignificance(2, 2, 10, 20), 0);   // 100% beats 50%

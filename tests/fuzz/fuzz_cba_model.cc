@@ -1,0 +1,18 @@
+// Fuzz target: the topkrgs-cba v1 model parser. Crash-freedom contract:
+// any bytes parse to a valid classifier or a non-OK Status.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "classify/model_io.h"
+#include "fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace topkrgs;
+  if (size > fuzzing::kMaxFuzzInputBytes) return 0;
+  uint32_t num_items = 0;
+  auto result =
+      ParseCbaModel(fuzzing::LinesFromBytes(data, size), &num_items);
+  (void)result;
+  return 0;
+}

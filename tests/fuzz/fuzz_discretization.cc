@@ -1,0 +1,17 @@
+// Fuzz target: the topkrgs-discretization v1 parser. The contract under
+// test is crash-freedom — any byte sequence must yield either a valid
+// Discretization or a non-OK Status, never an abort or sanitizer report.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "classify/model_io.h"
+#include "fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace topkrgs;
+  if (size > fuzzing::kMaxFuzzInputBytes) return 0;
+  auto result = ParseDiscretizationModel(fuzzing::LinesFromBytes(data, size));
+  (void)result;
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fuzz target: the transactional item-data parser (label<TAB>items lines),
+// with the item universe inferred from the data — the adversarial case,
+// since a single huge id used to size the whole per-item index. Crash-
+// freedom contract: any bytes parse to a valid dataset or a non-OK Status.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace topkrgs;
+  if (size > fuzzing::kMaxFuzzInputBytes) return 0;
+  auto result =
+      DiscreteDataset::ParseItemData(fuzzing::LinesFromBytes(data, size));
+  (void)result;
+  return 0;
+}

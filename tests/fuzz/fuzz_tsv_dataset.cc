@@ -1,0 +1,16 @@
+// Fuzz target: the continuous expression-matrix TSV parser. Crash-freedom
+// contract: any bytes parse to a valid dataset or a non-OK Status.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace topkrgs;
+  if (size > fuzzing::kMaxFuzzInputBytes) return 0;
+  auto result = ContinuousDataset::ParseTsv(fuzzing::LinesFromBytes(data, size));
+  (void)result;
+  return 0;
+}

@@ -1,0 +1,32 @@
+#ifndef TOPKRGS_TESTS_FUZZ_FUZZ_UTIL_H_
+#define TOPKRGS_TESTS_FUZZ_FUZZ_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/io.h"
+
+namespace topkrgs {
+namespace fuzzing {
+
+/// Inputs larger than this are ignored by the fuzz targets: every parser
+/// is line-oriented and O(bytes), so megabyte inputs only slow the fuzzer
+/// down without reaching new code.
+inline constexpr size_t kMaxFuzzInputBytes = 1 << 20;
+
+/// Turns a fuzzer byte buffer into the line vector the parsers consume,
+/// via the same SplitIntoLines the file loaders use — fuzzed parsing and
+/// production parsing share one line-splitting code path.
+inline std::vector<std::string> LinesFromBytes(const uint8_t* data,
+                                               size_t size) {
+  return SplitIntoLines(
+      std::string_view(reinterpret_cast<const char*>(data), size));
+}
+
+}  // namespace fuzzing
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_TESTS_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,56 @@
+// Standalone replay driver for the fuzz targets, used when the toolchain
+// has no libFuzzer runtime (gcc builds). It gives every fuzz target a
+// main() that replays files — or whole corpus directories — through
+// LLVMFuzzerTestOneInput, so the committed corpus runs as a plain ctest
+// case under any compiler and any sanitizer preset. libFuzzer flags
+// (arguments starting with '-') are accepted and ignored, which lets the
+// same ctest command line drive either binary flavor.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t ran = 0;
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // ignore libFuzzer flags
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (!entry.is_regular_file()) continue;
+        ok = RunFile(entry.path()) && ok;
+        ++ran;
+      }
+    } else {
+      ok = RunFile(arg) && ok;
+      ++ran;
+    }
+  }
+  std::printf("replayed %zu inputs without crashing\n", ran);
+  return ok ? 0 : 1;
+}

@@ -134,5 +134,140 @@ TEST(ModelIoTest, MissingFileFails) {
   EXPECT_FALSE(LoadDiscretization("/nonexistent/model.txt").ok());
 }
 
+// ---------------------------------------------------------------------------
+// Save → load → re-save must reproduce the file byte-for-byte: the format is
+// canonical, so a second generation of the file proves the loader captured
+// every field the saver wrote (nothing dropped, reordered, or re-rounded).
+
+TEST(DiscretizationIoTest, ResaveIsBitIdentical) {
+  GeneratedData data = GenerateMicroarray(DatasetProfile::Tiny(31));
+  Pipeline p = PreparePipeline(data.train, data.test);
+  const std::string path1 = TempPath("disc1.txt");
+  const std::string path2 = TempPath("disc2.txt");
+  ASSERT_TRUE(SaveDiscretization(p.discretization, path1).ok());
+  auto loaded_or = LoadDiscretization(path1);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  ASSERT_TRUE(SaveDiscretization(loaded_or.value(), path2).ok());
+  auto lines1 = ReadLines(path1);
+  auto lines2 = ReadLines(path2);
+  ASSERT_TRUE(lines1.ok() && lines2.ok());
+  EXPECT_EQ(lines1.value(), lines2.value());
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(CbaIoTest, ResaveIsBitIdentical) {
+  DiscreteDataset d = testing_util::RandomDataset(29, 12, 11, 0.4);
+  CbaOptions opt;
+  opt.min_support_frac = 0.3;
+  CbaClassifier clf = TrainCba(d, opt);
+  const std::string path1 = TempPath("cba1.txt");
+  const std::string path2 = TempPath("cba2.txt");
+  ASSERT_TRUE(SaveCbaClassifier(clf, d.num_items(), path1).ok());
+  uint32_t num_items = 0;
+  auto loaded_or = LoadCbaClassifier(path1, &num_items);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  ASSERT_TRUE(SaveCbaClassifier(loaded_or.value(), num_items, path2).ok());
+  auto lines1 = ReadLines(path1);
+  auto lines2 = ReadLines(path2);
+  ASSERT_TRUE(lines1.ok() && lines2.ok());
+  EXPECT_EQ(lines1.value(), lines2.value());
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(RcbtIoTest, ResaveIsBitIdentical) {
+  GeneratedData data = GenerateMicroarray(DatasetProfile::Tiny(32));
+  Pipeline p = PreparePipeline(data.train, data.test);
+  RcbtOptions opt;
+  opt.k = 2;
+  opt.nl = 3;
+  opt.item_scores = p.item_scores;
+  RcbtClassifier clf = RcbtClassifier::Train(p.train, opt);
+  const std::string path1 = TempPath("rcbt1.txt");
+  const std::string path2 = TempPath("rcbt2.txt");
+  ASSERT_TRUE(SaveRcbtClassifier(clf, p.train.num_items(), path1).ok());
+  uint32_t num_items = 0;
+  auto loaded_or = LoadRcbtClassifier(path1, &num_items);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  ASSERT_TRUE(SaveRcbtClassifier(loaded_or.value(), num_items, path2).ok());
+  auto lines1 = ReadLines(path1);
+  auto lines2 = ReadLines(path2);
+  ASSERT_TRUE(lines1.ok() && lines2.ok());
+  EXPECT_EQ(lines1.value(), lines2.value());
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Semantic-invariant rejections at the Parse* boundary (no file needed).
+
+TEST(RcbtParseTest, RejectsConsequentOutOfClassRange) {
+  // 3 classes declared; a rule predicting class 9 would index past
+  // score_norm[2] in FromParts — this must die at the parse boundary.
+  auto result = ParseRcbtModel({"topkrgs-rcbt v1", "num_items 6",
+                                "class_counts 2 5 4", "default 0",
+                                "classifiers 1", "classifier 0 1",
+                                "rule 9 3 4 0 2"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RcbtParseTest, RejectsDefaultClassOutOfRange) {
+  auto result = ParseRcbtModel({"topkrgs-rcbt v1", "num_items 6",
+                                "class_counts 2 5", "default 7",
+                                "classifiers 0"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RcbtParseTest, RejectsClassCountFieldMismatch) {
+  // class_counts declares 3 classes but provides 2 counts.
+  auto result = ParseRcbtModel({"topkrgs-rcbt v1", "num_items 6",
+                                "class_counts 3 5 4", "default 0",
+                                "classifiers 0"});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CbaParseTest, RejectsSupportExceedingAntecedentSupport) {
+  auto result = ParseCbaModel({"topkrgs-cba v1", "num_items 4", "default 0",
+                               "rules 1", "rule 1 9 4 0 2"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CbaParseTest, RejectsZeroAntecedentSupport) {
+  auto result = ParseCbaModel({"topkrgs-cba v1", "num_items 4", "default 0",
+                               "rules 1", "rule 1 0 0 0 2"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CbaParseTest, RejectsNonLabelConsequent) {
+  // 300 does not fit in ClassLabel (uint8_t); a narrowing cast would
+  // silently alias it to class 44.
+  auto result = ParseCbaModel({"topkrgs-cba v1", "num_items 4", "default 0",
+                               "rules 1", "rule 300 2 3 0 2"});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CbaParseTest, RejectsTrailingGarbage) {
+  auto result = ParseCbaModel({"topkrgs-cba v1", "num_items 4", "default 0",
+                               "rules 1", "rule 1 2 3 0 2", "extra junk"});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DiscretizationParseTest, RejectsNanCut) {
+  auto result = ParseDiscretizationModel(
+      {"topkrgs-discretization v1", "genes 1", "gene 5 1 nan"});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DiscretizationParseTest, RejectsOverflowingGeneId) {
+  auto result = ParseDiscretizationModel(
+      {"topkrgs-discretization v1", "genes 1", "gene 4294967296 1 0.5"});
+  EXPECT_FALSE(result.ok());
+}
+
 }  // namespace
 }  // namespace topkrgs

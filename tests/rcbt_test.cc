@@ -2,8 +2,9 @@
 
 #include <gtest/gtest.h>
 
-#include "synth/generator.h"
 #include "classify/evaluator.h"
+#include "mine/miner_common.h"
+#include "synth/generator.h"
 #include "test_util.h"
 
 namespace topkrgs {
@@ -117,6 +118,18 @@ TEST(RcbtTest, KOneEqualsSingleClassifier) {
   opt.nl = 2;
   RcbtClassifier clf = RcbtClassifier::Train(d, opt);
   EXPECT_EQ(clf.num_classifiers(), 1u);
+}
+
+TEST(MinSupportTest, RoundsToNearestInsteadOfTruncating) {
+  // Regression: 0.7 * 10 is 6.999... in binary floating point, and the old
+  // static_cast<uint32_t> truncated it to 6 — silently mining with a looser
+  // support threshold than requested.
+  EXPECT_EQ(MinSupportFromFrac(0.7, 10), 7u);
+  EXPECT_EQ(MinSupportFromFrac(0.3, 10), 3u);
+  EXPECT_EQ(MinSupportFromFrac(0.5, 27), 14u);   // 13.5 rounds away from zero
+  EXPECT_EQ(MinSupportFromFrac(0.01, 10), 1u);   // floor of 1: support 0 is meaningless
+  EXPECT_EQ(MinSupportFromFrac(0.0, 100), 1u);
+  EXPECT_EQ(MinSupportFromFrac(1.0, 38), 38u);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <set>
 
 #include "util/io.h"
@@ -60,6 +61,38 @@ TEST(IoTest, ParseUint) {
   EXPECT_EQ(ParseUint("123456").value(), 123456u);
   EXPECT_FALSE(ParseUint("-3").ok());
   EXPECT_FALSE(ParseUint("").ok());
+}
+
+TEST(IoTest, ParseUintDetectsOverflow) {
+  EXPECT_EQ(ParseUint("18446744073709551615").value(),
+            std::numeric_limits<uint64_t>::max());
+  // One past UINT64_MAX used to wrap around silently.
+  EXPECT_FALSE(ParseUint("18446744073709551616").ok());
+  EXPECT_FALSE(ParseUint("99999999999999999999999999").ok());
+}
+
+TEST(IoTest, ParseUint32RejectsValuesPastUint32) {
+  EXPECT_EQ(ParseUint32("4294967295").value(), 4294967295u);
+  EXPECT_FALSE(ParseUint32("4294967296").ok());
+  EXPECT_FALSE(ParseUint32("-1").ok());
+}
+
+TEST(IoTest, ParseFiniteDoubleRejectsNanAndInf) {
+  EXPECT_DOUBLE_EQ(ParseFiniteDouble("2.5").value(), 2.5);
+  // NaN breaks strict weak ordering in the discretizer's sorts; inf breaks
+  // cut-point arithmetic. Both must be rejected at the ingestion boundary.
+  EXPECT_FALSE(ParseFiniteDouble("nan").ok());
+  EXPECT_FALSE(ParseFiniteDouble("-nan").ok());
+  EXPECT_FALSE(ParseFiniteDouble("inf").ok());
+  EXPECT_FALSE(ParseFiniteDouble("-inf").ok());
+  EXPECT_FALSE(ParseFiniteDouble("1e999").ok());
+}
+
+TEST(IoTest, SplitIntoLinesHandlesCrlfAndFinalNewline) {
+  EXPECT_EQ(SplitIntoLines("a\nb\n"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitIntoLines("a\r\nb"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitIntoLines(""), std::vector<std::string>{});
+  EXPECT_EQ(SplitIntoLines("\n"), std::vector<std::string>{""});
 }
 
 TEST(IoTest, WriteReadRoundtrip) {

@@ -1,25 +1,73 @@
 #!/usr/bin/env bash
-# CI gate: build the ThreadSanitizer preset and run the parallel-miner
-# determinism tests under it. The parallel MineTopkRGS promises bit-for-bit
-# identical results for any thread count; this script is the race detector
-# backing that promise — run it before merging anything that touches
-# src/mine/ or src/util/arena.h.
+# CI gate with two stages:
 #
-# Usage: tools/ci.sh [extra ctest -R patterns...]
+#   tsan  — build the ThreadSanitizer preset and run the parallel-miner
+#           determinism tests under it. The parallel MineTopkRGS promises
+#           bit-for-bit identical results for any thread count; this stage
+#           is the race detector backing that promise — run it before
+#           merging anything that touches src/mine/ or src/util/arena.h.
+#
+#   fuzz  — build the fuzz preset (ASan+UBSan, plus libFuzzer when the
+#           compiler is clang) and replay the committed seed + regression
+#           corpus through every ingestion fuzz target. Every malformed
+#           corpus file must come back as a non-OK Status with no abort and
+#           no sanitizer report. When clang is available the stage also
+#           runs each libFuzzer target for a short time-boxed exploration.
+#
+# Usage: tools/ci.sh [tsan|fuzz|all] [extra ctest -R pattern]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PRESET=tsan
-PATTERN="${1:-TopkParallel}"
+STAGE="${1:-all}"
+FUZZ_SECONDS="${FUZZ_SECONDS:-60}"
 
-echo "== configure (${PRESET}) =="
-cmake --preset "${PRESET}"
+run_tsan() {
+  local pattern="${1:-TopkParallel}"
+  echo "== configure (tsan) =="
+  cmake --preset tsan
+  echo "== build (tsan) =="
+  cmake --build --preset tsan -j
+  echo "== determinism tests under ThreadSanitizer (-R ${pattern}) =="
+  ctest --test-dir build-tsan -R "${pattern}" --output-on-failure
+  echo "tsan gate passed: no data races, results thread-count invariant."
+}
 
-echo "== build (${PRESET}) =="
-cmake --build --preset "${PRESET}" -j
+run_fuzz() {
+  echo "== configure (fuzz) =="
+  cmake --preset fuzz
+  echo "== build (fuzz) =="
+  cmake --build --preset fuzz -j
+  echo "== corpus replay under ASan/UBSan =="
+  ctest --test-dir build-fuzz -R "FuzzReplay|CorpusReplay" --output-on-failure
 
-echo "== determinism tests under ThreadSanitizer (-R ${PATTERN}) =="
-ctest --test-dir "build-${PRESET}" -R "${PATTERN}" --output-on-failure
+  # Coverage-guided exploration needs the libFuzzer runtime (clang only);
+  # with gcc the replay above is the whole stage.
+  if grep -q "TOPKRGS_HAS_LIBFUZZER:INTERNAL=1" build-fuzz/CMakeCache.txt 2>/dev/null; then
+    echo "== time-boxed libFuzzer runs (${FUZZ_SECONDS}s per target) =="
+    for target in discretization cba_model rcbt_model tsv_dataset item_dataset; do
+      echo "-- fuzz_${target}"
+      "build-fuzz/tests/fuzz/fuzz_${target}" \
+        -max_total_time="${FUZZ_SECONDS}" -rss_limit_mb=2048 \
+        "tests/fuzz/seeds/${target}" "tests/fuzz/regressions/${target}"
+    done
+  else
+    echo "(libFuzzer runtime unavailable — corpus replay only)"
+  fi
+  echo "fuzz gate passed: corpus parses to Status, no crashes, no sanitizer reports."
+}
 
-echo "CI gate passed: no data races, results thread-count invariant."
+case "${STAGE}" in
+  tsan) run_tsan "${2:-TopkParallel}" ;;
+  fuzz) run_fuzz ;;
+  all)
+    run_tsan "${2:-TopkParallel}"
+    run_fuzz
+    ;;
+  *)
+    # Back-compat: a bare ctest pattern as $1 runs the tsan stage with it.
+    run_tsan "${STAGE}"
+    ;;
+esac
+
+echo "CI gate passed."

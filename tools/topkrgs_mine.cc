@@ -10,7 +10,7 @@ int main(int argc, char** argv) {
   const topkrgs::Status status = topkrgs::RunMineCommand(args);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-    return 1;
   }
-  return 0;
+  // Distinct exit codes per failure class; see ExitCodeForStatus.
+  return topkrgs::ExitCodeForStatus(status);
 }
