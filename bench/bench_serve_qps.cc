@@ -1,0 +1,200 @@
+// Load-generator bench of the prediction-serving subsystem: closed-loop
+// client threads drive the in-process service path (registry resolve +
+// executor submit + wait — everything but the socket) and we record QPS,
+// latency percentiles from the serving histogram, and shed counts per
+// worker/client configuration. Emits BENCH_serve.json (argv[1] overrides
+// the path); the committed bench/BENCH_serve.json is the reference record.
+//
+// Scaling caveat recorded in the JSON: per-row classify cost on the Tiny
+// model is a few microseconds, so worker-count scaling is only visible
+// when hardware parallelism exists. The `hw_threads` field captures what
+// the reference machine had; on a single-core host the 8-worker
+// configuration measures batching overhead-amortization, not CPU scaling.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace topkrgs {
+namespace bench {
+namespace {
+
+struct LoadResult {
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  double seconds = 0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  double mean_us = 0;
+
+  double qps() const { return seconds > 0 ? ok / seconds : 0; }
+};
+
+struct Config {
+  std::string name;
+  uint32_t workers = 1;
+  size_t queue = 256;
+  int clients = 1;
+  size_t rows_per_request = 1;
+};
+
+/// Closed loop: each client thread fires one request, waits, repeats until
+/// the clock runs out. Offered load adapts to service rate, so the queue
+/// stays near `clients` deep and shedding only appears when the queue is
+/// deliberately undersized.
+LoadResult RunLoad(const Config& config,
+                   const std::shared_ptr<const ServableModel>& model,
+                   const std::vector<std::vector<double>>& rows,
+                   double duration_s) {
+  PredictionService::Options options;
+  options.workers = config.workers;
+  options.queue_capacity = config.queue;
+  PredictionService service(options);
+  TOPKRGS_CHECK(service.registry().Insert(model).ok(), "insert failed");
+
+  std::atomic<uint64_t> ok{0}, shed{0}, errors{0};
+  const auto start = std::chrono::steady_clock::now();
+  const auto stop_at =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(duration_s));
+  std::vector<std::thread> clients;
+  for (int c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      ParsedPredictRequest request;
+      // Spread clients over the test rows so requests are not identical.
+      for (size_t i = 0; i < config.rows_per_request; ++i) {
+        request.rows.push_back(rows[(c + i) % rows.size()]);
+      }
+      while (std::chrono::steady_clock::now() < stop_at) {
+        auto response_or = service.Predict(request);
+        if (response_or.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else if (response_or.status().code() ==
+                   StatusCode::kResourceExhausted) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  LoadResult result;
+  result.ok = ok.load();
+  result.shed = shed.load();
+  result.errors = errors.load();
+  result.seconds = elapsed;
+  const auto snap = service.metrics().request_latency.Snap();
+  result.p50_us = snap.PercentileMicros(50);
+  result.p99_us = snap.PercentileMicros(99);
+  result.mean_us = snap.MeanMicros();
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  const double duration_s = PointBudgetSeconds(1.5);
+
+  BenchDataset d = Load(DatasetProfile::Tiny(5));
+  RcbtOptions opt;
+  opt.k = 2;
+  opt.nl = 3;
+  opt.item_scores = d.pipeline.item_scores;
+  RcbtClassifier clf = RcbtClassifier::Train(d.pipeline.train, opt);
+  auto model_or =
+      ServableModel::Create("default", "v1", d.pipeline.discretization,
+                            std::move(clf), std::nullopt,
+                            d.pipeline.discretization.num_items());
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "model build failed: %s\n",
+                 model_or.status().ToString().c_str());
+    return 1;
+  }
+  auto model = model_or.value();
+
+  std::vector<std::vector<double>> rows;
+  for (RowId r = 0; r < d.data.test.num_rows(); ++r) {
+    std::vector<double> row(d.data.test.num_genes());
+    for (GeneId g = 0; g < d.data.test.num_genes(); ++g) {
+      row[g] = d.data.test.value(r, g);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  const std::vector<Config> configs = {
+      {"1w_1c", 1, 256, 1, 1},
+      {"2w_2c", 2, 256, 2, 1},
+      {"4w_4c", 4, 256, 4, 1},
+      {"8w_8c", 8, 256, 8, 1},
+      {"8w_8c_batch16", 8, 256, 8, 16},
+      // Deliberately undersized queue with more clients than slots: the
+      // shedding path. A closed loop cannot overrun a large queue, so
+      // shed_total stays 0 everywhere else.
+      {"1w_16c_queue2", 1, 2, 16, 1},
+  };
+
+  JsonWriter writer;
+  PrintTableHeader("config", {"qps", "p50_us", "p99_us", "shed"});
+  double single_thread_qps = 0;
+  for (const Config& config : configs) {
+    const LoadResult result = RunLoad(config, model, rows, duration_s);
+    if (config.name == "1w_1c") single_thread_qps = result.qps();
+    char qps_buf[32], p50_buf[32], p99_buf[32], shed_buf[32];
+    std::snprintf(qps_buf, sizeof(qps_buf), "%.0f", result.qps());
+    std::snprintf(p50_buf, sizeof(p50_buf), "%llu",
+                  static_cast<unsigned long long>(result.p50_us));
+    std::snprintf(p99_buf, sizeof(p99_buf), "%llu",
+                  static_cast<unsigned long long>(result.p99_us));
+    std::snprintf(shed_buf, sizeof(shed_buf), "%llu",
+                  static_cast<unsigned long long>(result.shed));
+    PrintTableRow(config.name, {qps_buf, p50_buf, p99_buf, shed_buf});
+
+    JsonRecord record;
+    record.Str("bench", "serve_qps")
+        .Str("config", config.name)
+        .Int("workers", config.workers)
+        .Int("clients", config.clients)
+        .Int("queue_capacity", static_cast<long long>(config.queue))
+        .Int("rows_per_request",
+             static_cast<long long>(config.rows_per_request))
+        .Num("duration_s", result.seconds)
+        .Int("requests_ok", static_cast<long long>(result.ok))
+        .Int("requests_shed", static_cast<long long>(result.shed))
+        .Int("requests_error", static_cast<long long>(result.errors))
+        .Num("qps", result.qps())
+        .Num("rows_per_s",
+             result.qps() * static_cast<double>(config.rows_per_request))
+        .Num("speedup_vs_1w_1c",
+             single_thread_qps > 0 ? result.qps() / single_thread_qps : 0)
+        .Int("p50_us", static_cast<long long>(result.p50_us))
+        .Int("p99_us", static_cast<long long>(result.p99_us))
+        .Num("mean_us", result.mean_us)
+        .Int("hw_threads",
+             static_cast<long long>(std::thread::hardware_concurrency()))
+        .Int("peak_rss_kb", PeakRssKb());
+    writer.Add(record);
+  }
+
+  if (!writer.WriteFile(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu records to %s\n", writer.size(), out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace topkrgs
+
+int main(int argc, char** argv) { return topkrgs::bench::Main(argc, argv); }

@@ -153,6 +153,24 @@ ClassLabel CbaClassifier::Predict(const Bitset& row_items,
   return default_class_;
 }
 
+CbaClassifier::Prediction CbaClassifier::PredictDetailed(
+    const Bitset& row_items) const {
+  Prediction out;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& rule = rules_[i];
+    if (rule.antecedent.IsSubsetOf(row_items)) {
+      out.label = rule.consequent;
+      out.used_default = false;
+      out.matched_rule = static_cast<int64_t>(i);
+      out.confidence = rule.confidence();
+      return out;
+    }
+  }
+  out.label = default_class_;
+  out.used_default = true;
+  return out;
+}
+
 CbaClassifier TrainCba(const DiscreteDataset& train, const CbaOptions& options) {
   std::vector<Rule> rules;
   const std::vector<uint32_t> class_counts = train.ClassCounts();

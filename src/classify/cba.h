@@ -31,8 +31,25 @@ class CbaClassifier {
 
   /// Predicts by the first matching rule; falls back to the default class.
   /// `used_default`, when non-null, reports whether the default fired.
+  /// Read-only and data-race-free: one trained classifier may be shared
+  /// across any number of threads (the serving stack does; pinned under
+  /// TSan by classify_threads_test).
   ClassLabel Predict(const Bitset& row_items,
                      bool* used_default = nullptr) const;
+
+  struct Prediction {
+    ClassLabel label = 0;
+    bool used_default = false;
+    /// Index into rules() of the first matching rule; -1 when the default
+    /// fired.
+    int64_t matched_rule = -1;
+    /// Confidence of the matched rule (0 when the default fired).
+    double confidence = 0.0;
+  };
+
+  /// Predict plus the evidence the serving layer reports: which rule
+  /// decided and how confident it is. Same decision as Predict.
+  Prediction PredictDetailed(const Bitset& row_items) const;
 
   const std::vector<Rule>& rules() const { return rules_; }
   ClassLabel default_class() const { return default_class_; }

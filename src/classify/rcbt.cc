@@ -147,13 +147,14 @@ RcbtClassifier::Prediction RcbtClassifier::Predict(
   for (uint32_t j = 0; j < classifiers_.size(); ++j) {
     const SubClassifier& sub = classifiers_[j];
     std::vector<double> scores(num_classes_, 0.0);
-    bool any = false;
-    for (const Rule& rule : sub.rules) {
+    std::vector<uint32_t> matched;
+    for (uint32_t i = 0; i < sub.rules.size(); ++i) {
+      const Rule& rule = sub.rules[i];
       if (!rule.antecedent.IsSubsetOf(row_items)) continue;
-      any = true;
+      matched.push_back(i);
       scores[rule.consequent] += VotingScore(rule, class_counts_);
     }
-    if (!any) continue;
+    if (matched.empty()) continue;
     for (uint32_t c = 0; c < num_classes_; ++c) {
       if (sub.score_norm[c] > 0.0) scores[c] /= sub.score_norm[c];
     }
@@ -165,6 +166,7 @@ RcbtClassifier::Prediction RcbtClassifier::Predict(
     out.classifier_index = j + 1;
     out.used_default = false;
     out.scores = std::move(scores);
+    out.matched_rules = std::move(matched);
     return out;
   }
   out.label = default_class_;

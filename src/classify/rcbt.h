@@ -52,8 +52,15 @@ class RcbtClassifier {
     /// Aggregated per-class scores of the deciding classifier (empty when
     /// the default fired).
     std::vector<double> scores;
+    /// Indices (into classifier_rules(classifier_index)) of the lower-bound
+    /// rules that matched the row — the evidence behind the vote. Empty
+    /// when the default fired.
+    std::vector<uint32_t> matched_rules;
   };
 
+  /// Classifies one row. Read-only and data-race-free: callers may share
+  /// one trained classifier across any number of threads (the serving
+  /// stack does; pinned under TSan by classify_threads_test).
   Prediction Predict(const Bitset& row_items) const;
 
   uint32_t num_classifiers() const {

@@ -84,6 +84,10 @@ int ExitCodeForStatus(const Status& status) {
       return 6;
     case StatusCode::kTimeout:
       return 7;
+    case StatusCode::kResourceExhausted:
+      return 8;
+    case StatusCode::kDeadlineExceeded:
+      return 9;
   }
   return 1;
 }

@@ -61,7 +61,9 @@ Status RunCvCommand(const std::vector<std::string>& args);
 /// distinguish failure modes without parsing stderr:
 ///   0 OK, 2 InvalidArgument (bad flags or malformed/corrupt input file),
 ///   3 NotFound, 4 IOError (unreadable/unwritable path), 5 OutOfRange,
-///   6 FailedPrecondition, 7 Timeout, 1 anything else.
+///   6 FailedPrecondition (inputs valid alone but inconsistent as a pair,
+///   e.g. model and discretization over different item universes),
+///   7 Timeout, 8 ResourceExhausted, 9 DeadlineExceeded, 1 anything else.
 /// Exit code 1 is reserved for unclassified errors so new StatusCodes never
 /// silently collide with an existing meaning.
 int ExitCodeForStatus(const Status& status);

@@ -1,0 +1,166 @@
+#include "serve/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace topkrgs {
+
+PredictionExecutor::PredictionExecutor(const Options& options,
+                                       ServeMetrics* metrics)
+    : options_(options),
+      num_workers_(std::max<uint32_t>(1, options.workers)),
+      metrics_(metrics),
+      paused_(options.start_paused) {
+  workers_.reserve(num_workers_);
+  for (size_t i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+PredictionExecutor::~PredictionExecutor() { Shutdown(); }
+
+std::future<StatusOr<PredictResponse>> PredictionExecutor::Submit(
+    PredictRequest request) {
+  Task task;
+  task.request = std::move(request);
+  task.submitted = std::chrono::steady_clock::now();
+  std::future<StatusOr<PredictResponse>> future = task.promise.get_future();
+
+  bool stopped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_ && queue_.size() < options_.queue_capacity) {
+      queue_.push_back(std::move(task));
+      if (metrics_ != nullptr) {
+        metrics_->requests_total.fetch_add(1, std::memory_order_relaxed);
+        metrics_->queue_depth.fetch_add(1, std::memory_order_relaxed);
+      }
+      cv_.notify_one();
+      return future;
+    }
+    stopped = stopping_;
+  }
+  // Shed without ever queueing: the caller learns immediately, and a
+  // saturated server spends no worker time on the rejected request.
+  if (metrics_ != nullptr) {
+    metrics_->shed_total.fetch_add(1, std::memory_order_relaxed);
+  }
+  task.promise.set_value(Status::ResourceExhausted(
+      stopped ? "executor stopped" : "request queue full"));
+  return future;
+}
+
+StatusOr<PredictResponse> PredictionExecutor::Predict(PredictRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void PredictionExecutor::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void PredictionExecutor::Shutdown() {
+  std::deque<Task> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    paused_ = false;
+    orphaned.swap(queue_);
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  for (Task& task : orphaned) {
+    if (metrics_ != nullptr) {
+      metrics_->queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    }
+    Finish(&task, Status::ResourceExhausted("executor stopped"));
+  }
+}
+
+size_t PredictionExecutor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+StatusOr<PredictResponse> PredictionExecutor::Execute(
+    const PredictRequest& request) const {
+  if (request.model == nullptr) {
+    return Status::InvalidArgument("request carries no model");
+  }
+  PredictResponse response;
+  response.rows.reserve(request.rows.size());
+  for (const std::vector<double>& row : request.rows) {
+    // Re-check between rows so a large batch cannot blow through its
+    // deadline: the client has given up, finishing the tail is waste.
+    if (request.deadline.Expired()) {
+      return Status::DeadlineExceeded("deadline expired mid-batch");
+    }
+    auto row_or = request.model->Predict(row);
+    if (!row_or.ok()) return row_or.status();
+    response.rows.push_back(std::move(row_or).value());
+    if (metrics_ != nullptr) {
+      metrics_->rows_total.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return response;
+}
+
+void PredictionExecutor::Finish(Task* task, StatusOr<PredictResponse> result) {
+  if (metrics_ != nullptr) {
+    if (!result.ok()) {
+      metrics_->errors_total.fetch_add(1, std::memory_order_relaxed);
+      if (result.status().code() == StatusCode::kDeadlineExceeded) {
+        metrics_->deadline_exceeded_total.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      }
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - task->submitted;
+    metrics_->request_latency.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+  }
+  task->promise.set_value(std::move(result));
+}
+
+void PredictionExecutor::WorkerLoop() {
+  for (;;) {
+    std::vector<Task> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (stopping_) return;
+      // Drain a fair share of the backlog in one critical section
+      // (batching): one wakeup then executes the batch lock-free. Taking
+      // ceil(depth / workers) instead of everything keeps the other
+      // workers fed when the backlog is deep.
+      const size_t take = std::max<size_t>(
+          1, (queue_.size() + num_workers_ - 1) / num_workers_);
+      batch.reserve(take);
+      while (!queue_.empty() && batch.size() < take) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (metrics_ != nullptr) {
+        metrics_->queue_depth.fetch_sub(static_cast<int64_t>(batch.size()),
+                                        std::memory_order_relaxed);
+      }
+      if (!queue_.empty()) cv_.notify_one();
+    }
+    for (Task& task : batch) {
+      if (task.request.deadline.Expired()) {
+        Finish(&task, Status::DeadlineExceeded("deadline expired in queue"));
+        continue;
+      }
+      Finish(&task, Execute(task.request));
+    }
+  }
+}
+
+}  // namespace topkrgs

@@ -1,0 +1,110 @@
+#ifndef TOPKRGS_SERVE_EXECUTOR_H_
+#define TOPKRGS_SERVE_EXECUTOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "util/timer.h"
+
+namespace topkrgs {
+
+/// One discretize-and-classify request: a resolved model plus a batch of
+/// continuous gene-value rows. `deadline` bounds submit-to-completion; a
+/// request that expires in the queue (or mid-batch) fails with
+/// DeadlineExceeded instead of burning worker time.
+struct PredictRequest {
+  std::shared_ptr<const ServableModel> model;
+  std::vector<std::vector<double>> rows;
+  Deadline deadline;  // default: unlimited
+};
+
+struct PredictResponse {
+  std::vector<ServableModel::RowResult> rows;
+};
+
+/// A fixed worker pool draining a bounded request queue.
+///
+/// Load shedding: Submit on a full queue fails fast with ResourceExhausted
+/// — the request never queues, so a saturated server degrades into cheap
+/// rejections instead of unbounded latency.
+///
+/// Batching: a woken worker drains every queued request in one critical
+/// section and executes them back to back, amortizing one wakeup over the
+/// whole backlog. Under concurrent load this is where the throughput over
+/// one synchronous caller comes from.
+///
+/// Determinism: execution order never affects results — requests touch
+/// only the immutable ServableModel they carry — so responses are
+/// identical to calling ServableModel::Predict inline (and therefore to
+/// the batch CLI path).
+class PredictionExecutor {
+ public:
+  struct Options {
+    uint32_t workers = 4;
+    size_t queue_capacity = 256;
+    /// Testing hook: start with the workers refusing to dequeue, so tests
+    /// can fill the queue deterministically; Resume() opens the tap.
+    bool start_paused = false;
+  };
+
+  PredictionExecutor(const Options& options, ServeMetrics* metrics);
+  ~PredictionExecutor();
+
+  PredictionExecutor(const PredictionExecutor&) = delete;
+  PredictionExecutor& operator=(const PredictionExecutor&) = delete;
+
+  /// Enqueues a request. The returned future resolves to the response, or
+  /// to ResourceExhausted (queue full — resolved already at submit),
+  /// DeadlineExceeded, or InvalidArgument (a malformed row).
+  std::future<StatusOr<PredictResponse>> Submit(PredictRequest request);
+
+  /// Submit + wait.
+  StatusOr<PredictResponse> Predict(PredictRequest request);
+
+  /// Releases workers paused by Options::start_paused.
+  void Resume();
+
+  /// Stops accepting work, drains the queue (pending requests fail with
+  /// ResourceExhausted), joins the workers. Idempotent; the destructor
+  /// calls it.
+  void Shutdown();
+
+  size_t queue_depth() const;
+
+ private:
+  struct Task {
+    PredictRequest request;
+    std::promise<StatusOr<PredictResponse>> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void WorkerLoop();
+  StatusOr<PredictResponse> Execute(const PredictRequest& request) const;
+  void Finish(Task* task, StatusOr<PredictResponse> result);
+
+  const Options options_;
+  /// Pool size resolved up front: WorkerLoop reads it while the
+  /// constructor is still growing workers_, so it must not touch the
+  /// vector itself.
+  const size_t num_workers_;
+  ServeMetrics* const metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_SERVE_EXECUTOR_H_

@@ -1,0 +1,225 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/io.h"
+#include "util/socket.h"
+
+namespace topkrgs {
+
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 64u << 10;
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+const char* ReasonPhrase(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace
+
+StatusOr<HttpRequest> ParseHttpRequest(std::string_view data, size_t* consumed,
+                                       size_t max_body) {
+  const size_t header_end = data.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    if (data.size() > kMaxHeaderBytes) {
+      return Status::InvalidArgument("header block too large");
+    }
+    return Status::NotFound("incomplete request");  // need more bytes
+  }
+  if (header_end > kMaxHeaderBytes) {
+    return Status::InvalidArgument("header block too large");
+  }
+
+  const std::string_view head = data.substr(0, header_end);
+  const size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  // "METHOD SP target SP HTTP/1.x"
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Status::InvalidArgument("unsupported HTTP version");
+  }
+
+  HttpRequest request;
+  request.method = std::string(request_line.substr(0, sp1));
+  std::transform(request.method.begin(), request.method.end(),
+                 request.method.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') {
+    return Status::InvalidArgument("malformed request target");
+  }
+  const size_t qmark = target.find('?');
+  if (qmark != std::string_view::npos) {
+    request.query = std::string(target.substr(qmark + 1));
+    target = target.substr(0, qmark);
+  }
+  request.path = std::string(target);
+
+  size_t body_length = 0;
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("malformed header line");
+    }
+    std::string name = ToLower(Trim(line.substr(0, colon)));
+    std::string value(Trim(line.substr(colon + 1)));
+    if (name == "content-length") {
+      auto length = ParseUint(value);
+      if (!length.ok() || length.value() > max_body) {
+        return Status::InvalidArgument("bad content-length");
+      }
+      body_length = static_cast<size_t>(length.value());
+    }
+    if (name == "transfer-encoding") {
+      // One request per connection with explicit lengths only; chunked
+      // bodies are out of scope for this embedded endpoint.
+      return Status::InvalidArgument("transfer-encoding not supported");
+    }
+    request.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  const size_t total = header_end + 4 + body_length;
+  if (data.size() < total) return Status::NotFound("incomplete request");
+  request.body = std::string(data.substr(header_end + 4, body_length));
+  if (consumed != nullptr) *consumed = total;
+  return request;
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status_code) + " " +
+                    ReasonPhrase(response.status_code) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+Status HttpServer::Start(uint16_t port) {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("server already started");
+  }
+  auto fd_or = ListenTcp(port, &port_);
+  if (!fd_or.ok()) return fd_or.status();
+  listen_fd_ = fd_or.value();
+  stopping_.store(false, std::memory_order_relaxed);
+  // The loop gets the fd by value: Stop() writes listen_fd_ while the
+  // loop runs, and the loop must never read that racing member.
+  accept_thread_ = std::thread([this, fd = listen_fd_] { AcceptLoop(fd); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // shutdown() — not close() — is what wakes a thread blocked in accept()
+  // on Linux; a plain close would leave the accept loop sleeping forever.
+  // The fd itself is released only after the loop has exited.
+  ShutdownSocket(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  CloseSocket(listen_fd_);
+  listen_fd_ = -1;
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
+}
+
+void HttpServer::AcceptLoop(int listen_fd) {
+  for (;;) {
+    auto conn_or = AcceptConn(listen_fd);
+    if (!conn_or.ok()) return;  // listener closed (Stop) or fatal
+    const int fd = conn_or.value();
+    if (stopping_.load(std::memory_order_relaxed)) {
+      CloseSocket(fd);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      ++active_connections_;
+    }
+    std::thread([this, fd] {
+      ServeConnection(fd);
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      --active_connections_;
+      conn_cv_.notify_all();
+    }).detach();
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string buffer;
+  HttpResponse response;
+  bool have_request = false;
+  HttpRequest request;
+  // Read until one full request is buffered (one request per connection).
+  for (;;) {
+    auto chunk_or = RecvSome(fd, 64u << 10);
+    if (!chunk_or.ok()) {
+      CloseSocket(fd);
+      return;
+    }
+    const bool eof = chunk_or.value().empty();
+    buffer += chunk_or.value();
+    size_t consumed = 0;
+    auto request_or = ParseHttpRequest(buffer, &consumed);
+    if (request_or.ok()) {
+      request = std::move(request_or).value();
+      have_request = true;
+      break;
+    }
+    if (request_or.status().code() != StatusCode::kNotFound || eof) {
+      // Malformed bytes, oversized headers, or the peer hung up mid
+      // request: answer 400 when we can still write, then give up.
+      response.status_code = 400;
+      response.body = "{\"error\":\"" + std::string("bad request") + "\"}";
+      break;
+    }
+  }
+  if (have_request) response = handler_(request);
+  (void)SendAll(fd, SerializeHttpResponse(response));
+  CloseSocket(fd);
+}
+
+}  // namespace topkrgs

@@ -1,0 +1,90 @@
+#ifndef TOPKRGS_SERVE_HTTP_H_
+#define TOPKRGS_SERVE_HTTP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace topkrgs {
+
+struct HttpRequest {
+  std::string method;  // uppercased by the parser ("GET", "POST", ...)
+  std::string path;    // path only; the query string is stripped into query
+  std::string query;   // bytes after '?', undecoded ("" when absent)
+  std::vector<std::pair<std::string, std::string>> headers;  // names lowered
+  std::string body;
+
+  const std::string* FindHeader(const std::string& lower_name) const {
+    for (const auto& [name, value] : headers) {
+      if (name == lower_name) return &value;
+    }
+    return nullptr;
+  }
+};
+
+struct HttpResponse {
+  int status_code = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Parses one HTTP/1.1 request out of `data`. Returns the request and
+/// stores the total bytes consumed in `*consumed`; NotFound means "need
+/// more bytes" (incomplete request — not an error), InvalidArgument means
+/// the bytes can never become a valid request. Enforced limits: header
+/// block <= 64 KiB, Content-Length <= `max_body` (default 8 MiB).
+StatusOr<HttpRequest> ParseHttpRequest(std::string_view data, size_t* consumed,
+                                       size_t max_body = 8u << 20);
+
+/// Serializes a response with Content-Length and Connection: close.
+std::string SerializeHttpResponse(const HttpResponse& response);
+
+/// A deliberately small HTTP/1.1 server: one accept thread, one thread per
+/// connection, one request per connection (Connection: close). That is
+/// not a C10K design — it is the minimal dependency-free front end for
+/// the prediction service, whose concurrency lives in PredictionExecutor;
+/// the per-connection thread mostly just parses, submits, and waits.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(Handler handler) : handler_(std::move(handler)) {}
+  ~HttpServer() { Stop(); }
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  Status Start(uint16_t port);
+
+  /// The bound port (after Start) — how a test using --port 0 finds the
+  /// server.
+  uint16_t port() const { return port_; }
+
+  /// Closes the listener, waits for in-flight connections. Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop(int listen_fd);
+  void ServeConnection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  // Connection threads are detached; Stop() waits until the count drains
+  // so the handler (and this object) safely outlive every connection.
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  size_t active_connections_ = 0;
+};
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_SERVE_HTTP_H_

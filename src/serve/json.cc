@@ -1,0 +1,328 @@
+#include "serve/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace topkrgs {
+
+namespace {
+
+/// Maximum nesting depth Parse accepts. The recursive-descent parser uses
+/// the call stack, so unbounded depth is a stack-exhaustion crash on
+/// hostile input like ten thousand '['.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> ParseDocument() {
+    SkipWhitespace();
+    auto value = ParseValue(0);
+    if (!value.ok()) return value.status();
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Err("trailing garbage after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("json at byte " + std::to_string(pos_) +
+                                   ": " + msg);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    if (AtEnd()) return Err("unexpected end of input");
+    switch (Peek()) {
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue::Null();
+        return Err("invalid literal");
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue::Bool(true);
+        return Err("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue::Bool(false);
+        return Err("invalid literal");
+      case '"':
+        return ParseString();
+      case '[':
+        return ParseArray(depth);
+      case '{':
+        return ParseObject(depth);
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (AtEnd() || Peek() < '0' || Peek() > '9') return Err("invalid number");
+    // Leading zero may not be followed by more digits ("01" is invalid).
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (Consume('.')) {
+      if (AtEnd() || Peek() < '0' || Peek() > '9') return Err("invalid number");
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') return Err("invalid number");
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    double value = 0.0;
+    const auto result = std::from_chars(text_.data() + start,
+                                        text_.data() + pos_, value);
+    if (result.ec != std::errc() || !std::isfinite(value)) {
+      // Overflowing literals like 1e999 are syntactically valid JSON but a
+      // non-finite double would poison score arithmetic downstream.
+      return Err("number out of range");
+    }
+    return JsonValue::Number(value);
+  }
+
+  /// Appends the UTF-8 encoding of a code point.
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  StatusOr<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Err("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  StatusOr<JsonValue> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    for (;;) {
+      if (AtEnd()) return Err("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return JsonValue::String(std::move(out));
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Err("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Err("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          auto hi = ParseHex4();
+          if (!hi.ok()) return hi.status();
+          uint32_t cp = hi.value();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must pair with a following \uDC00..\uDFFF.
+            if (!ConsumeLiteral("\\u")) return Err("unpaired surrogate");
+            auto lo = ParseHex4();
+            if (!lo.ok()) return lo.status();
+            if (lo.value() < 0xDC00 || lo.value() > 0xDFFF) {
+              return Err("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo.value() - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Err("unpaired surrogate");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          return Err("invalid escape character");
+      }
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return out;
+    for (;;) {
+      SkipWhitespace();
+      auto value = ParseValue(depth + 1);
+      if (!value.ok()) return value.status();
+      out.Append(std::move(value).value());
+      SkipWhitespace();
+      if (Consume(']')) return out;
+      if (!Consume(',')) return Err("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return out;
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Err("expected object key");
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) return Err("expected ':' after object key");
+      SkipWhitespace();
+      auto value = ParseValue(depth + 1);
+      if (!value.ok()) return value.status();
+      out.Set(key.value().str(), std::move(value).value());
+      SkipWhitespace();
+      if (Consume('}')) return out;
+      if (!Consume(',')) return Err("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonValue::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber: {
+      char buf[32];
+      const auto result =
+          std::to_chars(buf, buf + sizeof(buf), number_);
+      out->append(buf, result.ptr);
+      return;
+    }
+    case Kind::kString:
+      *out += JsonQuote(string_);
+      return;
+    case Kind::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        array_[i].DumpTo(out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        *out += JsonQuote(members_[i].first);
+        out->push_back(':');
+        members_[i].second.DumpTo(out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+}  // namespace topkrgs

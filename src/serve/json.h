@@ -1,0 +1,110 @@
+#ifndef TOPKRGS_SERVE_JSON_H_
+#define TOPKRGS_SERVE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace topkrgs {
+
+/// Minimal dependency-free JSON tree for the serving endpoints: enough of
+/// RFC 8259 to parse prediction requests and emit responses. Like the
+/// model parsers in classify/model_io.h, Parse is an ingestion boundary
+/// over untrusted bytes (a network payload, a fuzzer input): it returns a
+/// fully validated tree or an InvalidArgument Status — never an abort.
+/// Guardrails: nesting depth capped (stack exhaustion), input size capped
+/// by the HTTP layer, numbers must be finite doubles, strings must be
+/// valid escape sequences (\uXXXX with surrogate pairs supported).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool boolean() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& str() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<Member>& members() const { return members_; }
+
+  void Append(JsonValue v) { array_.push_back(std::move(v)); }
+  void Set(std::string key, JsonValue v) {
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+
+  /// First member with `key`, or nullptr. Linear scan: serving payloads
+  /// have a handful of keys.
+  const JsonValue* Find(std::string_view key) const {
+    for (const Member& m : members_) {
+      if (m.first == key) return &m.second;
+    }
+    return nullptr;
+  }
+
+  /// Parses one JSON document (trailing whitespace allowed, trailing
+  /// garbage rejected).
+  static StatusOr<JsonValue> Parse(std::string_view text);
+
+  /// Compact serialization (no insignificant whitespace). Numbers render
+  /// via shortest-round-trip so a parse-dump cycle preserves doubles.
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<Member> members_;
+};
+
+/// Escapes a string for embedding in a JSON document (adds the quotes).
+std::string JsonQuote(std::string_view s);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_SERVE_JSON_H_

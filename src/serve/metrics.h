@@ -1,0 +1,81 @@
+#ifndef TOPKRGS_SERVE_METRICS_H_
+#define TOPKRGS_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace topkrgs {
+
+/// Serving metrics, shared by the executor and the HTTP front end. All
+/// fields are atomics with relaxed ordering — they are monitoring signals,
+/// not synchronization — so any thread can bump them without contention.
+///
+/// Prometheus names rendered by RenderPrometheus:
+///   topkrgs_requests_total            predict requests accepted for execution
+///   topkrgs_rows_total                individual rows classified
+///   topkrgs_errors_total              requests finished with a non-OK status
+///                                     (bad payload, unknown model, ...)
+///   topkrgs_shed_total                requests rejected at submit: queue full
+///   topkrgs_deadline_exceeded_total   requests expired before completion
+///   topkrgs_queue_depth               requests currently queued (gauge)
+///   topkrgs_models_loaded             model versions resident in the registry
+///   topkrgs_request_latency_seconds   histogram: submit-to-completion latency
+struct ServeMetrics {
+  std::atomic<uint64_t> requests_total{0};
+  std::atomic<uint64_t> rows_total{0};
+  std::atomic<uint64_t> errors_total{0};
+  std::atomic<uint64_t> shed_total{0};
+  std::atomic<uint64_t> deadline_exceeded_total{0};
+  std::atomic<int64_t> queue_depth{0};
+  std::atomic<int64_t> models_loaded{0};
+  LatencyHistogram request_latency;
+
+  std::string RenderPrometheus() const {
+    auto counter = [](const char* name, const char* help, uint64_t v) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "# HELP %s %s\n# TYPE %s counter\n%s %llu\n", name, help,
+                    name, name, static_cast<unsigned long long>(v));
+      return std::string(buf);
+    };
+    auto gauge = [](const char* name, const char* help, int64_t v) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "# HELP %s %s\n# TYPE %s gauge\n%s %lld\n", name, help,
+                    name, name, static_cast<long long>(v));
+      return std::string(buf);
+    };
+    std::string out;
+    out += counter("topkrgs_requests_total",
+                   "Predict requests accepted for execution.",
+                   requests_total.load(std::memory_order_relaxed));
+    out += counter("topkrgs_rows_total", "Rows classified.",
+                   rows_total.load(std::memory_order_relaxed));
+    out += counter("topkrgs_errors_total",
+                   "Requests finished with a non-OK status.",
+                   errors_total.load(std::memory_order_relaxed));
+    out += counter("topkrgs_shed_total",
+                   "Requests rejected at submit because the queue was full.",
+                   shed_total.load(std::memory_order_relaxed));
+    out += counter("topkrgs_deadline_exceeded_total",
+                   "Requests whose deadline expired before completion.",
+                   deadline_exceeded_total.load(std::memory_order_relaxed));
+    out += gauge("topkrgs_queue_depth", "Requests currently queued.",
+                 queue_depth.load(std::memory_order_relaxed));
+    out += gauge("topkrgs_models_loaded",
+                 "Model versions resident in the registry.",
+                 models_loaded.load(std::memory_order_relaxed));
+    out += "# HELP topkrgs_request_latency_seconds Submit-to-completion "
+           "latency of executed requests.\n"
+           "# TYPE topkrgs_request_latency_seconds histogram\n";
+    out += request_latency.RenderPrometheus("topkrgs_request_latency_seconds");
+    return out;
+  }
+};
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_SERVE_METRICS_H_

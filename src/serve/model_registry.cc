@@ -1,0 +1,246 @@
+#include "serve/model_registry.h"
+
+#include <cmath>
+
+#include "classify/model_io.h"
+
+namespace topkrgs {
+
+namespace {
+
+/// Matched rules are reported in the model file's rule syntax
+/// ("rule <consequent> <sup> <asup> <items...>") so a response can be
+/// cross-checked against the persisted artifact byte-for-byte.
+std::string RenderRule(const Rule& rule) {
+  std::string line =
+      "rule " + std::to_string(static_cast<int>(rule.consequent)) + ' ' +
+      std::to_string(rule.support) + ' ' +
+      std::to_string(rule.antecedent_support);
+  rule.antecedent.ForEach([&](size_t item) {
+    line += ' ';
+    line += std::to_string(item);
+  });
+  return line;
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const ServableModel>> ServableModel::Create(
+    std::string name, std::string version, Discretization disc,
+    std::optional<RcbtClassifier> rcbt, std::optional<CbaClassifier> cba,
+    uint32_t model_num_items) {
+  if (name.empty() || version.empty()) {
+    return Status::InvalidArgument("model name and version must be non-empty");
+  }
+  if (rcbt.has_value() == cba.has_value()) {
+    return Status::InvalidArgument(
+        "exactly one of rcbt/cba must be provided");
+  }
+  // Same cross-artifact gate as the CLI load path: rule antecedents and
+  // discretized rows must live in the same item universe, or Predict would
+  // hit the bitset universe-mismatch abort.
+  if (model_num_items != disc.num_items()) {
+    return Status::FailedPrecondition(
+        "model expects " + std::to_string(model_num_items) +
+        " items but the discretization defines " +
+        std::to_string(disc.num_items()));
+  }
+  auto model = std::shared_ptr<ServableModel>(new ServableModel());
+  model->name_ = std::move(name);
+  model->version_ = std::move(version);
+  model->kind_ = rcbt.has_value() ? Kind::kRcbt : Kind::kCba;
+  model->num_items_ = model_num_items;
+  model->min_genes_ = disc.selected_genes().empty()
+                          ? 0
+                          : disc.selected_genes().back() + 1;
+  model->disc_ = std::move(disc);
+  model->rcbt_ = std::move(rcbt);
+  model->cba_ = std::move(cba);
+  return std::shared_ptr<const ServableModel>(std::move(model));
+}
+
+StatusOr<ServableModel::RowResult> ServableModel::Predict(
+    const std::vector<double>& gene_values) const {
+  if (gene_values.size() < min_genes_) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(gene_values.size()) +
+        " genes but the model needs at least " + std::to_string(min_genes_));
+  }
+  for (double v : gene_values) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite expression value");
+    }
+  }
+  // Exactly the batch path: DiscretizeRow is what Discretization::Apply
+  // runs per row, so serving and topkrgs-classify agree bit for bit.
+  Bitset items(num_items_);
+  for (ItemId item : disc_.DiscretizeRow(gene_values)) items.Set(item);
+
+  RowResult out;
+  if (kind_ == Kind::kRcbt) {
+    RcbtClassifier::Prediction pred = rcbt_->Predict(items);
+    out.label = pred.label;
+    out.classifier_index = pred.classifier_index;
+    out.used_default = pred.used_default;
+    out.scores = std::move(pred.scores);
+    if (!pred.used_default) {
+      const std::vector<Rule>& rules =
+          rcbt_->classifier_rules(pred.classifier_index);
+      out.matched_rules.reserve(pred.matched_rules.size());
+      for (uint32_t idx : pred.matched_rules) {
+        out.matched_rules.push_back(RenderRule(rules[idx]));
+      }
+    }
+  } else {
+    const CbaClassifier::Prediction pred = cba_->PredictDetailed(items);
+    out.label = pred.label;
+    out.used_default = pred.used_default;
+    out.classifier_index = pred.used_default ? 0 : 1;
+    if (!pred.used_default) {
+      out.scores.assign(static_cast<size_t>(pred.label) + 1, 0.0);
+      out.scores[pred.label] = pred.confidence;
+      out.matched_rules.push_back(
+          RenderRule(cba_->rules()[static_cast<size_t>(pred.matched_rule)]));
+    }
+  }
+  return out;
+}
+
+Status ModelRegistry::Load(const std::string& name, const std::string& version,
+                           ServableModel::Kind kind,
+                           const std::string& model_path,
+                           const std::string& discretization_path) {
+  auto disc_or = LoadDiscretization(discretization_path);
+  if (!disc_or.ok()) return disc_or.status();
+
+  std::optional<RcbtClassifier> rcbt;
+  std::optional<CbaClassifier> cba;
+  uint32_t model_items = 0;
+  if (kind == ServableModel::Kind::kRcbt) {
+    auto model_or = LoadRcbtClassifier(model_path, &model_items);
+    if (!model_or.ok()) return model_or.status();
+    rcbt = std::move(model_or).value();
+  } else {
+    auto model_or = LoadCbaClassifier(model_path, &model_items);
+    if (!model_or.ok()) return model_or.status();
+    cba = std::move(model_or).value();
+  }
+  auto model_or =
+      ServableModel::Create(name, version, std::move(disc_or).value(),
+                            std::move(rcbt), std::move(cba), model_items);
+  if (!model_or.ok()) return model_or.status();
+  return Insert(std::move(model_or).value());
+}
+
+Status ModelRegistry::Insert(std::shared_ptr<const ServableModel> model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("null model");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = models_[model->name()];
+  const bool replaced =
+      entry.versions.count(model->version()) > 0;
+  entry.versions[model->version()] = model;
+  // Loading doubles as activation (hot-swap): remember the outgoing active
+  // version so Rollback can revert the swap.
+  if (entry.active != nullptr && entry.active->version() != model->version()) {
+    entry.previous = entry.active;
+  }
+  entry.active = std::move(model);
+  if (metrics_ != nullptr && !replaced) {
+    metrics_->models_loaded.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status ModelRegistry::Activate(const std::string& name,
+                               const std::string& version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model '" + name + "' not loaded");
+  }
+  auto vit = it->second.versions.find(version);
+  if (vit == it->second.versions.end()) {
+    return Status::NotFound("model '" + name + "' has no version '" + version +
+                            "'");
+  }
+  if (it->second.active != vit->second) {
+    it->second.previous = it->second.active;
+    it->second.active = vit->second;
+  }
+  return Status::OK();
+}
+
+Status ModelRegistry::Rollback(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model '" + name + "' not loaded");
+  }
+  if (it->second.previous == nullptr) {
+    return Status::FailedPrecondition("model '" + name +
+                                      "' has no previous version to roll "
+                                      "back to");
+  }
+  std::swap(it->second.active, it->second.previous);
+  return Status::OK();
+}
+
+Status ModelRegistry::Unload(const std::string& name,
+                             const std::string& version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model '" + name + "' not loaded");
+  }
+  auto vit = it->second.versions.find(version);
+  if (vit == it->second.versions.end()) {
+    return Status::NotFound("model '" + name + "' has no version '" + version +
+                            "'");
+  }
+  if (it->second.active == vit->second) {
+    return Status::FailedPrecondition(
+        "version '" + version + "' is active; activate another first");
+  }
+  if (it->second.previous == vit->second) it->second.previous = nullptr;
+  it->second.versions.erase(vit);
+  if (metrics_ != nullptr) {
+    metrics_->models_loaded.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const ServableModel>> ModelRegistry::Get(
+    const std::string& name, const std::string& version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model '" + name + "' not loaded");
+  }
+  if (version.empty()) {
+    if (it->second.active == nullptr) {
+      return Status::NotFound("model '" + name + "' has no active version");
+    }
+    return it->second.active;
+  }
+  auto vit = it->second.versions.find(version);
+  if (vit == it->second.versions.end()) {
+    return Status::NotFound("model '" + name + "' has no version '" + version +
+                            "'");
+  }
+  return vit->second;
+}
+
+std::vector<ModelRegistry::ModelInfo> ModelRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ModelInfo> out;
+  for (const auto& [name, entry] : models_) {
+    for (const auto& [version, model] : entry.versions) {
+      out.push_back({name, version, model == entry.active});
+    }
+  }
+  return out;
+}
+
+}  // namespace topkrgs

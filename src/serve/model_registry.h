@@ -1,0 +1,140 @@
+#ifndef TOPKRGS_SERVE_MODEL_REGISTRY_H_
+#define TOPKRGS_SERVE_MODEL_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classify/cba.h"
+#include "classify/rcbt.h"
+#include "discretize/entropy_discretizer.h"
+#include "serve/metrics.h"
+#include "util/status.h"
+
+namespace topkrgs {
+
+/// One fully validated, immutable model ready to serve: the fitted
+/// discretization plus a CBA or RCBT classifier over the same item
+/// universe. Everything is precomputed at load time; after construction
+/// the object is strictly read-only, so any number of worker threads can
+/// Predict() on one instance concurrently with no locking (the classifier
+/// Predict paths are const and touch no shared mutable state — pinned by
+/// the ThreadSafety tests under TSan).
+class ServableModel {
+ public:
+  enum class Kind { kRcbt, kCba };
+
+  /// Builds from already-parsed artifacts. Validates the cross-artifact
+  /// contract the CLI load path enforces: the model's item universe must
+  /// equal the discretization's (FailedPrecondition otherwise — each file
+  /// is valid alone, the pair is inconsistent).
+  static StatusOr<std::shared_ptr<const ServableModel>> Create(
+      std::string name, std::string version, Discretization disc,
+      std::optional<RcbtClassifier> rcbt, std::optional<CbaClassifier> cba,
+      uint32_t model_num_items);
+
+  const std::string& name() const { return name_; }
+  const std::string& version() const { return version_; }
+  Kind kind() const { return kind_; }
+  uint32_t num_items() const { return num_items_; }
+  /// Minimum gene-vector length a request row must provide.
+  uint32_t min_genes() const { return min_genes_; }
+  const Discretization& discretization() const { return disc_; }
+
+  /// One classified row. `scores` are the deciding classifier's aggregated
+  /// per-class voting scores (RCBT; for CBA the matched rule's confidence
+  /// at its consequent), `matched_rules` the lower-bound rules that fired
+  /// in the deciding classifier, rendered in the model file's rule syntax.
+  struct RowResult {
+    ClassLabel label = 0;
+    uint32_t classifier_index = 0;  // 1-based; 0 = default class fired
+    bool used_default = false;
+    std::vector<double> scores;
+    std::vector<std::string> matched_rules;
+  };
+
+  /// Discretizes one continuous gene vector and classifies it. The row
+  /// must have at least min_genes() values (InvalidArgument otherwise) and
+  /// every value must be finite. Deterministically identical to the batch
+  /// CLI path (Discretization::Apply + classifier Predict).
+  StatusOr<RowResult> Predict(const std::vector<double>& gene_values) const;
+
+ private:
+  ServableModel() = default;
+
+  std::string name_;
+  std::string version_;
+  Kind kind_ = Kind::kRcbt;
+  uint32_t num_items_ = 0;
+  uint32_t min_genes_ = 0;
+  Discretization disc_;
+  std::optional<RcbtClassifier> rcbt_;
+  std::optional<CbaClassifier> cba_;
+};
+
+/// The registry maps (name, version) to loaded models and tracks one
+/// *active* version per name. Readers (request threads) resolve a model to
+/// a shared_ptr<const ServableModel> and keep serving on it even while an
+/// operator hot-swaps the active version — the old version stays alive
+/// until its last in-flight request drops the reference. All registry
+/// state is guarded by one mutex; the critical sections are pointer swaps
+/// and map lookups, never model loading or prediction.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(ServeMetrics* metrics = nullptr)
+      : metrics_(metrics) {}
+
+  /// Parses + validates the artifacts from disk through the hardened
+  /// model_io boundaries, precomputes the servable state, inserts it under
+  /// (name, version) and makes it the active version (hot-swap). The
+  /// previously active version is remembered for Rollback. Fails without
+  /// touching the registry when any artifact is invalid or the pair is
+  /// inconsistent. Re-loading an existing (name, version) replaces it.
+  Status Load(const std::string& name, const std::string& version,
+              ServableModel::Kind kind, const std::string& model_path,
+              const std::string& discretization_path);
+
+  /// Inserts an already-built model (in-process embedding path; the bench
+  /// and tests use this to serve freshly trained classifiers without a
+  /// round-trip through the filesystem).
+  Status Insert(std::shared_ptr<const ServableModel> model);
+
+  /// Makes an already-loaded version the active one.
+  Status Activate(const std::string& name, const std::string& version);
+
+  /// Reverts `name` to the version that was active before the last
+  /// Activate/Load swap. FailedPrecondition when there is no history.
+  Status Rollback(const std::string& name);
+
+  /// Drops one loaded version. FailedPrecondition when it is active.
+  Status Unload(const std::string& name, const std::string& version);
+
+  /// Resolves a model; empty `version` means the active version.
+  StatusOr<std::shared_ptr<const ServableModel>> Get(
+      const std::string& name, const std::string& version = "") const;
+
+  struct ModelInfo {
+    std::string name;
+    std::string version;
+    bool active = false;
+  };
+  std::vector<ModelInfo> List() const;
+
+ private:
+  struct Entry {
+    std::map<std::string, std::shared_ptr<const ServableModel>> versions;
+    std::shared_ptr<const ServableModel> active;
+    std::shared_ptr<const ServableModel> previous;  // rollback target
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> models_;
+  ServeMetrics* metrics_;
+};
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_SERVE_MODEL_REGISTRY_H_

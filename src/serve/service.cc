@@ -1,0 +1,318 @@
+#include "serve/service.h"
+
+#include <cmath>
+
+#include "serve/json.h"
+
+namespace topkrgs {
+
+namespace {
+
+/// Request-shape caps, enforced before any allocation proportional to the
+/// declared size: a hostile payload must not reserve gigabytes.
+constexpr size_t kMaxRowsPerRequest = 4096;
+constexpr size_t kMaxValuesPerRow = 1u << 20;
+
+HttpResponse JsonError(int http_code, const Status& status) {
+  HttpResponse response;
+  response.status_code = http_code;
+  JsonValue body = JsonValue::Object();
+  body.Set("error", JsonValue::String(status.ToString()));
+  response.body = body.Dump();
+  return response;
+}
+
+HttpResponse StatusError(const Status& status) {
+  return JsonError(HttpCodeForStatus(status), status);
+}
+
+}  // namespace
+
+int HttpCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kTimeout:
+      return 504;
+    case StatusCode::kIOError:
+    case StatusCode::kOutOfRange:
+      return 500;
+  }
+  return 500;
+}
+
+StatusOr<ParsedPredictRequest> ParsePredictRequest(std::string_view body) {
+  auto doc_or = JsonValue::Parse(body);
+  if (!doc_or.ok()) return doc_or.status();
+  const JsonValue& doc = doc_or.value();
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+
+  ParsedPredictRequest out;
+  bool have_rows = false;
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "model") {
+      if (!value.is_string() || value.str().empty()) {
+        return Status::InvalidArgument("'model' must be a non-empty string");
+      }
+      out.model = value.str();
+    } else if (key == "version") {
+      if (!value.is_string()) {
+        return Status::InvalidArgument("'version' must be a string");
+      }
+      out.version = value.str();
+    } else if (key == "deadline_ms") {
+      if (!value.is_number() || !(value.number() > 0)) {
+        return Status::InvalidArgument("'deadline_ms' must be a number > 0");
+      }
+      out.deadline_ms = value.number();
+    } else if (key == "rows") {
+      if (!value.is_array() || value.array().empty()) {
+        return Status::InvalidArgument("'rows' must be a non-empty array");
+      }
+      if (value.array().size() > kMaxRowsPerRequest) {
+        return Status::InvalidArgument(
+            "too many rows (max " + std::to_string(kMaxRowsPerRequest) + ")");
+      }
+      have_rows = true;
+      out.rows.reserve(value.array().size());
+      for (const JsonValue& row : value.array()) {
+        if (!row.is_array() || row.array().empty()) {
+          return Status::InvalidArgument(
+              "each row must be a non-empty array of numbers");
+        }
+        if (row.array().size() > kMaxValuesPerRow) {
+          return Status::InvalidArgument("row too long (max " +
+                                         std::to_string(kMaxValuesPerRow) +
+                                         ")");
+        }
+        std::vector<double> values;
+        values.reserve(row.array().size());
+        for (const JsonValue& v : row.array()) {
+          // The JSON parser already rejects non-finite literals; this
+          // guards the contract for any future parser change.
+          if (!v.is_number() || !std::isfinite(v.number())) {
+            return Status::InvalidArgument("row values must be finite numbers");
+          }
+          values.push_back(v.number());
+        }
+        out.rows.push_back(std::move(values));
+      }
+    } else {
+      return Status::InvalidArgument("unknown request key '" + key + "'");
+    }
+  }
+  if (!have_rows) return Status::InvalidArgument("missing 'rows'");
+  return out;
+}
+
+std::string RowResultToJson(const ServableModel::RowResult& row) {
+  JsonValue out = JsonValue::Object();
+  out.Set("label", JsonValue::Number(static_cast<double>(row.label)));
+  out.Set("classifier",
+          JsonValue::Number(static_cast<double>(row.classifier_index)));
+  out.Set("used_default", JsonValue::Bool(row.used_default));
+  JsonValue scores = JsonValue::Array();
+  for (double s : row.scores) scores.Append(JsonValue::Number(s));
+  out.Set("scores", std::move(scores));
+  JsonValue rules = JsonValue::Array();
+  for (const std::string& r : row.matched_rules) {
+    rules.Append(JsonValue::String(r));
+  }
+  out.Set("matched_rules", std::move(rules));
+  return out.Dump();
+}
+
+PredictionService::PredictionService(const Options& options)
+    : registry_(&metrics_),
+      executor_({options.workers, options.queue_capacity, false}, &metrics_),
+      default_deadline_ms_(options.default_deadline_ms) {}
+
+Status PredictionService::Start(uint16_t port) {
+  if (http_ != nullptr) {
+    return Status::FailedPrecondition("service already started");
+  }
+  http_ = std::make_unique<HttpServer>(
+      [this](const HttpRequest& request) { return HandleHttp(request); });
+  const Status status = http_->Start(port);
+  if (!status.ok()) http_.reset();
+  return status;
+}
+
+void PredictionService::Stop() {
+  if (http_ != nullptr) {
+    http_->Stop();
+    http_.reset();
+  }
+}
+
+StatusOr<PredictResponse> PredictionService::Predict(
+    const ParsedPredictRequest& parsed) {
+  auto model_or = registry_.Get(parsed.model, parsed.version);
+  if (!model_or.ok()) return model_or.status();
+  PredictRequest request;
+  request.model = std::move(model_or).value();
+  request.rows = parsed.rows;
+  const double deadline_ms =
+      parsed.deadline_ms > 0 ? parsed.deadline_ms : default_deadline_ms_;
+  if (deadline_ms > 0) request.deadline = Deadline(deadline_ms / 1e3);
+  return executor_.Predict(std::move(request));
+}
+
+HttpResponse PredictionService::HandleHttp(const HttpRequest& request) {
+  if (request.path == "/healthz") {
+    if (request.method != "GET") {
+      return JsonError(405, Status::InvalidArgument("use GET"));
+    }
+    HttpResponse response;
+    response.content_type = "text/plain";
+    response.body = "ok\n";
+    return response;
+  }
+  if (request.path == "/metrics") {
+    if (request.method != "GET") {
+      return JsonError(405, Status::InvalidArgument("use GET"));
+    }
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4";
+    response.body = metrics_.RenderPrometheus();
+    return response;
+  }
+  if (request.path == "/v1/predict") {
+    if (request.method != "POST") {
+      return JsonError(405, Status::InvalidArgument("use POST"));
+    }
+    return HandlePredict(request);
+  }
+  if (request.path == "/v1/models" ||
+      request.path.rfind("/v1/models/", 0) == 0) {
+    return HandleModels(request);
+  }
+  return JsonError(404, Status::NotFound("no route for " + request.path));
+}
+
+HttpResponse PredictionService::HandlePredict(const HttpRequest& request) {
+  auto parsed_or = ParsePredictRequest(request.body);
+  if (!parsed_or.ok()) {
+    metrics_.errors_total.fetch_add(1, std::memory_order_relaxed);
+    return StatusError(parsed_or.status());
+  }
+  auto response_or = Predict(parsed_or.value());
+  if (!response_or.ok()) {
+    // Registry misses count as errors here; executor-side failures were
+    // already counted by the executor itself.
+    if (response_or.status().code() == StatusCode::kNotFound) {
+      metrics_.errors_total.fetch_add(1, std::memory_order_relaxed);
+    }
+    return StatusError(response_or.status());
+  }
+  std::string body = "{\"predictions\":[";
+  const PredictResponse& response = response_or.value();
+  for (size_t i = 0; i < response.rows.size(); ++i) {
+    if (i > 0) body.push_back(',');
+    body += RowResultToJson(response.rows[i]);
+  }
+  body += "]}";
+  HttpResponse http;
+  http.body = std::move(body);
+  return http;
+}
+
+HttpResponse PredictionService::HandleModels(const HttpRequest& request) {
+  if (request.path == "/v1/models") {
+    if (request.method != "GET") {
+      return JsonError(405, Status::InvalidArgument("use GET"));
+    }
+    JsonValue body = JsonValue::Object();
+    JsonValue list = JsonValue::Array();
+    for (const auto& info : registry_.List()) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("name", JsonValue::String(info.name));
+      entry.Set("version", JsonValue::String(info.version));
+      entry.Set("active", JsonValue::Bool(info.active));
+      list.Append(std::move(entry));
+    }
+    body.Set("models", std::move(list));
+    HttpResponse response;
+    response.body = body.Dump();
+    return response;
+  }
+
+  if (request.method != "POST") {
+    return JsonError(405, Status::InvalidArgument("use POST"));
+  }
+  // Grammar: /v1/models/{name}/{version}:load  or  /v1/models/{name}:rollback
+  std::string rest = request.path.substr(std::string("/v1/models/").size());
+  const size_t colon = rest.rfind(':');
+  if (colon == std::string::npos) {
+    return JsonError(
+        404, Status::NotFound("expected ...:load or ...:rollback"));
+  }
+  const std::string verb = rest.substr(colon + 1);
+  rest = rest.substr(0, colon);
+
+  if (verb == "rollback") {
+    if (rest.empty() || rest.find('/') != std::string::npos) {
+      return JsonError(400,
+                       Status::InvalidArgument("rollback takes a bare name"));
+    }
+    const Status status = registry_.Rollback(rest);
+    if (!status.ok()) return StatusError(status);
+    HttpResponse response;
+    response.body = "{\"status\":\"ok\"}";
+    return response;
+  }
+  if (verb != "load") {
+    return JsonError(404, Status::NotFound("unknown verb ':" + verb + "'"));
+  }
+  const size_t slash = rest.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= rest.size() ||
+      rest.find('/', slash + 1) != std::string::npos) {
+    return JsonError(
+        400, Status::InvalidArgument("expected /v1/models/{name}/{version}:load"));
+  }
+  const std::string name = rest.substr(0, slash);
+  const std::string version = rest.substr(slash + 1);
+
+  auto doc_or = JsonValue::Parse(request.body);
+  if (!doc_or.ok()) return StatusError(doc_or.status());
+  const JsonValue& doc = doc_or.value();
+  if (!doc.is_object()) {
+    return StatusError(Status::InvalidArgument("body must be a JSON object"));
+  }
+  const JsonValue* kind = doc.Find("kind");
+  const JsonValue* model_path = doc.Find("model_path");
+  const JsonValue* disc_path = doc.Find("discretization_path");
+  if (kind == nullptr || !kind->is_string() ||
+      (kind->str() != "rcbt" && kind->str() != "cba")) {
+    return StatusError(
+        Status::InvalidArgument("'kind' must be \"rcbt\" or \"cba\""));
+  }
+  if (model_path == nullptr || !model_path->is_string() ||
+      disc_path == nullptr || !disc_path->is_string()) {
+    return StatusError(Status::InvalidArgument(
+        "'model_path' and 'discretization_path' must be strings"));
+  }
+  const Status status = registry_.Load(
+      name, version,
+      kind->str() == "rcbt" ? ServableModel::Kind::kRcbt
+                            : ServableModel::Kind::kCba,
+      model_path->str(), disc_path->str());
+  if (!status.ok()) return StatusError(status);
+  HttpResponse response;
+  response.body = "{\"status\":\"ok\",\"name\":" + JsonQuote(name) +
+                  ",\"version\":" + JsonQuote(version) + "}";
+  return response;
+}
+
+}  // namespace topkrgs

@@ -1,0 +1,88 @@
+#ifndef TOPKRGS_SERVE_SERVICE_H_
+#define TOPKRGS_SERVE_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/executor.h"
+#include "serve/http.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "util/status.h"
+
+namespace topkrgs {
+
+/// A POST /v1/predict payload after JSON validation, before model
+/// resolution. Split out (rather than folded into HandleHttp) because it
+/// is the network-facing parser of untrusted bytes: fuzz_predict_request
+/// drives exactly this function.
+struct ParsedPredictRequest {
+  std::string model = "default";
+  std::string version;  // "" = active version
+  std::vector<std::vector<double>> rows;
+  double deadline_ms = 0;  // 0 = unlimited
+};
+
+/// Parses + validates a predict request body:
+///   {"rows": [[<finite number>*]+], "model"?: str, "version"?: str,
+///    "deadline_ms"?: num > 0}
+/// Limits: <= 4096 rows, <= 2^20 values per row, unknown keys rejected
+/// (a typo like "modle" must not silently hit the default model).
+StatusOr<ParsedPredictRequest> ParsePredictRequest(std::string_view body);
+
+/// The serving endpoint set, glued onto HttpServer:
+///   POST /v1/predict                      classify rows (JSON in/out)
+///   POST /v1/models/{name}/{version}:load load + hot-swap a model
+///   POST /v1/models/{name}:rollback       revert the last swap
+///   GET  /v1/models                       list loaded (name, version)s
+///   GET  /healthz                         liveness: "ok"
+///   GET  /metrics                         Prometheus text exposition
+class PredictionService {
+ public:
+  struct Options {
+    uint32_t workers = 4;
+    size_t queue_capacity = 256;
+    /// Cap applied when a request carries no deadline_ms; 0 = unlimited.
+    double default_deadline_ms = 0;
+  };
+
+  explicit PredictionService(const Options& options);
+
+  ModelRegistry& registry() { return registry_; }
+  PredictionExecutor& executor() { return executor_; }
+  ServeMetrics& metrics() { return metrics_; }
+
+  /// Starts the HTTP front end on 127.0.0.1:`port` (0 = ephemeral).
+  Status Start(uint16_t port);
+  uint16_t port() const { return http_ == nullptr ? 0 : http_->port(); }
+  void Stop();
+
+  /// The route dispatcher, exposed for in-process tests (drive the full
+  /// HTTP semantics without sockets).
+  HttpResponse HandleHttp(const HttpRequest& request);
+
+  /// In-process client: resolve + submit + wait, no HTTP. The bench uses
+  /// this to measure executor throughput without socket noise.
+  StatusOr<PredictResponse> Predict(const ParsedPredictRequest& request);
+
+ private:
+  HttpResponse HandlePredict(const HttpRequest& request);
+  HttpResponse HandleModels(const HttpRequest& request);
+
+  ServeMetrics metrics_;
+  ModelRegistry registry_;
+  PredictionExecutor executor_;
+  std::unique_ptr<HttpServer> http_;
+  const double default_deadline_ms_;
+};
+
+/// Maps a Status to the HTTP status code the endpoints answer with.
+int HttpCodeForStatus(const Status& status);
+
+/// Renders one classified row as the response JSON object.
+std::string RowResultToJson(const ServableModel::RowResult& row);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_SERVE_SERVICE_H_

@@ -6,7 +6,8 @@
 /// (Cong, Tan, Tung, Xu — SIGMOD 2005): the MineTopkRGS miner, the RCBT /
 /// CBA / IRG classifiers, the FARMER / CHARM / CLOSET+ baselines, and the
 /// preprocessing substrates (entropy-MDL discretization, synthetic
-/// microarray generation).
+/// microarray generation), plus the embeddable prediction-serving stack
+/// (model registry, batched executor, HTTP front end — src/serve).
 
 #include "analyze/rule_report.h"
 #include "classify/cba.h"
@@ -35,9 +36,17 @@
 #include "mine/prefix_tree.h"
 #include "mine/topk_miner.h"
 #include "mine/transposed_table.h"
+#include "serve/executor.h"
+#include "serve/http.h"
+#include "serve/json.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/service.h"
 #include "synth/generator.h"
 #include "util/bitset.h"
+#include "util/histogram.h"
 #include "util/random.h"
+#include "util/socket.h"
 #include "util/status.h"
 #include "util/timer.h"
 

@@ -1,0 +1,111 @@
+#ifndef TOPKRGS_UTIL_HISTOGRAM_H_
+#define TOPKRGS_UTIL_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace topkrgs {
+
+/// A fixed-bucket latency histogram safe for concurrent recording: workers
+/// Record() from many threads with relaxed atomics (counters are
+/// independent; no ordering is needed between them), readers take a
+/// point-in-time snapshot for percentiles and /metrics rendering.
+///
+/// Buckets are exponential base-2 over microseconds: bucket i counts
+/// samples in [2^i, 2^(i+1)) us, bucket 0 is [0, 2) us, the last bucket is
+/// unbounded. 32 buckets span 1 us .. ~35 minutes, which covers any
+/// plausible request latency.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 32;
+
+  void Record(uint64_t micros) {
+    size_t bucket = 0;
+    while (bucket + 1 < kNumBuckets && micros >= (uint64_t{2} << bucket)) {
+      ++bucket;
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  /// A point-in-time copy; concurrent Record()s land in either side.
+  struct Snapshot {
+    uint64_t counts[kNumBuckets] = {};
+    uint64_t total = 0;
+    uint64_t sum_micros = 0;
+
+    /// Upper bound (exclusive) of bucket i in microseconds.
+    static uint64_t BucketBound(size_t i) { return uint64_t{2} << i; }
+
+    /// Percentile estimate in microseconds (upper bound of the bucket the
+    /// p-quantile sample falls into). p in [0, 100]; 0 with no samples.
+    uint64_t PercentileMicros(double p) const {
+      if (total == 0) return 0;
+      const double target = p / 100.0 * static_cast<double>(total);
+      uint64_t seen = 0;
+      for (size_t i = 0; i < kNumBuckets; ++i) {
+        seen += counts[i];
+        if (static_cast<double>(seen) >= target && counts[i] > 0) {
+          return BucketBound(i);
+        }
+      }
+      return BucketBound(kNumBuckets - 1);
+    }
+
+    double MeanMicros() const {
+      return total == 0
+                 ? 0.0
+                 : static_cast<double>(sum_micros) / static_cast<double>(total);
+    }
+  };
+
+  Snapshot Snap() const {
+    Snapshot s;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      s.total += s.counts[i];
+    }
+    s.sum_micros = sum_micros_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Prometheus histogram exposition (cumulative `le` buckets in seconds,
+  /// plus _sum and _count), one line per non-empty boundary to keep the
+  /// scrape small.
+  std::string RenderPrometheus(const std::string& name) const {
+    const Snapshot s = Snap();
+    std::string out;
+    uint64_t cumulative = 0;
+    char buf[160];
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      cumulative += s.counts[i];
+      if (s.counts[i] == 0) continue;
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%.6f\"} %llu\n",
+                    name.c_str(),
+                    static_cast<double>(Snapshot::BucketBound(i)) / 1e6,
+                    static_cast<unsigned long long>(cumulative));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %llu\n",
+                  name.c_str(), static_cast<unsigned long long>(s.total));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_sum %.6f\n", name.c_str(),
+                  static_cast<double>(s.sum_micros) / 1e6);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_count %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(s.total));
+    out += buf;
+    return out;
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_UTIL_HISTOGRAM_H_

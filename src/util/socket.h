@@ -1,0 +1,50 @@
+#ifndef TOPKRGS_UTIL_SOCKET_H_
+#define TOPKRGS_UTIL_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace topkrgs {
+
+/// Thin Status-returning wrappers over POSIX TCP sockets — just enough for
+/// the dependency-free HTTP/1.1 server in src/serve and its test/bench
+/// clients. IPv4 loopback/any only; every fd returned is blocking and must
+/// be closed with CloseSocket.
+
+/// Listens on 127.0.0.1:`port` (port 0 = kernel-assigned ephemeral port).
+/// On success returns the listening fd and stores the bound port in
+/// `*bound_port` — that is how a test starts a server on "--port 0" and
+/// learns where it actually lives.
+StatusOr<int> ListenTcp(uint16_t port, uint16_t* bound_port);
+
+/// Blocks until a client connects; returns the connection fd. The listener
+/// being closed from another thread surfaces as IOError, which the accept
+/// loop uses as its shutdown signal.
+StatusOr<int> AcceptConn(int listen_fd);
+
+/// Connects to 127.0.0.1:`port`.
+StatusOr<int> ConnectTcp(uint16_t port);
+
+/// Writes all of `data`, looping over partial writes.
+Status SendAll(int fd, std::string_view data);
+
+/// Reads until EOF (peer close) or `max_bytes`, appending to `*out`.
+Status RecvAll(int fd, std::string* out, size_t max_bytes = 1 << 26);
+
+/// Reads at most `max_bytes` once; returns the bytes read (empty = EOF).
+StatusOr<std::string> RecvSome(int fd, size_t max_bytes);
+
+/// Disables further sends/receives (shutdown(SHUT_RDWR)) without releasing
+/// the fd. On a listening socket this wakes threads blocked in accept() —
+/// which plain close() does NOT do on Linux — so it is the mandatory first
+/// step of shutting down an accept loop from another thread.
+void ShutdownSocket(int fd);
+
+void CloseSocket(int fd);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_UTIL_SOCKET_H_

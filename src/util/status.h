@@ -18,6 +18,8 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kTimeout,
+  kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 /// A Status carries either success (ok) or an error code plus message.
@@ -47,6 +49,17 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  /// A bounded resource (serving queue, worker pool) is full; the caller
+  /// should shed load or retry later. Distinct from Timeout: nothing ran.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// A per-request deadline expired before the work finished (or started).
+  /// Distinct from Timeout, which reports a *soft budget* a miner honored
+  /// by returning partial results; DeadlineExceeded means no result.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,112 @@
+// Pins the serving stack's core concurrency assumption: a trained
+// classifier is strictly read-only under Predict, so one instance may be
+// shared by any number of threads with no locking. Run under TSan by the
+// ci.sh tsan stage (pattern "ThreadSafety") — a mutable cache or lazy
+// initialization sneaking into a Predict path shows up as a data race
+// here, and as divergent predictions even without TSan.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "classify/cba.h"
+#include "classify/evaluator.h"
+#include "classify/rcbt.h"
+#include "serve/model_registry.h"
+#include "synth/generator.h"
+
+namespace topkrgs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kIterations = 50;
+
+struct Fixture {
+  GeneratedData data;
+  Pipeline pipeline;
+
+  Fixture() {
+    data = GenerateMicroarray(DatasetProfile::Tiny(11));
+    pipeline = PreparePipeline(data.train, data.test);
+  }
+
+  std::vector<double> TestRow(RowId r) const {
+    std::vector<double> row(data.test.num_genes());
+    for (GeneId g = 0; g < data.test.num_genes(); ++g) {
+      row[g] = data.test.value(r, g);
+    }
+    return row;
+  }
+};
+
+// Runs `work(row)` for every test row from kThreads threads concurrently,
+// kIterations times each, and reports any mismatch against the
+// single-threaded reference computed by the same callable.
+template <typename Work>
+void HammerRows(const DiscreteDataset& test, const Work& work) {
+  std::vector<ClassLabel> reference(test.num_rows());
+  for (RowId r = 0; r < test.num_rows(); ++r) {
+    reference[r] = work(r);
+  }
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        for (RowId r = 0; r < test.num_rows(); ++r) {
+          if (work(r) != reference[r]) ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+}
+
+TEST(ThreadSafetyTest, RcbtPredictConcurrently) {
+  Fixture fx;
+  RcbtOptions opt;
+  opt.k = 2;
+  opt.nl = 3;
+  opt.item_scores = fx.pipeline.item_scores;
+  const RcbtClassifier clf = RcbtClassifier::Train(fx.pipeline.train, opt);
+  HammerRows(fx.pipeline.test, [&](RowId r) {
+    return clf.Predict(fx.pipeline.test.row_bitset(r)).label;
+  });
+}
+
+TEST(ThreadSafetyTest, CbaPredictConcurrently) {
+  Fixture fx;
+  CbaOptions opt;
+  opt.item_scores = fx.pipeline.item_scores;
+  const CbaClassifier clf = TrainCba(fx.pipeline.train, opt);
+  HammerRows(fx.pipeline.test, [&](RowId r) {
+    return clf.PredictDetailed(fx.pipeline.test.row_bitset(r)).label;
+  });
+}
+
+// The full serving entry point: discretize + classify one continuous row
+// on a shared ServableModel from many threads.
+TEST(ThreadSafetyTest, ServableModelPredictConcurrently) {
+  Fixture fx;
+  RcbtOptions opt;
+  opt.k = 2;
+  opt.nl = 3;
+  opt.item_scores = fx.pipeline.item_scores;
+  RcbtClassifier clf = RcbtClassifier::Train(fx.pipeline.train, opt);
+  auto model_or = ServableModel::Create(
+      "m", "v1", fx.pipeline.discretization, std::move(clf), std::nullopt,
+      fx.pipeline.discretization.num_items());
+  ASSERT_TRUE(model_or.ok()) << model_or.status().ToString();
+  auto model = model_or.value();
+  HammerRows(fx.pipeline.test, [&](RowId r) {
+    auto result_or = model->Predict(fx.TestRow(r));
+    return result_or.ok() ? result_or.value().label
+                          : static_cast<ClassLabel>(255);
+  });
+}
+
+}  // namespace
+}  // namespace topkrgs

@@ -4,8 +4,10 @@
 
 #include <cstdio>
 
+#include "classify/model_io.h"
 #include "cli/commands.h"
 #include "cli/flags.h"
+#include "discretize/entropy_discretizer.h"
 
 namespace topkrgs {
 namespace {
@@ -120,6 +122,41 @@ TEST_F(CliCommandsTest, ClassifyTrainEvaluateSaveLoad) {
       RunClassifyCommand({"--test", test_, "--load-model", model}).ok());
   std::remove(model.c_str());
   std::remove(disc.c_str());
+}
+
+// A model and a discretization that are each valid alone but define
+// different item universes must fail as a configuration error (exit 6,
+// FailedPrecondition) — not as generic bad input (exit 2). Pins the
+// operator-facing distinction: fix your deployment, not your data.
+TEST_F(CliCommandsTest, ClassifyUniverseMismatchExitsWithCode6) {
+  const std::string model = TempPath("cli_model.txt");
+  const std::string disc = TempPath("cli_disc.txt");
+  const std::string alien_disc = TempPath("cli_alien_disc.txt");
+  ASSERT_TRUE(RunClassifyCommand({"--train", train_, "--test", test_,
+                                  "--model", "rcbt", "--k", "2", "--nl", "3",
+                                  "--save-model", model,
+                                  "--save-discretization", disc})
+                  .ok());
+  // A structurally valid discretization over a 2-item universe: far
+  // smaller than anything the trained model was built against.
+  ASSERT_TRUE(
+      SaveDiscretization(Discretization::FromCuts({0}, {{0.5}}), alien_disc)
+          .ok());
+  const Status status =
+      RunClassifyCommand({"--test", test_, "--model", "rcbt",
+                          "--load-model", model,
+                          "--load-discretization", alien_disc});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ExitCodeForStatus(status), 6);
+  // The matched pair still works (exit 0 path unchanged).
+  EXPECT_EQ(ExitCodeForStatus(RunClassifyCommand(
+                {"--test", test_, "--model", "rcbt", "--load-model", model,
+                 "--load-discretization", disc})),
+            0);
+  std::remove(model.c_str());
+  std::remove(disc.c_str());
+  std::remove(alien_disc.c_str());
 }
 
 TEST_F(CliCommandsTest, CrossValidationCommand) {

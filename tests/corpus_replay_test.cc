@@ -10,12 +10,15 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "classify/model_io.h"
 #include "core/dataset.h"
+#include "serve/service.h"
 #include "util/io.h"
 
 namespace topkrgs {
@@ -56,6 +59,31 @@ std::vector<FormatCase> AllFormats() {
   };
 }
 
+/// Formats whose parser consumes raw bytes rather than lines (the serving
+/// JSON boundary: a NUL or an unterminated line is meaningful input there).
+using RawParseFn = std::function<Status(const std::string&)>;
+
+struct RawFormatCase {
+  const char* corpus_name;
+  RawParseFn parse;
+};
+
+std::vector<RawFormatCase> AllRawFormats() {
+  return {
+      {"predict_request",
+       [](const std::string& bytes) {
+         return ParsePredictRequest(bytes).status();
+       }},
+  };
+}
+
+std::string ReadBytes(const fs::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
 std::vector<fs::path> CorpusFiles(const std::string& kind,
                                   const std::string& corpus_name) {
   const fs::path dir =
@@ -82,6 +110,14 @@ TEST(CorpusReplayTest, EveryRegressionInputIsRejected) {
       ++replayed;
     }
   }
+  for (const RawFormatCase& format : AllRawFormats()) {
+    for (const fs::path& file : CorpusFiles("regressions", format.corpus_name)) {
+      const Status status = format.parse(ReadBytes(file));
+      EXPECT_FALSE(status.ok())
+          << file << " parsed OK but is a malformed-input regression";
+      ++replayed;
+    }
+  }
   // Guard against the corpus silently going missing (e.g. a bad path after
   // a directory rename): an empty replay proves nothing.
   EXPECT_GE(replayed, 30u) << "regression corpus appears to be missing";
@@ -99,6 +135,14 @@ TEST(CorpusReplayTest, EverySeedInputParses) {
       ++replayed;
     }
   }
+  for (const RawFormatCase& format : AllRawFormats()) {
+    for (const fs::path& file : CorpusFiles("seeds", format.corpus_name)) {
+      const Status status = format.parse(ReadBytes(file));
+      EXPECT_TRUE(status.ok())
+          << file << " failed to parse: " << status.ToString();
+      ++replayed;
+    }
+  }
   EXPECT_GE(replayed, 5u) << "seed corpus appears to be missing";
 }
 
@@ -110,6 +154,13 @@ TEST(CorpusReplayTest, RegressionsFailAsInvalidArgument) {
       auto lines_or = ReadLines(file.string());
       ASSERT_TRUE(lines_or.ok()) << file;
       const Status status = format.parse(lines_or.value());
+      EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+          << file << ": " << status.ToString();
+    }
+  }
+  for (const RawFormatCase& format : AllRawFormats()) {
+    for (const fs::path& file : CorpusFiles("regressions", format.corpus_name)) {
+      const Status status = format.parse(ReadBytes(file));
       EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
           << file << ": " << status.ToString();
     }

@@ -1,0 +1,21 @@
+// Fuzz target: the POST /v1/predict request parser — the serving stack's
+// network-facing ingestion boundary (JSON tree + shape validation). The
+// contract under test is crash-freedom: any byte sequence must yield
+// either a validated ParsedPredictRequest or a non-OK Status, never an
+// abort, hang, or sanitizer report.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz_util.h"
+#include "serve/service.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace topkrgs;
+  if (size > fuzzing::kMaxFuzzInputBytes) return 0;
+  const std::string_view body(reinterpret_cast<const char*>(data), size);
+  auto result = ParsePredictRequest(body);
+  (void)result;
+  return 0;
+}

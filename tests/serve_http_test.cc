@@ -1,0 +1,319 @@
+// End-to-end coverage of the HTTP front end: the request parser's framing
+// rules, and a real PredictionService on an ephemeral port exercised
+// through actual sockets — load a model over the wire, predict, compare
+// against the batch CLI path, scrape /metrics.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "classify/evaluator.h"
+#include "classify/model_io.h"
+#include "classify/rcbt.h"
+#include "serve/http.h"
+#include "serve/json.h"
+#include "serve/service.h"
+#include "synth/generator.h"
+#include "util/socket.h"
+
+namespace topkrgs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string test = info != nullptr ? info->name() : "unknown";
+  return ::testing::TempDir() + "/" + std::to_string(getpid()) + "_" + test +
+         "_" + name;
+}
+
+// ------------------------------------------------- ParseHttpRequest --
+
+TEST(HttpParseTest, ParsesPostWithBody) {
+  const std::string wire =
+      "POST /v1/predict?x=1 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 4\r\n"
+      "\r\n"
+      "abcdEXTRA";
+  size_t consumed = 0;
+  auto request_or = ParseHttpRequest(wire, &consumed);
+  ASSERT_TRUE(request_or.ok()) << request_or.status().ToString();
+  const HttpRequest& request = request_or.value();
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.path, "/v1/predict");
+  EXPECT_EQ(request.query, "x=1");
+  EXPECT_EQ(request.body, "abcd");
+  EXPECT_EQ(consumed, wire.size() - 5);  // EXTRA not consumed
+  ASSERT_NE(request.FindHeader("content-type"), nullptr);
+  EXPECT_EQ(*request.FindHeader("content-type"), "application/json");
+}
+
+TEST(HttpParseTest, IncompleteIsNotFoundNotError) {
+  size_t consumed = 0;
+  // Headers not terminated yet: the connection should read more bytes.
+  auto partial_or = ParseHttpRequest("GET /x HTTP/1.1\r\nHost: a\r\n", &consumed);
+  ASSERT_FALSE(partial_or.ok());
+  EXPECT_EQ(partial_or.status().code(), StatusCode::kNotFound);
+  // Body shorter than Content-Length: same.
+  auto body_or = ParseHttpRequest(
+      "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", &consumed);
+  ASSERT_FALSE(body_or.ok());
+  EXPECT_EQ(body_or.status().code(), StatusCode::kNotFound);
+}
+
+TEST(HttpParseTest, FatallyMalformedIsInvalidArgument) {
+  const char* bad[] = {
+      "GARBAGE\r\n\r\n",
+      "GET /x HTTP/2.0\r\n\r\n",
+      "GET /x HTTP/1.1\r\nContent-Length: huge\r\n\r\n",
+      "GET /x HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n",
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+      "GET  HTTP/1.1\r\n\r\n",
+  };
+  for (const char* wire : bad) {
+    size_t consumed = 0;
+    auto request_or = ParseHttpRequest(wire, &consumed);
+    ASSERT_FALSE(request_or.ok()) << wire;
+    EXPECT_EQ(request_or.status().code(), StatusCode::kInvalidArgument) << wire;
+  }
+}
+
+// --------------------------------------------------- socket client --
+
+struct HttpReply {
+  int status_code = 0;
+  std::string body;
+};
+
+// One-shot HTTP client matching the server's one-request-per-connection
+// contract: connect, send, read to EOF, split the reply.
+HttpReply Fetch(uint16_t port, const std::string& method,
+                const std::string& path, const std::string& body = "") {
+  HttpReply reply;
+  auto fd_or = ConnectTcp(port);
+  EXPECT_TRUE(fd_or.ok()) << fd_or.status().ToString();
+  if (!fd_or.ok()) return reply;
+  const int fd = fd_or.value();
+  std::string wire = method + " " + path + " HTTP/1.1\r\nHost: l\r\n" +
+                     "Content-Length: " + std::to_string(body.size()) +
+                     "\r\n\r\n" + body;
+  EXPECT_TRUE(SendAll(fd, wire).ok());
+  std::string raw;
+  EXPECT_TRUE(RecvAll(fd, &raw).ok());
+  CloseSocket(fd);
+  // "HTTP/1.1 200 OK\r\n...\r\n\r\n<body>"
+  if (raw.size() > 12) reply.status_code = std::atoi(raw.c_str() + 9);
+  const size_t split = raw.find("\r\n\r\n");
+  if (split != std::string::npos) reply.body = raw.substr(split + 4);
+  return reply;
+}
+
+// --------------------------------------------------- end to end --
+
+class ServeHttpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = GenerateMicroarray(DatasetProfile::Tiny(5));
+    pipeline_ = PreparePipeline(data_.train, data_.test);
+    RcbtOptions opt;
+    opt.k = 2;
+    opt.nl = 3;
+    opt.item_scores = pipeline_.item_scores;
+    rcbt_ = RcbtClassifier::Train(pipeline_.train, opt);
+
+    model_path_ = TempPath("model.txt");
+    disc_path_ = TempPath("disc.txt");
+    ASSERT_TRUE(SaveRcbtClassifier(rcbt_, pipeline_.discretization.num_items(),
+                                   model_path_)
+                    .ok());
+    ASSERT_TRUE(SaveDiscretization(pipeline_.discretization, disc_path_).ok());
+
+    PredictionService::Options options;
+    options.workers = 2;
+    service_ = std::make_unique<PredictionService>(options);
+    ASSERT_TRUE(service_->Start(0).ok());  // --port 0 semantics
+    ASSERT_NE(service_->port(), 0);
+  }
+
+  void TearDown() override {
+    service_->Stop();
+    std::remove(model_path_.c_str());
+    std::remove(disc_path_.c_str());
+  }
+
+  std::string RowJson(RowId r) const {
+    std::string out = "[";
+    for (GeneId g = 0; g < data_.test.num_genes(); ++g) {
+      if (g > 0) out.push_back(',');
+      JsonValue v = JsonValue::Number(data_.test.value(r, g));
+      out += v.Dump();
+    }
+    return out + "]";
+  }
+
+  // Loads the saved model over the wire and returns the reply.
+  HttpReply LoadOverHttp(const std::string& name, const std::string& version) {
+    JsonValue body = JsonValue::Object();
+    body.Set("kind", JsonValue::String("rcbt"));
+    body.Set("model_path", JsonValue::String(model_path_));
+    body.Set("discretization_path", JsonValue::String(disc_path_));
+    return Fetch(service_->port(), "POST",
+                 "/v1/models/" + name + "/" + version + ":load", body.Dump());
+  }
+
+  GeneratedData data_;
+  Pipeline pipeline_;
+  RcbtClassifier rcbt_;
+  std::string model_path_;
+  std::string disc_path_;
+  std::unique_ptr<PredictionService> service_;
+};
+
+TEST_F(ServeHttpTest, HealthzAndEmptyModelList) {
+  EXPECT_EQ(Fetch(service_->port(), "GET", "/healthz").status_code, 200);
+  EXPECT_EQ(Fetch(service_->port(), "GET", "/healthz").body, "ok\n");
+  const HttpReply models = Fetch(service_->port(), "GET", "/v1/models");
+  EXPECT_EQ(models.status_code, 200);
+  EXPECT_EQ(models.body, R"({"models":[]})");
+  EXPECT_EQ(Fetch(service_->port(), "GET", "/nope").status_code, 404);
+  EXPECT_EQ(Fetch(service_->port(), "DELETE", "/healthz").status_code, 405);
+}
+
+TEST_F(ServeHttpTest, LoadPredictMatchesCliPath) {
+  ASSERT_EQ(LoadOverHttp("default", "v1").status_code, 200);
+
+  // Predict every test row over the wire; the reply must agree exactly
+  // with the batch CLI path (Discretization::Apply + RCBT Predict).
+  const DiscreteDataset discrete =
+      pipeline_.discretization.Apply(data_.test);
+  std::string rows = "[";
+  for (RowId r = 0; r < data_.test.num_rows(); ++r) {
+    if (r > 0) rows.push_back(',');
+    rows += RowJson(r);
+  }
+  rows += "]";
+  const HttpReply reply = Fetch(service_->port(), "POST", "/v1/predict",
+                                std::string("{\"rows\":") + rows + "}");
+  ASSERT_EQ(reply.status_code, 200) << reply.body;
+
+  auto doc_or = JsonValue::Parse(reply.body);
+  ASSERT_TRUE(doc_or.ok()) << doc_or.status().ToString();
+  const JsonValue* predictions = doc_or.value().Find("predictions");
+  ASSERT_NE(predictions, nullptr);
+  ASSERT_EQ(predictions->array().size(), data_.test.num_rows());
+  for (RowId r = 0; r < data_.test.num_rows(); ++r) {
+    const auto expected = rcbt_.Predict(discrete.row_bitset(r));
+    const JsonValue& got = predictions->array()[r];
+    ASSERT_NE(got.Find("label"), nullptr) << r;
+    EXPECT_EQ(static_cast<ClassLabel>(got.Find("label")->number()),
+              expected.label)
+        << r;
+    EXPECT_EQ(got.Find("used_default")->boolean(), expected.used_default) << r;
+    ASSERT_EQ(got.Find("scores")->array().size(), expected.scores.size()) << r;
+    for (size_t c = 0; c < expected.scores.size(); ++c) {
+      EXPECT_DOUBLE_EQ(got.Find("scores")->array()[c].number(),
+                       expected.scores[c])
+          << r;
+    }
+    EXPECT_EQ(got.Find("matched_rules")->array().size(),
+              expected.matched_rules.size())
+        << r;
+  }
+
+  // Two identical requests must produce byte-identical replies.
+  const HttpReply again = Fetch(service_->port(), "POST", "/v1/predict",
+                                std::string("{\"rows\":") + rows + "}");
+  EXPECT_EQ(again.body, reply.body);
+}
+
+TEST_F(ServeHttpTest, ErrorPathsMapToHttpCodes) {
+  // No model loaded yet: predict is 404.
+  const std::string one_row = std::string("{\"rows\":[") + RowJson(0) + "]}";
+  EXPECT_EQ(Fetch(service_->port(), "POST", "/v1/predict", one_row).status_code,
+            404);
+  // Malformed JSON: 400.
+  EXPECT_EQ(
+      Fetch(service_->port(), "POST", "/v1/predict", "{nope").status_code,
+      400);
+  // Unknown key: 400.
+  EXPECT_EQ(Fetch(service_->port(), "POST", "/v1/predict",
+                  R"({"rows":[[1]],"bogus":1})")
+                .status_code,
+            400);
+  // Loading from a missing artifact path: the registry reports the failure.
+  JsonValue body = JsonValue::Object();
+  body.Set("kind", JsonValue::String("rcbt"));
+  body.Set("model_path", JsonValue::String(model_path_ + ".missing"));
+  body.Set("discretization_path", JsonValue::String(disc_path_));
+  const HttpReply bad_load = Fetch(service_->port(), "POST",
+                                   "/v1/models/default/v1:load", body.Dump());
+  EXPECT_EQ(bad_load.status_code, 500);  // IOError
+  // Rollback without history: 409 (FailedPrecondition).
+  ASSERT_EQ(LoadOverHttp("default", "v1").status_code, 200);
+  EXPECT_EQ(Fetch(service_->port(), "POST", "/v1/models/default:rollback")
+                .status_code,
+            409);
+  // Short row: 400 from the model's validation inside the executor.
+  EXPECT_EQ(Fetch(service_->port(), "POST", "/v1/predict",
+                  R"({"rows":[[1.0]]})")
+                .status_code,
+            400);
+}
+
+TEST_F(ServeHttpTest, HotSwapAndRollbackOverHttp) {
+  ASSERT_EQ(LoadOverHttp("default", "v1").status_code, 200);
+  ASSERT_EQ(LoadOverHttp("default", "v2").status_code, 200);
+  auto doc_or = JsonValue::Parse(Fetch(service_->port(), "GET", "/v1/models").body);
+  ASSERT_TRUE(doc_or.ok());
+  const JsonValue* models = doc_or.value().Find("models");
+  ASSERT_NE(models, nullptr);
+  ASSERT_EQ(models->array().size(), 2u);
+  for (const JsonValue& entry : models->array()) {
+    const bool is_v2 = entry.Find("version")->str() == "v2";
+    EXPECT_EQ(entry.Find("active")->boolean(), is_v2);
+  }
+  ASSERT_EQ(Fetch(service_->port(), "POST", "/v1/models/default:rollback")
+                .status_code,
+            200);
+  doc_or = JsonValue::Parse(Fetch(service_->port(), "GET", "/v1/models").body);
+  ASSERT_TRUE(doc_or.ok());
+  for (const JsonValue& entry : doc_or.value().Find("models")->array()) {
+    const bool is_v1 = entry.Find("version")->str() == "v1";
+    EXPECT_EQ(entry.Find("active")->boolean(), is_v1);
+  }
+}
+
+TEST_F(ServeHttpTest, MetricsScrapeCountsRequests) {
+  ASSERT_EQ(LoadOverHttp("default", "v1").status_code, 200);
+  const std::string one_row = std::string("{\"rows\":[") + RowJson(0) + "]}";
+  ASSERT_EQ(Fetch(service_->port(), "POST", "/v1/predict", one_row).status_code,
+            200);
+  const HttpReply scrape = Fetch(service_->port(), "GET", "/metrics");
+  ASSERT_EQ(scrape.status_code, 200);
+  EXPECT_NE(scrape.body.find("topkrgs_requests_total 1"), std::string::npos)
+      << scrape.body;
+  EXPECT_NE(scrape.body.find("topkrgs_rows_total 1"), std::string::npos);
+  EXPECT_NE(scrape.body.find("topkrgs_models_loaded 1"), std::string::npos);
+  EXPECT_NE(scrape.body.find("topkrgs_request_latency_seconds_bucket"),
+            std::string::npos);
+  // A malformed request counts as an error on the next scrape.
+  Fetch(service_->port(), "POST", "/v1/predict", "{nope");
+  const HttpReply scrape2 = Fetch(service_->port(), "GET", "/metrics");
+  EXPECT_NE(scrape2.body.find("topkrgs_errors_total 1"), std::string::npos)
+      << scrape2.body;
+}
+
+TEST_F(ServeHttpTest, MalformedWireBytesGet400) {
+  auto fd_or = ConnectTcp(service_->port());
+  ASSERT_TRUE(fd_or.ok());
+  ASSERT_TRUE(SendAll(fd_or.value(), "NOT HTTP AT ALL\r\n\r\n").ok());
+  std::string raw;
+  ASSERT_TRUE(RecvAll(fd_or.value(), &raw).ok());
+  CloseSocket(fd_or.value());
+  EXPECT_EQ(raw.rfind("HTTP/1.1 400", 0), 0u) << raw;
+}
+
+}  // namespace
+}  // namespace topkrgs

@@ -1,0 +1,447 @@
+// Unit tests of the serving subsystem below the HTTP layer: the JSON
+// tree, the predict-request parser, the model registry (load, hot-swap,
+// rollback), the servable model's equivalence with the batch CLI path,
+// and the executor's shedding / deadline / shutdown semantics.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "classify/evaluator.h"
+#include "classify/model_io.h"
+#include "classify/rcbt.h"
+#include "serve/executor.h"
+#include "serve/json.h"
+#include "serve/model_registry.h"
+#include "serve/service.h"
+#include "synth/generator.h"
+
+namespace topkrgs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string test = info != nullptr ? info->name() : "unknown";
+  return ::testing::TempDir() + "/" + std::to_string(getpid()) + "_" + test +
+         "_" + name;
+}
+
+// One trained Tiny-profile RCBT model plus the data it came from, shared
+// by most serving tests.
+struct TrainedModel {
+  GeneratedData data;
+  Pipeline pipeline;
+  RcbtClassifier rcbt;
+
+  std::shared_ptr<const ServableModel> Servable(const std::string& name,
+                                                const std::string& version) {
+    auto model_or = ServableModel::Create(
+        name, version, pipeline.discretization, rcbt, std::nullopt,
+        pipeline.discretization.num_items());
+    EXPECT_TRUE(model_or.ok()) << model_or.status().ToString();
+    return model_or.value();
+  }
+
+  std::vector<double> TestRow(RowId r) const {
+    std::vector<double> row(data.test.num_genes());
+    for (GeneId g = 0; g < data.test.num_genes(); ++g) {
+      row[g] = data.test.value(r, g);
+    }
+    return row;
+  }
+};
+
+TrainedModel Train(uint64_t seed) {
+  TrainedModel out;
+  out.data = GenerateMicroarray(DatasetProfile::Tiny(seed));
+  out.pipeline = PreparePipeline(out.data.train, out.data.test);
+  RcbtOptions opt;
+  opt.k = 2;
+  opt.nl = 3;
+  opt.item_scores = out.pipeline.item_scores;
+  out.rcbt = RcbtClassifier::Train(out.pipeline.train, opt);
+  return out;
+}
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(JsonTest, ParsesAndDumpsRoundTrip) {
+  auto doc_or = JsonValue::Parse(
+      R"({"a": [1, -2.5, 1e3], "b": "x\ny\u00e9", "c": true, "d": null})");
+  ASSERT_TRUE(doc_or.ok()) << doc_or.status().ToString();
+  const JsonValue& doc = doc_or.value();
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.Find("a"), nullptr);
+  EXPECT_EQ(doc.Find("a")->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.Find("a")->array()[2].number(), 1000.0);
+  EXPECT_EQ(doc.Find("b")->str(), "x\ny\xc3\xa9");
+  EXPECT_TRUE(doc.Find("c")->boolean());
+  EXPECT_TRUE(doc.Find("d")->is_null());
+
+  // Dump must re-parse to the same tree (shortest-round-trip numbers).
+  auto again_or = JsonValue::Parse(doc.Dump());
+  ASSERT_TRUE(again_or.ok());
+  EXPECT_EQ(again_or.value().Dump(), doc.Dump());
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",           "{",       "[1,]",     "{\"a\":}",  "01",
+      "1.2.3",      "nul",     "\"\\q\"",  "[1] garbage",
+      "{\"a\":1,}", "\"\\ud800\"",  // unpaired surrogate
+      "1e999",                        // overflows to infinity
+  };
+  for (const char* text : bad) {
+    auto doc_or = JsonValue::Parse(text);
+    EXPECT_FALSE(doc_or.ok()) << "accepted: " << text;
+    EXPECT_EQ(doc_or.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
+TEST(JsonTest, RejectsExcessiveNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  auto doc_or = JsonValue::Parse(deep);
+  ASSERT_FALSE(doc_or.ok());
+  EXPECT_EQ(doc_or.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------- ParsePredictRequest --
+
+TEST(ParsePredictRequestTest, ParsesFullRequest) {
+  auto parsed_or = ParsePredictRequest(
+      R"({"model":"m","version":"v2","deadline_ms":50,"rows":[[1,2],[3,4]]})");
+  ASSERT_TRUE(parsed_or.ok()) << parsed_or.status().ToString();
+  const ParsedPredictRequest& parsed = parsed_or.value();
+  EXPECT_EQ(parsed.model, "m");
+  EXPECT_EQ(parsed.version, "v2");
+  EXPECT_DOUBLE_EQ(parsed.deadline_ms, 50.0);
+  ASSERT_EQ(parsed.rows.size(), 2u);
+  EXPECT_EQ(parsed.rows[1], (std::vector<double>{3, 4}));
+}
+
+TEST(ParsePredictRequestTest, DefaultsModelAndVersion) {
+  auto parsed_or = ParsePredictRequest(R"({"rows":[[0.5]]})");
+  ASSERT_TRUE(parsed_or.ok());
+  EXPECT_EQ(parsed_or.value().model, "default");
+  EXPECT_TRUE(parsed_or.value().version.empty());
+  EXPECT_DOUBLE_EQ(parsed_or.value().deadline_ms, 0.0);
+}
+
+TEST(ParsePredictRequestTest, RejectsBadShapes) {
+  const char* bad[] = {
+      "[1]",                        // not an object
+      "{}",                         // missing rows
+      R"({"rows":[]})",             // empty rows
+      R"({"rows":[[]]})",           // empty row
+      R"({"rows":[[1,"x"]]})",      // non-number value
+      R"({"rows":[[1]],"modle":"m"})",   // unknown key (typo must not pass)
+      R"({"rows":[[1]],"model":""})",    // empty model name
+      R"({"rows":[[1]],"deadline_ms":0})",
+      R"({"rows":1})",
+  };
+  for (const char* text : bad) {
+    auto parsed_or = ParsePredictRequest(text);
+    EXPECT_FALSE(parsed_or.ok()) << "accepted: " << text;
+    EXPECT_EQ(parsed_or.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
+// ------------------------------------------------------- ServableModel --
+
+TEST(ServableModelTest, MatchesBatchCliPath) {
+  TrainedModel trained = Train(5);
+  auto model = trained.Servable("default", "v1");
+  ASSERT_NE(model, nullptr);
+
+  // Reference: the batch path the CLI uses — Discretization::Apply over the
+  // whole test set, then classifier Predict per row.
+  const DiscreteDataset discrete =
+      trained.pipeline.discretization.Apply(trained.data.test);
+  for (RowId r = 0; r < trained.data.test.num_rows(); ++r) {
+    auto result_or = model->Predict(trained.TestRow(r));
+    ASSERT_TRUE(result_or.ok()) << result_or.status().ToString();
+    const auto& row = result_or.value();
+    const auto expected = trained.rcbt.Predict(discrete.row_bitset(r));
+    EXPECT_EQ(row.label, expected.label) << r;
+    EXPECT_EQ(row.classifier_index, expected.classifier_index) << r;
+    EXPECT_EQ(row.used_default, expected.used_default) << r;
+    ASSERT_EQ(row.scores.size(), expected.scores.size()) << r;
+    for (size_t c = 0; c < row.scores.size(); ++c) {
+      EXPECT_DOUBLE_EQ(row.scores[c], expected.scores[c]) << r;
+    }
+    EXPECT_EQ(row.matched_rules.size(), expected.matched_rules.size()) << r;
+  }
+}
+
+TEST(ServableModelTest, RejectsShortAndNonFiniteRows) {
+  TrainedModel trained = Train(5);
+  auto model = trained.Servable("default", "v1");
+  ASSERT_GE(model->min_genes(), 1u);
+
+  std::vector<double> short_row(model->min_genes() - 1, 0.0);
+  auto short_or = model->Predict(short_row);
+  ASSERT_FALSE(short_or.ok());
+  EXPECT_EQ(short_or.status().code(), StatusCode::kInvalidArgument);
+
+  std::vector<double> nan_row = trained.TestRow(0);
+  nan_row[0] = std::numeric_limits<double>::quiet_NaN();
+  auto nan_or = model->Predict(nan_row);
+  ASSERT_FALSE(nan_or.ok());
+  EXPECT_EQ(nan_or.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServableModelTest, CreateRejectsUniverseMismatch) {
+  TrainedModel trained = Train(5);
+  auto model_or = ServableModel::Create(
+      "m", "v", trained.pipeline.discretization, trained.rcbt, std::nullopt,
+      trained.pipeline.discretization.num_items() + 2);
+  ASSERT_FALSE(model_or.ok());
+  EXPECT_EQ(model_or.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------------- ModelRegistry --
+
+TEST(ModelRegistryTest, LoadFromDiskAndResolve) {
+  TrainedModel trained = Train(5);
+  const std::string model_path = TempPath("model.txt");
+  const std::string disc_path = TempPath("disc.txt");
+  ASSERT_TRUE(SaveRcbtClassifier(trained.rcbt,
+                                 trained.pipeline.discretization.num_items(),
+                                 model_path)
+                  .ok());
+  ASSERT_TRUE(
+      SaveDiscretization(trained.pipeline.discretization, disc_path).ok());
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Load("default", "v1", ServableModel::Kind::kRcbt,
+                            model_path, disc_path)
+                  .ok());
+  auto model_or = registry.Get("default");
+  ASSERT_TRUE(model_or.ok());
+  EXPECT_EQ(model_or.value()->version(), "v1");
+  // Resolving a missing name or version is NotFound, not a crash.
+  EXPECT_EQ(registry.Get("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Get("default", "v9").status().code(),
+            StatusCode::kNotFound);
+  // A bad artifact path must not disturb the registry.
+  EXPECT_FALSE(registry
+                   .Load("default", "v2", ServableModel::Kind::kRcbt,
+                         model_path + ".missing", disc_path)
+                   .ok());
+  EXPECT_EQ(registry.Get("default").value()->version(), "v1");
+
+  std::remove(model_path.c_str());
+  std::remove(disc_path.c_str());
+}
+
+TEST(ModelRegistryTest, HotSwapAndRollback) {
+  TrainedModel trained = Train(5);
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Insert(trained.Servable("default", "v1")).ok());
+  ASSERT_TRUE(registry.Insert(trained.Servable("default", "v2")).ok());
+  EXPECT_EQ(registry.Get("default").value()->version(), "v2");
+  // Both versions stay resolvable explicitly.
+  EXPECT_EQ(registry.Get("default", "v1").value()->version(), "v1");
+
+  ASSERT_TRUE(registry.Rollback("default").ok());
+  EXPECT_EQ(registry.Get("default").value()->version(), "v1");
+
+  // Unloading the active version is refused; inactive versions drop.
+  EXPECT_EQ(registry.Unload("default", "v1").code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(registry.Unload("default", "v2").ok());
+  EXPECT_EQ(registry.Get("default", "v2").status().code(),
+            StatusCode::kNotFound);
+
+  // Rollback with no further history fails cleanly.
+  EXPECT_EQ(registry.Rollback("nope").code(), StatusCode::kNotFound);
+}
+
+TEST(ModelRegistryTest, ListReportsActiveFlags) {
+  TrainedModel trained = Train(5);
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Insert(trained.Servable("a", "v1")).ok());
+  ASSERT_TRUE(registry.Insert(trained.Servable("a", "v2")).ok());
+  ASSERT_TRUE(registry.Insert(trained.Servable("b", "v1")).ok());
+  const auto list = registry.List();
+  ASSERT_EQ(list.size(), 3u);
+  int active = 0;
+  for (const auto& info : list) {
+    if (info.active) {
+      ++active;
+      EXPECT_TRUE((info.name == "a" && info.version == "v2") ||
+                  (info.name == "b" && info.version == "v1"));
+    }
+  }
+  EXPECT_EQ(active, 2);
+}
+
+// The ISSUE's hot-swap guarantee: readers that resolved the old version
+// keep serving on it while the active pointer changes underneath them.
+TEST(ModelRegistryTest, HotSwapUnderConcurrentPredictions) {
+  TrainedModel trained = Train(5);
+  ServeMetrics metrics;
+  ModelRegistry registry(&metrics);
+  ASSERT_TRUE(registry.Insert(trained.Servable("default", "v1")).ok());
+
+  const std::vector<double> row = trained.TestRow(0);
+  const ClassLabel expected =
+      registry.Get("default").value()->Predict(row).value().label;
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto model_or = registry.Get("default");
+        if (!model_or.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto result_or = model_or.value()->Predict(row);
+        if (!result_or.ok() || result_or.value().label != expected) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Swap versions back and forth while the readers hammer Get+Predict.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        registry.Insert(trained.Servable("default", i % 2 ? "v2" : "v3"))
+            .ok());
+    ASSERT_TRUE(registry.Rollback("default").ok());
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ------------------------------------------------- PredictionExecutor --
+
+TEST(ExecutorTest, BatchedResultsMatchInlinePredictions) {
+  TrainedModel trained = Train(5);
+  auto model = trained.Servable("default", "v1");
+  ServeMetrics metrics;
+  PredictionExecutor executor({2, 64, false}, &metrics);
+
+  PredictRequest request;
+  request.model = model;
+  for (RowId r = 0; r < trained.data.test.num_rows(); ++r) {
+    request.rows.push_back(trained.TestRow(r));
+  }
+  auto response_or = executor.Predict(request);
+  ASSERT_TRUE(response_or.ok()) << response_or.status().ToString();
+  const auto& rows = response_or.value().rows;
+  ASSERT_EQ(rows.size(), trained.data.test.num_rows());
+  for (RowId r = 0; r < trained.data.test.num_rows(); ++r) {
+    const auto inline_result = model->Predict(trained.TestRow(r)).value();
+    EXPECT_EQ(rows[r].label, inline_result.label) << r;
+    EXPECT_EQ(rows[r].scores, inline_result.scores) << r;
+    EXPECT_EQ(rows[r].matched_rules, inline_result.matched_rules) << r;
+  }
+  EXPECT_EQ(metrics.rows_total.load(), trained.data.test.num_rows());
+}
+
+TEST(ExecutorTest, FullQueueShedsWithResourceExhausted) {
+  TrainedModel trained = Train(5);
+  auto model = trained.Servable("default", "v1");
+  ServeMetrics metrics;
+  PredictionExecutor::Options options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  options.start_paused = true;  // workers hold off so the queue fills
+  PredictionExecutor executor(options, &metrics);
+
+  PredictRequest request;
+  request.model = model;
+  request.rows.push_back(trained.TestRow(0));
+
+  auto f1 = executor.Submit(request);
+  auto f2 = executor.Submit(request);
+  auto f3 = executor.Submit(request);  // over capacity: shed at submit
+  auto shed_or = f3.get();
+  ASSERT_FALSE(shed_or.ok());
+  EXPECT_EQ(shed_or.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(metrics.shed_total.load(), 1u);
+  EXPECT_EQ(executor.queue_depth(), 2u);
+
+  executor.Resume();
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(f2.get().ok());
+}
+
+TEST(ExecutorTest, QueuedRequestPastDeadlineFails) {
+  TrainedModel trained = Train(5);
+  auto model = trained.Servable("default", "v1");
+  ServeMetrics metrics;
+  PredictionExecutor::Options options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  options.start_paused = true;
+  PredictionExecutor executor(options, &metrics);
+
+  PredictRequest request;
+  request.model = model;
+  request.rows.push_back(trained.TestRow(0));
+  request.deadline = Deadline(5e-3);  // 5ms, will expire while paused
+  auto future = executor.Submit(request);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  executor.Resume();
+  auto result_or = future.get();
+  ASSERT_FALSE(result_or.ok());
+  EXPECT_EQ(result_or.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(metrics.deadline_exceeded_total.load(), 1u);
+}
+
+TEST(ExecutorTest, ShutdownDrainsPendingAndRejectsNewWork) {
+  TrainedModel trained = Train(5);
+  auto model = trained.Servable("default", "v1");
+  ServeMetrics metrics;
+  PredictionExecutor::Options options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  options.start_paused = true;
+  PredictionExecutor executor(options, &metrics);
+
+  PredictRequest request;
+  request.model = model;
+  request.rows.push_back(trained.TestRow(0));
+  auto pending = executor.Submit(request);
+  executor.Shutdown();
+  auto pending_or = pending.get();
+  ASSERT_FALSE(pending_or.ok());
+  EXPECT_EQ(pending_or.status().code(), StatusCode::kResourceExhausted);
+
+  auto late_or = executor.Submit(request).get();
+  ASSERT_FALSE(late_or.ok());
+  EXPECT_EQ(late_or.status().code(), StatusCode::kResourceExhausted);
+  executor.Shutdown();  // idempotent
+}
+
+// -------------------------------------------- in-process service path --
+
+TEST(PredictionServiceTest, InProcessPredictUsesActiveModel) {
+  TrainedModel trained = Train(5);
+  PredictionService::Options options;
+  options.workers = 2;
+  PredictionService service(options);
+  ASSERT_TRUE(service.registry().Insert(trained.Servable("default", "v1")).ok());
+
+  ParsedPredictRequest request;
+  request.rows.push_back(trained.TestRow(0));
+  auto response_or = service.Predict(request);
+  ASSERT_TRUE(response_or.ok()) << response_or.status().ToString();
+  ASSERT_EQ(response_or.value().rows.size(), 1u);
+
+  request.model = "missing";
+  EXPECT_EQ(service.Predict(request).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace topkrgs

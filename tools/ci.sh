@@ -2,10 +2,12 @@
 # CI gate with two stages:
 #
 #   tsan  — build the ThreadSanitizer preset and run the parallel-miner
-#           determinism tests under it. The parallel MineTopkRGS promises
-#           bit-for-bit identical results for any thread count; this stage
-#           is the race detector backing that promise — run it before
-#           merging anything that touches src/mine/ or src/util/arena.h.
+#           determinism tests plus the classifier/serving thread-safety
+#           tests under it. The parallel MineTopkRGS promises bit-for-bit
+#           identical results for any thread count, and the serving stack
+#           promises lock-free shared-classifier Predict; this stage is
+#           the race detector backing both — run it before merging
+#           anything touching src/mine/, src/serve/ or src/util/arena.h.
 #
 #   fuzz  — build the fuzz preset (ASan+UBSan, plus libFuzzer when the
 #           compiler is clang) and replay the committed seed + regression
@@ -14,7 +16,14 @@
 #           no sanitizer report. When clang is available the stage also
 #           runs each libFuzzer target for a short time-boxed exploration.
 #
-# Usage: tools/ci.sh [tsan|fuzz|all] [extra ctest -R pattern]
+#   serve — build the asan preset, run the serving-layer tests under it,
+#           then smoke-test the real topkrgs-serve binary end to end:
+#           train a TINY model, start the server on an ephemeral port,
+#           hit /healthz, /v1/predict and /metrics over real sockets, and
+#           shut it down cleanly (SIGTERM). Also builds the release preset
+#           load-generator bench and refreshes bench/BENCH_serve.json.
+#
+# Usage: tools/ci.sh [tsan|fuzz|serve|all] [extra ctest -R pattern]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -45,7 +54,7 @@ run_fuzz() {
   # with gcc the replay above is the whole stage.
   if grep -q "TOPKRGS_HAS_LIBFUZZER:INTERNAL=1" build-fuzz/CMakeCache.txt 2>/dev/null; then
     echo "== time-boxed libFuzzer runs (${FUZZ_SECONDS}s per target) =="
-    for target in discretization cba_model rcbt_model tsv_dataset item_dataset; do
+    for target in discretization cba_model rcbt_model tsv_dataset item_dataset predict_request; do
       echo "-- fuzz_${target}"
       "build-fuzz/tests/fuzz/fuzz_${target}" \
         -max_total_time="${FUZZ_SECONDS}" -rss_limit_mb=2048 \
@@ -57,12 +66,82 @@ run_fuzz() {
   echo "fuzz gate passed: corpus parses to Status, no crashes, no sanitizer reports."
 }
 
+run_serve() {
+  echo "== configure (asan) =="
+  cmake --preset asan
+  echo "== build (asan) =="
+  cmake --build --preset asan -j
+  echo "== serving-layer tests under ASan/UBSan =="
+  ctest --test-dir build-asan --output-on-failure \
+    -R "Serve|Http|Json|ParsePredictRequest|ServableModel|ModelRegistry|Executor|PredictionService|ThreadSafety|UniverseMismatch"
+
+  echo "== HTTP smoke test against the real binary =="
+  local tmp
+  tmp="$(mktemp -d)"
+  # shellcheck disable=SC2064
+  trap "rm -rf '${tmp}'" RETURN
+  build-asan/tools/topkrgs-generate --profile TINY --seed 9 \
+    --train "${tmp}/train.tsv" --test "${tmp}/test.tsv" >/dev/null
+  build-asan/tools/topkrgs-classify --train "${tmp}/train.tsv" \
+    --test "${tmp}/test.tsv" --model rcbt --k 2 --nl 3 \
+    --save-model "${tmp}/model.txt" \
+    --save-discretization "${tmp}/disc.txt" >/dev/null
+  build-asan/tools/topkrgs-serve --model "${tmp}/model.txt" \
+    --discretization "${tmp}/disc.txt" --port 0 --workers 2 \
+    --max-seconds 120 > "${tmp}/serve.log" &
+  local serve_pid=$!
+  local port=""
+  for _ in $(seq 1 50); do
+    port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${tmp}/serve.log")"
+    [ -n "${port}" ] && break
+    sleep 0.2
+  done
+  [ -n "${port}" ] || { echo "server never came up"; cat "${tmp}/serve.log"; exit 1; }
+  python3 - "${port}" <<'PY'
+import http.client, json, sys
+port = int(sys.argv[1])
+
+def req(method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    conn.request(method, path, body=body)
+    resp = conn.getresponse()
+    data = resp.read()
+    conn.close()
+    return resp.status, data
+
+status, data = req("GET", "/healthz")
+assert status == 200 and data == b"ok\n", (status, data)
+row = [0.0] * 512  # >= min_genes for the TINY model, all finite
+status, data = req("POST", "/v1/predict", json.dumps({"rows": [row]}))
+assert status == 200, (status, data)
+predictions = json.loads(data)["predictions"]
+assert len(predictions) == 1 and "label" in predictions[0], data
+status, data = req("GET", "/metrics")
+assert status == 200 and b"topkrgs_requests_total 1" in data, data
+status, data = req("POST", "/v1/predict", "{not json")
+assert status == 400, (status, data)
+print("smoke test OK: healthz, predict, metrics, malformed-request 400")
+PY
+  kill -TERM "${serve_pid}"
+  wait "${serve_pid}"
+  grep -q "shut down cleanly" "${tmp}/serve.log" \
+    || { echo "server did not shut down cleanly"; cat "${tmp}/serve.log"; exit 1; }
+
+  echo "== load-generator bench (release preset) =="
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j --target bench_serve_qps
+  (cd bench && ../build-release/bench/bench_serve_qps BENCH_serve.json)
+  echo "serve gate passed: tests green under ASan, HTTP smoke OK, bench refreshed."
+}
+
 case "${STAGE}" in
-  tsan) run_tsan "${2:-TopkParallel}" ;;
+  tsan) run_tsan "${2:-TopkParallel|ThreadSafety}" ;;
   fuzz) run_fuzz ;;
+  serve) run_serve ;;
   all)
-    run_tsan "${2:-TopkParallel}"
+    run_tsan "${2:-TopkParallel|ThreadSafety}"
     run_fuzz
+    run_serve
     ;;
   *)
     # Back-compat: a bare ctest pattern as $1 runs the tsan stage with it.

@@ -1,0 +1,120 @@
+// topkrgs-serve: the standalone prediction server. Loads one initial model
+// into the registry (more can be hot-swapped in over HTTP), then serves
+// the endpoint set documented in serve/service.h until SIGINT/SIGTERM.
+//
+//   topkrgs-serve --model rcbt.model --discretization disc.model
+//       [--kind rcbt|cba] [--name default] [--version v1]
+//       [--port 8080] [--workers 4] [--queue 256] [--deadline-ms 0]
+//       [--max-seconds 0]
+//
+// --port 0 binds an ephemeral port (printed on stdout) — that is how the
+// smoke test and local experiments run without port collisions.
+// --max-seconds N exits cleanly after N seconds (scripted smoke runs).
+#include <semaphore.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <ctime>
+
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+#include "cli/flags.h"
+#include "serve/service.h"
+
+namespace {
+
+sem_t g_stop_sem;
+
+void HandleStopSignal(int) { sem_post(&g_stop_sem); }
+
+}  // namespace
+
+namespace topkrgs {
+
+Status RunServe(const std::vector<std::string>& args) {
+  auto flags_or = FlagParser::Parse(args);
+  if (!flags_or.ok()) return flags_or.status();
+  const FlagParser& flags = flags_or.value();
+  TOPKRGS_RETURN_NOT_OK(flags.CheckKnown(
+      {"model", "discretization", "kind", "name", "version", "port",
+       "workers", "queue", "deadline-ms", "max-seconds"}));
+
+  auto model_path = flags.GetRequired("model");
+  if (!model_path.ok()) return model_path.status();
+  auto disc_path = flags.GetRequired("discretization");
+  if (!disc_path.ok()) return disc_path.status();
+  const std::string kind = flags.GetString("kind", "rcbt");
+  if (kind != "rcbt" && kind != "cba") {
+    return Status::InvalidArgument("--kind must be rcbt or cba");
+  }
+  auto port = flags.GetInt("port", 8080);
+  if (!port.ok()) return port.status();
+  if (port.value() < 0 || port.value() > 65535) {
+    return Status::InvalidArgument("--port must be in [0, 65535]");
+  }
+  auto workers = flags.GetInt("workers", 4);
+  if (!workers.ok()) return workers.status();
+  if (workers.value() < 1 || workers.value() > 1024) {
+    return Status::InvalidArgument("--workers must be in [1, 1024]");
+  }
+  auto queue = flags.GetInt("queue", 256);
+  if (!queue.ok()) return queue.status();
+  if (queue.value() < 1) {
+    return Status::InvalidArgument("--queue must be >= 1");
+  }
+  auto deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  if (!deadline_ms.ok()) return deadline_ms.status();
+  auto max_seconds = flags.GetInt("max-seconds", 0);
+  if (!max_seconds.ok()) return max_seconds.status();
+
+  PredictionService::Options options;
+  options.workers = static_cast<uint32_t>(workers.value());
+  options.queue_capacity = static_cast<size_t>(queue.value());
+  options.default_deadline_ms = deadline_ms.value();
+  PredictionService service(options);
+
+  TOPKRGS_RETURN_NOT_OK(service.registry().Load(
+      flags.GetString("name", "default"), flags.GetString("version", "v1"),
+      kind == "rcbt" ? ServableModel::Kind::kRcbt : ServableModel::Kind::kCba,
+      model_path.value(), disc_path.value()));
+  TOPKRGS_RETURN_NOT_OK(
+      service.Start(static_cast<uint16_t>(port.value())));
+  std::printf("topkrgs-serve listening on 127.0.0.1:%u (%s model '%s', "
+              "%lld workers, queue %lld)\n",
+              service.port(), kind.c_str(),
+              flags.GetString("name", "default").c_str(),
+              static_cast<long long>(workers.value()),
+              static_cast<long long>(queue.value()));
+  std::fflush(stdout);
+
+  sem_init(&g_stop_sem, 0, 0);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  if (max_seconds.value() > 0) {
+    timespec until{};
+    clock_gettime(CLOCK_REALTIME, &until);
+    until.tv_sec += max_seconds.value();
+    while (sem_timedwait(&g_stop_sem, &until) == -1 && errno == EINTR) {
+    }
+  } else {
+    while (sem_wait(&g_stop_sem) == -1 && errno == EINTR) {
+    }
+  }
+  service.Stop();
+  std::printf("topkrgs-serve: shut down cleanly\n");
+  return Status::OK();
+}
+
+}  // namespace topkrgs
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const topkrgs::Status status = topkrgs::RunServe(args);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  }
+  return topkrgs::ExitCodeForStatus(status);
+}
