@@ -1,7 +1,9 @@
 #ifndef TOPKRGS_ANALYZE_RULE_REPORT_H_
 #define TOPKRGS_ANALYZE_RULE_REPORT_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/dataset.h"

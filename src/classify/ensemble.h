@@ -1,6 +1,7 @@
 #ifndef TOPKRGS_CLASSIFY_ENSEMBLE_H_
 #define TOPKRGS_CLASSIFY_ENSEMBLE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "classify/decision_tree.h"

@@ -1,6 +1,7 @@
 #ifndef TOPKRGS_CLASSIFY_EVALUATOR_H_
 #define TOPKRGS_CLASSIFY_EVALUATOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 

@@ -1,6 +1,8 @@
 #include "classify/irg.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "mine/topk_miner.h"
 

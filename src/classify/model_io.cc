@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <string_view>
 #include <vector>
 
 #include "util/io.h"

@@ -1,6 +1,7 @@
 #ifndef TOPKRGS_CLASSIFY_MODEL_IO_H_
 #define TOPKRGS_CLASSIFY_MODEL_IO_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,27 +33,27 @@ namespace topkrgs {
 
 /// Saves/loads a fitted discretization (selected genes and cut points; the
 /// item catalog is rebuilt on load).
-Status SaveDiscretization(const Discretization& disc, const std::string& path);
-StatusOr<Discretization> ParseDiscretizationModel(
+[[nodiscard]] Status SaveDiscretization(const Discretization& disc, const std::string& path);
+[[nodiscard]] StatusOr<Discretization> ParseDiscretizationModel(
     const std::vector<std::string>& lines);
-StatusOr<Discretization> LoadDiscretization(const std::string& path);
+[[nodiscard]] StatusOr<Discretization> LoadDiscretization(const std::string& path);
 
 /// Saves/loads a CBA rule-list classifier. `num_items` on load must match
 /// the dataset the model will be applied to.
-Status SaveCbaClassifier(const CbaClassifier& clf, uint32_t num_items,
+[[nodiscard]] Status SaveCbaClassifier(const CbaClassifier& clf, uint32_t num_items,
                          const std::string& path);
-StatusOr<CbaClassifier> ParseCbaModel(const std::vector<std::string>& lines,
+[[nodiscard]] StatusOr<CbaClassifier> ParseCbaModel(const std::vector<std::string>& lines,
                                       uint32_t* num_items = nullptr);
-StatusOr<CbaClassifier> LoadCbaClassifier(const std::string& path,
+[[nodiscard]] StatusOr<CbaClassifier> LoadCbaClassifier(const std::string& path,
                                           uint32_t* num_items = nullptr);
 
 /// Saves/loads an RCBT classifier (all sub-classifier rule lists, the
 /// class counts and the default class).
-Status SaveRcbtClassifier(const RcbtClassifier& clf, uint32_t num_items,
+[[nodiscard]] Status SaveRcbtClassifier(const RcbtClassifier& clf, uint32_t num_items,
                           const std::string& path);
-StatusOr<RcbtClassifier> ParseRcbtModel(const std::vector<std::string>& lines,
+[[nodiscard]] StatusOr<RcbtClassifier> ParseRcbtModel(const std::vector<std::string>& lines,
                                         uint32_t* num_items = nullptr);
-StatusOr<RcbtClassifier> LoadRcbtClassifier(const std::string& path,
+[[nodiscard]] StatusOr<RcbtClassifier> LoadRcbtClassifier(const std::string& path,
                                             uint32_t* num_items = nullptr);
 
 }  // namespace topkrgs

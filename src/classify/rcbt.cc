@@ -1,6 +1,5 @@
 #include "classify/rcbt.h"
 
-#include <algorithm>
 
 #include "classify/cba.h"
 #include "classify/find_lb.h"

@@ -1,6 +1,7 @@
 #ifndef TOPKRGS_CLASSIFY_SVM_H_
 #define TOPKRGS_CLASSIFY_SVM_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/dataset.h"

@@ -1,7 +1,9 @@
 #include "cli/commands.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <memory>
 
 #include "classify/cba.h"
 #include "classify/cross_validation.h"

@@ -17,7 +17,7 @@ namespace topkrgs {
 ///   --seed N                      RNG seed override
 ///   --train PATH (required)      training-split TSV output
 ///   --test PATH                  optional test-split TSV output
-Status RunGenerateCommand(const std::vector<std::string>& args);
+[[nodiscard]] Status RunGenerateCommand(const std::vector<std::string>& args);
 
 /// topkrgs-mine: mine rule groups from a continuous TSV dataset
 /// (label column + gene columns; entropy-MDL discretization is fitted on
@@ -34,7 +34,7 @@ Status RunGenerateCommand(const std::vector<std::string>& args);
 ///   --threads N                  topk/hybrid worker threads; 0 = all cores
 ///                                (default 1; results are thread-count
 ///                                invariant)
-Status RunMineCommand(const std::vector<std::string>& args);
+[[nodiscard]] Status RunMineCommand(const std::vector<std::string>& args);
 
 /// topkrgs-classify: train RCBT or CBA on a training TSV, evaluate on a
 /// test TSV, optionally persist/reuse the model and discretization.
@@ -45,7 +45,7 @@ Status RunMineCommand(const std::vector<std::string>& args);
 ///   --minsup-frac F              support fraction (default 0.7)
 ///   --save-model PATH --save-discretization PATH
 ///   --load-model PATH --load-discretization PATH
-Status RunClassifyCommand(const std::vector<std::string>& args);
+[[nodiscard]] Status RunClassifyCommand(const std::vector<std::string>& args);
 
 /// topkrgs-cv: stratified k-fold cross-validation of RCBT or CBA on one
 /// continuous TSV dataset (no independent test split needed).
@@ -55,7 +55,7 @@ Status RunClassifyCommand(const std::vector<std::string>& args);
 ///   --seed N                     fold assignment seed (default 1)
 ///   --k N --nl N                 RCBT parameters (defaults 10 / 20)
 ///   --minsup-frac F              support fraction (default 0.7)
-Status RunCvCommand(const std::vector<std::string>& args);
+[[nodiscard]] Status RunCvCommand(const std::vector<std::string>& args);
 
 /// Maps a command Status to a process exit code so scripted callers can
 /// distinguish failure modes without parsing stderr:

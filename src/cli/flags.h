@@ -1,6 +1,7 @@
 #ifndef TOPKRGS_CLI_FLAGS_H_
 #define TOPKRGS_CLI_FLAGS_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -24,16 +25,16 @@ class FlagParser {
   std::string GetString(const std::string& key, const std::string& fallback) const;
 
   /// Required string flag.
-  StatusOr<std::string> GetRequired(const std::string& key) const;
+  [[nodiscard]] StatusOr<std::string> GetRequired(const std::string& key) const;
 
   /// Integer flag with a default; InvalidArgument on malformed values.
-  StatusOr<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+  [[nodiscard]] StatusOr<int64_t> GetInt(const std::string& key, int64_t fallback) const;
 
   /// Double flag with a default; InvalidArgument on malformed values.
-  StatusOr<double> GetDouble(const std::string& key, double fallback) const;
+  [[nodiscard]] StatusOr<double> GetDouble(const std::string& key, double fallback) const;
 
   /// Returns an error naming any flag not in `known` (typo detection).
-  Status CheckKnown(const std::vector<std::string>& known) const;
+  [[nodiscard]] Status CheckKnown(const std::vector<std::string>& known) const;
 
  private:
   std::map<std::string, std::string> values_;

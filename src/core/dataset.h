@@ -1,6 +1,7 @@
 #ifndef TOPKRGS_CORE_DATASET_H_
 #define TOPKRGS_CORE_DATASET_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -48,7 +49,7 @@ class ContinuousDataset {
   std::vector<uint32_t> ClassCounts() const;
 
   /// Serializes as TSV: header "label\t<gene names...>", one row per line.
-  Status WriteTsv(const std::string& path) const;
+  [[nodiscard]] Status WriteTsv(const std::string& path) const;
   /// Parses the format produced by WriteTsv from in-memory lines — the
   /// ingestion boundary for untrusted matrices. Validates per-row field
   /// counts, labels representable as ClassLabel, finite expression values
@@ -119,7 +120,7 @@ class DiscreteDataset {
 
   /// Writes the dataset in transactional form, the usual exchange format of
   /// itemset-mining datasets: one row per line, "label<TAB>item item ...".
-  Status WriteItemData(const std::string& path) const;
+  [[nodiscard]] Status WriteItemData(const std::string& path) const;
   /// Parses the format produced by WriteItemData from in-memory lines.
   /// `num_items` fixes the item universe; 0 infers it as max item id + 1.
   /// Validates labels representable as ClassLabel and bounds the (declared

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/check.h"
+
 namespace topkrgs {
 
 namespace {
@@ -58,6 +60,38 @@ int CompareSignificance(uint32_t sup1, uint32_t as1, uint32_t sup2,
   return 0;
 }
 
+bool RuleGroup::CheckInvariants(std::string* error) const {
+  auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  if (antecedent_support != row_support.Count()) {
+    return fail("antecedent_support (" + std::to_string(antecedent_support) +
+                ") != |row_support| (" + std::to_string(row_support.Count()) +
+                ")");
+  }
+  if (support > antecedent_support) {
+    return fail("support (" + std::to_string(support) +
+                ") > antecedent_support (" +
+                std::to_string(antecedent_support) + ")");
+  }
+  if (support > 0 && row_support.None()) {
+    return fail("support counted but row_support is empty");
+  }
+  const double conf = confidence();
+  if (conf < 0.0 || conf > 1.0) {
+    return fail("confidence " + std::to_string(conf) + " outside [0, 1]");
+  }
+  return true;
+}
+
+void RuleGroup::ValidateInvariants() const {
+#if TOPKRGS_DCHECK_IS_ON()
+  std::string error;
+  TKRGS_DCHECK(CheckInvariants(&error), error.c_str());
+#endif
+}
+
 bool MoreSignificant(const RuleGroup& a, const RuleGroup& b) {
   return CompareSignificance(a.support, a.antecedent_support, b.support,
                              b.antecedent_support) > 0;
@@ -72,6 +106,7 @@ RuleGroup CloseItemset(const DiscreteDataset& data, const Bitset& itemset,
   group.antecedent_support = static_cast<uint32_t>(group.row_support.Count());
   group.support = static_cast<uint32_t>(
       group.row_support.IntersectCount(data.ClassRowset(consequent)));
+  group.ValidateInvariants();
   return group;
 }
 

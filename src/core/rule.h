@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "core/dataset.h"
 #include "core/types.h"
@@ -51,6 +50,19 @@ struct RuleGroup {
   }
 
   std::string ToString() const;
+
+  /// Structural invariants every well-formed rule group satisfies
+  /// (Lemma 2.1 ties the counts to the support set): support <=
+  /// antecedent_support == |row_support| (so confidence lands in [0, 1]),
+  /// and a non-empty support set for any group with support counted.
+  /// Returns false and describes the first violation in *error (when
+  /// non-null); never aborts — callers needing the abort use
+  /// ValidateInvariants().
+  bool CheckInvariants(std::string* error = nullptr) const;
+
+  /// TKRGS_DCHECKs CheckInvariants() — aborts in DCHECK-enabled builds
+  /// (Debug/asan/tsan presets), compiles to nothing in release.
+  void ValidateInvariants() const;
 };
 
 /// Exact comparison of rule significances (Definition 2.2) without floating

@@ -1,6 +1,8 @@
 #ifndef TOPKRGS_DISCRETIZE_BINNING_H_
 #define TOPKRGS_DISCRETIZE_BINNING_H_
 
+#include <cstdint>
+
 #include "core/dataset.h"
 #include "discretize/entropy_discretizer.h"
 

@@ -1,6 +1,7 @@
 #ifndef TOPKRGS_DISCRETIZE_ENTROPY_DISCRETIZER_H_
 #define TOPKRGS_DISCRETIZE_ENTROPY_DISCRETIZER_H_
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -55,7 +56,7 @@ class Discretization {
   /// gene must exist in the dataset. A discretization loaded from a file
   /// must pass this gate before Apply — a persisted model referencing gene
   /// 9000 applied to a 100-gene matrix would otherwise read out of bounds.
-  Status CheckCompatible(const ContinuousDataset& data) const;
+  [[nodiscard]] Status CheckCompatible(const ContinuousDataset& data) const;
 
   /// Discretizes a whole continuous dataset with these cuts. The dataset
   /// must satisfy CheckCompatible (callers crossing a trust boundary check

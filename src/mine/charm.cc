@@ -1,7 +1,10 @@
 #include "mine/charm.h"
 
 #include <algorithm>
+#include <iterator>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "util/status.h"
 

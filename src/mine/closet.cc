@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "util/status.h"
 

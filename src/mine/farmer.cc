@@ -1,6 +1,7 @@
 #include "mine/farmer.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "core/stats.h"
 #include "mine/projection.h"

@@ -1,6 +1,8 @@
 #ifndef TOPKRGS_MINE_FARMER_H_
 #define TOPKRGS_MINE_FARMER_H_
 
+#include <cstdint>
+
 #include "core/dataset.h"
 #include "mine/miner_common.h"
 #include "util/timer.h"

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <memory>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "mine/miner_common.h"
 #include "util/status.h"

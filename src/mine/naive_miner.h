@@ -1,6 +1,7 @@
 #ifndef TOPKRGS_MINE_NAIVE_MINER_H_
 #define TOPKRGS_MINE_NAIVE_MINER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/dataset.h"

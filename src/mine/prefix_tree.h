@@ -2,6 +2,7 @@
 #define TOPKRGS_MINE_PREFIX_TREE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/dataset.h"
@@ -71,6 +72,32 @@ class PrefixTree {
       if (headers_[pos].freq > 0) fn(pos, headers_[pos].freq);
     }
   }
+
+  /// Structural invariants of the projected-table representation (§4.2),
+  /// which the projection/conditional algebra silently relies on:
+  ///   - node 0 is the synthetic root (parent -1); every other node links
+  ///     to a valid parent and appears exactly once in its child list;
+  ///   - positions strictly decrease along every root-to-leaf path (the
+  ///     descending insertion order that makes Conditional(pos) contain
+  ///     exactly the positions ordered after pos);
+  ///   - a node's count covers the counts of its children (paths may end
+  ///     at an inner node, so >=);
+  ///   - header chain of pos visits exactly the nodes with that pos, and
+  ///     headers_[pos].freq equals the chain's count sum (what freq()
+  ///     serves to Step 10 of MineTopkRGS);
+  ///   - tuple_count_ covers the first-level count sum (zero-length
+  ///     tuples contribute to the total only).
+  /// Returns false with the first violation in *error (when non-null).
+  bool CheckInvariants(std::string* error = nullptr) const;
+
+  /// TKRGS_DCHECKs CheckInvariants(); no-op in release builds. Called by
+  /// BuildRoot on every fresh root tree (conditional trees are covered by
+  /// tests — the per-edge DFS hot path stays check-free even in debug).
+  void ValidateInvariants() const;
+
+  /// Test-only backdoor for invariants_test to corrupt internal state and
+  /// prove the DCHECKs fire; defined in the test, never in the library.
+  struct TestPeer;
 
  private:
   struct Node {

@@ -4,14 +4,15 @@
 #include <array>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
 
 #include "mine/projection.h"
 #include "util/arena.h"
+#include "util/check.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace topkrgs {
 
@@ -97,13 +98,18 @@ class SharedTopk {
     return minsup_dyn_.load(std::memory_order_acquire);
   }
 
-  /// Monotone maximum update (CAS loop).
+  /// Monotone maximum update (CAS loop). The paper's dynamic-minsup
+  /// optimization (§4.1.1) is only sound because minsup never decreases
+  /// during the search; the CAS loop guarantees it structurally and the
+  /// DCHECK documents/verifies the contract in debug builds.
   void RaiseMinsup(uint32_t value) {
     uint32_t current = minsup_dyn_.load(std::memory_order_relaxed);
     while (value > current &&
            !minsup_dyn_.compare_exchange_weak(current, value,
                                               std::memory_order_acq_rel)) {
     }
+    TKRGS_DCHECK_GE(minsup_dyn_.load(std::memory_order_relaxed), value,
+                    "dynamic minsup must be monotone non-decreasing");
   }
 
   /// Offers a candidate group to `pos`'s pruning list. Deduplicates by
@@ -117,7 +123,12 @@ class SharedTopk {
   /// on the same worker, in canonical order).
   void Insert(uint32_t pos, const HandlePtr& handle, uint32_t origin) {
     const RuleGroup& g = handle->group;
-    std::lock_guard<std::mutex> lock(stripes_[pos & (kStripes - 1)]);
+    // lists_[pos] is guarded by stripes_[pos & (kStripes - 1)]. The
+    // index-dependent stripe mapping is beyond what GUARDED_BY can
+    // express, so the contract lives here (and every mutation below runs
+    // under this MutexLock — the annotated type keeps the acquisition
+    // visible to the analysis even without a field annotation).
+    MutexLock lock(stripes_[pos & (kStripes - 1)]);
     auto& list = lists_[pos];
     for (const Entry& existing : list) {
       const RuleGroup& e = existing.handle->group;
@@ -182,6 +193,15 @@ class SharedTopk {
   void PublishKth(uint32_t pos) {
     if (!packable_) return;
     const auto& list = lists_[pos];
+    TKRGS_DCHECK_SORTED(
+        list.begin(), list.end(),
+        [](const Entry& a, const Entry& b) {
+          return CompareSignificance(
+                     a.handle->group.support, a.handle->group.antecedent_support,
+                     b.handle->group.support,
+                     b.handle->group.antecedent_support) > 0;
+        },
+        "per-row pruning list must stay sorted by significance");
     const RuleGroup& kth = list.back().handle->group;
     uint32_t tie_origin = 0;
     for (size_t i = list.size(); i-- > 0;) {
@@ -192,6 +212,19 @@ class SharedTopk {
       }
       tie_origin = std::max(tie_origin, list[i].origin);
     }
+    // Top-k pruning (§4.1.1) is sound only if the published per-row
+    // threshold — and with it the dynamically derived minconf — is
+    // monotone non-decreasing: a threshold that ever dropped could have
+    // pruned a subtree that later became viable again.
+    TKRGS_DCHECK(
+        [&] {
+          const uint64_t prev = packed_[pos].load(std::memory_order_relaxed);
+          return CompareSignificance(
+                     kth.support, kth.antecedent_support,
+                     static_cast<uint32_t>(prev >> 40),
+                     static_cast<uint32_t>((prev >> 16) & 0xffffffu)) >= 0;
+        }(),
+        "published k-th significance (minconf source) must never decrease");
     packed_[pos].store(
         (static_cast<uint64_t>(kth.support) << 40) |
             (static_cast<uint64_t>(kth.antecedent_support) << 16) | tie_origin,
@@ -200,10 +233,12 @@ class SharedTopk {
 
   const uint32_t k_;
   const bool packable_;
+  /// lists_[pos] is guarded by stripes_[pos & (kStripes - 1)] — an
+  /// index-computed stripe GUARDED_BY cannot name (see Insert).
   std::vector<std::vector<Entry>> lists_;
   std::vector<std::atomic<uint64_t>> packed_;
   std::atomic<uint32_t> minsup_dyn_;
-  mutable std::array<std::mutex, kStripes> stripes_;
+  mutable std::array<Mutex, kStripes> stripes_;
 };
 
 class TopkSearch {
@@ -1125,10 +1160,67 @@ TopkResult TopkSearch::Run() {
   stats_.timed_out = timed_out_.load(std::memory_order_relaxed);
   stats_.seconds = timer.ElapsedSeconds();
   result.stats = stats_;
+  result.ValidateInvariants(opt_.k);
   return result;
 }
 
 }  // namespace
+
+bool TopkResult::CheckInvariants(uint32_t k, std::string* error) const {
+  auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  for (size_t row = 0; row < per_row.size(); ++row) {
+    const auto& list = per_row[row];
+    if (list.size() > k) {
+      return fail("row " + std::to_string(row) + " holds " +
+                  std::to_string(list.size()) + " groups, more than k = " +
+                  std::to_string(k));
+    }
+    for (size_t i = 0; i < list.size(); ++i) {
+      const RuleGroupPtr& group = list[i];
+      if (group == nullptr) {
+        return fail("row " + std::to_string(row) + " holds a null group");
+      }
+      std::string group_error;
+      if (!group->CheckInvariants(&group_error)) {
+        return fail("row " + std::to_string(row) + " rank " +
+                    std::to_string(i + 1) + ": " + group_error);
+      }
+      if (row < group->row_support.size() && !group->row_support.Test(row)) {
+        return fail("row " + std::to_string(row) + " rank " +
+                    std::to_string(i + 1) + " group does not cover the row");
+      }
+      if (i > 0 &&
+          CompareSignificance(list[i - 1]->support,
+                              list[i - 1]->antecedent_support, group->support,
+                              group->antecedent_support) < 0) {
+        return fail("row " + std::to_string(row) +
+                    " list not sorted by significance at rank " +
+                    std::to_string(i + 1));
+      }
+      for (size_t j = 0; j < i; ++j) {
+        if (list[j] == group) {
+          return fail("row " + std::to_string(row) +
+                      " lists the same group twice (ranks " +
+                      std::to_string(j + 1) + " and " + std::to_string(i + 1) +
+                      ")");
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void TopkResult::ValidateInvariants(uint32_t k) const {
+#if TOPKRGS_DCHECK_IS_ON()
+  std::string error;
+  TKRGS_DCHECK(CheckInvariants(k, &error), error.c_str());
+#else
+  (void)k;
+#endif
+}
 
 std::vector<RuleGroupPtr> TopkResult::DistinctGroups() const {
   std::vector<RuleGroupPtr> out;

@@ -1,7 +1,9 @@
 #ifndef TOPKRGS_MINE_TOPK_MINER_H_
 #define TOPKRGS_MINE_TOPK_MINER_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/dataset.h"
@@ -100,6 +102,18 @@ struct TopkResult {
   /// of at least one row — the rule-group sets RCBT builds classifier CL_j
   /// from (§5.2).
   std::vector<RuleGroupPtr> GroupsAtRank(uint32_t j) const;
+
+  /// Invariants the miner promises about its output, given the k it ran
+  /// with: every per-row list holds at most k pointer-distinct groups,
+  /// sorted most-significant-first (ties broken arbitrarily but order
+  /// non-increasing), every listed group covers its row (its row_support
+  /// contains the row) and itself satisfies RuleGroup::CheckInvariants.
+  /// Returns false with the first violation in *error (when non-null).
+  bool CheckInvariants(uint32_t k, std::string* error = nullptr) const;
+
+  /// TKRGS_DCHECKs CheckInvariants(k); no-op in release. MineTopkRGS
+  /// validates its own result through this before returning.
+  void ValidateInvariants(uint32_t k) const;
 };
 
 /// Mines the top-k covering rule groups for every row of `data` whose class

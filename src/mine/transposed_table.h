@@ -1,6 +1,7 @@
 #ifndef TOPKRGS_MINE_TRANSPOSED_TABLE_H_
 #define TOPKRGS_MINE_TRANSPOSED_TABLE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

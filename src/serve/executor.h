@@ -2,16 +2,16 @@
 #define TOPKRGS_SERVE_EXECUTOR_H_
 
 #include <chrono>
-#include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "serve/metrics.h"
 #include "serve/model_registry.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace topkrgs {
@@ -64,20 +64,21 @@ class PredictionExecutor {
   /// Enqueues a request. The returned future resolves to the response, or
   /// to ResourceExhausted (queue full — resolved already at submit),
   /// DeadlineExceeded, or InvalidArgument (a malformed row).
-  std::future<StatusOr<PredictResponse>> Submit(PredictRequest request);
+  std::future<StatusOr<PredictResponse>> Submit(PredictRequest request)
+      EXCLUDES(mu_);
 
   /// Submit + wait.
-  StatusOr<PredictResponse> Predict(PredictRequest request);
+  StatusOr<PredictResponse> Predict(PredictRequest request) EXCLUDES(mu_);
 
   /// Releases workers paused by Options::start_paused.
-  void Resume();
+  void Resume() EXCLUDES(mu_);
 
   /// Stops accepting work, drains the queue (pending requests fail with
   /// ResourceExhausted), joins the workers. Idempotent; the destructor
   /// calls it.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
-  size_t queue_depth() const;
+  size_t queue_depth() const EXCLUDES(mu_);
 
  private:
   struct Task {
@@ -86,7 +87,7 @@ class PredictionExecutor {
     std::chrono::steady_clock::time_point submitted;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
   StatusOr<PredictResponse> Execute(const PredictRequest& request) const;
   void Finish(Task* task, StatusOr<PredictResponse> result);
 
@@ -97,11 +98,14 @@ class PredictionExecutor {
   const size_t num_workers_;
   ServeMetrics* const metrics_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Task> queue_;
-  bool paused_ = false;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Task> queue_ GUARDED_BY(mu_);
+  bool paused_ GUARDED_BY(mu_) = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  /// Touched only by the constructor and (after the workers observed
+  /// stopping_ and exited) by Shutdown — never by the workers themselves,
+  /// so it needs no guard; thread joining is its synchronization.
   std::vector<std::thread> workers_;
 };
 

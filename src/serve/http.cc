@@ -142,8 +142,10 @@ Status HttpServer::Start(uint16_t port) {
   if (listen_fd_ >= 0) {
     return Status::FailedPrecondition("server already started");
   }
-  auto fd_or = ListenTcp(port, &port_);
+  uint16_t bound_port = 0;
+  auto fd_or = ListenTcp(port, &bound_port);
   if (!fd_or.ok()) return fd_or.status();
+  port_.store(bound_port, std::memory_order_release);
   listen_fd_ = fd_or.value();
   stopping_.store(false, std::memory_order_relaxed);
   // The loop gets the fd by value: Stop() writes listen_fd_ while the
@@ -162,8 +164,10 @@ void HttpServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   CloseSocket(listen_fd_);
   listen_fd_ = -1;
-  std::unique_lock<std::mutex> lock(conn_mu_);
-  conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  MutexLock lock(conn_mu_);
+  // Explicit loop instead of the predicate overload so the guarded read
+  // of active_connections_ is visible to the thread-safety analysis.
+  while (active_connections_ != 0) conn_cv_.Wait(lock);
 }
 
 void HttpServer::AcceptLoop(int listen_fd) {
@@ -176,14 +180,14 @@ void HttpServer::AcceptLoop(int listen_fd) {
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      MutexLock lock(conn_mu_);
       ++active_connections_;
     }
     std::thread([this, fd] {
       ServeConnection(fd);
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      MutexLock lock(conn_mu_);
       --active_connections_;
-      conn_cv_.notify_all();
+      conn_cv_.NotifyAll();
     }).detach();
   }
 }
@@ -218,6 +222,9 @@ void HttpServer::ServeConnection(int fd) {
     }
   }
   if (have_request) response = handler_(request);
+  // Discarding the send Status is safe: the peer may legitimately have
+  // hung up before reading the response, and there is no one left to
+  // report the failure to — the connection closes either way.
   (void)SendAll(fd, SerializeHttpResponse(response));
   CloseSocket(fd);
 }

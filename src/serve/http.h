@@ -2,16 +2,16 @@
 #define TOPKRGS_SERVE_HTTP_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace topkrgs {
 
@@ -41,7 +41,7 @@ struct HttpResponse {
 /// more bytes" (incomplete request — not an error), InvalidArgument means
 /// the bytes can never become a valid request. Enforced limits: header
 /// block <= 64 KiB, Content-Length <= `max_body` (default 8 MiB).
-StatusOr<HttpRequest> ParseHttpRequest(std::string_view data, size_t* consumed,
+[[nodiscard]] StatusOr<HttpRequest> ParseHttpRequest(std::string_view data, size_t* consumed,
                                        size_t max_body = 8u << 20);
 
 /// Serializes a response with Content-Length and Connection: close.
@@ -63,26 +63,31 @@ class HttpServer {
   Status Start(uint16_t port);
 
   /// The bound port (after Start) — how a test using --port 0 finds the
-  /// server.
-  uint16_t port() const { return port_; }
+  /// server. Atomic: a monitoring thread may ask for the port while the
+  /// controlling thread is still inside Start (the thread-safety
+  /// annotation pass flagged the previous plain field as the one shared
+  /// mutable member with no guard and no atomicity).
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
 
   /// Closes the listener, waits for in-flight connections. Idempotent.
-  void Stop();
+  void Stop() EXCLUDES(conn_mu_);
 
  private:
-  void AcceptLoop(int listen_fd);
+  void AcceptLoop(int listen_fd) EXCLUDES(conn_mu_);
   void ServeConnection(int fd);
 
   Handler handler_;
+  /// Owned by the controlling thread (Start/Stop); AcceptLoop deliberately
+  /// receives the fd by value so it never reads this racing member.
   int listen_fd_ = -1;
-  uint16_t port_ = 0;
+  std::atomic<uint16_t> port_{0};
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   // Connection threads are detached; Stop() waits until the count drains
   // so the handler (and this object) safely outlive every connection.
-  std::mutex conn_mu_;
-  std::condition_variable conn_cv_;
-  size_t active_connections_ = 0;
+  Mutex conn_mu_;
+  CondVar conn_cv_;
+  size_t active_connections_ GUARDED_BY(conn_mu_) = 0;
 };
 
 }  // namespace topkrgs

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 
 #include "util/histogram.h"
@@ -12,6 +13,12 @@ namespace topkrgs {
 /// Serving metrics, shared by the executor and the HTTP front end. All
 /// fields are atomics with relaxed ordering — they are monitoring signals,
 /// not synchronization — so any thread can bump them without contention.
+///
+/// Thread-safety-annotation convention (DESIGN.md §11): a shared mutable
+/// field is either GUARDED_BY a mutex or std::atomic. This struct is the
+/// all-atomic case, so it carries no GUARDED_BY and needs no lock; adding
+/// a non-atomic mutable field here without a guard is exactly what the
+/// clang -Wthread-safety build exists to reject.
 ///
 /// Prometheus names rendered by RenderPrometheus:
 ///   topkrgs_requests_total            predict requests accepted for execution

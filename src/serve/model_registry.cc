@@ -1,5 +1,6 @@
 #include "serve/model_registry.h"
 
+#include <atomic>
 #include <cmath>
 
 #include "classify/model_io.h"
@@ -136,7 +137,7 @@ Status ModelRegistry::Insert(std::shared_ptr<const ServableModel> model) {
   if (model == nullptr) {
     return Status::InvalidArgument("null model");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   Entry& entry = models_[model->name()];
   const bool replaced =
       entry.versions.count(model->version()) > 0;
@@ -155,7 +156,7 @@ Status ModelRegistry::Insert(std::shared_ptr<const ServableModel> model) {
 
 Status ModelRegistry::Activate(const std::string& name,
                                const std::string& version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto it = models_.find(name);
   if (it == models_.end()) {
     return Status::NotFound("model '" + name + "' not loaded");
@@ -173,7 +174,7 @@ Status ModelRegistry::Activate(const std::string& name,
 }
 
 Status ModelRegistry::Rollback(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto it = models_.find(name);
   if (it == models_.end()) {
     return Status::NotFound("model '" + name + "' not loaded");
@@ -189,7 +190,7 @@ Status ModelRegistry::Rollback(const std::string& name) {
 
 Status ModelRegistry::Unload(const std::string& name,
                              const std::string& version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto it = models_.find(name);
   if (it == models_.end()) {
     return Status::NotFound("model '" + name + "' not loaded");
@@ -213,7 +214,7 @@ Status ModelRegistry::Unload(const std::string& name,
 
 StatusOr<std::shared_ptr<const ServableModel>> ModelRegistry::Get(
     const std::string& name, const std::string& version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = models_.find(name);
   if (it == models_.end()) {
     return Status::NotFound("model '" + name + "' not loaded");
@@ -233,7 +234,7 @@ StatusOr<std::shared_ptr<const ServableModel>> ModelRegistry::Get(
 }
 
 std::vector<ModelRegistry::ModelInfo> ModelRegistry::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::vector<ModelInfo> out;
   for (const auto& [name, entry] : models_) {
     for (const auto& [version, model] : entry.versions) {

@@ -1,9 +1,9 @@
 #ifndef TOPKRGS_SERVE_MODEL_REGISTRY_H_
 #define TOPKRGS_SERVE_MODEL_REGISTRY_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,6 +13,7 @@
 #include "discretize/entropy_discretizer.h"
 #include "serve/metrics.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace topkrgs {
 
@@ -80,8 +81,12 @@ class ServableModel {
 /// a shared_ptr<const ServableModel> and keep serving on it even while an
 /// operator hot-swaps the active version — the old version stays alive
 /// until its last in-flight request drops the reference. All registry
-/// state is guarded by one mutex; the critical sections are pointer swaps
-/// and map lookups, never model loading or prediction.
+/// state is GUARDED_BY one reader/writer mutex (thread-safety-annotated:
+/// clang verifies every models_ access holds it): mutators take the write
+/// lock, the hot Get/List resolution path takes the shared read lock, so
+/// concurrent request threads never serialize against each other — only
+/// against the rare hot-swap. Critical sections are pointer swaps and map
+/// lookups, never model loading or prediction.
 class ModelRegistry {
  public:
   explicit ModelRegistry(ServeMetrics* metrics = nullptr)
@@ -95,33 +100,36 @@ class ModelRegistry {
   /// inconsistent. Re-loading an existing (name, version) replaces it.
   Status Load(const std::string& name, const std::string& version,
               ServableModel::Kind kind, const std::string& model_path,
-              const std::string& discretization_path);
+              const std::string& discretization_path) EXCLUDES(mu_);
 
   /// Inserts an already-built model (in-process embedding path; the bench
   /// and tests use this to serve freshly trained classifiers without a
   /// round-trip through the filesystem).
-  Status Insert(std::shared_ptr<const ServableModel> model);
+  Status Insert(std::shared_ptr<const ServableModel> model) EXCLUDES(mu_);
 
   /// Makes an already-loaded version the active one.
-  Status Activate(const std::string& name, const std::string& version);
+  Status Activate(const std::string& name, const std::string& version)
+      EXCLUDES(mu_);
 
   /// Reverts `name` to the version that was active before the last
   /// Activate/Load swap. FailedPrecondition when there is no history.
-  Status Rollback(const std::string& name);
+  Status Rollback(const std::string& name) EXCLUDES(mu_);
 
   /// Drops one loaded version. FailedPrecondition when it is active.
-  Status Unload(const std::string& name, const std::string& version);
+  Status Unload(const std::string& name, const std::string& version)
+      EXCLUDES(mu_);
 
   /// Resolves a model; empty `version` means the active version.
   StatusOr<std::shared_ptr<const ServableModel>> Get(
-      const std::string& name, const std::string& version = "") const;
+      const std::string& name, const std::string& version = "") const
+      EXCLUDES(mu_);
 
   struct ModelInfo {
     std::string name;
     std::string version;
     bool active = false;
   };
-  std::vector<ModelInfo> List() const;
+  std::vector<ModelInfo> List() const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -130,8 +138,8 @@ class ModelRegistry {
     std::shared_ptr<const ServableModel> previous;  // rollback target
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> models_;
+  mutable SharedMutex mu_;
+  std::map<std::string, Entry> models_ GUARDED_BY(mu_);
   ServeMetrics* metrics_;
 };
 

@@ -1,5 +1,6 @@
 #include "serve/service.h"
 
+#include <atomic>
 #include <cmath>
 
 #include "serve/json.h"

@@ -1,8 +1,10 @@
 #ifndef TOPKRGS_SERVE_SERVICE_H_
 #define TOPKRGS_SERVE_SERVICE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "serve/executor.h"
@@ -29,7 +31,7 @@ struct ParsedPredictRequest {
 ///    "deadline_ms"?: num > 0}
 /// Limits: <= 4096 rows, <= 2^20 values per row, unknown keys rejected
 /// (a typo like "modle" must not silently hit the default model).
-StatusOr<ParsedPredictRequest> ParsePredictRequest(std::string_view body);
+[[nodiscard]] StatusOr<ParsedPredictRequest> ParsePredictRequest(std::string_view body);
 
 /// The serving endpoint set, glued onto HttpServer:
 ///   POST /v1/predict                      classify rows (JSON in/out)

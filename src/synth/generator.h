@@ -1,6 +1,7 @@
 #ifndef TOPKRGS_SYNTH_GENERATOR_H_
 #define TOPKRGS_SYNTH_GENERATOR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -44,10 +44,12 @@
 #include "serve/service.h"
 #include "synth/generator.h"
 #include "util/bitset.h"
+#include "util/check.h"
 #include "util/histogram.h"
 #include "util/random.h"
 #include "util/socket.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 #endif  // TOPKRGS_TOPKRGS_H_

@@ -1,0 +1,115 @@
+#ifndef TOPKRGS_UTIL_CHECK_H_
+#define TOPKRGS_UTIL_CHECK_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+/// Debug invariant-checking framework (DESIGN.md §11).
+///
+/// TKRGS_DCHECK* document and enforce internal invariants — the properties
+/// the paper's correctness arguments rest on (sorted/deduped top-k lists,
+/// monotone minconf, closure consistency) — in the builds meant to catch
+/// bugs: anything compiled with TOPKRGS_ENABLE_DCHECK (the Debug, asan and
+/// tsan presets). In release builds they compile to nothing: the condition
+/// is NOT evaluated, so a DCHECK may call arbitrarily expensive validation
+/// (full-tree walks) without taxing the hot path.
+///
+/// TKRGS_DCHECK is for programming errors only. Errors reachable from
+/// user input must return Status (see util/status.h), never DCHECK.
+///
+/// TOPKRGS_DCHECK_IS_ON() lets tests and callers branch on whether the
+/// checks are compiled in (death tests only make sense when they are).
+#ifdef TOPKRGS_ENABLE_DCHECK
+#define TOPKRGS_DCHECK_IS_ON() 1
+#else
+#define TOPKRGS_DCHECK_IS_ON() 0
+#endif
+
+namespace topkrgs {
+namespace internal {
+
+[[noreturn]] inline void DcheckFail(const char* file, int line,
+                                    const char* expr, const char* msg) {
+  std::fprintf(stderr, "DCHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+/// Strictly-sorted / sorted checks over any forward range, used by the
+/// TKRGS_DCHECK_SORTED* macros so the range walk is compiled out with them.
+template <typename It, typename Less>
+bool RangeIsSorted(It first, It last, Less less) {
+  return std::is_sorted(first, last, less);
+}
+
+template <typename It, typename Less>
+bool RangeIsSortedUnique(It first, It last, Less less) {
+  if (first == last) return true;
+  It next = first;
+  for (++next; next != last; ++first, ++next) {
+    if (!less(*first, *next)) return false;  // equal or out of order
+  }
+  return true;
+}
+
+}  // namespace internal
+}  // namespace topkrgs
+
+#if TOPKRGS_DCHECK_IS_ON()
+
+#define TKRGS_DCHECK(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::topkrgs::internal::DcheckFail(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                   \
+  } while (0)
+
+#define TKRGS_DCHECK_OP__(op, a, b, msg) \
+  TKRGS_DCHECK((a)op(b), msg)
+
+/// Range [first, last) is non-decreasing under `less`.
+#define TKRGS_DCHECK_SORTED(first, last, less, msg) \
+  TKRGS_DCHECK(                                     \
+      (::topkrgs::internal::RangeIsSorted((first), (last), (less))), msg)
+
+/// Range [first, last) is strictly increasing under `less` (sorted AND
+/// duplicate-free) — the shape every antecedent item list and per-row
+/// top-k list must have.
+#define TKRGS_DCHECK_SORTED_UNIQUE(first, last, less, msg) \
+  TKRGS_DCHECK(                                            \
+      (::topkrgs::internal::RangeIsSortedUnique((first), (last), (less))), msg)
+
+#else  // !TOPKRGS_DCHECK_IS_ON()
+
+// Release: nothing is evaluated; `if (false)` keeps the operands
+// name-checked by the compiler so a DCHECK can't silently rot.
+#define TKRGS_DCHECK(cond, msg)  \
+  do {                           \
+    if (false) {                 \
+      (void)(cond);              \
+      (void)(msg);               \
+    }                            \
+  } while (0)
+
+#define TKRGS_DCHECK_OP__(op, a, b, msg) TKRGS_DCHECK((a)op(b), msg)
+
+#define TKRGS_DCHECK_SORTED(first, last, less, msg) \
+  TKRGS_DCHECK(                                     \
+      (::topkrgs::internal::RangeIsSorted((first), (last), (less))), msg)
+
+#define TKRGS_DCHECK_SORTED_UNIQUE(first, last, less, msg) \
+  TKRGS_DCHECK(                                            \
+      (::topkrgs::internal::RangeIsSortedUnique((first), (last), (less))), msg)
+
+#endif  // TOPKRGS_DCHECK_IS_ON()
+
+#define TKRGS_DCHECK_EQ(a, b, msg) TKRGS_DCHECK_OP__(==, a, b, msg)
+#define TKRGS_DCHECK_NE(a, b, msg) TKRGS_DCHECK_OP__(!=, a, b, msg)
+#define TKRGS_DCHECK_LE(a, b, msg) TKRGS_DCHECK_OP__(<=, a, b, msg)
+#define TKRGS_DCHECK_LT(a, b, msg) TKRGS_DCHECK_OP__(<, a, b, msg)
+#define TKRGS_DCHECK_GE(a, b, msg) TKRGS_DCHECK_OP__(>=, a, b, msg)
+#define TKRGS_DCHECK_GT(a, b, msg) TKRGS_DCHECK_OP__(>, a, b, msg)
+
+#endif  // TOPKRGS_UTIL_CHECK_H_

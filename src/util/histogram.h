@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
-#include <vector>
 
 namespace topkrgs {
 
@@ -13,6 +12,9 @@ namespace topkrgs {
 /// Record() from many threads with relaxed atomics (counters are
 /// independent; no ordering is needed between them), readers take a
 /// point-in-time snapshot for percentiles and /metrics rendering.
+/// All state is atomic, so under the annotation conventions of
+/// DESIGN.md §11 nothing here is GUARDED_BY a mutex; keep it that way —
+/// a lock on the Record() path would serialize every worker thread.
 ///
 /// Buckets are exponential base-2 over microseconds: bucket i counts
 /// samples in [2^i, 2^(i+1)) us, bucket 0 is [0, 2) us, the last bucket is

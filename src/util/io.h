@@ -23,26 +23,26 @@ std::vector<std::string> SplitIntoLines(std::string_view text);
 /// Parses a double; returns InvalidArgument on malformed input.
 /// Accepts "inf"/"nan" spellings; use ParseFiniteDouble where a
 /// non-finite value would poison downstream arithmetic or sorting.
-StatusOr<double> ParseDouble(std::string_view text);
+[[nodiscard]] StatusOr<double> ParseDouble(std::string_view text);
 
 /// Parses a double and rejects NaN and infinities with InvalidArgument.
-StatusOr<double> ParseFiniteDouble(std::string_view text);
+[[nodiscard]] StatusOr<double> ParseFiniteDouble(std::string_view text);
 
 /// Parses a non-negative integer; returns InvalidArgument on malformed
 /// input and on values that overflow uint64 (overflow is detected, never
 /// silently wrapped).
-StatusOr<uint64_t> ParseUint(std::string_view text);
+[[nodiscard]] StatusOr<uint64_t> ParseUint(std::string_view text);
 
 /// ParseUint restricted to values representable in 32 bits; file formats
 /// whose ids/counts are stored in uint32 fields must use this so oversized
 /// values are rejected instead of truncated.
-StatusOr<uint32_t> ParseUint32(std::string_view text);
+[[nodiscard]] StatusOr<uint32_t> ParseUint32(std::string_view text);
 
 /// Reads a whole text file into lines (without trailing newlines).
 StatusOr<std::vector<std::string>> ReadLines(const std::string& path);
 
 /// Writes lines to a file, one per line.
-Status WriteLines(const std::string& path, const std::vector<std::string>& lines);
+[[nodiscard]] Status WriteLines(const std::string& path, const std::vector<std::string>& lines);
 
 }  // namespace topkrgs
 

@@ -18,24 +18,24 @@ namespace topkrgs {
 /// On success returns the listening fd and stores the bound port in
 /// `*bound_port` — that is how a test starts a server on "--port 0" and
 /// learns where it actually lives.
-StatusOr<int> ListenTcp(uint16_t port, uint16_t* bound_port);
+[[nodiscard]] StatusOr<int> ListenTcp(uint16_t port, uint16_t* bound_port);
 
 /// Blocks until a client connects; returns the connection fd. The listener
 /// being closed from another thread surfaces as IOError, which the accept
 /// loop uses as its shutdown signal.
-StatusOr<int> AcceptConn(int listen_fd);
+[[nodiscard]] StatusOr<int> AcceptConn(int listen_fd);
 
 /// Connects to 127.0.0.1:`port`.
-StatusOr<int> ConnectTcp(uint16_t port);
+[[nodiscard]] StatusOr<int> ConnectTcp(uint16_t port);
 
 /// Writes all of `data`, looping over partial writes.
-Status SendAll(int fd, std::string_view data);
+[[nodiscard]] Status SendAll(int fd, std::string_view data);
 
 /// Reads until EOF (peer close) or `max_bytes`, appending to `*out`.
-Status RecvAll(int fd, std::string* out, size_t max_bytes = 1 << 26);
+[[nodiscard]] Status RecvAll(int fd, std::string* out, size_t max_bytes = 1 << 26);
 
 /// Reads at most `max_bytes` once; returns the bytes read (empty = EOF).
-StatusOr<std::string> RecvSome(int fd, size_t max_bytes);
+[[nodiscard]] StatusOr<std::string> RecvSome(int fd, size_t max_bytes);
 
 /// Disables further sends/receives (shutdown(SHUT_RDWR)) without releasing
 /// the fd. On a listening socket this wakes threads blocked in accept() —

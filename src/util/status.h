@@ -24,7 +24,13 @@ enum class StatusCode {
 
 /// A Status carries either success (ok) or an error code plus message.
 /// Modeled after the Arrow/RocksDB idiom: no exceptions cross the public API.
-class Status {
+///
+/// [[nodiscard]] on the class makes ignoring ANY function returning Status
+/// by value a compiler warning, promoted to an error by
+/// -Werror=unused-result (always on, every compiler — see CMakeLists.txt).
+/// A call site that genuinely doesn't care must spell it
+/// `(void)Call();  // <why the discard is safe>` — policy in DESIGN.md §11.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -76,8 +82,9 @@ class Status {
 
 /// Holds either a value of type T or an error Status.
 /// Accessing the value of an errored StatusOr aborts.
+/// [[nodiscard]]: see Status above — dropping a StatusOr drops the error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /*implicit*/ StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
   /*implicit*/ StatusOr(Status status) : status_(std::move(status)) {

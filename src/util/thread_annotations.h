@@ -1,0 +1,172 @@
+#ifndef TOPKRGS_UTIL_THREAD_ANNOTATIONS_H_
+#define TOPKRGS_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+/// Clang Thread Safety Analysis (TSA) shim plus annotated mutex wrappers.
+///
+/// The macros expand to Clang's `__attribute__((...))` thread-safety
+/// attributes when compiling with a TSA-capable compiler and to nothing
+/// otherwise (gcc), so annotated code builds everywhere while clang builds
+/// with `-Wthread-safety -Werror` turn every missed lock acquisition into a
+/// compile error. Conventions (see DESIGN.md §11):
+///
+///   - Every mutable field shared between threads is either std::atomic or
+///     carries GUARDED_BY(mu_) naming the topkrgs::Mutex/SharedMutex that
+///     protects it.
+///   - Private methods called with a lock already held are annotated
+///     REQUIRES(mu_) (exclusive) or REQUIRES_SHARED(mu_).
+///   - Raw std::mutex / std::lock_guard are not used for shared state;
+///     use Mutex/MutexLock (or SharedMutex/ReaderMutexLock) below so the
+///     analysis can see the acquisition.
+#if defined(__clang__) && !defined(SWIG)
+#define TOPKRGS_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define TOPKRGS_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) TOPKRGS_THREAD_ANNOTATION__(capability(x))
+#define SCOPED_CAPABILITY TOPKRGS_THREAD_ANNOTATION__(scoped_lockable)
+#define GUARDED_BY(x) TOPKRGS_THREAD_ANNOTATION__(guarded_by(x))
+#define PT_GUARDED_BY(x) TOPKRGS_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  TOPKRGS_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  TOPKRGS_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  TOPKRGS_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  TOPKRGS_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  TOPKRGS_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  TOPKRGS_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  TOPKRGS_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  TOPKRGS_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  TOPKRGS_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) TOPKRGS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) TOPKRGS_THREAD_ANNOTATION__(assert_capability(x))
+#define RETURN_CAPABILITY(x) TOPKRGS_THREAD_ANNOTATION__(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  TOPKRGS_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace topkrgs {
+
+class CondVar;
+
+/// std::mutex with the TSA capability attribute, so fields can be
+/// GUARDED_BY a member of this type and clang verifies every access.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with the TSA capability attribute: exclusive for
+/// writers, shared for readers (ReaderMutexLock).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex (std::lock_guard/unique_lock
+/// replacement the analysis understands). CondVar::Wait takes one, which
+/// is why it wraps std::unique_lock rather than std::lock_guard.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// RAII exclusive (writer) lock over a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable working with MutexLock. TSA cannot see through a
+/// predicate lambda passed to std::condition_variable::wait (the lambda
+/// body reads guarded fields but carries no REQUIRES), so callers write
+/// the wait loop explicitly:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(lock);   // ready_ GUARDED_BY(mu_): visible
+///                                     // to the analysis in this form
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases the lock, blocks, reacquires before returning.
+  /// The caller's capability is held again on return, which is why no
+  /// RELEASE/ACQUIRE annotation appears: from the analysis' view the
+  /// capability is continuously held across the call.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_UTIL_THREAD_ANNOTATIONS_H_

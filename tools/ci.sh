@@ -16,6 +16,16 @@
 #           no sanitizer report. When clang is available the stage also
 #           runs each libFuzzer target for a short time-boxed exploration.
 #
+#   lint  — static-analysis gate (DESIGN.md §11). Always runs the
+#           dependency-free checks: tools/lint/check_includes.py (IWYU-lite
+#           over src/) and a warnings-as-errors build of the lint preset,
+#           which also enforces -Werror=unused-result on the [[nodiscard]]
+#           Status surface. When a clang toolchain is on PATH it
+#           additionally compiles src/ with -Wthread-safety -Werror (the
+#           thread-safety-annotation gate) and runs clang-tidy against the
+#           exported compile_commands.json; without clang those two
+#           sub-checks print a skip notice instead of failing.
+#
 #   serve — build the asan preset, run the serving-layer tests under it,
 #           then smoke-test the real topkrgs-serve binary end to end:
 #           train a TINY model, start the server on an ephemeral port,
@@ -23,13 +33,49 @@
 #           shut it down cleanly (SIGTERM). Also builds the release preset
 #           load-generator bench and refreshes bench/BENCH_serve.json.
 #
-# Usage: tools/ci.sh [tsan|fuzz|serve|all] [extra ctest -R pattern]
+# Usage: tools/ci.sh [lint|tsan|fuzz|serve|all] [extra ctest -R pattern]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STAGE="${1:-all}"
 FUZZ_SECONDS="${FUZZ_SECONDS:-60}"
+
+run_lint() {
+  echo "== include discipline (tools/lint/check_includes.py) =="
+  python3 tools/lint/check_includes.py
+
+  echo "== configure (lint preset: warnings-as-errors, compile_commands) =="
+  cmake --preset lint >/dev/null
+  echo "== warnings-as-errors build (-Werror, -Werror=unused-result) =="
+  cmake --build --preset lint -j
+
+  # The thread-safety-annotation and clang-tidy gates need a clang
+  # toolchain; degrade with an explicit notice rather than a silent pass
+  # so CI logs show exactly which checks ran.
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "== clang -Wthread-safety -Werror over src/ =="
+    local tsa_dir
+    tsa_dir="$(mktemp -d)"
+    # shellcheck disable=SC2064
+    trap "rm -rf '${tsa_dir}'" RETURN
+    cmake -S . -B "${tsa_dir}" -G Ninja \
+      -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DTOPKRGS_WERROR=ON >/dev/null
+    cmake --build "${tsa_dir}" -j --target topkrgs
+  else
+    echo "(clang++ not on PATH — -Wthread-safety gate skipped; annotations"
+    echo " compile to nothing under this toolchain and were not analyzed)"
+  fi
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy (.clang-tidy check set, warnings-as-errors) =="
+    git ls-files 'src/*.cc' | xargs clang-tidy -p build-lint --quiet
+  else
+    echo "(clang-tidy not on PATH — tidy gate skipped)"
+  fi
+  echo "lint gate passed: include discipline clean, warnings-as-errors build green."
+}
 
 run_tsan() {
   local pattern="${1:-TopkParallel}"
@@ -135,10 +181,12 @@ PY
 }
 
 case "${STAGE}" in
+  lint) run_lint ;;
   tsan) run_tsan "${2:-TopkParallel|ThreadSafety}" ;;
   fuzz) run_fuzz ;;
   serve) run_serve ;;
   all)
+    run_lint
     run_tsan "${2:-TopkParallel|ThreadSafety}"
     run_fuzz
     run_serve
