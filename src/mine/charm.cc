@@ -51,6 +51,9 @@ class CharmSearch {
   uint32_t minsup_ = 1;
 
   // Closed-set index for subsumption checking: tid_sum -> result indices.
+  // NOLINT(determinism: membership index only — probed via find(), never
+  // iterated; emission order is the sequential search order, and the
+  // subsumption verdict is independent of within-bucket probe order)
   std::unordered_map<uint64_t, std::vector<size_t>> closed_index_;
   std::vector<std::pair<Bitset, uint32_t>> closed_sets_;  // (items, support)
 

@@ -110,6 +110,9 @@ class ClosetSearch {
 
   std::vector<ItemId> rank_to_item_;
   // support -> indices of closed sets with that support.
+  // NOLINT(determinism: membership index only — probed via operator[] for
+  // one key at a time, never iterated; the subsumption verdict scans the
+  // bucket vector in insertion (= discovery) order, not bucket order)
   std::unordered_map<uint32_t, std::vector<size_t>> closed_index_;
   std::vector<Bitset> closed_sets_;
 

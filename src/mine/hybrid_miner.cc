@@ -117,6 +117,10 @@ TopkResult MineTopkRGSHybrid(const DiscreteDataset& data, ClassLabel consequent,
     merged.stats.nodes_visited += out.result.stats.nodes_visited;
     merged.stats.pruned_backward += out.result.stats.pruned_backward;
     merged.stats.pruned_bounds += out.result.stats.pruned_bounds;
+    // NOLINT(determinism: pointer-keyed memo probed via find() only, never
+    // iterated — output order comes from the per_row/row_ids scan; the
+    // pointer keys identify one partition's in-memory groups and never
+    // order anything)
     std::unordered_map<const RuleGroup*, RuleGroupPtr> translated;
     for (RowId local_row = 0; local_row < out.result.per_row.size();
          ++local_row) {

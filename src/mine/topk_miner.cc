@@ -3,14 +3,16 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <map>
 #include <memory>
 #include <optional>
 #include <thread>
-#include <unordered_map>
+#include <utility>
 
 #include "mine/projection.h"
 #include "util/arena.h"
 #include "util/check.h"
+#include "util/lock_ranks.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -231,6 +233,16 @@ class SharedTopk {
         std::memory_order_release);
   }
 
+  /// Stripe locks carry the leaf rank from the central table: nothing may
+  /// be acquired under one, and (same-rank rule) no two stripes may ever
+  /// be held together — both checked at runtime in debug builds.
+  template <size_t... I>
+  static std::array<Mutex, sizeof...(I)> MakeStripes(
+      std::index_sequence<I...>) {
+    return {((void)I, Mutex(lock_rank::kMinerTopkStripe,
+                            "SharedTopk::stripes_"))...};
+  }
+
   const uint32_t k_;
   const bool packable_;
   /// lists_[pos] is guarded by stripes_[pos & (kStripes - 1)] — an
@@ -238,7 +250,8 @@ class SharedTopk {
   std::vector<std::vector<Entry>> lists_;
   std::vector<std::atomic<uint64_t>> packed_;
   std::atomic<uint32_t> minsup_dyn_;
-  mutable std::array<Mutex, kStripes> stripes_;
+  mutable std::array<Mutex, kStripes> stripes_ =
+      MakeStripes(std::make_index_sequence<kStripes>{});
 };
 
 class TopkSearch {
@@ -1222,38 +1235,38 @@ void TopkResult::ValidateInvariants(uint32_t k) const {
 #endif
 }
 
-std::vector<RuleGroupPtr> TopkResult::DistinctGroups() const {
-  std::vector<RuleGroupPtr> out;
-  std::unordered_map<uint64_t, std::vector<size_t>> seen;  // rowset hash -> indices
-  for (const auto& list : per_row) {
-    for (const RuleGroupPtr& g : list) {
-      const uint64_t h = g->row_support.Hash();
-      auto& bucket = seen[h];
-      bool dup = false;
-      for (size_t idx : bucket) {
-        if (out[idx]->row_support == g->row_support) {
-          dup = true;
-          break;
-        }
-      }
-      if (!dup) {
-        bucket.push_back(out.size());
-        out.push_back(g);
-      }
-    }
-  }
-  return out;
-}
+namespace {
 
-std::vector<RuleGroupPtr> TopkResult::GroupsAtRank(uint32_t j) const {
-  TOPKRGS_CHECK(j >= 1, "rank is 1-based");
+/// Collapses `candidates` (scan order) to the distinct rowsets, keeping
+/// the first occurrence of each and preserving scan order.
+///
+/// The hash only buckets the equality probes — it never decides order:
+/// output order is the candidates' own order, the membership index is an
+/// ORDERED map (no hash-bucket iteration anywhere), and within a bucket
+/// the candidate indices are probed in sorted (ascending, i.e. scan)
+/// order. Salting the hash therefore reshuffles buckets without moving a
+/// single output element — pinned by the DistinctGroupsHashSaltInvariant
+/// regression test, which is what licenses the hash in this
+/// deterministic zone at all.
+std::vector<RuleGroupPtr> DedupByRowSupport(
+    const std::vector<const RuleGroupPtr*>& candidates, uint64_t hash_salt) {
   std::vector<RuleGroupPtr> out;
-  std::unordered_map<uint64_t, std::vector<size_t>> seen;
-  for (const auto& list : per_row) {
-    if (list.size() < j) continue;
-    const RuleGroupPtr& g = list[j - 1];
-    const uint64_t h = g->row_support.Hash();
-    auto& bucket = seen[h];
+  std::map<uint64_t, std::vector<size_t>> seen;  // salted hash -> out indices
+  for (const RuleGroupPtr* gp : candidates) {
+    const RuleGroupPtr& g = *gp;
+    // SplitMix64 finalizer over (rowset hash ^ salt): any salt yields a
+    // usable bucketing function, so tests can sweep several.
+    uint64_t h = g->row_support.Hash() ^ hash_salt;
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    std::vector<size_t>& bucket = seen[h];
+    TKRGS_DCHECK_SORTED(bucket.begin(), bucket.end(),
+                        [](size_t a, size_t b) { return a < b; },
+                        "dedup probe order must be scan order, never bucket "
+                        "layout");
     bool dup = false;
     for (size_t idx : bucket) {
       if (out[idx]->row_support == g->row_support) {
@@ -1262,11 +1275,32 @@ std::vector<RuleGroupPtr> TopkResult::GroupsAtRank(uint32_t j) const {
       }
     }
     if (!dup) {
-      bucket.push_back(out.size());
+      bucket.push_back(out.size());  // appended ascending: stays sorted
       out.push_back(g);
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<RuleGroupPtr> TopkResult::DistinctGroups(uint64_t hash_salt) const {
+  std::vector<const RuleGroupPtr*> candidates;
+  for (const auto& list : per_row) {
+    for (const RuleGroupPtr& g : list) candidates.push_back(&g);
+  }
+  return DedupByRowSupport(candidates, hash_salt);
+}
+
+std::vector<RuleGroupPtr> TopkResult::GroupsAtRank(uint32_t j,
+                                                   uint64_t hash_salt) const {
+  TOPKRGS_CHECK(j >= 1, "rank is 1-based");
+  std::vector<const RuleGroupPtr*> candidates;
+  for (const auto& list : per_row) {
+    if (list.size() < j) continue;
+    candidates.push_back(&list[j - 1]);
+  }
+  return DedupByRowSupport(candidates, hash_salt);
 }
 
 TopkResult MineTopkRGS(const DiscreteDataset& data, ClassLabel consequent,

@@ -95,13 +95,18 @@ struct TopkResult {
   uint32_t effective_min_support = 0;
   MinerStats stats;
 
-  /// All distinct rule groups across rows.
-  std::vector<RuleGroupPtr> DistinctGroups() const;
+  /// All distinct rule groups across rows, in first-occurrence order of
+  /// the per_row scan. Deduplication is by rowset equality; `hash_salt`
+  /// perturbs the internal bucketing hash and MUST NOT change the result
+  /// — the salt exists so tests can pin that hash-independence (the
+  /// determinism linter's no-bucket-order-in-results rule, DESIGN.md §12).
+  std::vector<RuleGroupPtr> DistinctGroups(uint64_t hash_salt = 0) const;
 
   /// RG_j (1-based j <= k): the distinct groups appearing as a top-j group
   /// of at least one row — the rule-group sets RCBT builds classifier CL_j
-  /// from (§5.2).
-  std::vector<RuleGroupPtr> GroupsAtRank(uint32_t j) const;
+  /// from (§5.2). Same ordering and hash_salt contract as DistinctGroups.
+  std::vector<RuleGroupPtr> GroupsAtRank(uint32_t j,
+                                         uint64_t hash_salt = 0) const;
 
   /// Invariants the miner promises about its output, given the k it ran
   /// with: every per-row list holds at most k pointer-distinct groups,

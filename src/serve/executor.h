@@ -11,6 +11,7 @@
 
 #include "serve/metrics.h"
 #include "serve/model_registry.h"
+#include "util/lock_ranks.h"
 #include "util/thread_annotations.h"
 #include "util/timer.h"
 
@@ -98,7 +99,7 @@ class PredictionExecutor {
   const size_t num_workers_;
   ServeMetrics* const metrics_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lock_rank::kExecutorQueue, "PredictionExecutor::mu_"};
   CondVar cv_;
   std::deque<Task> queue_ GUARDED_BY(mu_);
   bool paused_ GUARDED_BY(mu_) = false;

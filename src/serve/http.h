@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/lock_ranks.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -85,7 +86,7 @@ class HttpServer {
   std::thread accept_thread_;
   // Connection threads are detached; Stop() waits until the count drains
   // so the handler (and this object) safely outlive every connection.
-  Mutex conn_mu_;
+  Mutex conn_mu_{lock_rank::kHttpConnTracking, "HttpServer::conn_mu_"};
   CondVar conn_cv_;
   size_t active_connections_ GUARDED_BY(conn_mu_) = 0;
 };

@@ -12,6 +12,7 @@
 #include "classify/rcbt.h"
 #include "discretize/entropy_discretizer.h"
 #include "serve/metrics.h"
+#include "util/lock_ranks.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -138,7 +139,7 @@ class ModelRegistry {
     std::shared_ptr<const ServableModel> previous;  // rollback target
   };
 
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{lock_rank::kModelRegistry, "ModelRegistry::mu_"};
   std::map<std::string, Entry> models_ GUARDED_BY(mu_);
   ServeMetrics* metrics_;
 };

@@ -1,0 +1,99 @@
+#include "util/lock_ranks.h"
+
+#if TOPKRGS_LOCK_RANK_IS_ON()
+
+#include <execinfo.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace topkrgs {
+namespace lock_rank {
+namespace {
+
+constexpr int kMaxFrames = 24;
+
+struct HeldLock {
+  const void* mu;
+  int rank;
+  const char* name;
+  void* frames[kMaxFrames];
+  int num_frames;
+};
+
+// Function-local static so first use from any thread constructs it;
+// destruction order at thread exit is harmless (trivial element type,
+// vector freed by the thread_local destructor).
+std::vector<HeldLock>& Stack() {
+  thread_local std::vector<HeldLock> held;
+  return held;
+}
+
+void DumpTrace(const char* label, void* const* frames, int num_frames) {
+  std::fprintf(stderr, "%s\n", label);
+  // backtrace_symbols_fd writes straight to the fd: no malloc after the
+  // failure is detected, so this works even from gnarly states.
+  backtrace_symbols_fd(frames, num_frames, STDERR_FILENO);
+}
+
+[[noreturn]] void ReportInversion(const HeldLock& held, int rank,
+                                  const char* name) {
+  void* now_frames[kMaxFrames];
+  const int now_n = backtrace(now_frames, kMaxFrames);
+  std::fprintf(stderr,
+               "lock rank inversion: acquiring \"%s\" (rank %d) while "
+               "holding \"%s\" (rank %d); ranks must strictly increase "
+               "(util/lock_ranks.h)\n",
+               name, rank, held.name, held.rank);
+  DumpTrace("--- stack at acquisition of the held lock:", held.frames,
+            held.num_frames);
+  DumpTrace("--- current stack:", now_frames, now_n);
+  std::abort();
+}
+
+void Push(const void* mu, int rank, const char* name) {
+  HeldLock held;
+  held.mu = mu;
+  held.rank = rank;
+  held.name = name;
+  held.num_frames = backtrace(held.frames, kMaxFrames);
+  Stack().push_back(held);
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu, int rank, const char* name) {
+  if (rank == kUnranked) return;
+  // The stack is not necessarily monotone (try-locks skip the check), so
+  // scan it all; depth is tiny — the discipline itself bounds it by the
+  // number of distinct ranks.
+  for (const HeldLock& held : Stack()) {
+    if (held.rank >= rank) ReportInversion(held, rank, name);
+  }
+  Push(mu, rank, name);
+}
+
+void OnTryAcquire(const void* mu, int rank, const char* name) {
+  if (rank == kUnranked) return;
+  Push(mu, rank, name);
+}
+
+void OnRelease(const void* mu) {
+  std::vector<HeldLock>& stack = Stack();
+  for (size_t i = stack.size(); i-- > 0;) {
+    if (stack[i].mu == mu) {
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+int HeldCount() { return static_cast<int>(Stack().size()); }
+
+}  // namespace lock_rank
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_LOCK_RANK_IS_ON()

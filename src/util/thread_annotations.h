@@ -5,6 +5,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "util/lock_ranks.h"
+
 /// Clang Thread Safety Analysis (TSA) shim plus annotated mutex wrappers.
 ///
 /// The macros expand to Clang's `__attribute__((...))` thread-safety
@@ -61,20 +63,53 @@ class CondVar;
 
 /// std::mutex with the TSA capability attribute, so fields can be
 /// GUARDED_BY a member of this type and clang verifies every access.
+///
+/// Long-lived locks are constructed with a rank from util/lock_ranks.h;
+/// debug builds then abort (with both stack traces) on any acquisition
+/// that does not strictly increase the calling thread's held ranks — the
+/// runtime deadlock detector backing the static rank table. The default
+/// constructor leaves the lock unranked (exempt).
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex([[maybe_unused]] int rank,
+                 [[maybe_unused]] const char* name = "mutex")
+#if TOPKRGS_LOCK_RANK_IS_ON()
+      : rank_(rank), name_(name)
+#endif
+  {
+  }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+#if TOPKRGS_LOCK_RANK_IS_ON()
+    lock_rank::OnAcquire(this, rank_, name_);
+#endif
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+#if TOPKRGS_LOCK_RANK_IS_ON()
+    lock_rank::OnRelease(this);
+#endif
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+#if TOPKRGS_LOCK_RANK_IS_ON()
+    if (acquired) lock_rank::OnTryAcquire(this, rank_, name_);
+#endif
+    return acquired;
+  }
 
  private:
   friend class CondVar;
   friend class MutexLock;
   std::mutex mu_;
+#if TOPKRGS_LOCK_RANK_IS_ON()
+  const int rank_ = lock_rank::kUnranked;
+  const char* const name_ = "unranked";
+#endif
 };
 
 /// std::shared_mutex with the TSA capability attribute: exclusive for
@@ -82,16 +117,50 @@ class CAPABILITY("mutex") Mutex {
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex([[maybe_unused]] int rank,
+                       [[maybe_unused]] const char* name = "shared_mutex")
+#if TOPKRGS_LOCK_RANK_IS_ON()
+      : rank_(rank), name_(name)
+#endif
+  {
+  }
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  void Lock() ACQUIRE() {
+#if TOPKRGS_LOCK_RANK_IS_ON()
+    lock_rank::OnAcquire(this, rank_, name_);
+#endif
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+#if TOPKRGS_LOCK_RANK_IS_ON()
+    lock_rank::OnRelease(this);
+#endif
+  }
+  void LockShared() ACQUIRE_SHARED() {
+    // A shared acquisition orders exactly like an exclusive one: readers
+    // of a higher-ranked lock may still deadlock against writers of a
+    // lower-ranked one, so the rank rule makes no reader exception.
+#if TOPKRGS_LOCK_RANK_IS_ON()
+    lock_rank::OnAcquire(this, rank_, name_);
+#endif
+    mu_.lock_shared();
+  }
+  void UnlockShared() RELEASE_SHARED() {
+    mu_.unlock_shared();
+#if TOPKRGS_LOCK_RANK_IS_ON()
+    lock_rank::OnRelease(this);
+#endif
+  }
 
  private:
   std::shared_mutex mu_;
+#if TOPKRGS_LOCK_RANK_IS_ON()
+  const int rank_ = lock_rank::kUnranked;
+  const char* const name_ = "unranked";
+#endif
 };
 
 /// RAII exclusive lock over a Mutex (std::lock_guard/unique_lock
@@ -99,8 +168,20 @@ class CAPABILITY("shared_mutex") SharedMutex {
 /// is why it wraps std::unique_lock rather than std::lock_guard.
 class SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
-  ~MutexLock() RELEASE() = default;
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_, std::defer_lock) {
+    // Rank-check BEFORE blocking on the underlying mutex: an inversion
+    // must abort with its diagnosis rather than deadlock first.
+#if TOPKRGS_LOCK_RANK_IS_ON()
+    mu_ = &mu;
+    lock_rank::OnAcquire(mu_, mu.rank_, mu.name_);
+#endif
+    lock_.lock();
+  }
+  ~MutexLock() RELEASE() {
+#if TOPKRGS_LOCK_RANK_IS_ON()
+    lock_rank::OnRelease(mu_);
+#endif
+  }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
@@ -108,6 +189,9 @@ class SCOPED_CAPABILITY MutexLock {
  private:
   friend class CondVar;
   std::unique_lock<std::mutex> lock_;
+#if TOPKRGS_LOCK_RANK_IS_ON()
+  const Mutex* mu_ = nullptr;
+#endif
 };
 
 /// RAII exclusive (writer) lock over a SharedMutex.

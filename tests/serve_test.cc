@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "serve/model_registry.h"
 #include "serve/service.h"
 #include "synth/generator.h"
+#include "util/lock_ranks.h"
 
 namespace topkrgs {
 namespace {
@@ -422,6 +424,97 @@ TEST(ExecutorTest, ShutdownDrainsPendingAndRejectsNewWork) {
   ASSERT_FALSE(late_or.ok());
   EXPECT_EQ(late_or.status().code(), StatusCode::kResourceExhausted);
   executor.Shutdown();  // idempotent
+}
+
+// Shutdown racing live traffic AND registry hot-swaps: every in-flight
+// request must resolve to exactly OK, ResourceExhausted or
+// DeadlineExceeded (never another code, never a hang), every response
+// must come from a complete model — correct name, a real version, the
+// v1-trained prediction — and the lock-rank checker must stay quiet and
+// balanced across the registry→executor lock nesting the whole time.
+TEST(ExecutorTest, ShutdownDuringHotSwapDrainsCleanly) {
+  TrainedModel trained = Train(5);
+  ServeMetrics metrics;
+  ModelRegistry registry(&metrics);
+  ASSERT_TRUE(registry.Insert(trained.Servable("default", "v1")).ok());
+
+  const std::vector<double> row = trained.TestRow(0);
+  const ClassLabel expected =
+      registry.Get("default").value()->Predict(row).value().label;
+
+  PredictionExecutor::Options options;
+  options.workers = 2;
+  options.queue_capacity = 8;
+  auto executor = std::make_unique<PredictionExecutor>(options, &metrics);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> anomalies{0};
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<uint64_t> shed_count{0};
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto model_or = registry.Get("default");
+        if (!model_or.ok()) {
+          anomalies.fetch_add(1);  // the active entry must never vanish
+          continue;
+        }
+        const auto model = model_or.value();
+        const std::string& v = model->version();
+        if (model->name() != "default" ||
+            (v != "v1" && v != "v2" && v != "v3")) {
+          anomalies.fetch_add(1);  // half-swapped registry entry
+        }
+        PredictRequest request;
+        request.model = model;
+        request.rows.push_back(row);
+        auto result_or = executor->Submit(request).get();
+        if (result_or.ok()) {
+          ok_count.fetch_add(1);
+          if (result_or.value().rows.size() != 1 ||
+              result_or.value().rows[0].label != expected) {
+            anomalies.fetch_add(1);  // torn model produced a wrong answer
+          }
+        } else if (result_or.status().code() ==
+                   StatusCode::kResourceExhausted) {
+          shed_count.fetch_add(1);
+        } else if (result_or.status().code() !=
+                   StatusCode::kDeadlineExceeded) {
+          anomalies.fetch_add(1);  // no other failure mode is acceptable
+        }
+      }
+    });
+  }
+  std::thread swapper([&] {
+    for (int i = 0; i < 50 && !stop.load(std::memory_order_relaxed); ++i) {
+      if (!registry.Insert(trained.Servable("default", i % 2 ? "v2" : "v3"))
+               .ok() ||
+          !registry.Rollback("default").ok()) {
+        anomalies.fetch_add(1);
+      }
+    }
+  });
+
+  // Let traffic and swaps overlap, then pull the plug mid-flight; the
+  // submitters keep going briefly so post-shutdown sheds are observed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  executor->Shutdown();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (auto& t : submitters) t.join();
+  swapper.join();
+
+  EXPECT_EQ(anomalies.load(), 0);
+  EXPECT_GT(ok_count.load(), 0u);    // traffic flowed before shutdown...
+  EXPECT_GT(shed_count.load(), 0u);  // ...and was shed cleanly after
+  executor.reset();  // destructor re-runs Shutdown: must be idempotent
+
+#if TOPKRGS_LOCK_RANK_IS_ON()
+  // Balanced checker: nothing above leaked a ranked lock on this thread.
+  EXPECT_EQ(lock_rank::HeldCount(), 0);
+#endif
 }
 
 // -------------------------------------------- in-process service path --

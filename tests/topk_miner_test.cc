@@ -276,6 +276,38 @@ TEST(TopkMinerTest, DistinctGroupsDeduplicates) {
   EXPECT_EQ(result.GroupsAtRank(1).size(), 2u);
 }
 
+TEST(TopkMinerTest, DistinctGroupsHashSaltInvariant) {
+  // The dedup collapse must be a function of the data alone, never of the
+  // bucketing hash: salting the rowset hash reshuffles every bucket, and
+  // the result — content AND order — must not move. This is the
+  // regression test behind the determinism lint's no-bucket-order rule
+  // (DESIGN.md §12); it fails on any dedup rewrite that lets hash or
+  // bucket layout leak into the collapse order.
+  DiscreteDataset d = RandomDataset(12, 24, 20, 0.5);
+  TopkMinerOptions opt;
+  opt.k = 4;
+  opt.min_support = 2;
+  TopkResult result = MineTopkRGS(d, 1, opt);
+  const std::vector<RuleGroupPtr> baseline = result.DistinctGroups();
+  ASSERT_FALSE(baseline.empty());
+  const std::vector<RuleGroupPtr> rank1 = result.GroupsAtRank(1);
+  for (uint64_t salt :
+       {uint64_t{1}, uint64_t{0x9e3779b97f4a7c15ULL}, uint64_t{0xdeadbeefULL}}) {
+    const auto salted = result.DistinctGroups(salt);
+    ASSERT_EQ(salted.size(), baseline.size()) << "salt " << salt;
+    for (size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(salted[i], baseline[i])
+          << "salt " << salt << " moved element " << i;
+    }
+    const auto salted_rank1 = result.GroupsAtRank(1, salt);
+    ASSERT_EQ(salted_rank1.size(), rank1.size()) << "salt " << salt;
+    for (size_t i = 0; i < rank1.size(); ++i) {
+      EXPECT_EQ(salted_rank1[i], rank1[i])
+          << "salt " << salt << " moved rank-1 element " << i;
+    }
+  }
+}
+
 TEST(TopkMinerTest, GroupsAtRankBeyondListsIsEmpty) {
   DiscreteDataset d = MakeRunningExampleDataset();
   TopkMinerOptions opt;

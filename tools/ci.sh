@@ -16,15 +16,35 @@
 #           no sanitizer report. When clang is available the stage also
 #           runs each libFuzzer target for a short time-boxed exploration.
 #
-#   lint  — static-analysis gate (DESIGN.md §11). Always runs the
+#   lint  — static-analysis gate (DESIGN.md §11–12). Always runs the
 #           dependency-free checks: tools/lint/check_includes.py (IWYU-lite
-#           over src/) and a warnings-as-errors build of the lint preset,
-#           which also enforces -Werror=unused-result on the [[nodiscard]]
-#           Status surface. When a clang toolchain is on PATH it
-#           additionally compiles src/ with -Wthread-safety -Werror (the
+#           over src/), the determinism linter self-test + gate
+#           (tools/lint/determinism_lint.py — unordered iteration, pointer
+#           keys, ambient entropy and unordered FP reductions in the
+#           deterministic zones, with a shrink-only baseline), and a
+#           warnings-as-errors build of the lint preset, which also
+#           enforces -Werror=unused-result on the [[nodiscard]] Status
+#           surface. When a clang toolchain is on PATH it additionally
+#           compiles src/ with -Wthread-safety -Werror (the
 #           thread-safety-annotation gate) and runs clang-tidy against the
 #           exported compile_commands.json; without clang those two
 #           sub-checks print a skip notice instead of failing.
+#
+#   analyze — clang static analyzer (--analyze, the scan-build engine)
+#           over every src/ TU in the lint preset's compile_commands.json,
+#           gated by the triaged suppression baseline in
+#           tools/lint/analyze_baseline.txt. Skips with a notice when no
+#           clang is on PATH.
+#
+#   coverage — build the coverage preset (gcc --coverage), run the full
+#           suite, and enforce the per-directory line-coverage floors in
+#           tools/lint/coverage_floors.json via
+#           tools/lint/coverage_gate.py (src/mine/ and src/serve/ must
+#           stay covered).
+#
+#   ubsan — build with -fsanitize=undefined -fno-sanitize-recover=all
+#           (every UB report is fatal, not a log line) and run the full
+#           test suite under it.
 #
 #   serve — build the asan preset, run the serving-layer tests under it,
 #           then smoke-test the real topkrgs-serve binary end to end:
@@ -33,7 +53,8 @@
 #           shut it down cleanly (SIGTERM). Also builds the release preset
 #           load-generator bench and refreshes bench/BENCH_serve.json.
 #
-# Usage: tools/ci.sh [lint|tsan|fuzz|serve|all] [extra ctest -R pattern]
+# Usage: tools/ci.sh [lint|analyze|coverage|ubsan|tsan|fuzz|serve|all]
+#        [extra ctest -R pattern]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,6 +65,11 @@ FUZZ_SECONDS="${FUZZ_SECONDS:-60}"
 run_lint() {
   echo "== include discipline (tools/lint/check_includes.py) =="
   python3 tools/lint/check_includes.py
+
+  echo "== determinism linter self-test (fixture must still trip every check) =="
+  python3 tools/lint/determinism_lint.py --self-test
+  echo "== determinism lint over the deterministic zones =="
+  python3 tools/lint/determinism_lint.py
 
   echo "== configure (lint preset: warnings-as-errors, compile_commands) =="
   cmake --preset lint >/dev/null
@@ -74,7 +100,42 @@ run_lint() {
   else
     echo "(clang-tidy not on PATH — tidy gate skipped)"
   fi
-  echo "lint gate passed: include discipline clean, warnings-as-errors build green."
+  echo "lint gate passed: include discipline clean, determinism lint clean," \
+       "warnings-as-errors build green."
+}
+
+run_analyze() {
+  # The gate needs compile_commands.json from the lint preset; configure
+  # it if a previous lint run hasn't already.
+  if [ ! -f build-lint/compile_commands.json ]; then
+    echo "== configure (lint preset, for compile_commands.json) =="
+    cmake --preset lint >/dev/null
+  fi
+  echo "== clang static analyzer over src/ (tools/lint/analyze_gate.py) =="
+  python3 tools/lint/analyze_gate.py
+  echo "analyze gate done."
+}
+
+run_coverage() {
+  echo "== configure (coverage) =="
+  cmake --preset coverage
+  echo "== build (coverage) =="
+  cmake --build --preset coverage -j
+  echo "== full suite under --coverage instrumentation =="
+  ctest --test-dir build-coverage --output-on-failure -j "$(nproc)"
+  echo "== per-directory line-coverage floors (tools/lint/coverage_gate.py) =="
+  python3 tools/lint/coverage_gate.py
+  echo "coverage gate passed: directory floors met."
+}
+
+run_ubsan() {
+  echo "== configure (ubsan) =="
+  cmake --preset ubsan
+  echo "== build (ubsan: -fsanitize=undefined -fno-sanitize-recover=all) =="
+  cmake --build --preset ubsan -j
+  echo "== full suite with fatal-on-report UBSan =="
+  ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)"
+  echo "ubsan gate passed: no undefined behavior reported."
 }
 
 run_tsan() {
@@ -182,14 +243,20 @@ PY
 
 case "${STAGE}" in
   lint) run_lint ;;
+  analyze) run_analyze ;;
+  coverage) run_coverage ;;
+  ubsan) run_ubsan ;;
   tsan) run_tsan "${2:-TopkParallel|ThreadSafety}" ;;
   fuzz) run_fuzz ;;
   serve) run_serve ;;
   all)
     run_lint
+    run_analyze
     run_tsan "${2:-TopkParallel|ThreadSafety}"
+    run_ubsan
     run_fuzz
     run_serve
+    run_coverage
     ;;
   *)
     # Back-compat: a bare ctest pattern as $1 runs the tsan stage with it.

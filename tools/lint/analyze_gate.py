@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Clang static-analyzer gate over src/ (tools/ci.sh `analyze` stage).
+
+Runs `clang++ --analyze` (the same engine scan-build drives) on every
+src/ translation unit listed in a compile_commands.json, and fails on
+any analyzer warning that is not parked in the triaged suppression
+baseline, tools/lint/analyze_baseline.txt.
+
+Baseline entries are fingerprints of triaged findings — path, checker
+and normalized message — NOT line numbers, so unrelated edits don't
+churn them. New findings fail the gate; a stale entry (triaged finding
+that no longer fires) is reported so the baseline can be shrunk, but is
+not an error because analyzer versions legitimately differ between
+machines. Refresh with --update-baseline after triage.
+
+When no clang toolchain is on PATH the gate prints an explicit skip
+notice and exits 0, matching the degradation convention of the other
+lint sub-gates (DESIGN.md §11): CI logs must show which checks ran.
+
+Exit code 0 = clean or skipped, 1 = unbaselined findings, 2 = usage.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import shlex
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+BASELINE_PATH = os.path.join(REPO_ROOT, "tools/lint/analyze_baseline.txt")
+
+# clang --analyze diagnostic lines:  path:line:col: warning: msg [checker]
+DIAG_RE = re.compile(
+    r"^(?P<path>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+): warning: "
+    r"(?P<msg>.*?)(?: \[(?P<checker>[\w.,-]+)\])?$")
+
+# Flags that conflict with --analyze or name outputs; stripped from the
+# recorded compile command (the next entry consumes the flag's argument).
+STRIP_WITH_ARG = {"-o", "-MF", "-MT", "-MQ"}
+STRIP = {"-c", "-MD", "-MMD"}
+
+
+def normalize_msg(msg):
+    """Collapse quoted identifiers and numbers so renames inside a message
+    (e.g. 'Value stored to <name>') don't invalidate a triaged entry."""
+    msg = re.sub(r"'[^']*'", "'_'", msg)
+    return re.sub(r"\b\d+\b", "N", msg)
+
+
+def fingerprint(path, checker, msg):
+    digest = hashlib.sha1(
+        f"{path}|{checker}|{normalize_msg(msg)}".encode()).hexdigest()[:12]
+    return f"{path}:{checker}:{digest}"
+
+
+def load_compile_commands(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def analyze_args(entry):
+    """Rewrite one compile_commands entry into a clang++ --analyze command."""
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry["command"])
+    out = ["clang++", "--analyze", "--analyzer-output", "text"]
+    skip_next = False
+    for arg in argv[1:]:  # drop the recorded compiler
+        if skip_next:
+            skip_next = False
+            continue
+        if arg in STRIP_WITH_ARG:
+            skip_next = True
+            continue
+        if arg in STRIP or arg.startswith("-W"):
+            continue
+        out.append(arg)
+    return out
+
+
+def source_rel(entry):
+    src = entry["file"]
+    if not os.path.isabs(src):
+        src = os.path.normpath(os.path.join(entry["directory"], src))
+    return os.path.relpath(src, REPO_ROOT)
+
+
+def run_analyzer(compdb_path):
+    """Returns {fingerprint: display_line} over all src/ TUs."""
+    findings = {}
+    entries = [e for e in load_compile_commands(compdb_path)
+               if source_rel(e).startswith("src" + os.sep)]
+    if not entries:
+        print(f"analyze gate: no src/ entries in {compdb_path}", file=sys.stderr)
+        sys.exit(2)
+    for entry in entries:
+        proc = subprocess.run(
+            analyze_args(entry), cwd=entry["directory"],
+            capture_output=True, text=True, check=False)
+        for line in (proc.stdout + proc.stderr).splitlines():
+            m = DIAG_RE.match(line.strip())
+            if not m:
+                continue
+            rel = os.path.relpath(
+                os.path.normpath(os.path.join(entry["directory"], m["path"])),
+                REPO_ROOT)
+            if not rel.startswith("src" + os.sep):
+                continue  # headers outside the gated tree (gtest, system)
+            checker = m["checker"] or "core"
+            fp = fingerprint(rel, checker, m["msg"])
+            findings.setdefault(
+                fp, f"{rel}:{m['line']}: [{checker}] {m['msg']}")
+    return findings, len(entries)
+
+
+def load_baseline(path):
+    if not os.path.exists(path):
+        return set()
+    with open(path, encoding="utf-8") as f:
+        return {line.strip() for line in f
+                if line.strip() and not line.startswith("#")}
+
+
+def write_baseline(path, findings):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# Clang static-analyzer suppression baseline\n")
+        f.write("# (tools/lint/analyze_gate.py). Every entry is a TRIAGED\n")
+        f.write("# finding judged not worth fixing; new findings fail the\n")
+        f.write("# gate. Refresh with --update-baseline after triage.\n")
+        for fp in sorted(findings):
+            f.write(fp + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--compdb", default=os.path.join(
+        REPO_ROOT, "build-lint/compile_commands.json"),
+        help="compile_commands.json to analyze (default: build-lint/)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline with current findings")
+    args = parser.parse_args()
+
+    if not shutil.which("clang++"):
+        print("(clang++ not on PATH — static-analyzer gate skipped; src/ was"
+              " NOT analyzed on this machine)")
+        return 0
+    if not os.path.exists(args.compdb):
+        print(f"analyze gate: {args.compdb} not found — configure the lint "
+              "preset first (cmake --preset lint)", file=sys.stderr)
+        return 2
+
+    findings, tu_count = run_analyzer(args.compdb)
+    if args.update_baseline:
+        write_baseline(BASELINE_PATH, findings)
+        print(f"analyze baseline rewritten with {len(findings)} entries")
+        return 0
+
+    baseline = load_baseline(BASELINE_PATH)
+    new = [line for fp, line in sorted(findings.items()) if fp not in baseline]
+    stale = sorted(baseline - set(findings))
+    for line in new:
+        print(f"{line}  [NEW — triage, fix, or --update-baseline]")
+    for fp in stale:
+        print(f"note: stale baseline entry (no longer fires here): {fp}")
+    if new:
+        print(f"analyze gate: {len(new)} unbaselined finding(s) over "
+              f"{tu_count} TUs")
+        return 1
+    print(f"analyze gate clean: {tu_count} TUs, "
+          f"{len(findings)} baselined finding(s), 0 new")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

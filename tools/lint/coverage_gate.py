@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Per-directory line-coverage floor gate (tools/ci.sh `coverage` stage).
+
+Reads the .gcda/.gcno data a `coverage` preset build + ctest run leaves
+behind, aggregates executed-line counts per source file with
+`gcov --json-format --stdout` (no gcovr dependency), unions the results
+across translation units, and enforces the per-directory floors in
+tools/lint/coverage_floors.json.
+
+Coverage of a directory is the union over every TU that instrumented a
+file in it: a line counts as covered if ANY test executed it. Floors are
+seeded from a real measurement (--seed writes measured-minus-slack
+values) so the gate starts honest and only ratchets up by hand.
+src/mine/ and src/serve/ must always carry a floor — the miner is the
+paper's core claim and the serving layer is the embeddable surface.
+
+When gcov is not on PATH the gate prints an explicit skip notice and
+exits 0 (same degradation convention as the other gates). A missing or
+gcda-less build directory is an ERROR, not a skip: it means the stage
+forgot to build/run the coverage preset first.
+
+Exit code 0 = floors met or skipped, 1 = floor violated, 2 = usage.
+"""
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+FLOORS_PATH = os.path.join(REPO_ROOT, "tools/lint/coverage_floors.json")
+REQUIRED_DIRS = ("src/mine", "src/serve")
+SEED_SLACK_POINTS = 2.0  # seeded floor = measured - slack, so the gate
+                         # tolerates minor drift without hand-editing
+
+
+def gcov_json(gcda, build_dir):
+    """One gcov JSON document per .gcda, run from the build dir so the
+    relative source paths in the output resolve against it."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", "--branch-probabilities", gcda],
+        cwd=build_dir, capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        print(f"coverage gate: gcov failed on {gcda}:\n{proc.stderr}",
+              file=sys.stderr)
+        sys.exit(2)
+    docs = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if line.startswith("{"):
+            docs.append(json.loads(line))
+    return docs
+
+
+def collect(build_dir):
+    """{repo-relative source path: {line_number: executed_bool}} unioned
+    over every TU that instrumented the file."""
+    gcdas = glob.glob(os.path.join(build_dir, "**", "*.gcda"), recursive=True)
+    if not gcdas:
+        print(f"coverage gate: no .gcda files under {build_dir} — build the "
+              "coverage preset and run ctest there first", file=sys.stderr)
+        sys.exit(2)
+    lines_by_file = {}
+    for gcda in gcdas:
+        for doc in gcov_json(gcda, build_dir):
+            for f in doc.get("files", []):
+                src = f["file"]
+                if not os.path.isabs(src):
+                    src = os.path.normpath(os.path.join(build_dir, src))
+                rel = os.path.relpath(src, REPO_ROOT)
+                if not rel.startswith("src" + os.sep):
+                    continue
+                per_line = lines_by_file.setdefault(rel, {})
+                for ln in f.get("lines", []):
+                    n = ln["line_number"]
+                    per_line[n] = per_line.get(n, False) or ln["count"] > 0
+    return lines_by_file
+
+
+def per_directory(lines_by_file):
+    """{directory: (covered, total, percent)} for every src/ subdir that
+    holds instrumented files; files directly in src/ roll into 'src'."""
+    stats = {}
+    for rel, per_line in lines_by_file.items():
+        d = os.path.dirname(rel).replace(os.sep, "/")
+        covered, total = stats.get(d, (0, 0))
+        covered += sum(1 for hit in per_line.values() if hit)
+        total += len(per_line)
+        stats[d] = (covered, total)
+    return {d: (c, t, 100.0 * c / t if t else 0.0)
+            for d, (c, t) in stats.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default=os.path.join(
+        REPO_ROOT, "build-coverage"),
+        help="coverage-preset build tree (default: build-coverage/)")
+    parser.add_argument("--seed", action="store_true",
+                        help="write coverage_floors.json from this "
+                             "measurement (measured minus slack)")
+    args = parser.parse_args()
+
+    if not shutil.which("gcov"):
+        print("(gcov not on PATH — coverage gate skipped; line-coverage "
+              "floors were NOT checked on this machine)")
+        return 0
+
+    stats = per_directory(collect(args.build_dir))
+
+    if args.seed:
+        floors = {d: max(0.0, round(pct - SEED_SLACK_POINTS, 1))
+                  for d, (_, _, pct) in sorted(stats.items())}
+        for d in REQUIRED_DIRS:
+            if d not in floors:
+                print(f"coverage gate: required directory {d} produced no "
+                      "coverage data; refusing to seed", file=sys.stderr)
+                return 2
+        with open(FLOORS_PATH, "w", encoding="utf-8") as f:
+            json.dump(floors, f, indent=2, sort_keys=True)
+            f.write("\n")
+        for d, (c, t, pct) in sorted(stats.items()):
+            print(f"{d}: {pct:5.1f}% ({c}/{t} lines) -> floor {floors[d]}")
+        print(f"coverage floors seeded to {os.path.relpath(FLOORS_PATH, REPO_ROOT)}")
+        return 0
+
+    if not os.path.exists(FLOORS_PATH):
+        print(f"coverage gate: {FLOORS_PATH} missing — run with --seed after "
+              "a coverage build", file=sys.stderr)
+        return 2
+    with open(FLOORS_PATH, encoding="utf-8") as f:
+        floors = json.load(f)
+    for d in REQUIRED_DIRS:
+        if d not in floors:
+            print(f"coverage gate: {d} has no floor in coverage_floors.json; "
+                  "it must stay covered", file=sys.stderr)
+            return 1
+
+    failed = []
+    for d, floor in sorted(floors.items()):
+        covered, total, pct = stats.get(d, (0, 0, 0.0))
+        ok = pct >= floor
+        mark = "ok " if ok else "LOW"
+        print(f"{mark} {d}: {pct:5.1f}% ({covered}/{total} lines), "
+              f"floor {floor}")
+        if not ok:
+            failed.append(d)
+    for d in sorted(set(stats) - set(floors)):
+        _, _, pct = stats[d]
+        print(f"note: {d} at {pct:.1f}% has no floor yet (add one to ratchet)")
+    if failed:
+        print(f"coverage gate: {len(failed)} director"
+              f"{'y' if len(failed) == 1 else 'ies'} below floor: "
+              + ", ".join(failed))
+        return 1
+    print(f"coverage gate passed: {len(floors)} directory floors met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,418 @@
+#!/usr/bin/env python3
+"""Determinism lint: nondeterminism hazards in deterministic zones.
+
+The mining/classification result paths promise bit-for-bit reproducible
+output for any thread count and any standard library (DESIGN.md §8/§12).
+Example-based tests can only sample that promise; this lint statically
+rejects the code shapes that break it. Inside the deterministic zones
+(src/mine/, src/core/, src/classify/) it flags:
+
+  unordered-container   declaring std::unordered_{map,set,multimap,multiset}
+                        — hash-bucket order is free to differ between
+                        libstdc++/libc++ and between hash seeds, so any
+                        container whose iteration could reach an ordered
+                        output or accumulation is a hazard. Lookup-only
+                        indexes are fine: justify them (see below).
+  unordered-iteration   iterating such a container (range-for / .begin());
+                        the concrete leak the declaration check guards.
+  pointer-key           associative containers keyed on (or sets of)
+                        pointers, and pointer-comparing priority queues:
+                        allocation addresses vary run to run, so pointer
+                        order must never order results.
+  entropy-source        std::random_device, rand()/srand(), wall-clock
+                        reads (std::chrono clocks, time(), gettimeofday,
+                        clock()) and getpid() — ambient entropy in a
+                        result path. Clocks live behind util/timer.h
+                        (Stopwatch/Deadline); randomness behind util/
+                        random.h (Rng, explicit seed required).
+  fp-reduction          unordered floating-point reductions:
+                        std::atomic<float/double> accumulators and
+                        parallel std::reduce/transform_reduce — FP
+                        addition does not commute, so reduction order
+                        must be fixed.
+
+Escape hatch: a `// NOLINT(determinism: <justification>)` on the flagged
+line or in the contiguous comment block directly above it suppresses the
+finding. The justification is mandatory — a bare NOLINT(determinism) is
+itself a finding (nolint-needs-justification).
+
+Baseline: findings may be parked in tools/lint/determinism_baseline.txt,
+which MUST ONLY SHRINK — a baselined finding that disappears makes the
+stale entry an error until it is removed, and new findings are never
+auto-baselined. Run with --update-baseline after fixing to shrink it.
+
+compile_commands awareness: when a compile_commands.json is found (or
+passed via --compile-commands), zone sources missing from it are
+reported — un-built code in a deterministic zone is unverified code.
+
+Self-test: --self-test runs the analyzer over
+tools/lint/testdata/determinism_fixture.cc and checks the findings
+against the fixture's inline `EXPECT-FINDING:` annotations, so the gate
+demonstrably still catches an intentionally introduced hazard.
+
+Exit code 0 = clean (or skip), 1 = findings/stale baseline, 2 = usage.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+BASELINE_PATH = os.path.join(REPO_ROOT, "tools/lint/determinism_baseline.txt")
+FIXTURE_PATH = os.path.join(REPO_ROOT, "tools/lint/testdata/determinism_fixture.cc")
+
+DETERMINISTIC_ZONES = ("src/mine/", "src/core/", "src/classify/")
+
+# Files allowed to touch clocks: the sanctioned wrappers themselves.
+CLOCK_ALLOWLIST = ("src/util/timer.h",)
+
+UNORDERED_DECL_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
+UNORDERED_NAME_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<.*>\s+(\w+)\s*[;={(]")
+POINTER_KEY_RE = re.compile(
+    r"\bstd::(?:unordered_)?(?:map|set|multimap|multiset)\s*<\s*"
+    r"(?:const\s+)?[\w:]+\s*\*")
+POINTER_PQ_RE = re.compile(r"\bstd::priority_queue\s*<\s*(?:const\s+)?[\w:]+\s*\*")
+ENTROPY_RES = [
+    re.compile(r"\bstd::random_device\b"),
+    re.compile(r"(?<![\w:])s?rand\s*\("),
+    re.compile(r"(?<![\w:.])(?:std::)?time\s*\(\s*(?:nullptr|NULL|0|&)"),
+    re.compile(r"\bgettimeofday\s*\("),
+    re.compile(r"(?<![\w:.])clock\s*\(\s*\)"),
+    re.compile(r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b"),
+    re.compile(r"\bgetpid\s*\("),
+]
+FP_REDUCTION_RES = [
+    re.compile(r"\bstd::atomic\s*<\s*(?:float|double|long\s+double)\s*>"),
+    re.compile(r"\bstd::execution::par\w*\b"),
+    re.compile(r"\bstd::(?:transform_)?reduce\s*\("),
+]
+NOLINT_RE = re.compile(r"NOLINT\(determinism(?::\s*(.*?))?\)", re.DOTALL)
+EXPECT_RE = re.compile(r"EXPECT-FINDING:\s*([\w,-]+)")
+
+
+class Finding:
+    def __init__(self, path, line_number, check, message, code_line):
+        self.path = path  # repo-relative
+        self.line_number = line_number
+        self.check = check
+        self.message = message
+        self.code_line = code_line
+
+    def fingerprint(self):
+        normalized = re.sub(r"\s+", " ", self.code_line.strip())
+        digest = hashlib.sha1(
+            f"{self.path}|{self.check}|{normalized}".encode()).hexdigest()
+        return f"{self.path}:{self.check}:{digest[:12]}"
+
+    def render(self):
+        return (f"{self.path}:{self.line_number}: [{self.check}] "
+                f"{self.message}\n    {self.code_line.strip()}")
+
+
+def split_code_comment(line, in_block_comment):
+    """Returns (code, comment, in_block_comment_after).
+
+    Good enough for lint purposes: handles // and /* */ and skips string
+    literals so e.g. a "rand(" inside a message never matches.
+    """
+    code = []
+    comment = []
+    i = 0
+    n = len(line)
+    in_string = None  # quote char when inside a literal
+    while i < n:
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if in_block_comment:
+            if c == "*" and nxt == "/":
+                in_block_comment = False
+                i += 2
+                continue
+            comment.append(c)
+            i += 1
+            continue
+        if in_string:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_string:
+                in_string = None
+            i += 1
+            continue
+        if c in ("\"", "'"):
+            in_string = c
+            code.append(c)
+            i += 1
+            continue
+        if c == "/" and nxt == "/":
+            comment.append(line[i + 2:])
+            break
+        if c == "/" and nxt == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        code.append(c)
+        i += 1
+    return "".join(code), "".join(comment), in_block_comment
+
+
+class FileAnalysis:
+    """Per-file pass: code/comment split, NOLINT map, unordered names."""
+
+    def __init__(self, path, text):
+        self.path = path
+        self.raw_lines = text.splitlines()
+        self.code_lines = []
+        self.comment_lines = []
+        in_block = False
+        for raw in self.raw_lines:
+            code, comment, in_block = split_code_comment(raw, in_block)
+            self.code_lines.append(code)
+            self.comment_lines.append(comment)
+        self.unordered_names = set()
+        for code in self.code_lines:
+            m = UNORDERED_NAME_RE.search(code)
+            if m:
+                self.unordered_names.add(m.group(1))
+
+    def nolint_for(self, line_index):
+        """NOLINT(determinism...) match covering raw_lines[line_index]:
+        same line, or anywhere in the contiguous comment block above. The
+        block is joined before matching so a justification may wrap over
+        several comment lines."""
+        block = [self.comment_lines[line_index]]
+        i = line_index - 1
+        while i >= 0 and self.code_lines[i].strip() == "" and (
+                self.comment_lines[i] != "" or self.raw_lines[i].strip() == ""):
+            block.append(self.comment_lines[i])
+            i -= 1
+        return NOLINT_RE.search("\n".join(reversed(block)))
+
+
+def analyze_file(repo_path, text, findings):
+    fa = FileAnalysis(repo_path, text)
+    iteration_res = [
+        re.compile(r"for\s*\(.*:\s*(?:\w+(?:\.|->))*" + re.escape(name) + r"\s*\)")
+        for name in fa.unordered_names
+    ] + [
+        re.compile(r"\b" + re.escape(name) + r"\.(?:c|cr|r)?begin\s*\(")
+        for name in fa.unordered_names
+    ]
+
+    def emit(idx, check, message):
+        nolint = fa.nolint_for(idx)
+        if nolint is not None:
+            if nolint.group(1) is None or not nolint.group(1).strip():
+                findings.append(Finding(
+                    repo_path, idx + 1, "nolint-needs-justification",
+                    "NOLINT(determinism) requires a justification: "
+                    "NOLINT(determinism: <why this cannot leak order>)",
+                    fa.raw_lines[idx]))
+            return
+        findings.append(Finding(repo_path, idx + 1, check, message,
+                                fa.raw_lines[idx]))
+
+    for idx, code in enumerate(fa.code_lines):
+        stripped = code.strip()
+        if stripped.startswith("#"):
+            continue  # includes/macros are not hazards themselves
+        if UNORDERED_DECL_RE.search(code):
+            emit(idx, "unordered-container",
+                 "unordered container in a deterministic zone: bucket order "
+                 "is implementation- and seed-dependent; use an ordered "
+                 "container, sort before emitting, or justify a lookup-only "
+                 "index with NOLINT(determinism: ...)")
+        for rx in iteration_res:
+            if rx.search(code):
+                emit(idx, "unordered-iteration",
+                     "iterating an unordered container: bucket order must "
+                     "never reach an ordered output or accumulation")
+                break
+        if POINTER_KEY_RE.search(code) or POINTER_PQ_RE.search(code):
+            emit(idx, "pointer-key",
+                 "pointer-keyed/ordered-by-pointer container: allocation "
+                 "addresses differ run to run; key on a stable identity "
+                 "instead")
+        for rx in ENTROPY_RES:
+            if rx.search(code):
+                if repo_path in CLOCK_ALLOWLIST:
+                    break
+                emit(idx, "entropy-source",
+                     "ambient entropy (random_device / wall clock / pid) in "
+                     "a deterministic zone; use util/random.h Rng with an "
+                     "explicit seed, or util/timer.h for the sanctioned "
+                     "clock wrappers")
+                break
+        for rx in FP_REDUCTION_RES:
+            if rx.search(code):
+                emit(idx, "fp-reduction",
+                     "unordered floating-point reduction: FP addition does "
+                     "not commute, so the reduction order must be fixed "
+                     "(sequential loop over a deterministically ordered "
+                     "range)")
+                break
+
+
+def zone_files(root):
+    out = []
+    for zone in DETERMINISTIC_ZONES:
+        zone_dir = os.path.join(root, zone)
+        for dirpath, _, filenames in os.walk(zone_dir):
+            for name in sorted(filenames):
+                if name.endswith((".cc", ".h", ".cpp", ".hpp")):
+                    full = os.path.join(dirpath, name)
+                    out.append(os.path.relpath(full, root))
+    return sorted(out)
+
+
+def load_baseline(path):
+    entries = set()
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                entries.add(line)
+    return entries
+
+
+def write_baseline(path, findings):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# Determinism-lint baseline (tools/lint/determinism_lint.py).\n")
+        f.write("# This file must only shrink: entries park PRE-EXISTING\n")
+        f.write("# findings; new hazards fail the gate outright, and fixed\n")
+        f.write("# ones make their entry stale (also an error) until removed.\n")
+        for finding in sorted(f2.fingerprint() for f2 in findings):
+            f.write(finding + "\n")
+
+
+def check_compile_commands(args, files):
+    path = args.compile_commands
+    if path is None:
+        for candidate in ("build-lint/compile_commands.json",
+                          "build/compile_commands.json"):
+            full = os.path.join(REPO_ROOT, candidate)
+            if os.path.exists(full):
+                path = full
+                break
+    if path is None or not os.path.exists(path):
+        print("(no compile_commands.json found — zone coverage of the build "
+              "graph not verified; configure the lint preset to enable)")
+        return []
+    with open(path, encoding="utf-8") as f:
+        db = json.load(f)
+    compiled = set()
+    for entry in db:
+        full = os.path.normpath(os.path.join(entry.get("directory", ""),
+                                             entry["file"]))
+        compiled.add(os.path.relpath(full, REPO_ROOT))
+    missing = [f2 for f2 in files if f2.endswith((".cc", ".cpp"))
+               and f2 not in compiled]
+    for m in missing:
+        print(f"warning: {m} is in a deterministic zone but absent from "
+              f"{os.path.relpath(path, REPO_ROOT)} — un-built code is "
+              "unverified code")
+    return missing
+
+
+def run_self_test():
+    if not os.path.exists(FIXTURE_PATH):
+        print(f"self-test fixture missing: {FIXTURE_PATH}")
+        return 1
+    with open(FIXTURE_PATH, encoding="utf-8") as f:
+        text = f.read()
+    rel = os.path.relpath(FIXTURE_PATH, REPO_ROOT)
+    findings = []
+    analyze_file(rel, text, findings)
+    found = {(f2.line_number, f2.check) for f2 in findings}
+    expected = set()
+    for idx, line in enumerate(text.splitlines()):
+        m = EXPECT_RE.search(line)
+        if m:
+            for check in m.group(1).split(","):
+                expected.add((idx + 1, check.strip()))
+    ok = True
+    for missing in sorted(expected - found):
+        print(f"self-test FAIL: expected finding not produced: "
+              f"{rel}:{missing[0]} [{missing[1]}]")
+        ok = False
+    for extra in sorted(found - expected):
+        print(f"self-test FAIL: unexpected finding: "
+              f"{rel}:{extra[0]} [{extra[1]}]")
+        ok = False
+    if ok:
+        print(f"determinism-lint self-test OK: {len(expected)} expected "
+              f"findings produced, no extras, NOLINT escape respected")
+        return 0
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the analyzer against the checked-in "
+                             "hazard fixture")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline with the current findings "
+                             "(review the diff: it must only shrink)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="explicit compile_commands.json path")
+    parser.add_argument("files", nargs="*",
+                        help="restrict to these files (default: all zones)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return run_self_test()
+
+    files = args.files or zone_files(REPO_ROOT)
+    findings = []
+    for rel in files:
+        full = os.path.join(REPO_ROOT, rel)
+        if not os.path.exists(full):
+            print(f"warning: no such file {rel}")
+            continue
+        with open(full, encoding="utf-8") as f:
+            analyze_file(rel, f.read(), findings)
+
+    check_compile_commands(args, files)
+
+    if args.update_baseline:
+        write_baseline(BASELINE_PATH, findings)
+        print(f"baseline rewritten with {len(findings)} entries")
+        return 0
+
+    baseline = load_baseline(BASELINE_PATH)
+    current = {f2.fingerprint(): f2 for f2 in findings}
+    new = [f2 for fp, f2 in sorted(current.items()) if fp not in baseline]
+    stale = sorted(baseline - set(current))
+
+    failed = False
+    if new:
+        failed = True
+        print(f"determinism lint: {len(new)} new finding(s) in deterministic "
+              "zones (src/mine, src/core, src/classify):")
+        for f2 in new:
+            print(f2.render())
+        print("\nFix the hazard, or justify it in place with "
+              "// NOLINT(determinism: <why this cannot leak order>).")
+    if stale:
+        failed = True
+        print(f"determinism lint: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} (the baseline must only "
+              "shrink — remove them):")
+        for entry in stale:
+            print(f"  {entry}")
+    if not failed:
+        suppressed = len(current) - len(new)
+        print(f"determinism lint clean: {len(files)} zone files, "
+              f"{suppressed} baselined finding(s), 0 new, 0 stale")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+// Intentional-hazard fixture for `determinism_lint.py --self-test`.
+//
+// This file is NEVER compiled into any target: it exists so the CI lint
+// stage can prove the determinism gate still catches every hazard class
+// it promises to — an intentionally introduced unordered_map→output
+// iteration (and friends) must fail the gate. Each hazard line carries an
+// `EXPECT-FINDING:` annotation naming every check that must fire on it;
+// the self-test fails on any missing OR any extra finding, so the fixture
+// also pins that clean code (the control section at the bottom) stays
+// clean and that a justified NOLINT actually suppresses.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <unistd.h>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Group {
+  int id;
+};
+
+// --- unordered containers leaking bucket order into ordered output ------
+
+inline std::vector<int> CollapseCounts() {
+  std::unordered_map<int, int> counts;  // EXPECT-FINDING: unordered-container
+  counts[1] = 2;
+  std::vector<int> ordered;
+  for (const auto& [key, value] : counts) {  // EXPECT-FINDING: unordered-iteration
+    ordered.push_back(value);
+  }
+  auto it = counts.begin();  // EXPECT-FINDING: unordered-iteration
+  (void)it;
+  return ordered;
+}
+
+// --- pointer-valued keys ------------------------------------------------
+
+inline void PointerKeys(const std::vector<Group>& groups) {
+  std::unordered_set<const Group*> seen;  // EXPECT-FINDING: unordered-container,pointer-key
+  std::map<Group*, int> rank_by_ptr;  // EXPECT-FINDING: pointer-key
+  (void)groups;
+  (void)seen;
+  (void)rank_by_ptr;
+}
+
+// --- ambient entropy sources --------------------------------------------
+
+inline unsigned EntropySources() {
+  std::random_device rd;  // EXPECT-FINDING: entropy-source
+  unsigned mix = rd();
+  mix ^= static_cast<unsigned>(rand());  // EXPECT-FINDING: entropy-source
+  mix ^= static_cast<unsigned>(std::time(nullptr));  // EXPECT-FINDING: entropy-source
+  auto wall = std::chrono::system_clock::now();  // EXPECT-FINDING: entropy-source
+  (void)wall;
+  mix ^= static_cast<unsigned>(getpid());  // EXPECT-FINDING: entropy-source
+  return mix;
+}
+
+// --- unordered floating-point reductions --------------------------------
+
+inline double FpReduction(const std::vector<double>& values) {
+  std::atomic<double> total{0.0};  // EXPECT-FINDING: fp-reduction
+  for (double v : values) total.store(total.load() + v);
+  return total.load();
+}
+
+// --- the NOLINT escape hatch --------------------------------------------
+
+struct JustifiedIndex {
+  // A justification suppresses the finding (this line must NOT appear in
+  // the self-test expectations):
+  // NOLINT(determinism: lookup-only membership index, probed via find()
+  // and never iterated; cannot order anything)
+  std::unordered_map<int, int> lookup_only_;
+
+  std::unordered_map<int, int> unjustified_;  // NOLINT(determinism) EXPECT-FINDING: nolint-needs-justification
+};
+
+// --- control section: deterministic equivalents stay clean --------------
+
+inline std::vector<int> CleanCollapse() {
+  std::map<int, int> keyed_counts;  // ordered: iteration order is key order
+  keyed_counts[1] = 2;
+  std::vector<int> ordered;
+  for (const auto& [key, value] : keyed_counts) {
+    ordered.push_back(value);
+  }
+  return ordered;
+}
+
+}  // namespace fixture
