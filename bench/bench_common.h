@@ -3,6 +3,10 @@
 
 #include <sys/resource.h>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -91,13 +95,42 @@ inline void PrintTableRow(const std::string& label,
   std::printf("\n");
 }
 
-/// Peak resident set size of this process in KiB (Linux ru_maxrss units).
-/// Process-lifetime maximum: in a sweep it only ever grows, so per-record
-/// values tell which configuration first touched a high-water mark.
+/// Peak resident set size of this process in KiB. Reads VmHWM from
+/// /proc/self/status so that ResetPeakRss() below actually moves it;
+/// falls back to process-lifetime getrusage ru_maxrss (same units) when
+/// /proc is unavailable.
 inline long PeakRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f != nullptr) {
+    char line[256];
+    long kb = -1;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) break;
+    }
+    std::fclose(f);
+    if (kb >= 0) return kb;
+  }
   struct rusage usage;
   if (getrusage(RUSAGE_SELF, &usage) != 0) return -1;
   return usage.ru_maxrss;
+}
+
+/// Returns freed heap pages to the kernel (so a later peak reflects live
+/// allocations, not allocator caching) and resets the kernel's peak-RSS
+/// high-water mark ("5" into /proc/self/clear_refs). Call between sweep
+/// cases to isolate their peak_rss_kb; without this every record reports
+/// the accumulated lifetime maximum of all cases before it. Returns
+/// false when the platform offers no reset (the getrusage fallback);
+/// callers should then treat peaks as monotone lifetime values again.
+inline bool ResetPeakRss() {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  std::fclose(f);
+  return ok;
 }
 
 /// Machine-readable perf-regression records: one flat JSON object per

@@ -6,6 +6,8 @@
 
 #include "topkrgs/topkrgs.h"
 #include "mine/projection.h"
+#include "util/bitkernels.h"
+#include "util/rowset.h"
 
 namespace topkrgs {
 namespace {
@@ -43,6 +45,69 @@ void BM_BitsetIsSubsetOf(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BitsetIsSubsetOf)->Arg(1024)->Arg(8192)->Arg(16384);
+
+// Same op as BM_BitsetIntersectCount but pinned to one kernel tier, so a
+// benchmark diff shows what the dispatch actually buys on this machine.
+// The "/0" variant is the blocked scalar reference; higher indices are the
+// SIMD tiers when the CPU has them (skipped otherwise).
+void BM_KernelAndPopcount(benchmark::State& state) {
+  const bitkernels::Kernels* tiers[] = {
+      &bitkernels::ScalarKernels(), bitkernels::Avx2Kernels(),
+      bitkernels::Avx512Kernels()};
+  const auto* k = tiers[state.range(1)];
+  if (k == nullptr) {
+    state.SkipWithError("SIMD tier unavailable on this CPU");
+    return;
+  }
+  Rng rng(3);
+  const size_t bits = static_cast<size_t>(state.range(0));
+  Bitset a = RandomBits(rng, bits, bits / 4);
+  Bitset b = RandomBits(rng, bits, bits / 4);
+  const size_t words = (bits + 63) / 64;
+  std::vector<uint64_t> wa(words), wb(words);
+  for (size_t i = 0; i < bits; ++i) {
+    if (a.Test(i)) wa[i / 64] |= uint64_t{1} << (i % 64);
+    if (b.Test(i)) wb[i / 64] |= uint64_t{1} << (i % 64);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k->and_popcount(wa.data(), wb.data(), words));
+  }
+  state.SetLabel(k->name);
+}
+BENCHMARK(BM_KernelAndPopcount)
+    ->ArgsProduct({{4096, 16384}, {0, 1, 2}});
+
+// Sorted-id intersection at the skew where RowSet keeps projections sparse:
+// a small antecedent row list probed against a long item row list.
+void BM_SortedIntersectCount(benchmark::State& state) {
+  Rng rng(4);
+  const size_t universe = 65536;
+  const size_t small_n = static_cast<size_t>(state.range(0));
+  Bitset small_bits = RandomBits(rng, universe, small_n);
+  Bitset big_bits = RandomBits(rng, universe, universe / 8);
+  const std::vector<uint32_t> a = small_bits.ToVector();
+  const std::vector<uint32_t> b = big_bits.ToVector();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sorted::IntersectCount(a.data(), a.size(), b.data(), b.size()));
+  }
+}
+BENCHMARK(BM_SortedIntersectCount)->Arg(64)->Arg(512)->Arg(4096);
+
+// The adaptive projection step the miner runs per tree edge: intersect the
+// current row set with an item's row bitset, re-choosing representation.
+void BM_RowSetIntersectAdaptive(benchmark::State& state) {
+  Rng rng(5);
+  const size_t universe = 8192;
+  const size_t count = static_cast<size_t>(state.range(0));
+  RowSet rows = RowSet::FromBitset(RandomBits(rng, universe, count));
+  Bitset item_rows = RandomBits(rng, universe, universe / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rows.IntersectAdaptive(item_rows));
+  }
+  state.SetLabel(rows.is_sparse() ? "sparse" : "dense");
+}
+BENCHMARK(BM_RowSetIntersectAdaptive)->Arg(16)->Arg(4096);
 
 DiscreteDataset MakeMiningData(uint32_t rows, uint32_t items, uint64_t seed) {
   Rng rng(seed);

@@ -4,6 +4,12 @@
 // machine-readable JSON array (BENCH_topk.json by default, argv[1] to
 // override); the committed bench/BENCH_topk.json is the reference record a
 // regression run diffs against.
+//
+// peak_rss_kb is isolated per case: the harness trims the allocator and
+// resets the kernel's RSS high-water mark before every run (see
+// ResetPeakRss in bench_common.h), so each record reports that case's own
+// footprint rather than the sweep's accumulated maximum. rss_isolated
+// records whether the reset worked on this platform.
 
 #include <cinttypes>
 #include <cstdio>
@@ -40,6 +46,10 @@ uint64_t ResultDigest(const TopkResult& result) {
   return h;
 }
 
+/// Whether ResetPeakRss() succeeded before the most recent run; false
+/// means peak_rss_kb degraded to the old monotone lifetime semantics.
+bool rss_isolated = false;
+
 struct RunConfig {
   std::string toggle = "baseline";
   uint32_t k = 10;
@@ -65,6 +75,11 @@ TopkResult RunOnce(const BenchDataset& d, const RunConfig& cfg,
   opt.use_bound_pruning = cfg.use_bound_pruning;
   opt.use_backward_pruning = cfg.use_backward_pruning;
   opt.deadline = Deadline(budget_s);
+  // Isolate this case's footprint: return allocator caches to the kernel
+  // and reset the peak-RSS high-water mark, so the recorded peak_rss_kb
+  // covers this run only (plus the shared dataset, which is live state)
+  // instead of the accumulated maximum of every case before it.
+  rss_isolated = ResetPeakRss();
   return MineTopkRGS(d.pipeline.train, 1, opt);
 }
 
@@ -87,6 +102,7 @@ void Record(JsonWriter& out, const BenchDataset& d, const RunConfig& cfg,
            result.stats.seconds > 0 ? serial_seconds / result.stats.seconds
                                     : 0.0)
       .Int("peak_rss_kb", PeakRssKb())
+      .Bool("rss_isolated", rss_isolated)
       .Int("distinct_groups",
            static_cast<long long>(result.DistinctGroups().size()))
       .Int("effective_min_support", result.effective_min_support)

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/stats.h"
+#include "util/rowset.h"
 #include "util/status.h"
 
 namespace topkrgs {
@@ -55,10 +56,14 @@ std::vector<Rule> FindLowerBounds(const DiscreteDataset& data,
   const uint32_t target_rows = group.antecedent_support;
   auto is_lower_bound_support = [&](const std::vector<uint32_t>& indices) {
     // Condition (2) of Lemma 5.1: R(A') == R(A). A' ⊆ A implies
-    // R(A') ⊇ R(A), so comparing cardinalities suffices.
-    Bitset rows = data.item_rows(ranked[indices[0]]);
+    // R(A') ⊇ R(A), so comparing cardinalities suffices. Intersection
+    // only shrinks the set, so once the cached count drops below the
+    // target the chain can stop early; the adaptive container also
+    // switches to an id walk once the chain gets sparse.
+    RowSet rows = RowSet::DenseFrom(data.item_rows(ranked[indices[0]]));
     for (size_t i = 1; i < indices.size(); ++i) {
-      rows.IntersectWith(data.item_rows(ranked[indices[i]]));
+      if (rows.Count() < target_rows) return false;
+      rows = rows.IntersectAdaptive(data.item_rows(ranked[indices[i]]));
     }
     return rows.Count() == target_rows;
   };
@@ -157,9 +162,10 @@ std::vector<Rule> FindAllLowerBounds(const DiscreteDataset& data,
   const uint32_t target_rows = group.antecedent_support;
 
   auto supports_match = [&](const std::vector<uint32_t>& indices) {
-    Bitset rows = data.item_rows(items[indices[0]]);
+    RowSet rows = RowSet::DenseFrom(data.item_rows(items[indices[0]]));
     for (size_t i = 1; i < indices.size(); ++i) {
-      rows.IntersectWith(data.item_rows(items[indices[i]]));
+      if (rows.Count() < target_rows) return false;
+      rows = rows.IntersectAdaptive(data.item_rows(items[indices[i]]));
     }
     return rows.Count() == target_rows;
   };

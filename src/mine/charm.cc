@@ -1,11 +1,11 @@
 #include "mine/charm.h"
 
 #include <algorithm>
-#include <iterator>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "util/rowset.h"
 #include "util/status.h"
 
 namespace topkrgs {
@@ -64,11 +64,15 @@ class CharmSearch {
 bool CharmSearch::Subsumed(const CharmNode& node) const {
   const auto it = closed_index_.find(node.tid_sum);
   if (it == closed_index_.end()) return false;
+  // Candidate itemsets are usually tiny relative to the item universe:
+  // the adaptive probe turns each bucket check into O(|items|) bit tests
+  // instead of a full word scan when the set is sparse.
+  const RowSet probe = RowSet::FromBitset(node.items);
   for (size_t idx : it->second) {
     // items ⊆ Z.items implies t ⊇ t(Z); with equal supports the tidsets are
     // equal, so Z subsumes node.
     if (closed_sets_[idx].second == node.support &&
-        node.items.IsSubsetOf(closed_sets_[idx].first)) {
+        probe.IsSubsetOf(closed_sets_[idx].first)) {
       return true;
     }
   }
@@ -115,18 +119,16 @@ void CharmSearch::Extend(const std::vector<uint32_t>& prefix_tidset,
     // t(Px) = t(P) \ d(Px).
     std::vector<uint32_t> tidset_x;
     tidset_x.reserve(prefix_tidset.size() - x.diffset.size());
-    std::set_difference(prefix_tidset.begin(), prefix_tidset.end(),
-                        x.diffset.begin(), x.diffset.end(),
-                        std::back_inserter(tidset_x));
+    sorted::Difference(prefix_tidset.data(), prefix_tidset.size(),
+                       x.diffset.data(), x.diffset.size(), &tidset_x);
 
     std::vector<CharmNode> children;
     for (size_t j = i + 1; j < nodes.size(); ++j) {
       if (nodes[j].removed) continue;
       // d(Pxy) = d(Py) \ d(Px).
       std::vector<uint32_t> diff;
-      std::set_difference(nodes[j].diffset.begin(), nodes[j].diffset.end(),
-                          x.diffset.begin(), x.diffset.end(),
-                          std::back_inserter(diff));
+      sorted::Difference(nodes[j].diffset.data(), nodes[j].diffset.size(),
+                         x.diffset.data(), x.diffset.size(), &diff);
       const uint32_t sup = x.support - static_cast<uint32_t>(diff.size());
       const uint32_t class_sup = x.class_support - ClassCount(diff);
       uint64_t diff_sum = 0;

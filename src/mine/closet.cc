@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/rowset.h"
 #include "util/status.h"
 
 namespace topkrgs {
@@ -122,8 +123,11 @@ class ClosetSearch {
 
 bool ClosetSearch::SubsumedOrRecord(const Bitset& items, uint32_t support) {
   auto& bucket = closed_index_[support];
+  // Density-adaptive probe: deep itemsets are sparse, so each bucket
+  // check costs O(|items|) bit tests instead of a word scan.
+  const RowSet probe = RowSet::FromBitset(items);
   for (size_t idx : bucket) {
-    if (items.IsSubsetOf(closed_sets_[idx])) return true;
+    if (probe.IsSubsetOf(closed_sets_[idx])) return true;
   }
   bucket.push_back(closed_sets_.size());
   closed_sets_.push_back(items);

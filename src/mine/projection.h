@@ -43,9 +43,13 @@ class BitsetProjection {
 
   void Positions(std::vector<uint32_t>* out) const { *out = positions_; }
 
-  uint32_t Freq(uint32_t pos, const Bitset& items) const {
+  /// ItemSet is Bitset or util/rowset.h's RowSet: anything exposing
+  /// IntersectCount(const Bitset&). A sparse RowSet turns this scan from
+  /// O(universe/64) words into O(|I(X)|) probes.
+  template <typename ItemSet>
+  uint32_t Freq(uint32_t pos, const ItemSet& items) const {
     return static_cast<uint32_t>(
-        data_->row_bitset((*order_)[pos]).IntersectCount(items));
+        items.IntersectCount(data_->row_bitset((*order_)[pos])));
   }
 
   /// Child keeps the candidates strictly after `pos` that had nonzero
@@ -109,7 +113,8 @@ class VectorProjection {
     }
   }
 
-  uint32_t Freq(uint32_t pos, const Bitset& /*items*/) const {
+  template <typename ItemSet>
+  uint32_t Freq(uint32_t pos, const ItemSet& /*items*/) const {
     return freq_[pos];
   }
 
@@ -161,7 +166,8 @@ class TreeProjection {
         [out](uint32_t pos, uint32_t) { out->push_back(pos); });
   }
 
-  uint32_t Freq(uint32_t pos, const Bitset& /*items*/) const {
+  template <typename ItemSet>
+  uint32_t Freq(uint32_t pos, const ItemSet& /*items*/) const {
     return ref().freq(pos);
   }
 

@@ -13,6 +13,7 @@
 #include "util/arena.h"
 #include "util/check.h"
 #include "util/lock_ranks.h"
+#include "util/rowset.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -296,7 +297,7 @@ class TopkSearch {
     std::vector<uint32_t> x_stack;    // full stack at the node (incl. absorbed)
     uint32_t xp = 0;
     uint32_t xn = 0;
-    Bitset items;                     // I(X) at the node
+    RowSet items;                     // I(X) at the node (density-adaptive)
     std::vector<uint32_t> live;       // surviving candidate positions
     std::vector<uint32_t> live_freq;  // their item counts (child items_count)
     std::vector<uint32_t> suffix_pos; // positive candidates after live[i]
@@ -315,7 +316,7 @@ class TopkSearch {
   /// snapshots the node's state into it instead of recursing (the serial
   /// expansion pass uses this to turn the node's children into tasks).
   template <typename Proj>
-  void Visit(WorkerState& ws, const Proj& proj, const Bitset& items,
+  void Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
              uint32_t items_count, uint32_t branch_pos, bool closed_on_left,
              Level1Ctx* freeze = nullptr);
 
@@ -327,7 +328,7 @@ class TopkSearch {
   /// breaks up the heavily skewed first subtree, which otherwise IS the
   /// critical path.
   template <typename Proj>
-  void MineRoot(const Proj& root, const Bitset& items, uint32_t items_count);
+  void MineRoot(const Proj& root, const RowSet& items, uint32_t items_count);
 
   /// Runs one task: checks, builds and descends into the subtree rooted at
   /// ctx.live[task.child]. `proj1` is the (worker-cached) projection of the
@@ -344,7 +345,7 @@ class TopkSearch {
                     const std::vector<uint32_t>& candidates) const;
   bool Hopeless(uint32_t best_sup, uint32_t min_neg, const Thresh& cut,
                 uint32_t origin) const;
-  void EmitAt(WorkerState& ws, const Bitset& items, const Thresh& cut);
+  void EmitAt(WorkerState& ws, const RowSet& items, const Thresh& cut);
   void ReplayInsert(uint32_t pos, const HandlePtr& handle);
   void ReplayEmissions(const std::vector<Emission>& emissions);
   uint32_t FinalEffectiveMinsup() const;
@@ -528,7 +529,7 @@ bool TopkSearch::Hopeless(uint32_t best_sup, uint32_t min_neg,
   return Dominated(best_sup, best_sup + min_neg, cut, origin);
 }
 
-void TopkSearch::EmitAt(WorkerState& ws, const Bitset& items,
+void TopkSearch::EmitAt(WorkerState& ws, const RowSet& items,
                         const Thresh& cut) {
   if (ws.xp < shared_->minsup()) return;
   if (opt_.use_topk_pruning && Dominated(ws.xp, ws.xp + ws.xn, cut, ws.origin)) {
@@ -541,7 +542,7 @@ void TopkSearch::EmitAt(WorkerState& ws, const Bitset& items,
     return;
   }
   auto handle = std::make_shared<GroupHandle>();
-  handle->group.antecedent = items;
+  handle->group.antecedent = items.ToBitset();
   handle->group.consequent = consequent_;
   handle->group.support = ws.xp;
   handle->group.antecedent_support = ws.xp + ws.xn;
@@ -560,7 +561,7 @@ void TopkSearch::EmitAt(WorkerState& ws, const Bitset& items,
 }
 
 template <typename Proj>
-void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const Bitset& items,
+void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
                        uint32_t items_count, uint32_t branch_pos,
                        bool closed_on_left, Level1Ctx* freeze) {
   (void)branch_pos;  // kept for symmetry with the paper's Depthfirst()
@@ -685,7 +686,7 @@ void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const Bitset& items,
           continue;
         }
       }
-      Bitset child_items = Intersect(items, data_.row_bitset(order_[p]));
+      RowSet child_items = items.IntersectAdaptive(data_.row_bitset(order_[p]));
       bool child_closed = true;
       for (uint32_t q = 0; q < p; ++q) {
         if (!ws.in_x[q] &&
@@ -746,7 +747,7 @@ void TopkSearch::RunTask(WorkerState& ws, const Proj& proj1,
       return;
     }
   }
-  Bitset child_items = Intersect(ctx.items, data_.row_bitset(order_[p]));
+  RowSet child_items = ctx.items.IntersectAdaptive(data_.row_bitset(order_[p]));
   bool child_closed = true;
   for (uint32_t q = 0; q < p; ++q) {
     if (!ws.in_x[q] && child_items.IsSubsetOf(data_.row_bitset(order_[q]))) {
@@ -769,7 +770,7 @@ void TopkSearch::RunTask(WorkerState& ws, const Proj& proj1,
 }
 
 template <typename Proj>
-void TopkSearch::MineRoot(const Proj& root, const Bitset& items,
+void TopkSearch::MineRoot(const Proj& root, const RowSet& items,
                           uint32_t items_count) {
   WorkerState root_ws;
   root_ws.in_x.assign(data_.num_rows(), 0);
@@ -873,7 +874,7 @@ void TopkSearch::MineRoot(const Proj& root, const Bitset& items,
           continue;
         }
       }
-      Bitset child_items = Intersect(items, data_.row_bitset(order_[p]));
+      RowSet child_items = items.IntersectAdaptive(data_.row_bitset(order_[p]));
       bool child_closed = true;
       for (uint32_t q = 0; q < p; ++q) {
         if (!root_ws.in_x[q] &&
@@ -936,7 +937,7 @@ void TopkSearch::MineRoot(const Proj& root, const Bitset& items,
         continue;
       }
     }
-    Bitset child_items = Intersect(items, data_.row_bitset(order_[p]));
+    RowSet child_items = items.IntersectAdaptive(data_.row_bitset(order_[p]));
     bool child_closed = true;
     for (uint32_t q = 0; q < p; ++q) {
       if (!root_ws.in_x[q] &&
@@ -1130,20 +1131,23 @@ TopkResult TopkSearch::Run() {
 
   const uint32_t items_count = static_cast<uint32_t>(frequent.Count());
   if (items_count > 0 && np_ > 0) {
+    // The root item set is (near-)dense by construction; descendants
+    // re-decide their representation per node as I(X) shrinks.
+    const RowSet root_items = RowSet::FromBitset(frequent);
     switch (opt_.backend) {
       case TopkMinerOptions::Backend::kPrefixTree: {
         TreeProjection root(PrefixTree::BuildRoot(data_, order_, frequent));
-        MineRoot(root, frequent, items_count);
+        MineRoot(root, root_items, items_count);
         break;
       }
       case TopkMinerOptions::Backend::kBitset: {
         BitsetProjection root(&data_, &order_);
-        MineRoot(root, frequent, items_count);
+        MineRoot(root, root_items, items_count);
         break;
       }
       case TopkMinerOptions::Backend::kVector: {
         VectorProjection root(&data_, &order_, frequent);
-        MineRoot(root, frequent, items_count);
+        MineRoot(root, root_items, items_count);
         break;
       }
     }

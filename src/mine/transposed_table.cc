@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/rowset.h"
+
 namespace topkrgs {
 
 TransposedTable TransposedTable::Build(const DiscreteDataset& data,
@@ -28,15 +30,16 @@ TransposedTable TransposedTable::Build(const DiscreteDataset& data,
 TransposedTable TransposedTable::Project(uint32_t pos) const {
   TransposedTable out;
   for (const Tuple& tuple : tuples_) {
-    if (!std::binary_search(tuple.positions.begin(), tuple.positions.end(),
-                            pos)) {
+    if (!sorted::Contains(tuple.positions.data(), tuple.positions.size(),
+                          pos)) {
       continue;
     }
     Tuple projected;
     projected.item = tuple.item;
-    for (uint32_t p : tuple.positions) {
-      if (p > pos) projected.positions.push_back(p);
-    }
+    // Positions are sorted: the projected suffix starts right after pos.
+    const auto first = std::upper_bound(tuple.positions.begin(),
+                                        tuple.positions.end(), pos);
+    projected.positions.assign(first, tuple.positions.end());
     out.tuples_.push_back(std::move(projected));
   }
   return out;
@@ -45,8 +48,8 @@ TransposedTable TransposedTable::Project(uint32_t pos) const {
 uint32_t TransposedTable::Frequency(uint32_t pos) const {
   uint32_t freq = 0;
   for (const Tuple& tuple : tuples_) {
-    if (std::binary_search(tuple.positions.begin(), tuple.positions.end(),
-                           pos)) {
+    if (sorted::Contains(tuple.positions.data(), tuple.positions.size(),
+                         pos)) {
       ++freq;
     }
   }

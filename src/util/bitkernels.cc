@@ -1,0 +1,467 @@
+#include "util/bitkernels.h"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define TOPKRGS_BITKERNELS_X86 1
+#endif
+
+namespace topkrgs {
+namespace bitkernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar tier: 4-words-per-iteration blocks. The block shape gives the
+// compiler four independent dependency chains (popcount accumulators in
+// particular), which is where the win over the old single-accumulator
+// loop comes from even without SIMD.
+// ---------------------------------------------------------------------------
+
+void ScalarAnd(Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a[i + 0] &= b[i + 0];
+    a[i + 1] &= b[i + 1];
+    a[i + 2] &= b[i + 2];
+    a[i + 3] &= b[i + 3];
+  }
+  for (; i < n; ++i) a[i] &= b[i];
+}
+
+void ScalarOr(Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a[i + 0] |= b[i + 0];
+    a[i + 1] |= b[i + 1];
+    a[i + 2] |= b[i + 2];
+    a[i + 3] |= b[i + 3];
+  }
+  for (; i < n; ++i) a[i] |= b[i];
+}
+
+void ScalarAndNot(Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a[i + 0] &= ~b[i + 0];
+    a[i + 1] &= ~b[i + 1];
+    a[i + 2] &= ~b[i + 2];
+    a[i + 3] &= ~b[i + 3];
+  }
+  for (; i < n; ++i) a[i] &= ~b[i];
+}
+
+size_t ScalarPopcount(const Word* a, size_t n) {
+  size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    c0 += static_cast<size_t>(std::popcount(a[i + 0]));
+    c1 += static_cast<size_t>(std::popcount(a[i + 1]));
+    c2 += static_cast<size_t>(std::popcount(a[i + 2]));
+    c3 += static_cast<size_t>(std::popcount(a[i + 3]));
+  }
+  for (; i < n; ++i) c0 += static_cast<size_t>(std::popcount(a[i]));
+  return c0 + c1 + c2 + c3;
+}
+
+size_t ScalarAndPopcount(const Word* a, const Word* b, size_t n) {
+  size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    c0 += static_cast<size_t>(std::popcount(a[i + 0] & b[i + 0]));
+    c1 += static_cast<size_t>(std::popcount(a[i + 1] & b[i + 1]));
+    c2 += static_cast<size_t>(std::popcount(a[i + 2] & b[i + 2]));
+    c3 += static_cast<size_t>(std::popcount(a[i + 3] & b[i + 3]));
+  }
+  for (; i < n; ++i) c0 += static_cast<size_t>(std::popcount(a[i] & b[i]));
+  return c0 + c1 + c2 + c3;
+}
+
+bool ScalarIsSubset(const Word* sub, const Word* sup, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const Word v = (sub[i + 0] & ~sup[i + 0]) | (sub[i + 1] & ~sup[i + 1]) |
+                   (sub[i + 2] & ~sup[i + 2]) | (sub[i + 3] & ~sup[i + 3]);
+    if (v != 0) return false;
+  }
+  for (; i < n; ++i) {
+    if ((sub[i] & ~sup[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool ScalarIntersects(const Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const Word v = (a[i + 0] & b[i + 0]) | (a[i + 1] & b[i + 1]) |
+                   (a[i + 2] & b[i + 2]) | (a[i + 3] & b[i + 3]);
+    if (v != 0) return true;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool ScalarAllZero(const Word* a, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if ((a[i + 0] | a[i + 1] | a[i + 2] | a[i + 3]) != 0) return false;
+  }
+  for (; i < n; ++i) {
+    if (a[i] != 0) return false;
+  }
+  return true;
+}
+
+constexpr Kernels kScalar = {
+    "scalar",      ScalarAnd,      ScalarOr,         ScalarAndNot,
+    ScalarPopcount, ScalarAndPopcount, ScalarIsSubset, ScalarIntersects,
+    ScalarAllZero,
+};
+
+#if TOPKRGS_BITKERNELS_X86
+
+// ---------------------------------------------------------------------------
+// AVX2 tier. Per-function target attributes keep the rest of the TU (and
+// the build flags) baseline; the pointers are only published after a
+// cpuid check, so these bodies never execute on a non-AVX2 machine.
+// ---------------------------------------------------------------------------
+
+#define TK_AVX2 __attribute__((target("avx2")))
+
+// Mula nibble-LUT popcount: per-byte counts via two pshufb lookups,
+// widened to four 64-bit lane sums with psadbw against zero.
+TK_AVX2 inline __m256i Popcount256(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+                                       3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2,
+                                       2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+TK_AVX2 inline size_t HorizontalSum256(__m256i acc) {
+  return static_cast<size_t>(_mm256_extract_epi64(acc, 0)) +
+         static_cast<size_t>(_mm256_extract_epi64(acc, 1)) +
+         static_cast<size_t>(_mm256_extract_epi64(acc, 2)) +
+         static_cast<size_t>(_mm256_extract_epi64(acc, 3));
+}
+
+TK_AVX2 void Avx2And(Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_and_si256(va, vb));
+  }
+  for (; i < n; ++i) a[i] &= b[i];
+}
+
+TK_AVX2 void Avx2Or(Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_or_si256(va, vb));
+  }
+  for (; i < n; ++i) a[i] |= b[i];
+}
+
+TK_AVX2 void Avx2AndNot(Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // andnot computes ~first & second, so b goes first.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_andnot_si256(vb, va));
+  }
+  for (; i < n; ++i) a[i] &= ~b[i];
+}
+
+TK_AVX2 size_t Avx2Popcount(const Word* a, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 4));
+    acc = _mm256_add_epi64(acc, Popcount256(v0));
+    acc = _mm256_add_epi64(acc, Popcount256(v1));
+  }
+  size_t total = HorizontalSum256(acc);
+  for (; i < n; ++i) total += static_cast<size_t>(std::popcount(a[i]));
+  return total;
+}
+
+TK_AVX2 size_t Avx2AndPopcount(const Word* a, const Word* b, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x0 = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    const __m256i x1 = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 4)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i + 4)));
+    acc = _mm256_add_epi64(acc, Popcount256(x0));
+    acc = _mm256_add_epi64(acc, Popcount256(x1));
+  }
+  size_t total = HorizontalSum256(acc);
+  for (; i < n; ++i)
+    total += static_cast<size_t>(std::popcount(a[i] & b[i]));
+  return total;
+}
+
+TK_AVX2 bool Avx2IsSubset(const Word* sub, const Word* sup, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vsub =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sub + i));
+    const __m256i vsup =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sup + i));
+    // testc sets CF iff (~vsup & vsub) == 0, i.e. vsub ⊆ vsup.
+    if (!_mm256_testc_si256(vsup, vsub)) return false;
+  }
+  for (; i < n; ++i) {
+    if ((sub[i] & ~sup[i]) != 0) return false;
+  }
+  return true;
+}
+
+TK_AVX2 bool Avx2Intersects(const Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    if (!_mm256_testz_si256(va, vb)) return true;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+TK_AVX2 bool Avx2AllZero(const Word* a, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    if (!_mm256_testz_si256(v, v)) return false;
+  }
+  for (; i < n; ++i) {
+    if (a[i] != 0) return false;
+  }
+  return true;
+}
+
+constexpr Kernels kAvx2 = {
+    "avx2",       Avx2And,        Avx2Or,        Avx2AndNot,  Avx2Popcount,
+    Avx2AndPopcount, Avx2IsSubset, Avx2Intersects, Avx2AllZero,
+};
+
+// ---------------------------------------------------------------------------
+// AVX-512 tier: VPOPCNTDQ makes AND+popcount a three-instruction body.
+// Containment/emptiness use vptestmq masks.
+// ---------------------------------------------------------------------------
+
+// gcc-12's unmasked AVX-512 intrinsics expand to masked builtins with an
+// _mm512_undefined_*() passthrough operand; once inlined into these
+// bodies that reads as an uninitialized use under -Werror even though
+// the full mask makes the operand dead. Scoped to this tier only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+#define TK_AVX512 \
+  __attribute__((target("avx512f,avx512bw,avx512vpopcntdq")))
+
+// Horizontal sum of eight 64-bit lanes: fold to 256 bits, reuse the AVX2
+// extract path.
+TK_AVX512 size_t HorizontalSum512(__m512i acc) {
+  return HorizontalSum256(_mm256_add_epi64(
+      _mm512_castsi512_si256(acc), _mm512_extracti64x4_epi64(acc, 1)));
+}
+
+TK_AVX512 void Avx512And(Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    _mm512_storeu_si512(a + i, _mm512_and_si512(va, vb));
+  }
+  for (; i < n; ++i) a[i] &= b[i];
+}
+
+TK_AVX512 void Avx512Or(Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    _mm512_storeu_si512(a + i, _mm512_or_si512(va, vb));
+  }
+  for (; i < n; ++i) a[i] |= b[i];
+}
+
+TK_AVX512 void Avx512AndNot(Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    _mm512_storeu_si512(a + i, _mm512_andnot_si512(vb, va));
+  }
+  for (; i < n; ++i) a[i] &= ~b[i];
+}
+
+TK_AVX512 size_t Avx512Popcount(const Word* a, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_loadu_si512(a + i)));
+  }
+  size_t total = HorizontalSum512(acc);
+  for (; i < n; ++i) total += static_cast<size_t>(std::popcount(a[i]));
+  return total;
+}
+
+TK_AVX512 size_t Avx512AndPopcount(const Word* a, const Word* b, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_and_si512(_mm512_loadu_si512(a + i),
+                                       _mm512_loadu_si512(b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+  }
+  size_t total = HorizontalSum512(acc);
+  for (; i < n; ++i)
+    total += static_cast<size_t>(std::popcount(a[i] & b[i]));
+  return total;
+}
+
+TK_AVX512 bool Avx512IsSubset(const Word* sub, const Word* sup, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i vsub = _mm512_loadu_si512(sub + i);
+    const __m512i vsup = _mm512_loadu_si512(sup + i);
+    const __m512i stray = _mm512_andnot_si512(vsup, vsub);
+    if (_mm512_test_epi64_mask(stray, stray) != 0) return false;
+  }
+  for (; i < n; ++i) {
+    if ((sub[i] & ~sup[i]) != 0) return false;
+  }
+  return true;
+}
+
+TK_AVX512 bool Avx512Intersects(const Word* a, const Word* b, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    if (_mm512_test_epi64_mask(va, vb) != 0) return true;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+TK_AVX512 bool Avx512AllZero(const Word* a, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_loadu_si512(a + i);
+    if (_mm512_test_epi64_mask(v, v) != 0) return false;
+  }
+  for (; i < n; ++i) {
+    if (a[i] != 0) return false;
+  }
+  return true;
+}
+
+constexpr Kernels kAvx512 = {
+    "avx512",        Avx512And,      Avx512Or,        Avx512AndNot,
+    Avx512Popcount,  Avx512AndPopcount, Avx512IsSubset, Avx512Intersects,
+    Avx512AllZero,
+};
+
+#pragma GCC diagnostic pop
+
+bool CpuHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+bool CpuHasAvx512Popcnt() {
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512vpopcntdq") != 0;
+}
+
+#endif  // TOPKRGS_BITKERNELS_X86
+
+const Kernels& ResolveActive() {
+  // src/util is outside the determinism zones, so an environment read is
+  // allowed here; the choice cannot change results, only speed (every
+  // tier computes exact set algebra — see the header contract).
+  const char* mode = std::getenv("TOPKRGS_SIMD");
+#if TOPKRGS_BITKERNELS_X86
+  const Kernels* avx2 = Avx2Kernels();
+  const Kernels* avx512 = Avx512Kernels();
+  if (mode != nullptr) {
+    if (std::strcmp(mode, "scalar") == 0) return kScalar;
+    if (std::strcmp(mode, "avx2") == 0) return avx2 ? *avx2 : kScalar;
+    if (std::strcmp(mode, "avx512") == 0) {
+      if (avx512 != nullptr) return *avx512;
+      return avx2 ? *avx2 : kScalar;
+    }
+    // Anything else (including "auto") falls through to cpuid.
+  }
+  if (avx512 != nullptr) return *avx512;
+  if (avx2 != nullptr) return *avx2;
+  return kScalar;
+#else
+  (void)mode;
+  return kScalar;
+#endif
+}
+
+}  // namespace
+
+const Kernels& ScalarKernels() { return kScalar; }
+
+const Kernels* Avx2Kernels() {
+#if TOPKRGS_BITKERNELS_X86
+  static const bool have = CpuHasAvx2();
+  return have ? &kAvx2 : nullptr;
+#else
+  return nullptr;
+#endif
+}
+
+const Kernels* Avx512Kernels() {
+#if TOPKRGS_BITKERNELS_X86
+  static const bool have = CpuHasAvx512Popcnt();
+  return have ? &kAvx512 : nullptr;
+#else
+  return nullptr;
+#endif
+}
+
+const Kernels& ActiveKernels() {
+  static const Kernels& active = ResolveActive();
+  return active;
+}
+
+const char* ActiveKernelName() { return ActiveKernels().name; }
+
+uint64_t HashWords(const Word* w, size_t n, uint64_t seed) {
+  WordHasher h(seed);
+  for (size_t i = 0; i < n; ++i) h.Consume(w[i]);
+  return h.Finish();
+}
+
+}  // namespace bitkernels
+}  // namespace topkrgs

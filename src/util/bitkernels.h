@@ -1,0 +1,124 @@
+// Word-level set-algebra kernels behind util/bitset.h and util/rowset.h.
+//
+// Every operation exists in (at least) two implementations:
+//
+//   * Scalar — explicit 4-words-per-iteration block loops over uint64_t
+//     with std::popcount and independent accumulators. This is the
+//     reference implementation, the only build on non-x86 targets, and
+//     the semantics contract every other tier must reproduce exactly.
+//   * AVX2 — 256-bit lanes; popcounts via the pshufb nibble-LUT
+//     (Mula) reduction, containment via vptest (testc/testz).
+//   * AVX-512 — 512-bit lanes using VPOPCNTDQ where the CPU has it.
+//
+// Dispatch is a function-pointer table resolved once per process from
+// cpuid (never per call): ActiveKernels() checks the TOPKRGS_SIMD
+// environment override first ("scalar" | "avx2" | "avx512" | "auto"),
+// then __builtin_cpu_supports. Forcing "scalar" is how CI keeps the
+// fallback green on every commit (tools/ci.sh simd stage).
+//
+// Determinism contract (DESIGN.md §13): all kernels compute exact set
+// algebra — same inputs, same bits out, regardless of tier. Tiers are
+// therefore free to differ in instruction mix but never in results; the
+// property tests in tests/rowset_test.cc compare every table pairwise.
+#ifndef TOPKRGS_UTIL_BITKERNELS_H_
+#define TOPKRGS_UTIL_BITKERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace topkrgs {
+namespace bitkernels {
+
+using Word = uint64_t;
+
+// One resolved implementation tier. All pointers are non-null in every
+// table; n is a word count and may be zero. Aliasing: a == b is allowed
+// for the binary ops; partially overlapping ranges are not.
+struct Kernels {
+  const char* name;  // "scalar" | "avx2" | "avx512"
+  // a[i] &= b[i]
+  void (*and_inplace)(Word* a, const Word* b, size_t n);
+  // a[i] |= b[i]
+  void (*or_inplace)(Word* a, const Word* b, size_t n);
+  // a[i] &= ~b[i]
+  void (*andnot_inplace)(Word* a, const Word* b, size_t n);
+  // sum(popcount(a[i]))
+  size_t (*popcount)(const Word* a, size_t n);
+  // sum(popcount(a[i] & b[i])) without materializing the intersection
+  size_t (*and_popcount)(const Word* a, const Word* b, size_t n);
+  // (sub[i] & ~super[i]) == 0 for all i
+  bool (*is_subset)(const Word* sub, const Word* sup, size_t n);
+  // (a[i] & b[i]) != 0 for some i
+  bool (*intersects)(const Word* a, const Word* b, size_t n);
+  // a[i] == 0 for all i
+  bool (*all_zero)(const Word* a, size_t n);
+};
+
+// The blocked-scalar reference table. Always available.
+const Kernels& ScalarKernels();
+
+// SIMD tables, or nullptr when the CPU (or the build target) lacks the
+// ISA. Exposed so the property tests can cross-check every tier the
+// machine offers, independent of which one is active.
+const Kernels* Avx2Kernels();
+const Kernels* Avx512Kernels();
+
+// The process-wide table: TOPKRGS_SIMD override, then best cpuid tier.
+// Resolved once; cheap to call afterwards.
+const Kernels& ActiveKernels();
+const char* ActiveKernelName();
+
+// --- Hashing -------------------------------------------------------------
+//
+// The set hash must be identical across tiers AND representations (a
+// sparse RowSet hashes equal to the dense Bitset of the same rows), so
+// it is defined once, in scalar code, as a streaming 4-lane SplitMix64
+// over the full word sequence including zero words. The 4 lanes mirror
+// the kernels' block structure for ILP without changing the value.
+
+inline constexpr uint64_t kHashSeed = 0x9e3779b97f4a7c15ULL;
+
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Streams words in index order; Finish() folds the lanes in a fixed
+// order so the result is independent of how many words each lane saw.
+class WordHasher {
+ public:
+  explicit WordHasher(uint64_t seed) {
+    lanes_[0] = seed;
+    lanes_[1] = SplitMix64(seed ^ 0x8e5d1b3c6a9f42d7ULL);
+    lanes_[2] = SplitMix64(seed ^ 0x3c79ac492ba7b653ULL);
+    lanes_[3] = SplitMix64(seed ^ 0x1c69b3f74ac4fb51ULL);
+  }
+
+  void Consume(Word w) {
+    lanes_[next_] = SplitMix64(lanes_[next_] ^ w);
+    next_ = (next_ + 1) & 3;
+  }
+
+  uint64_t Finish() const {
+    uint64_t h = lanes_[0];
+    h = SplitMix64(h ^ lanes_[1]);
+    h = SplitMix64(h ^ lanes_[2]);
+    h = SplitMix64(h ^ lanes_[3]);
+    return h;
+  }
+
+ private:
+  uint64_t lanes_[4];
+  unsigned next_ = 0;
+};
+
+// Hash of a full word range with the given seed; equals feeding every
+// word through a WordHasher(seed) then Finish().
+uint64_t HashWords(const Word* w, size_t n, uint64_t seed);
+
+}  // namespace bitkernels
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_UTIL_BITKERNELS_H_

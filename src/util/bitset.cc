@@ -2,7 +2,11 @@
 
 #include <bit>
 
+#include "util/bitkernels.h"
+
 namespace topkrgs {
+
+namespace bk = bitkernels;
 
 Bitset Bitset::AllSet(size_t size) {
   Bitset b(size);
@@ -20,56 +24,47 @@ void Bitset::Clear() {
 }
 
 size_t Bitset::Count() const {
-  size_t total = 0;
-  for (Word w : words_) total += static_cast<size_t>(std::popcount(w));
-  return total;
+  return bk::ActiveKernels().popcount(words_.data(), words_.size());
 }
 
 bool Bitset::None() const {
-  for (Word w : words_) {
-    if (w != 0) return false;
-  }
-  return true;
+  return bk::ActiveKernels().all_zero(words_.data(), words_.size());
 }
 
 void Bitset::IntersectWith(const Bitset& other) {
   TOPKRGS_CHECK(size_ == other.size_, "bitset universe mismatch");
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  bk::ActiveKernels().and_inplace(words_.data(), other.words_.data(),
+                                  words_.size());
 }
 
 void Bitset::UnionWith(const Bitset& other) {
   TOPKRGS_CHECK(size_ == other.size_, "bitset universe mismatch");
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  bk::ActiveKernels().or_inplace(words_.data(), other.words_.data(),
+                                 words_.size());
 }
 
 void Bitset::SubtractWith(const Bitset& other) {
   TOPKRGS_CHECK(size_ == other.size_, "bitset universe mismatch");
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  bk::ActiveKernels().andnot_inplace(words_.data(), other.words_.data(),
+                                     words_.size());
 }
 
 size_t Bitset::IntersectCount(const Bitset& other) const {
   TOPKRGS_CHECK(size_ == other.size_, "bitset universe mismatch");
-  size_t total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
-  }
-  return total;
+  return bk::ActiveKernels().and_popcount(words_.data(), other.words_.data(),
+                                          words_.size());
 }
 
 bool Bitset::IsSubsetOf(const Bitset& other) const {
   TOPKRGS_CHECK(size_ == other.size_, "bitset universe mismatch");
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
-  }
-  return true;
+  return bk::ActiveKernels().is_subset(words_.data(), other.words_.data(),
+                                       words_.size());
 }
 
 bool Bitset::Intersects(const Bitset& other) const {
   TOPKRGS_CHECK(size_ == other.size_, "bitset universe mismatch");
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & other.words_[i]) != 0) return true;
-  }
-  return false;
+  return bk::ActiveKernels().intersects(words_.data(), other.words_.data(),
+                                        words_.size());
 }
 
 size_t Bitset::FindFirst() const {
@@ -103,15 +98,10 @@ std::vector<uint32_t> Bitset::ToVector() const {
 }
 
 uint64_t Bitset::Hash() const {
-  // SplitMix64-style per-word mixing.
-  uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(size_);
-  for (Word w : words_) {
-    uint64_t z = w + 0x9e3779b97f4a7c15ULL + h;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    h = z ^ (z >> 31);
-  }
-  return h;
+  // Streamed through the shared WordHasher so a sparse RowSet over the
+  // same elements hashes identically (util/rowset.cc relies on this).
+  return bk::HashWords(words_.data(), words_.size(),
+                       bk::kHashSeed ^ static_cast<uint64_t>(size_));
 }
 
 Bitset Intersect(const Bitset& a, const Bitset& b) {

@@ -93,7 +93,8 @@ class Bitset {
   }
 
   /// 64-bit mixing hash over the words; used for closed-set subsumption
-  /// indices in CHARM/CLOSET+.
+  /// indices in CHARM/CLOSET+. Identical across SIMD tiers and across
+  /// row-set representations (RowSet::Hash matches for the same set).
   uint64_t Hash() const;
 
   const std::vector<Word>& words() const { return words_; }

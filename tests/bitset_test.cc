@@ -140,6 +140,75 @@ TEST(BitsetTest, HashDistinguishesTypicalSets) {
   EXPECT_GT(hashes.size(), 195u);
 }
 
+TEST(BitsetTest, FindFirstOnEmptySet) {
+  EXPECT_EQ(Bitset(0).FindFirst(), 0u);
+  EXPECT_EQ(Bitset(1).FindFirst(), 1u);
+  EXPECT_EQ(Bitset(64).FindFirst(), 64u);
+  EXPECT_EQ(Bitset(200).FindFirst(), 200u);
+}
+
+TEST(BitsetTest, FindNextOnEmptySet) {
+  Bitset b(130);
+  EXPECT_EQ(b.FindNext(0), 130u);
+  EXPECT_EQ(b.FindNext(64), 130u);
+  EXPECT_EQ(b.FindNext(129), 130u);
+}
+
+TEST(BitsetTest, FindAcrossWordBoundary) {
+  // Bits 63 and 64 straddle the first word boundary; FindNext must cross
+  // it without skipping or repeating.
+  Bitset b(130);
+  b.Set(63);
+  b.Set(64);
+  EXPECT_EQ(b.FindFirst(), 63u);
+  EXPECT_EQ(b.FindNext(62), 63u);
+  EXPECT_EQ(b.FindNext(63), 64u);
+  EXPECT_EQ(b.FindNext(64), 130u);
+}
+
+TEST(BitsetTest, FindLastBitOfWord) {
+  // Universe of exactly one word with only its top bit set.
+  Bitset b(64);
+  b.Set(63);
+  EXPECT_EQ(b.FindFirst(), 63u);
+  EXPECT_EQ(b.FindNext(0), 63u);
+  EXPECT_EQ(b.FindNext(62), 63u);
+  EXPECT_EQ(b.FindNext(63), 64u);
+}
+
+TEST(BitsetTest, FindLastBitOfUniverse) {
+  // Last bit of a universe that does not fill its final word.
+  Bitset b(130);
+  b.Set(129);
+  EXPECT_EQ(b.FindFirst(), 129u);
+  EXPECT_EQ(b.FindNext(128), 129u);
+  EXPECT_EQ(b.FindNext(129), 130u);
+}
+
+TEST(BitsetTest, FindNextFromPosAtOrPastSize) {
+  Bitset b(100);
+  b.Set(99);
+  // pos >= size() (and pos == size()-1) must return size(), never scan
+  // out of range.
+  EXPECT_EQ(b.FindNext(99), 100u);
+  EXPECT_EQ(b.FindNext(100), 100u);
+  EXPECT_EQ(b.FindNext(500), 100u);
+}
+
+TEST(BitsetTest, FindIterationMatchesForEach) {
+  Rng rng(21);
+  Bitset b(513);  // one bit past an eight-word universe
+  for (int j = 0; j < 40; ++j) b.Set(rng.NextBounded(513));
+  b.Set(512);
+  std::vector<size_t> via_foreach;
+  b.ForEach([&](size_t i) { via_foreach.push_back(i); });
+  std::vector<size_t> via_find;
+  for (size_t i = b.FindFirst(); i < b.size(); i = b.FindNext(i)) {
+    via_find.push_back(i);
+  }
+  EXPECT_EQ(via_find, via_foreach);
+}
+
 TEST(BitsetTest, ClearResetsAll) {
   Bitset b(100);
   b.Set(1);

@@ -1,0 +1,348 @@
+// Property tests for the set-algebra kernels and the density-adaptive
+// RowSet container (DESIGN.md §13).
+//
+// The determinism contract says representation and SIMD tier can never
+// change results, only speed. These tests pin it from both ends:
+//
+//  * every kernel table the machine offers (scalar always; AVX2/AVX-512
+//    when present) is compared pairwise against the blocked-scalar
+//    reference on randomized word arrays, including the boundary shapes
+//    the block loops must not fumble (n % 4 != 0 tails, all-zero,
+//    all-ones, single straddling bits);
+//  * the sparse and dense RowSet representations of the same element set
+//    are compared on every operation of the interface, including Hash,
+//    which must also equal Bitset::Hash of the same set.
+//
+// All randomness flows from explicit Rng seeds (determinism lint).
+
+#include "util/rowset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitkernels.h"
+#include "util/bitset.h"
+#include "util/random.h"
+
+namespace topkrgs {
+namespace {
+
+namespace bk = bitkernels;
+
+std::vector<const bk::Kernels*> AllKernelTables() {
+  std::vector<const bk::Kernels*> tables = {&bk::ScalarKernels()};
+  if (bk::Avx2Kernels() != nullptr) tables.push_back(bk::Avx2Kernels());
+  if (bk::Avx512Kernels() != nullptr) tables.push_back(bk::Avx512Kernels());
+  return tables;
+}
+
+// Unblocked single-word loops: the semantics oracle every table must
+// match (deliberately the dumbest possible implementation).
+size_t NaivePopcount(const std::vector<uint64_t>& a) {
+  size_t total = 0;
+  for (uint64_t w : a) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+size_t NaiveAndPopcount(const std::vector<uint64_t>& a,
+                        const std::vector<uint64_t>& b) {
+  size_t total = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    total += static_cast<size_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+bool NaiveIsSubset(const std::vector<uint64_t>& sub,
+                   const std::vector<uint64_t>& sup) {
+  for (size_t i = 0; i < sub.size(); ++i) {
+    if ((sub[i] & ~sup[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool NaiveIntersects(const std::vector<uint64_t>& a,
+                     const std::vector<uint64_t>& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::vector<uint64_t> RandomWords(Rng& rng, size_t n, int mode) {
+  std::vector<uint64_t> w(n, 0);
+  if (n == 0) return w;
+  switch (mode) {
+    case 0:  // uniform dense
+      for (auto& x : w) x = rng.Next();
+      break;
+    case 1:  // sparse: a few set bits
+      for (size_t j = 0; j < n / 2 + 1; ++j) {
+        w[rng.NextBounded(n)] |= uint64_t{1} << rng.NextBounded(64);
+      }
+      break;
+    case 2:  // all ones
+      for (auto& x : w) x = ~uint64_t{0};
+      break;
+    case 3:  // all zeros
+      break;
+    case 4:  // single bit straddling a word boundary region
+      w[rng.NextBounded(n)] = uint64_t{1} << 63;
+      break;
+    default:
+      break;
+  }
+  return w;
+}
+
+TEST(BitKernelsTest, AllTiersMatchNaiveReference) {
+  const auto tables = AllKernelTables();
+  ASSERT_GE(tables.size(), 1u);
+  Rng rng(101);
+  // Word counts hit the 4-word (scalar/AVX2) and 8-word (AVX-512) block
+  // boundaries and their tails; 0 checks the empty universe.
+  const size_t sizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 12, 15, 16, 17, 64, 129};
+  for (size_t n : sizes) {
+    for (int mode_a = 0; mode_a < 5; ++mode_a) {
+      for (int mode_b = 0; mode_b < 5; ++mode_b) {
+        const auto a = RandomWords(rng, n, mode_a);
+        const auto b = RandomWords(rng, n, mode_b);
+        for (const bk::Kernels* k : tables) {
+          SCOPED_TRACE(testing::Message() << "tier=" << k->name << " n=" << n
+                                          << " modes=" << mode_a << ","
+                                          << mode_b);
+          EXPECT_EQ(k->popcount(a.data(), n), NaivePopcount(a));
+          EXPECT_EQ(k->and_popcount(a.data(), b.data(), n),
+                    NaiveAndPopcount(a, b));
+          EXPECT_EQ(k->is_subset(a.data(), b.data(), n), NaiveIsSubset(a, b));
+          EXPECT_EQ(k->intersects(a.data(), b.data(), n),
+                    NaiveIntersects(a, b));
+          EXPECT_EQ(k->all_zero(a.data(), n), NaivePopcount(a) == 0);
+
+          auto anded = a;
+          k->and_inplace(anded.data(), b.data(), n);
+          auto ored = a;
+          k->or_inplace(ored.data(), b.data(), n);
+          auto subbed = a;
+          k->andnot_inplace(subbed.data(), b.data(), n);
+          for (size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(anded[i], a[i] & b[i]);
+            ASSERT_EQ(ored[i], a[i] | b[i]);
+            ASSERT_EQ(subbed[i], a[i] & ~b[i]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BitKernelsTest, SubsetDetectsViolationInEveryBlockLane) {
+  // A stray bit in any of the 4 (or 8) lanes of one block must flip the
+  // verdict — catches a kernel that ORs the wrong lane.
+  const auto tables = AllKernelTables();
+  const size_t n = 16;
+  for (size_t stray = 0; stray < n; ++stray) {
+    std::vector<uint64_t> sup(n, ~uint64_t{0});
+    std::vector<uint64_t> sub(n, 0x5555555555555555ULL);
+    sup[stray] = ~0x8000000000000000ULL;
+    sub[stray] = 0x8000000000000000ULL;
+    for (const bk::Kernels* k : tables) {
+      SCOPED_TRACE(testing::Message() << k->name << " stray=" << stray);
+      EXPECT_FALSE(k->is_subset(sub.data(), sup.data(), n));
+      sub[stray] = 0;
+      EXPECT_TRUE(k->is_subset(sub.data(), sup.data(), n));
+      sub[stray] = 0x8000000000000000ULL;
+    }
+  }
+}
+
+TEST(BitKernelsTest, ActiveTableIsOneOfTheResolvedTiers) {
+  const bk::Kernels& active = bk::ActiveKernels();
+  const auto tables = AllKernelTables();
+  EXPECT_NE(std::find(tables.begin(), tables.end(), &active), tables.end())
+      << "active tier " << active.name << " not among the resolvable tables";
+  EXPECT_STREQ(bk::ActiveKernelName(), active.name);
+}
+
+TEST(BitKernelsTest, HashWordsMatchesStreamingHasher) {
+  Rng rng(77);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{5}, size_t{64}}) {
+    const auto words = RandomWords(rng, n, 0);
+    bk::WordHasher h(bk::kHashSeed ^ n);
+    for (uint64_t w : words) h.Consume(w);
+    EXPECT_EQ(bk::HashWords(words.data(), n, bk::kHashSeed ^ n), h.Finish());
+  }
+}
+
+// --- sorted:: primitives -------------------------------------------------
+
+std::vector<uint32_t> RandomSortedIds(Rng& rng, size_t universe,
+                                      size_t target) {
+  std::vector<uint32_t> ids;
+  for (size_t i = 0; i < universe && ids.size() < target; ++i) {
+    if (rng.NextBounded(universe) < target) {
+      ids.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return ids;
+}
+
+TEST(SortedOpsTest, MatchStdAlgorithms) {
+  Rng rng(303);
+  for (int round = 0; round < 50; ++round) {
+    const size_t universe = 1 + rng.NextBounded(2000);
+    const auto a = RandomSortedIds(rng, universe, rng.NextBounded(universe));
+    const auto b = RandomSortedIds(rng, universe, rng.NextBounded(universe));
+
+    std::vector<uint32_t> expect_inter;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expect_inter));
+    std::vector<uint32_t> expect_diff;
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(expect_diff));
+
+    EXPECT_EQ(sorted::IntersectCount(a.data(), a.size(), b.data(), b.size()),
+              expect_inter.size());
+    std::vector<uint32_t> inter;
+    sorted::Intersect(a.data(), a.size(), b.data(), b.size(), &inter);
+    EXPECT_EQ(inter, expect_inter);
+    std::vector<uint32_t> diff;
+    sorted::Difference(a.data(), a.size(), b.data(), b.size(), &diff);
+    EXPECT_EQ(diff, expect_diff);
+    for (uint32_t probe = 0; probe < 5; ++probe) {
+      const uint32_t v = static_cast<uint32_t>(rng.NextBounded(universe));
+      EXPECT_EQ(sorted::Contains(a.data(), a.size(), v),
+                std::binary_search(a.begin(), a.end(), v));
+    }
+  }
+}
+
+TEST(SortedOpsTest, GallopingPathOnSkewedLists) {
+  // Small ∩ huge exercises the galloping branch explicitly.
+  std::vector<uint32_t> big;
+  for (uint32_t i = 0; i < 5000; i += 2) big.push_back(i);
+  const std::vector<uint32_t> small = {0, 4, 5, 4996, 4998, 4999};
+  EXPECT_EQ(sorted::IntersectCount(small.data(), small.size(), big.data(),
+                                   big.size()),
+            4u);  // 0, 4, 4996, 4998
+  std::vector<uint32_t> inter;
+  sorted::Intersect(big.data(), big.size(), small.data(), small.size(),
+                    &inter);
+  EXPECT_EQ(inter, (std::vector<uint32_t>{0, 4, 4996, 4998}));
+}
+
+// --- RowSet: sparse vs dense --------------------------------------------
+
+Bitset BitsetOf(const std::vector<uint32_t>& ids, size_t universe) {
+  Bitset b(universe);
+  for (uint32_t id : ids) b.Set(id);
+  return b;
+}
+
+TEST(RowSetTest, RepresentationsAgreeOnEveryOperation) {
+  Rng rng(555);
+  const size_t universes[] = {1, 63, 64, 65, 127, 128, 129, 1000, 4096, 8192};
+  for (size_t universe : universes) {
+    for (int round = 0; round < 8; ++round) {
+      const size_t target = rng.NextBounded(universe + 1);
+      const auto ids = RandomSortedIds(rng, universe, target);
+      const Bitset bits = BitsetOf(ids, universe);
+      const RowSet dense = RowSet::DenseFrom(bits);
+      const RowSet sparse = RowSet::SparseFrom(ids, universe);
+      const Bitset other =
+          BitsetOf(RandomSortedIds(rng, universe,
+                                   rng.NextBounded(universe + 1)),
+                   universe);
+      SCOPED_TRACE(testing::Message()
+                   << "universe=" << universe << " |set|=" << ids.size());
+
+      EXPECT_EQ(dense.Count(), ids.size());
+      EXPECT_EQ(sparse.Count(), ids.size());
+      EXPECT_EQ(sparse.universe(), dense.universe());
+      EXPECT_EQ(dense.IntersectCount(other), sparse.IntersectCount(other));
+      EXPECT_EQ(dense.IsSubsetOf(other), sparse.IsSubsetOf(other));
+      EXPECT_EQ(dense.Intersects(other), sparse.Intersects(other));
+      EXPECT_EQ(dense.ToVector(), sparse.ToVector());
+      EXPECT_TRUE(dense.ToBitset() == sparse.ToBitset());
+
+      // Hash: representation-independent AND equal to Bitset::Hash.
+      EXPECT_EQ(dense.Hash(), bits.Hash());
+      EXPECT_EQ(sparse.Hash(), bits.Hash());
+
+      // Membership and ascending iteration.
+      for (uint32_t probe = 0; probe < 5; ++probe) {
+        const uint32_t v = static_cast<uint32_t>(rng.NextBounded(universe));
+        EXPECT_EQ(dense.Test(v), sparse.Test(v));
+        EXPECT_EQ(dense.Test(v), bits.Test(v));
+      }
+      std::vector<uint32_t> dense_iter, sparse_iter;
+      dense.ForEach([&](size_t i) {
+        dense_iter.push_back(static_cast<uint32_t>(i));
+      });
+      sparse.ForEach([&](size_t i) {
+        sparse_iter.push_back(static_cast<uint32_t>(i));
+      });
+      EXPECT_EQ(dense_iter, sparse_iter);
+
+      // Adaptive intersection: identical element sets and hashes out of
+      // either input representation, whatever repr each result picked.
+      const RowSet from_dense = dense.IntersectAdaptive(other);
+      const RowSet from_sparse = sparse.IntersectAdaptive(other);
+      EXPECT_EQ(from_dense.ToVector(), from_sparse.ToVector());
+      EXPECT_EQ(from_dense.Hash(), from_sparse.Hash());
+      EXPECT_EQ(from_dense.Count(), from_sparse.Count());
+      EXPECT_EQ(from_dense.Count(),
+                static_cast<size_t>(bits.IntersectCount(other)));
+    }
+  }
+}
+
+TEST(RowSetTest, FromBitsetHonorsDensityThreshold) {
+  const size_t universe = 8192;  // 128 words
+  Bitset sparse_bits(universe);
+  for (uint32_t i = 0; i < 32; ++i) sparse_bits.Set(i * 17);
+  EXPECT_TRUE(RowSet::PreferSparse(32, universe));
+  EXPECT_TRUE(RowSet::FromBitset(sparse_bits).is_sparse());
+
+  Bitset dense_bits(universe);
+  for (uint32_t i = 0; i < 4096; ++i) dense_bits.Set(i * 2);
+  EXPECT_FALSE(RowSet::PreferSparse(4096, universe));
+  EXPECT_TRUE(RowSet::FromBitset(dense_bits).is_dense());
+}
+
+TEST(RowSetTest, SparseInputStaysSparseThroughIntersection) {
+  const size_t universe = 4096;
+  const std::vector<uint32_t> ids = {3, 64, 65, 1000, 4095};
+  const RowSet s = RowSet::SparseFrom(ids, universe);
+  ASSERT_TRUE(s.is_sparse());
+  Bitset mask(universe);
+  mask.Set(64);
+  mask.Set(4095);
+  const RowSet out = s.IntersectAdaptive(mask);
+  EXPECT_TRUE(out.is_sparse());
+  EXPECT_EQ(out.ToVector(), (std::vector<uint32_t>{64, 4095}));
+}
+
+TEST(RowSetTest, EmptyAndFullSets) {
+  for (size_t universe : {size_t{64}, size_t{100}}) {
+    const RowSet empty_sparse = RowSet::SparseFrom({}, universe);
+    const RowSet empty_dense = RowSet::DenseFrom(Bitset(universe));
+    EXPECT_TRUE(empty_sparse.None());
+    EXPECT_TRUE(empty_dense.None());
+    EXPECT_EQ(empty_sparse.Hash(), empty_dense.Hash());
+
+    const Bitset all = Bitset::AllSet(universe);
+    const RowSet full = RowSet::FromBitset(all);
+    EXPECT_TRUE(full.is_dense());
+    EXPECT_EQ(full.Count(), universe);
+    EXPECT_TRUE(full.IsSubsetOf(all));
+    EXPECT_EQ(full.Hash(), all.Hash());
+  }
+}
+
+}  // namespace
+}  // namespace topkrgs

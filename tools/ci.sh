@@ -46,6 +46,14 @@
 #           (every UB report is fatal, not a log line) and run the full
 #           test suite under it.
 #
+#   simd  — build the release preset and run the full tier-1 suite twice:
+#           once with the runtime-dispatched best SIMD tier and once with
+#           TOPKRGS_SIMD=scalar forcing the portable reference kernels
+#           (the only code path on non-x86). The miner promises bit-identical
+#           output across kernel tiers and row-set representations; this
+#           stage is the gate backing that promise — run it before merging
+#           anything touching src/util/bitkernels.* or src/util/rowset.*.
+#
 #   serve — build the asan preset, run the serving-layer tests under it,
 #           then smoke-test the real topkrgs-serve binary end to end:
 #           train a TINY model, start the server on an ephemeral port,
@@ -53,7 +61,7 @@
 #           shut it down cleanly (SIGTERM). Also builds the release preset
 #           load-generator bench and refreshes bench/BENCH_serve.json.
 #
-# Usage: tools/ci.sh [lint|analyze|coverage|ubsan|tsan|fuzz|serve|all]
+# Usage: tools/ci.sh [lint|analyze|coverage|ubsan|tsan|fuzz|simd|serve|all]
 #        [extra ctest -R pattern]
 
 set -euo pipefail
@@ -173,6 +181,20 @@ run_fuzz() {
   echo "fuzz gate passed: corpus parses to Status, no crashes, no sanitizer reports."
 }
 
+run_simd() {
+  echo "== configure (release) =="
+  cmake --preset release >/dev/null
+  echo "== build (release) =="
+  cmake --build --preset release -j
+  echo "== full suite, runtime-dispatched SIMD tier =="
+  ctest --test-dir build-release --output-on-failure -j "$(nproc)"
+  echo "== full suite, TOPKRGS_SIMD=scalar (portable reference kernels) =="
+  TOPKRGS_SIMD=scalar ctest --test-dir build-release --output-on-failure \
+    -j "$(nproc)"
+  echo "simd gate passed: suite green on both the dispatched tier and the" \
+       "forced scalar fallback."
+}
+
 run_serve() {
   echo "== configure (asan) =="
   cmake --preset asan
@@ -248,6 +270,7 @@ case "${STAGE}" in
   ubsan) run_ubsan ;;
   tsan) run_tsan "${2:-TopkParallel|ThreadSafety}" ;;
   fuzz) run_fuzz ;;
+  simd) run_simd ;;
   serve) run_serve ;;
   all)
     run_lint
@@ -255,6 +278,7 @@ case "${STAGE}" in
     run_tsan "${2:-TopkParallel|ThreadSafety}"
     run_ubsan
     run_fuzz
+    run_simd
     run_serve
     run_coverage
     ;;

@@ -11,8 +11,10 @@ Coverage of a directory is the union over every TU that instrumented a
 file in it: a line counts as covered if ANY test executed it. Floors are
 seeded from a real measurement (--seed writes measured-minus-slack
 values) so the gate starts honest and only ratchets up by hand.
-src/mine/ and src/serve/ must always carry a floor — the miner is the
-paper's core claim and the serving layer is the embeddable surface.
+src/mine/, src/serve/ and src/util/ must always carry a floor — the
+miner is the paper's core claim, the serving layer is the embeddable
+surface, and src/util/ holds the set-algebra kernels and row-set
+containers every miner result depends on.
 
 When gcov is not on PATH the gate prints an explicit skip notice and
 exits 0 (same degradation convention as the other gates). A missing or
@@ -32,7 +34,7 @@ import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 FLOORS_PATH = os.path.join(REPO_ROOT, "tools/lint/coverage_floors.json")
-REQUIRED_DIRS = ("src/mine", "src/serve")
+REQUIRED_DIRS = ("src/mine", "src/serve", "src/util")
 SEED_SLACK_POINTS = 2.0  # seeded floor = measured - slack, so the gate
                          # tolerates minor drift without hand-editing
 
