@@ -85,7 +85,13 @@ TopkResult RunOnce(const BenchDataset& d, const RunConfig& cfg,
 
 void Record(JsonWriter& out, const BenchDataset& d, const RunConfig& cfg,
             const TopkResult& result, double serial_seconds,
-            uint64_t serial_digest) {
+            uint64_t serial_digest, uint64_t serial_nodes) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  // More workers than cores measures scheduler overhead, not scaling —
+  // such rows must be excluded from any wall-clock comparison (the CI
+  // speedup checks key off this flag). The redundant-work ratio below is
+  // still meaningful there: nodes visited don't depend on preemption.
+  const bool oversubscribed = cfg.threads > (cores >= 1 ? cores : 1);
   JsonRecord rec;
   rec.Str("profile", d.profile.name)
       .Int("rows", d.pipeline.train.num_rows())
@@ -94,13 +100,21 @@ void Record(JsonWriter& out, const BenchDataset& d, const RunConfig& cfg,
       .Int("k", cfg.k)
       .Int("minsup", Minsup(d))
       .Int("threads", cfg.threads)
-      // Wall-clock speedups are only meaningful up to this many threads:
-      // on a 1-core machine every threads>1 row measures pure overhead.
-      .Int("hardware_concurrency", std::thread::hardware_concurrency())
+      .Int("hardware_concurrency", cores)
+      .Bool("oversubscribed", oversubscribed)
       .Num("seconds", result.stats.seconds)
       .Num("speedup_vs_1t",
            result.stats.seconds > 0 ? serial_seconds / result.stats.seconds
                                     : 0.0)
+      // Speculation overhead of the parallel search: total enumeration
+      // nodes this run visited over the serial run's count. 1.0 = no
+      // redundant work; the CI gate caps it at 1.15 for 8-thread rows.
+      // Only comparable between completed runs — a timed-out run stops
+      // wherever the deadline lands.
+      .Num("redundant_work_ratio",
+           serial_nodes > 0 ? static_cast<double>(result.stats.nodes_visited) /
+                                  static_cast<double>(serial_nodes)
+                            : 0.0)
       .Int("peak_rss_kb", PeakRssKb())
       .Bool("rss_isolated", rss_isolated)
       .Int("distinct_groups",
@@ -143,6 +157,7 @@ int main(int argc, char** argv) {
     for (uint32_t k : {10u, 100u}) {
       double serial_seconds = 0.0;
       uint64_t serial_digest = 0;
+      uint64_t serial_nodes = 0;
       for (uint32_t threads : {1u, 2u, 4u, 8u}) {
         RunConfig cfg;
         cfg.k = k;
@@ -151,15 +166,21 @@ int main(int argc, char** argv) {
         if (threads == 1) {
           serial_seconds = result.stats.seconds;
           serial_digest = ResultDigest(result);
+          serial_nodes = result.stats.nodes_visited;
         }
-        Record(out, d, cfg, result, serial_seconds, serial_digest);
+        Record(out, d, cfg, result, serial_seconds, serial_digest,
+               serial_nodes);
         std::printf(
             "  k=%-3u threads=%u  %7.3fs  speedup %5.2fx  nodes %" PRIu64
-            "%s\n",
+            "  ratio %.3f  stolen %" PRIu64 "%s\n",
             k, threads, result.stats.seconds,
             result.stats.seconds > 0 ? serial_seconds / result.stats.seconds
                                      : 0.0,
             result.stats.nodes_visited,
+            serial_nodes > 0 ? static_cast<double>(result.stats.nodes_visited) /
+                                   static_cast<double>(serial_nodes)
+                             : 0.0,
+            result.stats.tasks_stolen,
             ResultDigest(result) == serial_digest ? "" : "  DIGEST MISMATCH");
       }
     }
@@ -176,6 +197,7 @@ int main(int argc, char** argv) {
           Toggle{"no_backward_pruning", true, true, false}}) {
       double serial_seconds = 0.0;
       uint64_t serial_digest = 0;
+      uint64_t serial_nodes = 0;
       for (uint32_t threads : {1u, 4u}) {
         RunConfig cfg;
         cfg.toggle = t.name;
@@ -188,8 +210,10 @@ int main(int argc, char** argv) {
         if (threads == 1) {
           serial_seconds = result.stats.seconds;
           serial_digest = ResultDigest(result);
+          serial_nodes = result.stats.nodes_visited;
         }
-        Record(out, d, cfg, result, serial_seconds, serial_digest);
+        Record(out, d, cfg, result, serial_seconds, serial_digest,
+               serial_nodes);
         std::printf("  %-20s threads=%u  %7.3fs  bounds %" PRIu64
                     "  backward %" PRIu64 "\n",
                     t.name, threads, result.stats.seconds,

@@ -131,7 +131,7 @@ Status RunMineCommand(const std::vector<std::string>& args) {
   TOPKRGS_RETURN_NOT_OK(flags.CheckKnown({"data", "algorithm", "consequent",
                                           "minsup", "minsup-frac", "k",
                                           "minconf", "budget", "max-print",
-                                          "threads"}));
+                                          "threads", "warmup-nodes"}));
 
   auto data_path = flags.GetRequired("data");
   if (!data_path.ok()) return data_path.status();
@@ -167,6 +167,12 @@ Status RunMineCommand(const std::vector<std::string>& args) {
   if (threads.value() < 0) {
     return Status::InvalidArgument("--threads must be >= 0 (0 = all cores)");
   }
+  auto warmup_nodes = flags.GetInt("warmup-nodes", -1);
+  if (!warmup_nodes.ok()) return warmup_nodes.status();
+  if (warmup_nodes.value() < -1) {
+    return Status::InvalidArgument(
+        "--warmup-nodes must be >= -1 (-1 = auto, 0 = off)");
+  }
 
   std::printf("dataset: %u rows, %u items (%u genes selected); class %d has "
               "%u rows; minsup %u\n",
@@ -183,6 +189,7 @@ Status RunMineCommand(const std::vector<std::string>& args) {
     opt.min_support = minsup.value();
     opt.deadline = Deadline(budget.value());
     opt.threads = static_cast<uint32_t>(threads.value());
+    opt.warmup_nodes = warmup_nodes.value();
     const TopkResult result = algorithm == "topk"
                                   ? MineTopkRGS(data, cls, opt)
                                   : MineTopkRGSHybrid(data, cls, opt);

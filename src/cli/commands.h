@@ -32,6 +32,8 @@ namespace topkrgs {
 ///   --budget SECONDS             wall-clock budget (default 30)
 ///   --max-print N                rule groups to print (default 10)
 ///   --threads N                  topk/hybrid worker threads; 0 = all cores
+///   --warmup-nodes N             serial nodes mined before workers start;
+///                                -1 = auto (scales with k), 0 = off
 ///                                (default 1; results are thread-count
 ///                                invariant)
 [[nodiscard]] Status RunMineCommand(const std::vector<std::string>& args);

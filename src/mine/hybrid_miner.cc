@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "mine/miner_common.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace topkrgs {
@@ -52,6 +53,8 @@ struct PartitionOutput {
 TopkResult MineTopkRGSHybrid(const DiscreteDataset& data, ClassLabel consequent,
                              const TopkMinerOptions& options) {
   Stopwatch timer;
+  const Status options_status = options.Validate();
+  TOPKRGS_CHECK(options_status.ok(), options_status.message().c_str());
   const uint32_t minsup = std::max<uint32_t>(1, options.min_support);
   const Bitset frequent = FrequentItems(data, consequent, minsup);
   const std::vector<ItemId> items = [&] {
@@ -91,10 +94,8 @@ TopkResult MineTopkRGSHybrid(const DiscreteDataset& data, ClassLabel consequent,
     }
   };
 
-  uint32_t num_threads = options.RequestedThreads();
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  uint32_t num_threads = ResolveThreadCount(
+      options.RequestedThreads(), std::thread::hardware_concurrency());
   num_threads = std::min<uint32_t>(
       num_threads, std::max<size_t>(1, items.size()));
   if (num_threads <= 1) {

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
+#include <deque>
 #include <map>
 #include <memory>
-#include <optional>
 #include <thread>
 #include <utility>
 
@@ -16,6 +17,7 @@
 #include "util/rowset.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
+#include "util/work_steal_deque.h"
 
 namespace topkrgs {
 
@@ -33,12 +35,23 @@ struct GroupHandle {
 using HandlePtr = std::shared_ptr<GroupHandle>;
 
 /// Canonical origin of a shared-list entry: where it falls in the replay
-/// (merge) order. Seeds replay first, then the root node's emissions, then
-/// task i's emissions — so origin 0 / 1 / i+2. Within one task, wall-clock
-/// order IS canonical order (a single worker mines a task sequentially), so
-/// comparing origins alone decides "canonically no later than".
-/// kOriginInf marks an origin too large to encode: entries carrying it can
-/// never justify suppressing a tie (conservative).
+/// (merge) order. Seeds replay first (origin 0), then the root node's
+/// emissions (origin 1); the remaining origin space [2, kOriginMax) is
+/// striped evenly across the first-level subtree tasks in canonical child
+/// order, so task i owns the half-open range [2 + i*stride, 2 + (i+1)*
+/// stride). A task emits with its range's base. Within one scheduling
+/// unit, wall-clock order IS canonical order (a single worker mines a
+/// unit sequentially), so comparing origins alone decides "canonically no
+/// later than": ranges are disjoint and ordered, and no two units ever
+/// share a base. Dynamic splitting subdivides the executing unit's
+/// REMAINING range among the shed children (canonical order again) and
+/// bumps the parent's own base past them — the parent's later emissions
+/// are canonically after the shed subtrees, and its earlier emissions
+/// kept the smaller pre-split base, so origin comparisons stay exact
+/// through any nesting of splits. A split is refused when the range has
+/// too few slots left (the natural fragmentation throttle). kOriginInf
+/// marks an origin too large to encode: entries carrying it can never
+/// justify suppressing a tie (conservative).
 constexpr uint32_t kOriginMax = 0xfffeu;
 constexpr uint32_t kOriginInf = 0xffffu;
 
@@ -101,16 +114,30 @@ class SharedTopk {
     return minsup_dyn_.load(std::memory_order_acquire);
   }
 
+  /// Epoch stamp of the shared pruning state: bumped whenever any k-th
+  /// significance is (re)published or minsup is raised — i.e. whenever a
+  /// recomputed cut COULD be tighter than one computed earlier. Workers
+  /// re-read this at every enumeration node and refresh their cut only on
+  /// a change, which makes threshold propagation eager (a bound tightened
+  /// by any worker prunes everyone at their next node) at the cost of one
+  /// relaxed-ordered atomic load per node instead of an O(rows) rescan.
+  uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }
+
   /// Monotone maximum update (CAS loop). The paper's dynamic-minsup
   /// optimization (§4.1.1) is only sound because minsup never decreases
   /// during the search; the CAS loop guarantees it structurally and the
   /// DCHECK documents/verifies the contract in debug builds.
   void RaiseMinsup(uint32_t value) {
     uint32_t current = minsup_dyn_.load(std::memory_order_relaxed);
-    while (value > current &&
-           !minsup_dyn_.compare_exchange_weak(current, value,
-                                              std::memory_order_acq_rel)) {
+    bool raised = false;
+    while (value > current) {
+      if (minsup_dyn_.compare_exchange_weak(current, value,
+                                            std::memory_order_acq_rel)) {
+        raised = true;
+        break;
+      }
     }
+    if (raised) epoch_.fetch_add(1, std::memory_order_release);
     TKRGS_DCHECK_GE(minsup_dyn_.load(std::memory_order_relaxed), value,
                     "dynamic minsup must be monotone non-decreasing");
   }
@@ -121,9 +148,10 @@ class SharedTopk {
   /// the real list can have. Unlike the replay-side insert, a duplicate is
   /// never "upgraded" here: handles stay immutable while workers run.
   /// Duplicates keep the first arrival's origin, which is the canonically
-  /// smallest one (cross-task duplicates are impossible — first-level
-  /// subtrees cover disjoint row combinations — so any duplicate arrives
-  /// on the same worker, in canonical order).
+  /// smallest one: distinct enumeration nodes emit distinct closed rowsets
+  /// (and splitting only partitions nodes across tasks, never duplicates
+  /// one), so the only duplicates are a single-item seed and its closure —
+  /// and seeds insert with origin 0 before any worker starts.
   void Insert(uint32_t pos, const HandlePtr& handle, uint32_t origin) {
     const RuleGroup& g = handle->group;
     // lists_[pos] is guarded by stripes_[pos & (kStripes - 1)]. The
@@ -232,6 +260,7 @@ class SharedTopk {
         (static_cast<uint64_t>(kth.support) << 40) |
             (static_cast<uint64_t>(kth.antecedent_support) << 16) | tie_origin,
         std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
   }
 
   /// Stripe locks carry the leaf rank from the central table: nothing may
@@ -250,6 +279,7 @@ class SharedTopk {
   /// index-computed stripe GUARDED_BY cannot name (see Insert).
   std::vector<std::vector<Entry>> lists_;
   std::vector<std::atomic<uint64_t>> packed_;
+  std::atomic<uint64_t> epoch_{0};
   std::atomic<uint32_t> minsup_dyn_;
   mutable std::array<Mutex, kStripes> stripes_ =
       MakeStripes(std::make_index_sequence<kStripes>{});
@@ -266,34 +296,50 @@ class TopkSearch {
  private:
   /// One recorded rule-group emission: the handle plus the positive row
   /// positions it covers, in discovery (x-stack) order. Emissions are
-  /// recorded per first-level subtree and replayed in canonical order
-  /// after the workers join, which is what makes the parallel search
-  /// bit-for-bit deterministic.
+  /// recorded per subtree task and replayed in canonical order after the
+  /// workers join, which is what makes the parallel search bit-for-bit
+  /// deterministic.
   struct Emission {
     HandlePtr handle;
     std::vector<uint32_t> covered;
   };
 
+  struct SubtreeTask;
+
+  /// Sentinel for "no epoch observed yet" (forces the first refresh).
+  static constexpr uint64_t kEpochNever = ~0ull;
+
   /// Per-worker DFS state: the enumeration stack, scratch-buffer pool and
   /// prefix-tree arena persist across the tasks a worker drains, so a
-  /// steady-state worker stops allocating.
+  /// steady-state worker stops allocating. chain_pos/chain_live mirror the
+  /// Child() calls from the root to the current node — the recipe a
+  /// dynamic split snapshots so a thief can rebuild the projection.
   struct WorkerState {
     std::vector<uint32_t> x_stack;
     std::vector<uint8_t> in_x;
     uint32_t xp = 0;
     uint32_t xn = 0;
-    uint32_t origin = kOriginInf;  // canonical origin of emissions made here
+    uint32_t origin = kOriginMax;        // current origin-range base
+    uint32_t origin_limit = kOriginMax;  // exclusive end of the free range
+    uint64_t minsup_epoch = kEpochNever;  // epoch of the last minsup scan
+    uint32_t worker_index = 0;
+    SubtreeTask* task = nullptr;   // the task currently executing
+    std::vector<uint32_t> chain_pos;
+    std::vector<const std::vector<uint32_t>*> chain_live;
     MinerStats stats;
     std::vector<Emission>* sink = nullptr;
     VectorPool<uint32_t> scratch;
     PrefixTree::Arena tree_arena;
   };
 
-  /// A processed first-level enumeration node whose children became the
-  /// parallel tasks: the frozen DFS state a worker needs to resume any of
-  /// them. Built serially during expansion, read-only while workers run.
-  struct Level1Ctx {
-    uint32_t p = 0;                   // the node's own branch position
+  /// A frozen enumeration node whose children are (or became, through a
+  /// dynamic split) subtree tasks: everything a worker needs to resume any
+  /// child — the DFS stack, I(X), the surviving candidates — plus the
+  /// Child()-call chain (branch position + parent candidate list per
+  /// level) needed to rebuild the node's projection from the root on a
+  /// stealing worker. Immutable once published; tasks share it through a
+  /// shared_ptr.
+  struct NodeCtx {
     std::vector<uint32_t> x_stack;    // full stack at the node (incl. absorbed)
     uint32_t xp = 0;
     uint32_t xn = 0;
@@ -301,46 +347,73 @@ class TopkSearch {
     std::vector<uint32_t> live;       // surviving candidate positions
     std::vector<uint32_t> live_freq;  // their item counts (child items_count)
     std::vector<uint32_t> suffix_pos; // positive candidates after live[i]
-    std::vector<Emission> node_emissions;
+    std::vector<uint32_t> chain_pos;  // branch positions, root -> this node
+    std::vector<std::vector<uint32_t>> chain_live;  // parent live list of each
   };
 
-  /// One second-level subtree: the unit of parallel work.
+  /// One subtree of the enumeration tree: the unit of scheduled work —
+  /// child `child` of the node `ctx` describes. First-level tasks are
+  /// created up front; further tasks appear when a running task sheds the
+  /// unvisited children of its current node to starving workers (dynamic
+  /// split). The spawn markers record WHERE in the parent's emission
+  /// stream each split happened, so the replay can stitch the spawned
+  /// subtrees back into canonical DFS order.
   struct SubtreeTask {
-    uint32_t ctx_index = 0;  // owning Level1Ctx
-    uint32_t child = 0;      // index into ctx.live
-    uint32_t origin = 0;     // canonical replay rank of its emissions
+    std::shared_ptr<const NodeCtx> ctx;
+    uint32_t child = 0;            // index into ctx->live
+    uint32_t origin_base = 0;      // this unit's origin range [base, limit):
+    uint32_t origin_limit = 0;     // emits with base, splits carve the rest
     std::vector<Emission> emissions;
+    // spawned[s] replays after emissions[0 .. spawn_at[s]) — i.e. exactly
+    // where its subtree sits in this task's DFS order. spawn_at is
+    // non-decreasing; batches from one split share one value.
+    std::vector<std::unique_ptr<SubtreeTask>> spawned;
+    std::vector<size_t> spawn_at;
   };
 
-  /// When `freeze` is non-null, Visit stops before the child loop and
-  /// snapshots the node's state into it instead of recursing (the serial
-  /// expansion pass uses this to turn the node's children into tasks).
   template <typename Proj>
   void Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
-             uint32_t items_count, uint32_t branch_pos, bool closed_on_left,
-             Level1Ctx* freeze = nullptr);
+             uint32_t items_count, uint32_t branch_pos, bool closed_on_left);
 
-  /// Processes the root node and every first-level node serially (the
-  /// expansion pass — ~1% of all nodes, but it seeds the shared thresholds
-  /// with every shallow high-support group and fixes the canonical origin
-  /// numbering), then fans the second-level subtrees out over the worker
-  /// pool. Partitioning one level deeper than the tasks' natural grain
-  /// breaks up the heavily skewed first subtree, which otherwise IS the
-  /// critical path.
+  /// Processes the root node serially (seeding the shared thresholds with
+  /// its high-support group), turns every first-level subtree into a
+  /// SubtreeTask, and drains the tasks through the work-stealing scheduler.
+  /// One worker degenerates to the serial search: tasks are claimed in
+  /// canonical order and nothing ever starves, so nothing splits.
   template <typename Proj>
   void MineRoot(const Proj& root, const RowSet& items, uint32_t items_count);
 
   /// Runs one task: checks, builds and descends into the subtree rooted at
-  /// ctx.live[task.child]. `proj1` is the (worker-cached) projection of the
-  /// task's first-level node.
+  /// ctx->live[task.child]. `node_proj` is the (worker-cached) projection
+  /// of the task's parent node.
   template <typename Proj>
-  void RunTask(WorkerState& ws, const Proj& proj1, SubtreeTask& task);
+  void RunTask(WorkerState& ws, const Proj& node_proj, SubtreeTask& task);
 
-  /// Rebinds a worker's DFS state to another first-level context.
-  void SwitchCtx(WorkerState& ws, const Level1Ctx& ctx) const;
+  /// Rebinds a worker's DFS state to another task context.
+  void SwitchCtx(WorkerState& ws, const NodeCtx& ctx) const;
+
+  /// Whether the current node may shed its `remaining` unvisited children
+  /// as tasks: only when another worker is starving, this worker has
+  /// nothing queued itself, the spawn chain is still shallow enough that
+  /// snapshotting the Child()-call chain stays cheap, and the unit's
+  /// origin range has a slot for every child plus the continuing parent
+  /// (ranges shrink geometrically with split nesting, throttling
+  /// fragmentation before it can erode tie pruning or drown the run in
+  /// chain rebuilds).
+  bool CanSpawn(const WorkerState& ws, size_t remaining) const;
+
+  /// Sheds children first_child..live.size()-1 of the current node as
+  /// tasks onto this worker's deque (a starving worker steals them FIFO =
+  /// canonical-first) and records the spawn marker. The caller abandons
+  /// its child loop afterwards.
+  void SpawnRemaining(WorkerState& ws, const RowSet& items,
+                      const std::vector<uint32_t>& live,
+                      const std::vector<uint32_t>& live_freq,
+                      const std::vector<uint32_t>& suffix_pos,
+                      size_t first_child);
 
   void SeedSingleItems(const Bitset& frequent_items);
-  void MaybeRaiseMinsup();
+  void MaybeRaiseMinsup(WorkerState& ws);
   Thresh ComputeCut(const std::vector<uint32_t>& x_stack,
                     const std::vector<uint32_t>& candidates) const;
   bool Hopeless(uint32_t best_sup, uint32_t min_neg, const Thresh& cut,
@@ -348,6 +421,7 @@ class TopkSearch {
   void EmitAt(WorkerState& ws, const RowSet& items, const Thresh& cut);
   void ReplayInsert(uint32_t pos, const HandlePtr& handle);
   void ReplayEmissions(const std::vector<Emission>& emissions);
+  void ReplayTask(const SubtreeTask& task);
   uint32_t FinalEffectiveMinsup() const;
   void Finalize(const Bitset& frequent_items, TopkResult* result);
   void MergeStats(const MinerStats& s);
@@ -368,16 +442,27 @@ class TopkSearch {
 
   std::unique_ptr<SharedTopk> shared_;
 
-  // Deterministic-merge state; only touched single-threaded (seeding and
-  // expansion before the workers start, replay after they join).
+  // Deterministic-merge state; only touched single-threaded (seeding
+  // before the workers start, replay after they join).
   std::vector<std::vector<HandlePtr>> lists_;
   std::vector<Emission> root_emissions_;
-  std::vector<Level1Ctx> level1_;
-  std::vector<SubtreeTask> tasks_;
 
-  // Root context, read-only while workers run (the root's live list is the
-  // parent candidate set for first-level Child() rebuilds).
-  std::vector<uint32_t> root_live_;
+  // First-level tasks in canonical order; split-off descendants hang off
+  // their parents' `spawned` vectors. The task OBJECTS are written by
+  // whichever worker claims them; the containers are fixed before workers
+  // start and read again only after they join.
+  std::vector<std::unique_ptr<SubtreeTask>> tasks_;
+  std::shared_ptr<const NodeCtx> root_ctx_;
+
+  // Scheduler state. root_queue_ holds the unclaimed first-level tasks —
+  // everyone "steals" from its top, so claims are FIFO = canonical order,
+  // which keeps early workers on the subtrees a serial search would mine
+  // first (the speculation window stays ~num_workers wide). deques_[w] is
+  // worker w's own deque of split-off tasks: owner-LIFO, thief-FIFO.
+  std::unique_ptr<WorkStealDeque<SubtreeTask*>> root_queue_;
+  std::vector<std::unique_ptr<WorkStealDeque<SubtreeTask*>>> deques_;
+  std::atomic<size_t> pending_{0};    // claimed-or-queued, not yet finished
+  std::atomic<uint32_t> starving_{0}; // workers spinning for something to do
 
   std::atomic<bool> stopped_{false};
   std::atomic<bool> timed_out_{false};
@@ -389,6 +474,9 @@ void TopkSearch::MergeStats(const MinerStats& s) {
   stats_.groups_emitted += s.groups_emitted;
   stats_.pruned_backward += s.pruned_backward;
   stats_.pruned_bounds += s.pruned_bounds;
+  stats_.tasks_executed += s.tasks_executed;
+  stats_.tasks_spawned += s.tasks_spawned;
+  stats_.tasks_stolen += s.tasks_stolen;
 }
 
 /// Replay-side insert: exactly the paper's per-row list maintenance, run
@@ -436,6 +524,30 @@ void TopkSearch::ReplayEmissions(const std::vector<Emission>& emissions) {
   }
 }
 
+/// Replays one task's emissions in canonical DFS order, recursing into
+/// split-off subtrees at their spawn markers: a split shed the unvisited
+/// children of a node and then the parent moved on, so everything the
+/// parent emitted after the marker is canonically AFTER the spawned
+/// subtrees — the spawned tasks replay at the marker, not at the end.
+void TopkSearch::ReplayTask(const SubtreeTask& task) {
+  size_t e = 0;
+  for (size_t s = 0; s < task.spawned.size(); ++s) {
+    TKRGS_DCHECK_LE(task.spawn_at[s], task.emissions.size(),
+                    "spawn marker beyond the recorded emission stream");
+    for (; e < task.spawn_at[s]; ++e) {
+      for (uint32_t pos : task.emissions[e].covered) {
+        ReplayInsert(pos, task.emissions[e].handle);
+      }
+    }
+    ReplayTask(*task.spawned[s]);
+  }
+  for (; e < task.emissions.size(); ++e) {
+    for (uint32_t pos : task.emissions[e].covered) {
+      ReplayInsert(pos, task.emissions[e].handle);
+    }
+  }
+}
+
 void TopkSearch::SeedSingleItems(const Bitset& frequent_items) {
   const Bitset class_rows = data_.ClassRowset(consequent_);
   frequent_items.ForEach([&](size_t item_index) {
@@ -459,8 +571,15 @@ void TopkSearch::SeedSingleItems(const Bitset& frequent_items) {
   });
 }
 
-void TopkSearch::MaybeRaiseMinsup() {
+void TopkSearch::MaybeRaiseMinsup(WorkerState& ws) {
   if (!opt_.dynamic_min_support) return;
+  // The O(np) scan below can only conclude anything new after some k-th
+  // entry was republished; the epoch stamp says whether one was. This is
+  // what makes calling it at EVERY node affordable — at an unchanged
+  // epoch it is one atomic load.
+  const uint64_t epoch = shared_->Epoch();
+  if (epoch == ws.minsup_epoch) return;
+  ws.minsup_epoch = epoch;
   uint32_t lowest = UINT32_MAX;
   for (uint32_t pos : positive_positions_) {
     const Thresh t = shared_->KthOf(pos);
@@ -555,6 +674,10 @@ void TopkSearch::EmitAt(WorkerState& ws, const RowSet& items,
   for (uint32_t pos : ws.x_stack) {
     if (!IsPos(pos)) continue;
     emission.covered.push_back(pos);
+    // The recorded origin is the unit's current range base — exact under
+    // splitting because SpawnRemaining bumps it past every shed subtree
+    // (Insert itself degrades an unencodable >= kOriginMax base to
+    // kOriginInf, which never suppresses a tie).
     shared_->Insert(pos, handle, ws.origin);
   }
   ws.sink->push_back(std::move(emission));
@@ -563,7 +686,7 @@ void TopkSearch::EmitAt(WorkerState& ws, const RowSet& items,
 template <typename Proj>
 void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
                        uint32_t items_count, uint32_t branch_pos,
-                       bool closed_on_left, Level1Ctx* freeze) {
+                       bool closed_on_left) {
   (void)branch_pos;  // kept for symmetry with the paper's Depthfirst()
   if (stopped_.load(std::memory_order_relaxed)) return;
   ++ws.stats.nodes_visited;
@@ -584,9 +707,12 @@ void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
     if (IsPos(p)) ++rp;
   }
 
-  // Step 8: threshold updating.
-  MaybeRaiseMinsup();
-  const Thresh cut = ComputeCut(ws.x_stack, cand);
+  // Step 8: threshold updating. The epoch is read BEFORE the cut is
+  // computed, so a publish racing the computation at worst forces one
+  // redundant refresh below — never a missed one.
+  MaybeRaiseMinsup(ws);
+  uint64_t cut_epoch = shared_->Epoch();
+  Thresh cut = ComputeCut(ws.x_stack, cand);
 
   // Step 9: loose bounds (no scan needed).
   if (opt_.use_bound_pruning && Hopeless(ws.xp + rp, ws.xn, cut, ws.origin)) {
@@ -641,27 +767,6 @@ void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
       suffix_pos[i] = suffix_pos[i + 1] + (IsPos(live[i]) ? 1 : 0);
     }
 
-    if (freeze != nullptr) {
-      // Expansion pass: snapshot this node instead of recursing — its
-      // children become the worker pool's tasks. The stack still holds the
-      // absorbed rows, which is exactly the state a task must resume from.
-      freeze->p = branch_pos;
-      freeze->x_stack = ws.x_stack;
-      freeze->xp = ws.xp;
-      freeze->xn = ws.xn;
-      freeze->items = items;
-      freeze->live = live;
-      freeze->live_freq = live_freq;
-      freeze->suffix_pos = suffix_pos;
-      for (auto it = absorbed.rbegin(); it != absorbed.rend(); ++it) {
-        const uint32_t p = *it;
-        IsPos(p) ? --ws.xp : --ws.xn;
-        ws.x_stack.pop_back();
-        ws.in_x[p] = 0;
-      }
-      return;
-    }
-
     // Step 14: enumerate children in ORD order. Step 7's backward check
     // runs here, before the child projection is built: a skipped earlier
     // row containing I(X ∪ {p}) means the child duplicates an earlier
@@ -672,6 +777,29 @@ void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
     // ablation mode each descendant's own check re-detects it.
     for (size_t i = 0;
          i < live.size() && !stopped_.load(std::memory_order_relaxed); ++i) {
+      if (live.size() - i >= 2 && CanSpawn(ws, live.size() - i)) {
+        // Dynamic split: another worker is starving and nothing else of
+        // ours is stealable — shed ALL unvisited children of this node
+        // (including live[i]: the spawned batch must be a canonically
+        // contiguous block for the replay marker to stitch back in) and
+        // abandon the loop. This worker pops part of the batch back off
+        // its own deque after unwinding; the starving workers take the
+        // rest.
+        SpawnRemaining(ws, items, live, live_freq, suffix_pos, i);
+        break;
+      }
+      if (opt_.use_topk_pruning || opt_.use_bound_pruning) {
+        // Eager threshold propagation: refresh the cut whenever any worker
+        // published a tighter k-th entry since it was computed. Without
+        // this, the cut is node-entry-stale for the whole child loop — on
+        // big nodes that is exactly the window where parallel workers used
+        // to keep exploring subtrees a current bound already kills.
+        const uint64_t epoch_now = shared_->Epoch();
+        if (epoch_now != cut_epoch) {
+          cut_epoch = epoch_now;
+          cut = ComputeCut(ws.x_stack, live);
+        }
+      }
       const uint32_t p = live[i];
       if (opt_.use_bound_pruning) {
         // Per-child loose bounds before any per-child work: support in the
@@ -702,8 +830,12 @@ void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
       ws.in_x[p] = 1;
       ws.x_stack.push_back(p);
       IsPos(p) ? ++ws.xp : ++ws.xn;
+      ws.chain_pos.push_back(p);
+      ws.chain_live.push_back(&live);
       Visit(ws, proj.Child(p, live), child_items, live_freq[i], p,
             child_closed);
+      ws.chain_live.pop_back();
+      ws.chain_pos.pop_back();
       IsPos(p) ? --ws.xp : --ws.xn;
       ws.x_stack.pop_back();
       ws.in_x[p] = 0;
@@ -718,7 +850,7 @@ void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
   }
 }
 
-void TopkSearch::SwitchCtx(WorkerState& ws, const Level1Ctx& ctx) const {
+void TopkSearch::SwitchCtx(WorkerState& ws, const NodeCtx& ctx) const {
   for (uint32_t p : ws.x_stack) ws.in_x[p] = 0;
   ws.x_stack = ctx.x_stack;
   for (uint32_t p : ws.x_stack) ws.in_x[p] = 1;
@@ -726,18 +858,90 @@ void TopkSearch::SwitchCtx(WorkerState& ws, const Level1Ctx& ctx) const {
   ws.xn = ctx.xn;
 }
 
+bool TopkSearch::CanSpawn(const WorkerState& ws, size_t remaining) const {
+  // Snapshot cost grows with the chain (every parent live list is copied);
+  // past this depth the unvisited children are too small to be worth
+  // shipping anyway.
+  constexpr size_t kMaxSpawnDepth = 32;
+  return num_workers_ > 1 && ws.task != nullptr &&
+         starving_.load(std::memory_order_relaxed) > 0 &&
+         deques_[ws.worker_index]->Empty() &&
+         ws.chain_pos.size() <= kMaxSpawnDepth &&
+         // One origin slot per shed child plus one for the continuing
+         // parent must fit in the unit's free range (see SpawnRemaining).
+         ws.origin_limit - ws.origin >= remaining + 2;
+}
+
+void TopkSearch::SpawnRemaining(WorkerState& ws, const RowSet& items,
+                                const std::vector<uint32_t>& live,
+                                const std::vector<uint32_t>& live_freq,
+                                const std::vector<uint32_t>& suffix_pos,
+                                size_t first_child) {
+  auto ctx = std::make_shared<NodeCtx>();
+  ctx->x_stack = ws.x_stack;
+  ctx->xp = ws.xp;
+  ctx->xn = ws.xn;
+  ctx->items = items;
+  ctx->live = live;
+  ctx->live_freq = live_freq;
+  ctx->suffix_pos = suffix_pos;
+  ctx->chain_pos = ws.chain_pos;
+  ctx->chain_live.reserve(ws.chain_live.size());
+  for (const std::vector<uint32_t>* parent_live : ws.chain_live) {
+    ctx->chain_live.push_back(*parent_live);
+  }
+
+  SubtreeTask& parent = *ws.task;
+  const size_t marker = parent.emissions.size();
+  const size_t count = live.size() - first_child;
+  // Carve the unit's free origin range [origin, origin_limit) among the
+  // shed children and the continuing parent, in canonical order: child j
+  // gets [base + 1 + j*slice, base + 1 + (j+1)*slice) and the parent's
+  // own base moves past all of them. Everything already inserted with the
+  // old base stays canonically before every child; each child's entries
+  // order exactly against its siblings and against the parent's later
+  // emissions — origin comparisons remain exact through the split.
+  // CanSpawn guarantees slice >= 1.
+  const uint32_t avail = ws.origin_limit - ws.origin - 1;
+  const uint32_t slice = avail / (static_cast<uint32_t>(count) + 1);
+  std::vector<SubtreeTask*> fresh;
+  fresh.reserve(count);
+  for (size_t j = first_child; j < live.size(); ++j) {
+    auto t = std::make_unique<SubtreeTask>();
+    t->ctx = ctx;
+    t->child = static_cast<uint32_t>(j);
+    t->origin_base =
+        ws.origin + 1 + static_cast<uint32_t>(j - first_child) * slice;
+    t->origin_limit = t->origin_base + slice;
+    fresh.push_back(t.get());
+    parent.spawned.push_back(std::move(t));
+    parent.spawn_at.push_back(marker);
+  }
+  // The parent's own emissions are canonically AFTER the spawned subtrees
+  // from here on; its remaining range starts past their slices.
+  ws.origin += 1 + static_cast<uint32_t>(count) * slice;
+  // Publish: count first (a stolen task must never be the one that drops
+  // pending_ to zero while its siblings are still being pushed), then the
+  // tasks themselves, oldest = canonically first, so a thief's StealTop
+  // takes the earliest — and largest — subtree.
+  pending_.fetch_add(count, std::memory_order_release);
+  WorkStealDeque<SubtreeTask*>& own = *deques_[ws.worker_index];
+  for (SubtreeTask* t : fresh) own.PushBottom(t);
+  ws.stats.tasks_spawned += count;
+}
+
 template <typename Proj>
-void TopkSearch::RunTask(WorkerState& ws, const Proj& proj1,
+void TopkSearch::RunTask(WorkerState& ws, const Proj& node_proj,
                          SubtreeTask& task) {
-  const Level1Ctx& ctx = level1_[task.ctx_index];
+  const NodeCtx& ctx = *task.ctx;
   const uint32_t p = ctx.live[task.child];
-  ws.origin = task.origin;
-  ws.sink = &task.emissions;
   if (opt_.use_bound_pruning) {
     // The serial search checks each child against its parent's cut before
     // building its projection; here the check runs when the task is
     // claimed, against the freshest thresholds (any achieved threshold is
-    // a sound pruning bound).
+    // a sound pruning bound). For a task that sat queued while the
+    // thresholds matured — the common case late in the search — this is
+    // where the whole subtree dies for the price of one cut.
     const Thresh cut = ComputeCut(ws.x_stack, ctx.live);
     const uint32_t child_sup_ub =
         ws.xp + (IsPos(p) ? 1 : 0) + ctx.suffix_pos[task.child + 1];
@@ -762,8 +966,12 @@ void TopkSearch::RunTask(WorkerState& ws, const Proj& proj1,
   ws.in_x[p] = 1;
   ws.x_stack.push_back(p);
   IsPos(p) ? ++ws.xp : ++ws.xn;
-  Visit(ws, proj1.Child(p, ctx.live), child_items, ctx.live_freq[task.child],
-        p, child_closed);
+  ws.chain_pos.push_back(p);
+  ws.chain_live.push_back(&ctx.live);
+  Visit(ws, node_proj.Child(p, ctx.live), child_items,
+        ctx.live_freq[task.child], p, child_closed);
+  ws.chain_live.pop_back();
+  ws.chain_pos.pop_back();
   IsPos(p) ? --ws.xp : --ws.xn;
   ws.x_stack.pop_back();
   ws.in_x[p] = 0;
@@ -776,11 +984,11 @@ void TopkSearch::MineRoot(const Proj& root, const RowSet& items,
   root_ws.in_x.assign(data_.num_rows(), 0);
   root_ws.sink = &root_emissions_;
   root_ws.origin = 1;  // root emissions replay right after the seeds
+  root_ws.origin_limit = 2;  // no range: the root unit never splits
 
   ++root_ws.stats.nodes_visited;
   bool fan_out = false;
-  std::vector<uint32_t> root_freq;
-  std::vector<uint32_t> root_suffix;
+  auto root_ctx = std::make_shared<NodeCtx>();
   if (opt_.deadline.Expired()) {
     timed_out_.store(true, std::memory_order_relaxed);
   } else if (items_count > 0) {
@@ -792,7 +1000,7 @@ void TopkSearch::MineRoot(const Proj& root, const RowSet& items,
       if (IsPos(p)) ++rp;
     }
 
-    MaybeRaiseMinsup();
+    MaybeRaiseMinsup(root_ws);
     const Thresh cut = ComputeCut(root_ws.x_stack, cand);
 
     if (opt_.use_bound_pruning && Hopeless(rp, 0, cut, root_ws.origin)) {
@@ -827,213 +1035,186 @@ void TopkSearch::MineRoot(const Proj& root, const RowSet& items,
       } else {
         EmitAt(root_ws, items, cut);
 
-        root_suffix.assign(live.size() + 1, 0);
+        root_ctx->suffix_pos.assign(live.size() + 1, 0);
         for (size_t i = live.size(); i-- > 0;) {
-          root_suffix[i] = root_suffix[i + 1] + (IsPos(live[i]) ? 1 : 0);
+          root_ctx->suffix_pos[i] =
+              root_ctx->suffix_pos[i + 1] + (IsPos(live[i]) ? 1 : 0);
         }
-        root_live_ = std::move(live);
-        root_freq = std::move(live_freq);
+        root_ctx->x_stack = root_ws.x_stack;
+        root_ctx->xp = root_ws.xp;
+        root_ctx->xn = root_ws.xn;
+        root_ctx->items = items;
+        root_ctx->live = std::move(live);
+        root_ctx->live_freq = std::move(live_freq);
+        // chain_pos/chain_live stay empty: the root's projection needs no
+        // Child() calls to rebuild.
         fan_out = true;
       }
     }
   }
 
-  if (!fan_out) {
+  if (!fan_out || root_ctx->live.empty()) {
     MergeStats(root_ws.stats);
     return;
   }
+  root_ctx_ = root_ctx;
 
-  // Single-threaded: mine each first-level subtree inline, in canonical
-  // order, recording each subtree's emissions as one contiguous stream
-  // (DFS order == replay order, so each stream is a ready-made replay
-  // segment). This is the paper's serial search with zero partitioning
-  // overhead; the expansion pass below exists only to feed a real worker
-  // pool. The two paths may prune differently — the partition shifts which
-  // origins emissions carry — but both only ever suppress groups that can
-  // never enter a final list, so the replayed results are identical (the
-  // determinism tests compare exactly this).
-  if (num_workers_ <= 1) {
-    auto&& view = root.WithArena(&root_ws.tree_arena);
-    for (size_t i = 0; i < root_live_.size(); ++i) {
-      if (stopped_.load(std::memory_order_relaxed)) break;
-      if (opt_.deadline.Expired()) {
-        stopped_.store(true, std::memory_order_relaxed);
-        timed_out_.store(true, std::memory_order_relaxed);
-        break;
-      }
-      const uint32_t p = root_live_[i];
-      root_ws.origin =
-          std::min(static_cast<uint32_t>(i) + 2, kOriginMax);
-      if (opt_.use_bound_pruning) {
-        const Thresh cut = ComputeCut(root_ws.x_stack, root_live_);
-        const uint32_t child_sup_ub =
-            root_ws.xp + (IsPos(p) ? 1 : 0) + root_suffix[i + 1];
-        const uint32_t child_min_neg = root_ws.xn + (IsPos(p) ? 0 : 1);
-        if (Hopeless(child_sup_ub, child_min_neg, cut, root_ws.origin)) {
-          ++root_ws.stats.pruned_bounds;
-          continue;
-        }
-      }
-      RowSet child_items = items.IntersectAdaptive(data_.row_bitset(order_[p]));
-      bool child_closed = true;
-      for (uint32_t q = 0; q < p; ++q) {
-        if (!root_ws.in_x[q] &&
-            child_items.IsSubsetOf(data_.row_bitset(order_[q]))) {
-          child_closed = false;
-          break;
-        }
-      }
-      if (!child_closed) {
-        ++root_ws.stats.pruned_backward;
-        if (opt_.use_backward_pruning) continue;
-      }
-      Level1Ctx ctx;  // only node_emissions used: the whole subtree's stream
-      root_ws.sink = &ctx.node_emissions;
-      root_ws.in_x[p] = 1;
-      root_ws.x_stack.push_back(p);
-      IsPos(p) ? ++root_ws.xp : ++root_ws.xn;
-      Visit(root_ws, view.Child(p, root_live_), child_items, root_freq[i], p,
-            child_closed);
-      IsPos(p) ? --root_ws.xp : --root_ws.xn;
-      root_ws.x_stack.pop_back();
-      root_ws.in_x[p] = 0;
-      if (!ctx.node_emissions.empty()) level1_.push_back(std::move(ctx));
-    }
-    root_ws.sink = &root_emissions_;
-    MergeStats(root_ws.stats);
-    return;
+  // Every first-level subtree is one task owning an equal stripe of the
+  // origin space, in canonical child order (0 = seeds, 1 = root; see the
+  // kOriginMax comment). One scheduler serves every thread count: at one
+  // worker the root queue is claimed strictly in canonical order and
+  // nothing ever starves, so no split fires and the search IS the paper's
+  // serial DFS. stride == 0 (more first-level children than origin slots)
+  // degrades every task to the unencodable base: ties are never
+  // suppressed and tasks never split, which is slow but exact.
+  const uint32_t fan = static_cast<uint32_t>(root_ctx_->live.size());
+  const uint32_t stride = (kOriginMax - 2) / std::max(fan, 1u);
+  tasks_.reserve(fan);
+  for (uint32_t i = 0; i < fan; ++i) {
+    auto t = std::make_unique<SubtreeTask>();
+    t->ctx = root_ctx_;
+    t->child = i;
+    t->origin_base = stride > 0 ? 2 + i * stride : kOriginMax;
+    t->origin_limit = stride > 0 ? 2 + (i + 1) * stride : kOriginMax;
+    tasks_.push_back(std::move(t));
   }
 
-  // Serial expansion pass: process every live first-level node now (each
-  // is a single enumeration node — one projection scan plus EmitAt), and
-  // freeze its children as the worker pool's task list. This is ~1% of the
-  // search, run serially, but it buys the two properties the parallel run
-  // lives on: the second-level partition splits the heavily skewed first
-  // subtree (whose first-level task would otherwise BE the critical path),
-  // and every shallow high-support group reaches the shared thresholds
-  // before any worker starts, which is most of the pruning power a serial
-  // search would have accumulated by the time it reaches the deep
-  // subtrees. Expansion also fixes the canonical origin numbering: node i,
-  // then its children left to right, then node i+1 — exactly the replay
-  // (= serial DFS) order.
-  level1_.reserve(root_live_.size());
-  uint32_t next_origin = 2;  // 0 = seeds, 1 = root
-  for (size_t i = 0; i < root_live_.size(); ++i) {
-    if (stopped_.load(std::memory_order_relaxed)) break;
-    if (opt_.deadline.Expired()) {
-      stopped_.store(true, std::memory_order_relaxed);
-      timed_out_.store(true, std::memory_order_relaxed);
-      break;
-    }
-    const uint32_t p = root_live_[i];
-    root_ws.origin = std::min(next_origin, kOriginMax);
-    if (opt_.use_bound_pruning) {
-      const Thresh cut = ComputeCut(root_ws.x_stack, root_live_);
-      const uint32_t child_sup_ub =
-          root_ws.xp + (IsPos(p) ? 1 : 0) + root_suffix[i + 1];
-      const uint32_t child_min_neg = root_ws.xn + (IsPos(p) ? 0 : 1);
-      if (Hopeless(child_sup_ub, child_min_neg, cut, root_ws.origin)) {
-        ++root_ws.stats.pruned_bounds;
-        continue;
-      }
-    }
-    RowSet child_items = items.IntersectAdaptive(data_.row_bitset(order_[p]));
-    bool child_closed = true;
-    for (uint32_t q = 0; q < p; ++q) {
-      if (!root_ws.in_x[q] &&
-          child_items.IsSubsetOf(data_.row_bitset(order_[q]))) {
-        child_closed = false;
-        break;
-      }
-    }
-    if (!child_closed) {
-      ++root_ws.stats.pruned_backward;
-      if (opt_.use_backward_pruning) continue;
-    }
-    Level1Ctx ctx;
-    root_ws.sink = &ctx.node_emissions;
-    root_ws.in_x[p] = 1;
-    root_ws.x_stack.push_back(p);
-    IsPos(p) ? ++root_ws.xp : ++root_ws.xn;
-    Visit(root_ws, root.Child(p, root_live_), child_items, root_freq[i], p,
-          child_closed, &ctx);
-    IsPos(p) ? --root_ws.xp : --root_ws.xn;
-    root_ws.x_stack.pop_back();
-    root_ws.in_x[p] = 0;
-    ++next_origin;  // the node's own slot (consumed even if it emitted nothing)
-    if (ctx.x_stack.empty()) continue;  // pruned inside Visit: no children
-    const uint32_t ctx_index = static_cast<uint32_t>(level1_.size());
-    for (uint32_t j = 0; j < ctx.live.size(); ++j) {
-      tasks_.push_back(
-          SubtreeTask{ctx_index, j, std::min(next_origin, kOriginMax), {}});
-      ++next_origin;
-    }
-    if (!ctx.node_emissions.empty() || !ctx.live.empty()) {
-      level1_.push_back(std::move(ctx));
-    }
+  root_queue_ = std::make_unique<WorkStealDeque<SubtreeTask*>>();
+  for (auto& t : tasks_) root_queue_->PushBottom(t.get());
+  const uint32_t workers = num_workers_;
+  deques_.clear();
+  deques_.reserve(workers);
+  for (uint32_t w = 0; w < workers; ++w) {
+    deques_.push_back(std::make_unique<WorkStealDeque<SubtreeTask*>>());
   }
-  root_ws.sink = &root_emissions_;
+  pending_.store(tasks_.size(), std::memory_order_release);
 
-  if (tasks_.empty()) {
-    MergeStats(root_ws.stats);
-    return;
-  }
-
-  // Workers claim tasks through an atomic cursor in canonical order (the
-  // earliest subtrees are the largest, so the big tasks start first and
-  // the tail of small ones balances the load). Each worker caches the
-  // first-level projection of the task's parent node — consecutive tasks
-  // usually share it.
-  std::atomic<size_t> next{0};
-
-  auto drain = [&](WorkerState& ws) {
+  // node_budget != 0 caps how many enumeration nodes this worker may visit
+  // before it stops claiming tasks (the serial warm-up below); 0 = run
+  // until the search is drained.
+  auto worker_loop = [&](WorkerState& ws, uint64_t node_budget) {
     auto&& view = root.WithArena(&ws.tree_arena);
-    using ChildProj = std::decay_t<decltype(view.Child(0u, root_live_))>;
-    std::optional<ChildProj> proj1;
-    uint32_t cached_ctx = UINT32_MAX;
+    using ChildProj = std::decay_t<decltype(view.Child(0u, root_ctx_->live))>;
+    // Rebuilt Child()-call chain of the cached task context. A std::deque
+    // so growing it never relocates earlier projections (each level's
+    // projection may reference its parent's).
+    std::deque<ChildProj> chain;
+    const NodeCtx* cached = nullptr;
+    const ChildProj* base = &view;
+
+    auto run_one = [&](SubtreeTask* task) {
+      const NodeCtx& ctx = *task->ctx;
+      if (cached != &ctx) {
+        // Unwind root-ward before rebuilding: a projection may reference
+        // its parent, so teardown must be leaf-first.
+        while (!chain.empty()) chain.pop_back();
+        SwitchCtx(ws, ctx);
+        for (size_t d = 0; d < ctx.chain_pos.size(); ++d) {
+          const ChildProj& parent = chain.empty() ? *base : chain.back();
+          chain.push_back(parent.Child(ctx.chain_pos[d], ctx.chain_live[d]));
+        }
+        cached = &ctx;
+      }
+      ws.task = task;
+      ws.sink = &task->emissions;
+      ws.origin = task->origin_base;
+      ws.origin_limit = task->origin_limit;
+      ws.chain_pos.assign(ctx.chain_pos.begin(), ctx.chain_pos.end());
+      ws.chain_live.clear();
+      for (const std::vector<uint32_t>& parent_live : ctx.chain_live) {
+        ws.chain_live.push_back(&parent_live);
+      }
+      RunTask(ws, chain.empty() ? *base : chain.back(), *task);
+      ws.task = nullptr;
+      ++ws.stats.tasks_executed;
+    };
+
+    WorkStealDeque<SubtreeTask*>& own = *deques_[ws.worker_index];
     while (!stopped_.load(std::memory_order_relaxed)) {
-      const size_t index = next.fetch_add(1, std::memory_order_relaxed);
-      if (index >= tasks_.size()) break;
+      if (node_budget != 0 && ws.stats.nodes_visited >= node_budget) break;
+      // Own split-off work first (deepest subtree, context already hot),
+      // then an unclaimed first-level task (FIFO = canonical order), then
+      // stealing from a sibling (FIFO = its oldest, largest split).
+      SubtreeTask* task = own.PopBottom();
+      if (task == nullptr) task = root_queue_->StealTop();
+      if (task == nullptr) {
+        if (pending_.load(std::memory_order_acquire) == 0) break;
+        starving_.fetch_add(1, std::memory_order_relaxed);
+        uint32_t spins = 0;
+        while (task == nullptr && !stopped_.load(std::memory_order_relaxed)) {
+          for (uint32_t v = 1; v < workers && task == nullptr; ++v) {
+            task = deques_[(ws.worker_index + v) % workers]->StealTop();
+          }
+          if (task != nullptr) {
+            ++ws.stats.tasks_stolen;
+            break;
+          }
+          if (pending_.load(std::memory_order_acquire) == 0) break;
+          if (opt_.deadline.Expired()) {
+            stopped_.store(true, std::memory_order_relaxed);
+            timed_out_.store(true, std::memory_order_relaxed);
+            break;
+          }
+          // Yield while a split looks imminent, then back off to a short
+          // sleep: on an oversubscribed machine a pack of yielding
+          // starvers would otherwise eat the time slices of the one
+          // worker that has actual work to shed.
+          if (++spins < 64) {
+            std::this_thread::yield();
+          } else {
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+          }
+        }
+        starving_.fetch_sub(1, std::memory_order_relaxed);
+        if (task == nullptr) break;
+      }
       if (opt_.deadline.Expired()) {
         stopped_.store(true, std::memory_order_relaxed);
         timed_out_.store(true, std::memory_order_relaxed);
+        pending_.fetch_sub(1, std::memory_order_release);
         break;
       }
-      SubtreeTask& task = tasks_[index];
-      if (cached_ctx != task.ctx_index) {
-        const Level1Ctx& ctx = level1_[task.ctx_index];
-        SwitchCtx(ws, ctx);
-        proj1.reset();  // release the old tree to the arena first
-        proj1.emplace(view.Child(ctx.p, root_live_));
-        cached_ctx = task.ctx_index;
-      }
-      RunTask(ws, *proj1, task);
+      run_one(task);
+      pending_.fetch_sub(1, std::memory_order_release);
     }
   };
 
-  const uint32_t workers = std::min<uint32_t>(
-      num_workers_, static_cast<uint32_t>(std::max<size_t>(
-                        1, tasks_.size())));
   if (workers <= 1) {
-    drain(root_ws);
+    root_ws.worker_index = 0;
+    worker_loop(root_ws, 0);
     MergeStats(root_ws.stats);
     return;
+  }
+
+  // Serial warm-up: the calling thread drains first-level tasks in
+  // canonical order until the budget is spent, so the pool starts against
+  // a top-k heap whose thresholds already prune. No split can fire here
+  // (nothing is starving yet), so this prefix IS the paper's serial DFS;
+  // small searches finish inside it and never pay for threads at all.
+  const uint64_t warmup = opt_.ResolveWarmupNodes();
+  if (warmup > 0) {
+    root_ws.worker_index = 0;
+    worker_loop(root_ws, root_ws.stats.nodes_visited + warmup);
+    if (pending_.load(std::memory_order_acquire) == 0 ||
+        stopped_.load(std::memory_order_relaxed)) {
+      MergeStats(root_ws.stats);
+      return;
+    }
   }
 
   std::vector<std::unique_ptr<WorkerState>> pool_states;
   pool_states.reserve(workers);
   for (uint32_t t = 0; t < workers; ++t) {
     auto ws = std::make_unique<WorkerState>();
-    ws->x_stack = root_ws.x_stack;
-    ws->in_x = root_ws.in_x;
-    ws->xp = root_ws.xp;
-    ws->xn = root_ws.xn;
+    ws->in_x.assign(data_.num_rows(), 0);
+    ws->worker_index = t;
     pool_states.push_back(std::move(ws));
   }
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (uint32_t t = 0; t < workers; ++t) {
-    pool.emplace_back([&drain, &pool_states, t] { drain(*pool_states[t]); });
+    pool.emplace_back(
+        [&worker_loop, &pool_states, t] { worker_loop(*pool_states[t], 0); });
   }
   for (std::thread& t : pool) t.join();
 
@@ -1085,7 +1266,8 @@ void TopkSearch::Finalize(const Bitset& frequent_items, TopkResult* result) {
 
 TopkResult TopkSearch::Run() {
   Stopwatch timer;
-  TOPKRGS_CHECK(opt_.k >= 1, "k must be >= 1");
+  const Status options_status = opt_.Validate();
+  TOPKRGS_CHECK(options_status.ok(), options_status.message().c_str());
   initial_minsup_ = std::max<uint32_t>(1, opt_.min_support);
 
   const Bitset frequent = FrequentItems(data_, consequent_, initial_minsup_);
@@ -1121,11 +1303,8 @@ TopkResult TopkSearch::Run() {
   shared_ = std::make_unique<SharedTopk>(data_.num_rows(), opt_.k,
                                          initial_minsup_);
 
-  uint32_t threads = opt_.RequestedThreads();
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  num_workers_ = threads;
+  num_workers_ = ResolveThreadCount(opt_.RequestedThreads(),
+                                    std::thread::hardware_concurrency());
 
   if (opt_.seed_single_items) SeedSingleItems(frequent);
 
@@ -1155,21 +1334,15 @@ TopkResult TopkSearch::Run() {
 
   // Deterministic merge: replay every recorded emission in canonical
   // discovery order — seeds (inserted during setup), the root node's
-  // groups, then each first-level node's groups followed by its
-  // second-level subtrees in enumeration order. This is exactly the serial
-  // DFS order, so the merged lists match a serial search bit for bit. The
-  // final lists depend only on WHAT was recorded, never on when;
+  // groups, then each first-level subtree in enumeration order, recursing
+  // into split-off tasks at their spawn markers. This is exactly the
+  // serial DFS order, so the merged lists match a serial search bit for
+  // bit NO MATTER which worker ran which task or where the splits fell.
+  // The final lists depend only on WHAT was recorded, never on when;
   // pruning-timing differences across thread counts only vary the set of
   // recorded never-winner emissions, which the replay rejects anyway.
   ReplayEmissions(root_emissions_);
-  size_t ti = 0;
-  for (size_t ci = 0; ci < level1_.size(); ++ci) {
-    ReplayEmissions(level1_[ci].node_emissions);
-    while (ti < tasks_.size() && tasks_[ti].ctx_index == ci) {
-      ReplayEmissions(tasks_[ti].emissions);
-      ++ti;
-    }
-  }
+  for (const auto& task : tasks_) ReplayTask(*task);
 
   TopkResult result;
   Finalize(frequent, &result);
@@ -1182,6 +1355,22 @@ TopkResult TopkSearch::Run() {
 }
 
 }  // namespace
+
+Status TopkMinerOptions::Validate() const {
+  if (k < 1) {
+    return Status::InvalidArgument("TopkMinerOptions: k must be >= 1");
+  }
+  if (hybrid_threads != kThreadsUnset && threads != 1 &&
+      threads != hybrid_threads) {
+    return Status::InvalidArgument(
+        "TopkMinerOptions: `threads` (" + std::to_string(threads) +
+        ") conflicts with the deprecated `hybrid_threads` alias (" +
+        std::to_string(hybrid_threads) +
+        "); set only `threads` (the alias used to win silently, hiding the "
+        "conflicting request)");
+  }
+  return Status::OK();
+}
 
 bool TopkResult::CheckInvariants(uint32_t k, std::string* error) const {
   auto fail = [error](std::string msg) {

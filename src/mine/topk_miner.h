@@ -9,6 +9,7 @@
 #include "core/dataset.h"
 #include "core/rule.h"
 #include "mine/miner_common.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace topkrgs {
@@ -59,18 +60,21 @@ struct TopkMinerOptions {
   Deadline deadline;
 
   /// Worker threads, honored by both MineTopkRGS and MineTopkRGSHybrid.
-  /// MineTopkRGS partitions the first level of the row-enumeration tree
-  /// into independent subtree tasks drained by a worker pool that shares
-  /// the per-row top-k pruning thresholds; the hybrid miner fans its
-  /// per-item partitions over the same number of workers. 0 = one thread
-  /// per hardware core. Results are bit-for-bit deterministic regardless
-  /// of the thread count (search statistics such as nodes_visited depend
-  /// on pruning timing and are not).
+  /// MineTopkRGS turns the first level of the row-enumeration tree into
+  /// subtree tasks drained through work-stealing deques (owner-LIFO /
+  /// thief-FIFO, with dynamic splitting once a worker starves), all
+  /// sharing the per-row top-k pruning thresholds through epoch-stamped
+  /// snapshots; the hybrid miner fans its per-item partitions over the
+  /// same number of workers. 0 = one thread per hardware core (clamped to
+  /// at least 1 — see ResolveThreadCount). Results are bit-for-bit
+  /// deterministic regardless of the thread count (search statistics such
+  /// as nodes_visited depend on pruning timing and are not).
   uint32_t threads = 1;
 
   /// Deprecated alias for `threads` (historically this field only applied
-  /// to MineTopkRGSHybrid). When assigned, it overrides `threads` so
-  /// existing call sites keep their behavior; new code should set
+  /// to MineTopkRGSHybrid). Setting it while `threads` keeps its default
+  /// is honored for old call sites; setting BOTH to conflicting values is
+  /// an InvalidArgument caught by Validate(). New code should set
   /// `threads`.
   static constexpr uint32_t kThreadsUnset = 0xffffffffu;
   uint32_t hybrid_threads = kThreadsUnset;
@@ -80,7 +84,48 @@ struct TopkMinerOptions {
   uint32_t RequestedThreads() const {
     return hybrid_threads != kThreadsUnset ? hybrid_threads : threads;
   }
+
+  /// Serial warm-up budget for the parallel miner: before any worker
+  /// thread starts, the calling thread drains first-level subtree tasks in
+  /// canonical order until it has visited this many enumeration nodes.
+  /// Workers that start against a cold top-k heap explore subtrees that
+  /// mature thresholds would prune, so without a warm-up the parallel
+  /// search can visit several times the serial node count (the
+  /// redundant-work ratio gated in bench/BENCH_topk.json). The heap needs
+  /// at least k insertions per row list before its thresholds mean
+  /// anything, so the auto budget scales with k; minings smaller than the
+  /// budget simply finish serially, which is also the right call for
+  /// wall-clock (a millisecond-scale search never amortizes thread
+  /// startup). -1 = auto (64 * k nodes), 0 = no warm-up (every task is up
+  /// for grabs immediately — tests use this to force heavy stealing),
+  /// > 0 = explicit node budget. Has no effect at 1 worker.
+  int64_t warmup_nodes = -1;
+
+  /// The warm-up budget after resolving the -1 = auto convention.
+  uint64_t ResolveWarmupNodes() const {
+    if (warmup_nodes >= 0) return static_cast<uint64_t>(warmup_nodes);
+    return 64ull * k;
+  }
+
+  /// Rejects contradictory option combinations instead of silently picking
+  /// a winner: k == 0, or `threads` and the deprecated `hybrid_threads`
+  /// alias both set to different values (historically the alias won,
+  /// which masked caller bugs). `threads` left at its default of 1 plus an
+  /// assigned alias is NOT a conflict — that is exactly the legacy calling
+  /// convention the alias exists for.
+  Status Validate() const;
 };
+
+/// Resolves a requested thread count to the number of workers to launch:
+/// 0 means "one per hardware core" using `hardware_hint` (the caller
+/// passes std::thread::hardware_concurrency()), clamped to >= 1 because
+/// the standard allows hardware_concurrency() to return 0 when the core
+/// count is unknowable. Any explicit request is returned untouched.
+inline uint32_t ResolveThreadCount(uint32_t requested,
+                                   uint32_t hardware_hint) {
+  if (requested != 0) return requested;
+  return hardware_hint >= 1 ? hardware_hint : 1;
+}
 
 /// A discovered rule group shared between the rows it covers.
 using RuleGroupPtr = std::shared_ptr<const RuleGroup>;

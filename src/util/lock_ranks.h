@@ -52,6 +52,13 @@ inline constexpr int kModelRegistry = 200;
 /// before the miner stripes.
 inline constexpr int kExecutorQueue = 300;
 
+/// WorkStealDeque::mu_ — the miner's per-worker subtree-task deques. A
+/// worker may publish a freshly split task (deque push) and then insert a
+/// rule group into a top-k stripe on the same logical path, so the deque
+/// orders before the stripes; the deque's own critical sections are pure
+/// pointer queue operations and never acquire anything.
+inline constexpr int kMinerWorkDeque = 350;
+
 /// SharedTopk::stripes_ — the miner's per-row top-k stripe locks. Leaf
 /// rank: nothing is ever acquired under a stripe, and (same-rank rule)
 /// no two stripes are ever held together.

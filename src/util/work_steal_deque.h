@@ -1,0 +1,82 @@
+#ifndef TOPKRGS_UTIL_WORK_STEAL_DEQUE_H_
+#define TOPKRGS_UTIL_WORK_STEAL_DEQUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
+
+namespace topkrgs {
+
+/// A work-stealing deque of task pointers with the classic owner-LIFO /
+/// thief-FIFO discipline: the owning worker pushes and pops at the bottom
+/// (newest work first — best locality, deepest subtrees drain before their
+/// ancestors' siblings), while thieves steal from the top (oldest work
+/// first — the largest outstanding subtrees, amortizing the steal cost).
+///
+/// The implementation is deliberately lock-cheap rather than lock-free: a
+/// single ranked Mutex (lock_rank::kMinerWorkDeque) guards a std::deque,
+/// and every operation is a handful of pointer moves under it. The miner's
+/// tasks are whole enumeration subtrees — thousands of nodes each — so
+/// queue operations are nowhere near the hot path, and the ranked lock
+/// buys runtime deadlock checking plus trivially auditable correctness
+/// (every pop/steal hands out each pushed task exactly once, which is what
+/// the determinism replay relies on). The `size_` mirror is a relaxed
+/// atomic so schedulers can poll Empty() without touching the lock.
+///
+/// T must be trivially copyable (the deque stores task POINTERS; ownership
+/// stays with the scheduler). All methods are safe to call from any thread;
+/// "owner" and "thief" name the intended discipline, not an enforced one.
+template <typename T>
+class WorkStealDeque {
+ public:
+  WorkStealDeque() : mu_(lock_rank::kMinerWorkDeque, "WorkStealDeque::mu_") {}
+  WorkStealDeque(const WorkStealDeque&) = delete;
+  WorkStealDeque& operator=(const WorkStealDeque&) = delete;
+
+  /// Owner side: makes `task` the newest entry (the next PopBottom result).
+  void PushBottom(T task) {
+    MutexLock lock(mu_);
+    items_.push_back(task);
+    size_.store(items_.size(), std::memory_order_relaxed);
+  }
+
+  /// Owner side: removes and returns the newest entry, or nullptr when
+  /// empty (LIFO — the task pushed last comes back first).
+  T PopBottom() {
+    MutexLock lock(mu_);
+    if (items_.empty()) return nullptr;
+    T task = items_.back();
+    items_.pop_back();
+    size_.store(items_.size(), std::memory_order_relaxed);
+    return task;
+  }
+
+  /// Thief side: removes and returns the oldest entry, or nullptr when
+  /// empty (FIFO — steals take the task the owner has had queued longest).
+  T StealTop() {
+    MutexLock lock(mu_);
+    if (items_.empty()) return nullptr;
+    T task = items_.front();
+    items_.pop_front();
+    size_.store(items_.size(), std::memory_order_relaxed);
+    return task;
+  }
+
+  /// Lock-free size hint for split/steal heuristics. May be stale by the
+  /// time the caller acts on it; PopBottom/StealTop return nullptr on the
+  /// race, so staleness costs a retry, never correctness.
+  size_t SizeHint() const { return size_.load(std::memory_order_relaxed); }
+  bool Empty() const { return SizeHint() == 0; }
+
+ private:
+  mutable Mutex mu_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_UTIL_WORK_STEAL_DEQUE_H_

@@ -170,15 +170,100 @@ TEST(TopkParallelTest, HybridMinerHonorsThreadsField) {
   ExpectIdenticalResults(reference, alias_result, "hybrid alias threads=4");
 }
 
-TEST(TopkParallelTest, ThreadsAliasOverridesNewField) {
+TEST(TopkParallelTest, ConflictingThreadsAliasIsInvalidArgument) {
+  // Regression: the deprecated hybrid_threads alias used to silently
+  // override an explicitly set `threads`, hiding conflicting requests.
+  // The legacy calling convention (alias assigned, `threads` left at its
+  // default) must keep working; an actual conflict must be rejected.
   TopkMinerOptions opt;
-  EXPECT_EQ(opt.RequestedThreads(), 1u);
-  opt.threads = 8;
+  EXPECT_TRUE(opt.Validate().ok());
+
+  opt.hybrid_threads = 2;  // legacy call site: only the alias assigned
+  EXPECT_TRUE(opt.Validate().ok());
+  EXPECT_EQ(opt.RequestedThreads(), 2u);
+
+  opt.threads = 8;  // now both are set, to different values
+  const Status conflict = opt.Validate();
+  EXPECT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.code(), StatusCode::kInvalidArgument);
+
+  opt.hybrid_threads = 8;  // both set but agreeing: no conflict
+  EXPECT_TRUE(opt.Validate().ok());
   EXPECT_EQ(opt.RequestedThreads(), 8u);
-  opt.hybrid_threads = 2;
-  EXPECT_EQ(opt.RequestedThreads(), 2u);  // alias wins once assigned
+
   opt.hybrid_threads = TopkMinerOptions::kThreadsUnset;
+  EXPECT_TRUE(opt.Validate().ok());
   EXPECT_EQ(opt.RequestedThreads(), 8u);
+}
+
+TEST(TopkParallelTest, ConflictingThreadsAliasAbortsTheMiner) {
+  const DiscreteDataset data = RandomDataset(5, 10, 12, 0.4);
+  TopkMinerOptions opt;
+  opt.k = 1;
+  opt.threads = 8;
+  opt.hybrid_threads = 2;
+  EXPECT_DEATH(MineTopkRGS(data, 1, opt), "conflicts");
+  EXPECT_DEATH(MineTopkRGSHybrid(data, 1, opt), "conflicts");
+}
+
+TEST(TopkParallelTest, ResolveThreadCountClampsAutoToAtLeastOne) {
+  // threads = 0 means "one per hardware core", but the standard allows
+  // hardware_concurrency() to report 0 when the core count is unknowable;
+  // the resolved worker count must still be >= 1.
+  EXPECT_EQ(ResolveThreadCount(0, 0), 1u);
+  EXPECT_EQ(ResolveThreadCount(0, 1), 1u);
+  EXPECT_EQ(ResolveThreadCount(0, 8), 8u);
+  // Explicit requests pass through untouched, even on the 0-core report.
+  EXPECT_EQ(ResolveThreadCount(3, 0), 3u);
+  EXPECT_EQ(ResolveThreadCount(1, 16), 1u);
+}
+
+TEST(TopkParallelTest, DeterministicUnderHeavyStealing) {
+  // A wide, deep search at 8 workers: the first-level task queue drains
+  // quickly relative to the subtree sizes, so workers starve and running
+  // tasks shed their unvisited children mid-DFS (dynamic splits), which a
+  // starving worker then steals — the spawn-marker replay and the striped
+  // split-task origin ranges must still reproduce the serial result
+  // bit for bit. k above the per-row group count keeps top-k thresholds
+  // loose, maximizing surviving subtrees (= split opportunities);
+  // warmup_nodes = 0 throws every first-level task open immediately so
+  // stealing actually happens.
+  for (uint64_t seed : {21u, 42u}) {
+    const DiscreteDataset data = RandomDataset(seed, 40, 44, 0.45);
+    TopkMinerOptions opt;
+    opt.k = 6;
+    opt.min_support = 1;
+    opt.threads = 1;
+    opt.warmup_nodes = 0;
+    const TopkResult reference = MineTopkRGS(data, 1, opt);
+    TopkMinerOptions par = opt;
+    par.threads = 8;
+    const TopkResult stolen = MineTopkRGS(data, 1, par);
+    ExpectIdenticalResults(reference, stolen,
+                           "heavy-steal seed " + std::to_string(seed));
+  }
+}
+
+TEST(TopkParallelTest, WarmupBudgetDoesNotChangeResults) {
+  // The serial warm-up only reorders which thread visits which subtree;
+  // any budget — off, tiny (pool starts almost cold), huge (the whole
+  // search runs inside the warm-up) or auto — must yield bit-identical
+  // results.
+  const DiscreteDataset data = RandomDataset(7, 36, 40, 0.45);
+  TopkMinerOptions serial;
+  serial.k = 5;
+  serial.min_support = 1;
+  serial.threads = 1;
+  const TopkResult reference = MineTopkRGS(data, 1, serial);
+  for (int64_t budget : {int64_t{0}, int64_t{8}, int64_t{1 << 20},
+                         int64_t{-1}}) {
+    TopkMinerOptions par = serial;
+    par.threads = 4;
+    par.warmup_nodes = budget;
+    const TopkResult got = MineTopkRGS(data, 1, par);
+    ExpectIdenticalResults(reference, got,
+                           "warmup budget " + std::to_string(budget));
+  }
 }
 
 }  // namespace

@@ -21,7 +21,10 @@
 #           over src/), the determinism linter self-test + gate
 #           (tools/lint/determinism_lint.py — unordered iteration, pointer
 #           keys, ambient entropy and unordered FP reductions in the
-#           deterministic zones, with a shrink-only baseline), and a
+#           deterministic zones, with a shrink-only baseline), the
+#           redundant-work-ratio gate (tools/lint/redundancy_gate.py —
+#           8-thread nodes_visited over serial, ceiling 1.15, from the
+#           committed bench/BENCH_topk.json), and a
 #           warnings-as-errors build of the lint preset, which also
 #           enforces -Werror=unused-result on the [[nodiscard]] Status
 #           surface. When a clang toolchain is on PATH it additionally
@@ -78,6 +81,9 @@ run_lint() {
   python3 tools/lint/determinism_lint.py --self-test
   echo "== determinism lint over the deterministic zones =="
   python3 tools/lint/determinism_lint.py
+
+  echo "== redundant-work-ratio gate (tools/lint/redundancy_gate.py) =="
+  python3 tools/lint/redundancy_gate.py
 
   echo "== configure (lint preset: warnings-as-errors, compile_commands) =="
   cmake --preset lint >/dev/null
@@ -268,14 +274,14 @@ case "${STAGE}" in
   analyze) run_analyze ;;
   coverage) run_coverage ;;
   ubsan) run_ubsan ;;
-  tsan) run_tsan "${2:-TopkParallel|ThreadSafety}" ;;
+  tsan) run_tsan "${2:-TopkParallel|ThreadSafety|WorkStealDeque}" ;;
   fuzz) run_fuzz ;;
   simd) run_simd ;;
   serve) run_serve ;;
   all)
     run_lint
     run_analyze
-    run_tsan "${2:-TopkParallel|ThreadSafety}"
+    run_tsan "${2:-TopkParallel|ThreadSafety|WorkStealDeque}"
     run_ubsan
     run_fuzz
     run_simd

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Redundant-work-ratio gate over the committed bench/BENCH_topk.json.
+
+The parallel MineTopkRGS promises near-zero speculation overhead: the
+total enumeration nodes an 8-thread run visits may exceed the serial
+run's count by at most the ceiling below (work-stealing claim order and
+epoch-refreshed thresholds keep speculative subtrees short-lived). This
+gate regresses on that promise using the committed bench record, so a
+scheduler change that silently reintroduces redundant search fails CI
+even on a single-core runner where wall-clock speedup is unmeasurable.
+
+Rules:
+  * every record with threads > 1 must carry the redundant_work_ratio
+    and oversubscribed fields (schema check);
+  * every completed (timed_out == false) record with threads == 8 must
+    have redundant_work_ratio <= CEILING;
+  * timed-out records are skipped with a notice — they stop wherever the
+    deadline lands, so their node count is not comparable;
+  * completed records must have deterministic == true (the digest in the
+    bench run matched the serial reference).
+
+Usage: tools/lint/redundancy_gate.py [path/to/BENCH_topk.json]
+"""
+
+import json
+import sys
+
+CEILING = 1.15
+GATED_THREADS = 8
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench/BENCH_topk.json"
+    with open(path) as f:
+        records = json.load(f)
+
+    failures = []
+    skipped = []
+    gated = 0
+    for rec in records:
+        where = "{}/{} k={} threads={}".format(
+            rec.get("profile", "?"), rec.get("toggle", "?"),
+            rec.get("k", "?"), rec.get("threads", "?"))
+        threads = rec.get("threads", 0)
+        if threads > 1:
+            for field in ("redundant_work_ratio", "oversubscribed"):
+                if field not in rec:
+                    failures.append("{}: missing field {!r}".format(
+                        where, field))
+        if rec.get("timed_out", False):
+            skipped.append(where)
+            continue
+        if not rec.get("deterministic", True):
+            failures.append(
+                "{}: deterministic=false on a completed run".format(where))
+        if threads == GATED_THREADS:
+            ratio = rec.get("redundant_work_ratio")
+            if ratio is None:
+                continue  # already reported as a missing field above
+            gated += 1
+            if ratio > CEILING:
+                failures.append(
+                    "{}: redundant_work_ratio {:.3f} > ceiling {:.2f}".format(
+                        where, ratio, CEILING))
+            else:
+                print("  ok {}: ratio {:.3f}".format(where, ratio))
+
+    for where in skipped:
+        print("  skipped (timed out): {}".format(where))
+    if gated == 0:
+        failures.append(
+            "no completed {}-thread records found in {} — the gate is "
+            "vacuous".format(GATED_THREADS, path))
+
+    if failures:
+        print("redundancy gate FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("redundancy gate passed: {} eight-thread records within the "
+          "{:.2f}x node-ratio ceiling.".format(gated, CEILING))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
