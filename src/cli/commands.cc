@@ -18,6 +18,10 @@
 #include "mine/hybrid_miner.h"
 #include "mine/miner_common.h"
 #include "mine/topk_miner.h"
+#include "scale/mmap_dataset.h"
+#include "scale/shard_planner.h"
+#include "scale/stream_reader.h"
+#include "scale/topk_merge.h"
 #include "synth/generator.h"
 
 namespace topkrgs {
@@ -473,6 +477,181 @@ Status RunCvCommand(const std::vector<std::string>& args) {
               model_kind.c_str(), static_cast<long long>(folds.value()),
               100.0 * result.mean_accuracy(),
               100.0 * result.pooled_accuracy());
+  return Status::OK();
+}
+
+Status RunConvertCommand(const std::vector<std::string>& args) {
+  auto flags_or = FlagParser::Parse(args);
+  if (!flags_or.ok()) return flags_or.status();
+  const FlagParser& flags = flags_or.value();
+  TOPKRGS_RETURN_NOT_OK(
+      flags.CheckKnown({"input", "output", "num-items", "chunk-bytes"}));
+
+  auto input = flags.GetRequired("input");
+  if (!input.ok()) return input.status();
+  auto output = flags.GetRequired("output");
+  if (!output.ok()) return output.status();
+  auto num_items = flags.GetInt("num-items", 0);
+  if (!num_items.ok()) return num_items.status();
+  if (num_items.value() < 0) {
+    return Status::InvalidArgument("--num-items must be >= 0 (0 = infer)");
+  }
+  auto chunk_bytes = flags.GetInt("chunk-bytes", 1 << 20);
+  if (!chunk_bytes.ok()) return chunk_bytes.status();
+  if (chunk_bytes.value() < 1) {
+    return Status::InvalidArgument("--chunk-bytes must be >= 1");
+  }
+
+  StreamReader::Options options;
+  auto declared =
+      CheckedIndexU32(static_cast<uint64_t>(num_items.value()), "--num-items");
+  if (!declared.ok()) return declared.status();
+  options.num_items = declared.value();
+  options.chunk_bytes = static_cast<size_t>(chunk_bytes.value());
+  auto table_or = StreamReader::ReadItemData(input.value(), options);
+  if (!table_or.ok()) return table_or.status();
+  const StreamedTable& table = table_or.value();
+
+  TOPKRGS_RETURN_NOT_OK(WriteTkds(table, output.value()));
+  auto mapped_or = MmapDataset::Open(output.value());  // verify what we wrote
+  if (!mapped_or.ok()) return mapped_or.status();
+  std::printf("%s: %u rows, %u items, %llu entries -> %s (%zu bytes)\n",
+              input.value().c_str(), table.num_rows(), table.num_items(),
+              static_cast<unsigned long long>(table.nnz()),
+              output.value().c_str(), mapped_or.value().mapped_bytes());
+  return Status::OK();
+}
+
+Status RunShardMineCommand(const std::vector<std::string>& args) {
+  auto flags_or = FlagParser::Parse(args);
+  if (!flags_or.ok()) return flags_or.status();
+  const FlagParser& flags = flags_or.value();
+  TOPKRGS_RETURN_NOT_OK(flags.CheckKnown(
+      {"data", "consequent", "minsup", "minsup-frac", "k", "memory-budget",
+       "shards", "threads", "budget", "max-print"}));
+
+  auto data_path = flags.GetRequired("data");
+  if (!data_path.ok()) return data_path.status();
+
+  // tkds files are detected by extension; anything else streams as
+  // item-data text. Both end in the same TransposedView.
+  MmapDataset mapped;
+  StreamedTable streamed;
+  TransposedView view;
+  const std::string& path = data_path.value();
+  const bool is_tkds =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".tkds") == 0;
+  if (is_tkds) {
+    auto mapped_or = MmapDataset::Open(path);
+    if (!mapped_or.ok()) return mapped_or.status();
+    mapped = std::move(mapped_or).value();
+    view = mapped.View();
+  } else {
+    auto table_or = StreamReader::ReadItemData(path);
+    if (!table_or.ok()) return table_or.status();
+    streamed = std::move(table_or).value();
+    view = streamed.View();
+  }
+
+  auto consequent = flags.GetInt("consequent", 1);
+  if (!consequent.ok()) return consequent.status();
+  if (consequent.value() < 0 || consequent.value() >= view.num_classes) {
+    return Status::InvalidArgument("--consequent out of range");
+  }
+  const ClassLabel cls = static_cast<ClassLabel>(consequent.value());
+  uint32_t class_rows = 0;
+  for (uint32_t r = 0; r < view.num_rows; ++r) {
+    if (view.labels[r] == cls) ++class_rows;
+  }
+  if (class_rows == 0) {
+    return Status::InvalidArgument("no rows of the requested class");
+  }
+  auto minsup = ResolveMinsup(flags, class_rows);
+  if (!minsup.ok()) return minsup.status();
+  auto k = flags.GetInt("k", 5);
+  if (!k.ok()) return k.status();
+  auto memory_budget = flags.GetInt("memory-budget", 0);
+  if (!memory_budget.ok()) return memory_budget.status();
+  if (memory_budget.value() < 0) {
+    return Status::InvalidArgument("--memory-budget must be >= 0");
+  }
+  auto shards = flags.GetInt("shards", 0);
+  if (!shards.ok()) return shards.status();
+  if (shards.value() < 0) {
+    return Status::InvalidArgument("--shards must be >= 0 (0 = auto)");
+  }
+  auto threads = flags.GetInt("threads", 1);
+  if (!threads.ok()) return threads.status();
+  if (threads.value() < 0) {
+    return Status::InvalidArgument("--threads must be >= 0 (0 = all cores)");
+  }
+  auto budget = flags.GetDouble("budget", 30.0);
+  if (!budget.ok()) return budget.status();
+  auto max_print = flags.GetInt("max-print", 10);
+  if (!max_print.ok()) return max_print.status();
+
+  std::printf("dataset: %u rows, %u items, %llu entries; class %d has %u "
+              "rows; minsup %u\n",
+              view.num_rows, view.num_items,
+              static_cast<unsigned long long>(view.nnz()),
+              static_cast<int>(cls), class_rows, minsup.value());
+
+  ShardPlanOptions plan_opt;
+  plan_opt.k = static_cast<uint32_t>(std::max<int64_t>(1, k.value()));
+  plan_opt.min_support = minsup.value();
+  plan_opt.memory_budget_bytes =
+      static_cast<uint64_t>(memory_budget.value());
+  plan_opt.shard_count = static_cast<uint32_t>(shards.value());
+  ShardMineOptions mine_opt;
+  mine_opt.threads = static_cast<uint32_t>(threads.value());
+  mine_opt.deadline = Deadline(budget.value());
+
+  ShardPlan plan;
+  auto merged_or = MineShardedTopkRGS(view, cls, plan_opt, mine_opt, &plan);
+  if (!merged_or.ok()) return merged_or.status();
+  const MergedTopk& merged = merged_or.value();
+
+  std::printf("plan: %zu shard(s) over %u positive rows (estimated working "
+              "set ~%llu bytes%s)\n",
+              plan.shards.size(), plan.positives,
+              static_cast<unsigned long long>(plan.estimated_peak_bytes),
+              plan_opt.memory_budget_bytes != 0 ? ", within budget" : "");
+  // groups_emitted counts raw per-shard emissions (pre-merge), so like
+  // nodes_visited it varies with the shard count; the digest must not.
+  std::printf("merged %llu shard emissions in %.2fs; effective minsup %u; "
+              "digest %016llx%s\n",
+              static_cast<unsigned long long>(merged.stats.groups_emitted),
+              merged.stats.seconds, merged.effective_min_support,
+              static_cast<unsigned long long>(
+                  TopkDigest(merged.per_row, merged.effective_min_support)),
+              merged.stats.timed_out ? " (TIMED OUT — lists incomplete)" : "");
+
+  // Top distinct groups in per-row significance order, like topkrgs-mine.
+  size_t printed = 0;
+  std::vector<const RuleGroup*> seen;
+  for (uint32_t r = 0;
+       r < view.num_rows && printed < static_cast<size_t>(std::max<int64_t>(
+                                          0, max_print.value()));
+       ++r) {
+    for (const RuleGroupPtr& group : merged.per_row[r]) {
+      if (std::find(seen.begin(), seen.end(), group.get()) != seen.end()) {
+        continue;
+      }
+      seen.push_back(group.get());
+      std::printf("  sup %u / asup %u (conf %.3f), %zu items, covers %zu "
+                  "rows\n",
+                  group->support, group->antecedent_support,
+                  group->antecedent_support == 0
+                      ? 0.0
+                      : static_cast<double>(group->support) /
+                            group->antecedent_support,
+                  group->antecedent.Count(), group->row_support.Count());
+      if (++printed >= static_cast<size_t>(std::max<int64_t>(
+                           0, max_print.value()))) {
+        break;
+      }
+    }
+  }
   return Status::OK();
 }
 

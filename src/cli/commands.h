@@ -59,6 +59,31 @@ namespace topkrgs {
 ///   --minsup-frac F              support fraction (default 0.7)
 [[nodiscard]] Status RunCvCommand(const std::vector<std::string>& args);
 
+/// topkrgs-convert: stream an item-data text file ('label<TAB>item ids'
+/// lines) into the mmap-able tkds binary format without materializing the
+/// row-major matrix (peak memory = transposed table + one read chunk).
+///   --input PATH (required)      item-data text input
+///   --output PATH (required)     tkds output
+///   --num-items N                declared item universe (default 0 = infer)
+///   --chunk-bytes N              read granularity (default 1 MiB)
+[[nodiscard]] Status RunConvertCommand(const std::vector<std::string>& args);
+
+/// topkrgs-shard-mine: out-of-core sharded top-k mining over a tkds file
+/// (mmap, zero parse) or item-data text (streamed). Output is bit-identical
+/// to single-shot MineTopkRGS for any shard count (DESIGN.md §14).
+///   --data PATH (required)       .tkds binary or item-data text
+///   --consequent N               class label to mine for (default 1)
+///   --minsup N | --minsup-frac F absolute or class-relative support
+///                                (default --minsup-frac 0.7)
+///   --k N                        covering rule groups per row (default 5)
+///   --memory-budget BYTES        working-set budget; 0 = unlimited; the
+///                                planner errors when infeasible
+///   --shards N                   shard count; 0 = auto from the budget
+///   --threads N                  workers per shard; 0 = all cores
+///   --budget SECONDS             per-shard wall-clock budget (default 30)
+///   --max-print N                rule groups to print (default 10)
+[[nodiscard]] Status RunShardMineCommand(const std::vector<std::string>& args);
+
 /// Maps a command Status to a process exit code so scripted callers can
 /// distinguish failure modes without parsing stderr:
 ///   0 OK, 2 InvalidArgument (bad flags or malformed/corrupt input file),

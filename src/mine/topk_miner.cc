@@ -289,7 +289,10 @@ class TopkSearch {
  public:
   TopkSearch(const DiscreteDataset& data, ClassLabel consequent,
              const TopkMinerOptions& options)
-      : data_(data), consequent_(consequent), opt_(options) {}
+      : data_(data),
+        consequent_(consequent),
+        opt_(options),
+        hooks_(options.shard_hooks) {}
 
   TopkResult Run();
 
@@ -428,9 +431,21 @@ class TopkSearch {
 
   bool IsPos(uint32_t pos) const { return pos_positive_[pos] != 0; }
 
+  /// Sharded mining (DESIGN.md §14): does some row BEFORE this shard's
+  /// suffix contain `items`? Such a row behaves exactly like an earlier
+  /// in-dataset row under the backward check: the node duplicates a branch
+  /// an earlier shard enumerates. False in stand-alone mining. The hook
+  /// must be (and is — it only reads planner-owned prefix indexes plus
+  /// thread-local scratch) safe for concurrent workers.
+  bool ContainedOutside(const RowSet& items) const {
+    return hooks_ != nullptr && hooks_->contained_outside &&
+           hooks_->contained_outside(items);
+  }
+
   const DiscreteDataset& data_;
   const ClassLabel consequent_;
   const TopkMinerOptions& opt_;
+  const ShardHooks* const hooks_;
 
   std::vector<RowId> order_;           // position -> original row id
   std::vector<uint32_t> position_of_;  // original row id -> position
@@ -552,6 +567,13 @@ void TopkSearch::SeedSingleItems(const Bitset& frequent_items) {
   const Bitset class_rows = data_.ClassRowset(consequent_);
   frequent_items.ForEach([&](size_t item_index) {
     const ItemId item = static_cast<ItemId>(item_index);
+    if (hooks_ != nullptr && hooks_->contained_outside &&
+        ContainedOutside(RowSet::SparseFrom({item}, data_.num_items()))) {
+      // Sharded mining: a pre-suffix row holds this item, so an earlier
+      // shard plants (and eventually closes) the identical seed; the merge
+      // reconstructs seeds from the global table anyway (DESIGN.md §14).
+      return;
+    }
     const Bitset& rows = data_.item_rows(item);
     auto handle = std::make_shared<GroupHandle>();
     handle->provisional = true;
@@ -823,6 +845,10 @@ void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
           break;
         }
       }
+      // Sharded mining: a pre-suffix row containing I(X ∪ {p}) is an
+      // "earlier row" of the global order exactly like the q-loop above —
+      // the child duplicates a branch an earlier shard enumerates.
+      if (child_closed && ContainedOutside(child_items)) child_closed = false;
       if (!child_closed) {
         ++ws.stats.pruned_backward;
         if (opt_.use_backward_pruning) continue;
@@ -959,6 +985,8 @@ void TopkSearch::RunTask(WorkerState& ws, const Proj& node_proj,
       break;
     }
   }
+  // See Visit: the out-of-shard half of the backward check.
+  if (child_closed && ContainedOutside(child_items)) child_closed = false;
   if (!child_closed) {
     ++ws.stats.pruned_backward;
     if (opt_.use_backward_pruning) return;
@@ -1033,7 +1061,11 @@ void TopkSearch::MineRoot(const Proj& root, const RowSet& items,
       if (pruned) {
         ++root_ws.stats.pruned_bounds;
       } else {
-        EmitAt(root_ws, items, cut);
+        // Sharded mining: the root's group (rows containing every frequent
+        // item) belongs to the shard owning the earliest such row; a guard
+        // hit means a pre-suffix row contains the full frequent set and an
+        // earlier shard (or the merge's own root pass) emits it.
+        if (!ContainedOutside(items)) EmitAt(root_ws, items, cut);
 
         root_ctx->suffix_pos.assign(live.size() + 1, 0);
         for (size_t i = live.size(); i-- > 0;) {
@@ -1053,7 +1085,22 @@ void TopkSearch::MineRoot(const Proj& root, const RowSet& items,
     }
   }
 
-  if (!fan_out || root_ctx->live.empty()) {
+  // Sharded mining: only first-level children at local positions below the
+  // planner's limit become subtree tasks. Children at or past the limit
+  // root subtrees whose every closed group has its earliest non-absorbed
+  // row in a LATER shard's owned range — that shard mines them (its prefix
+  // guard cannot fire on them because their defining row precedes nothing
+  // it excludes). live is ascending in position, so the eligible children
+  // are a prefix.
+  uint32_t fan_limit = static_cast<uint32_t>(root_ctx->live.size());
+  if (hooks_ != nullptr) {
+    while (fan_limit > 0 &&
+           root_ctx->live[fan_limit - 1] >= hooks_->first_level_limit) {
+      --fan_limit;
+    }
+  }
+
+  if (!fan_out || root_ctx->live.empty() || fan_limit == 0) {
     MergeStats(root_ws.stats);
     return;
   }
@@ -1067,7 +1114,7 @@ void TopkSearch::MineRoot(const Proj& root, const RowSet& items,
   // serial DFS. stride == 0 (more first-level children than origin slots)
   // degrades every task to the unencodable base: ties are never
   // suppressed and tasks never split, which is slow but exact.
-  const uint32_t fan = static_cast<uint32_t>(root_ctx_->live.size());
+  const uint32_t fan = fan_limit;
   const uint32_t stride = (kOriginMax - 2) / std::max(fan, 1u);
   tasks_.reserve(fan);
   for (uint32_t i = 0; i < fan; ++i) {
@@ -1270,7 +1317,13 @@ TopkResult TopkSearch::Run() {
   TOPKRGS_CHECK(options_status.ok(), options_status.message().c_str());
   initial_minsup_ = std::max<uint32_t>(1, opt_.min_support);
 
-  const Bitset frequent = FrequentItems(data_, consequent_, initial_minsup_);
+  // Sharded mining substitutes the GLOBAL frequent-item set: a suffix's
+  // own frequent set diverges from the global one, which would change the
+  // enumeration universe and thus the emitted closures (DESIGN.md §14).
+  const Bitset frequent =
+      (hooks_ != nullptr && hooks_->frequent_items != nullptr)
+          ? *hooks_->frequent_items
+          : FrequentItems(data_, consequent_, initial_minsup_);
   switch (opt_.row_order) {
     case TopkMinerOptions::RowOrder::kClassDominantWeighted:
       order_ = ClassDominantOrder(data_, consequent_, frequent);
@@ -1368,6 +1421,13 @@ Status TopkMinerOptions::Validate() const {
         std::to_string(hybrid_threads) +
         "); set only `threads` (the alias used to win silently, hiding the "
         "conflicting request)");
+  }
+  if (shard_hooks != nullptr && row_order != RowOrder::kNatural) {
+    return Status::InvalidArgument(
+        "TopkMinerOptions: shard_hooks require row_order == kNatural (the "
+        "shard miner presents rows already in global canonical order; any "
+        "reordering inside the shard would desynchronize first_level_limit "
+        "and the prefix containment guard from the planner's positions)");
   }
   return Status::OK();
 }

@@ -2,6 +2,7 @@
 #define TOPKRGS_MINE_TOPK_MINER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,10 +10,41 @@
 #include "core/dataset.h"
 #include "core/rule.h"
 #include "mine/miner_common.h"
+#include "util/bitset.h"
+#include "util/rowset.h"
 #include "util/status.h"
 #include "util/timer.h"
 
 namespace topkrgs {
+
+/// Hooks for the out-of-core sharded engine (src/scale/, DESIGN.md §14).
+/// A shard mines a SUFFIX of the globally ordered dataset, so three small
+/// deviations from stand-alone mining are needed to keep the sharded
+/// merge bit-identical to a single-shot run:
+///
+///  - `frequent_items`: the GLOBAL frequent-item set. Per-suffix frequent
+///    sets diverge (an item frequent globally may fall below minsup in a
+///    suffix and vice versa), which would change the enumeration universe
+///    and thus the emitted closures.
+///  - `first_level_limit`: only first-level children whose LOCAL canonical
+///    position is < limit become subtree tasks. The shard planner sets
+///    this to the shard's owned positive range so each closed group is
+///    mined by exactly one shard (the one owning min R(G) \ absorbed).
+///  - `contained_outside`: "is this itemset contained in some row BEFORE
+///    this shard's suffix?" — the out-of-shard half of the paper's
+///    backward check (Step 7). A hit means the node duplicates a branch
+///    an earlier shard enumerates, exactly like an in-dataset earlier
+///    row, so the subtree is skipped and guarded seeds are not planted.
+///    MUST be thread-safe: workers call it concurrently.
+///
+/// All three default to "no hook" (stand-alone behavior). The struct is
+/// borrowed via `TopkMinerOptions::shard_hooks` and must outlive the
+/// MineTopkRGS call.
+struct ShardHooks {
+  const Bitset* frequent_items = nullptr;
+  uint32_t first_level_limit = 0xffffffffu;
+  std::function<bool(const RowSet&)> contained_outside;
+};
 
 /// Options of algorithm MineTopkRGS (Figure 3 of the paper). The pruning
 /// toggles exist for the ablation benchmarks; all default to the paper's
@@ -106,6 +138,13 @@ struct TopkMinerOptions {
     if (warmup_nodes >= 0) return static_cast<uint64_t>(warmup_nodes);
     return 64ull * k;
   }
+
+  /// Sharded-mining hooks (borrowed, may be null = stand-alone mining).
+  /// Only meaningful with row_order == kNatural: the shard miner feeds
+  /// suffix datasets already in global canonical order, and re-ordering
+  /// inside the shard would break the position arithmetic behind
+  /// `first_level_limit` and the prefix guard. Validate() enforces this.
+  const ShardHooks* shard_hooks = nullptr;
 
   /// Rejects contradictory option combinations instead of silently picking
   /// a winner: k == 0, or `threads` and the deprecated `hybrid_threads`

@@ -1,0 +1,212 @@
+#include "scale/mmap_dataset.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "core/types.h"
+
+namespace topkrgs {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'K', 'D', 'S', '0', '0', '0', '1'};
+constexpr uint32_t kEndianTag = 0x0A0B0C0Du;
+constexpr size_t kHeaderBytes = 32;
+
+size_t PadTo8(size_t n) { return (n + 7) & ~size_t{7}; }
+
+/// Section layout for a given shape; all offsets are from byte 0.
+struct Layout {
+  size_t labels_begin;
+  size_t offsets_begin;
+  size_t row_ids_begin;
+  size_t total_bytes;
+};
+
+Layout LayoutFor(uint32_t num_items, uint32_t num_rows, uint64_t nnz) {
+  Layout l;
+  l.labels_begin = kHeaderBytes;
+  l.offsets_begin = l.labels_begin + PadTo8(num_rows);
+  l.row_ids_begin =
+      l.offsets_begin + (static_cast<size_t>(num_items) + 1) * sizeof(uint64_t);
+  l.total_bytes = l.row_ids_begin + PadTo8(nnz * sizeof(uint32_t));
+  return l;
+}
+
+Status WriteAll(std::FILE* file, const void* data, size_t bytes,
+                const std::string& path) {
+  if (bytes != 0 && std::fwrite(data, 1, bytes, file) != bytes) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteTkds(const StreamedTable& table, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot create " + path);
+  }
+  const uint32_t num_items = table.num_items();
+  const uint32_t num_rows = table.num_rows();
+  const uint32_t num_classes = table.num_classes();
+  const uint64_t nnz = table.nnz();
+
+  unsigned char header[kHeaderBytes] = {};
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  std::memcpy(header + 8, &kEndianTag, 4);
+  std::memcpy(header + 12, &num_items, 4);
+  std::memcpy(header + 16, &num_rows, 4);
+  std::memcpy(header + 20, &num_classes, 4);
+  std::memcpy(header + 24, &nnz, 8);
+
+  const TransposedView view = table.View();
+  const uint64_t pad = 0;
+  Status status = WriteAll(file, header, sizeof(header), path);
+  if (status.ok()) {
+    status = WriteAll(file, view.labels, num_rows, path);
+  }
+  if (status.ok()) {
+    status = WriteAll(file, &pad, PadTo8(num_rows) - num_rows, path);
+  }
+  if (status.ok()) {
+    status = WriteAll(file, view.item_offsets,
+                      (static_cast<size_t>(num_items) + 1) * sizeof(uint64_t),
+                      path);
+  }
+  if (status.ok()) {
+    status = WriteAll(file, view.item_row_ids, nnz * sizeof(uint32_t), path);
+  }
+  if (status.ok()) {
+    const size_t ids_bytes = nnz * sizeof(uint32_t);
+    status = WriteAll(file, &pad, PadTo8(ids_bytes) - ids_bytes, path);
+  }
+  if (std::fclose(file) != 0 && status.ok()) {
+    status = Status::IOError("close failed: " + path);
+  }
+  return status;
+}
+
+StatusOr<MmapDataset> MmapDataset::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  const size_t file_bytes = static_cast<size_t>(st.st_size);
+  if (file_bytes < kHeaderBytes) {
+    ::close(fd);
+    return Status::InvalidArgument(path + ": truncated tkds header");
+  }
+  void* mapping = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (mapping == MAP_FAILED) {
+    return Status::IOError("mmap failed: " + path);
+  }
+  MmapDataset dataset;
+  dataset.mapping_ = mapping;
+  dataset.mapped_bytes_ = file_bytes;
+
+  const unsigned char* base = static_cast<const unsigned char*>(mapping);
+  auto invalid = [&](const std::string& why) -> Status {
+    return Status::InvalidArgument(path + ": " + why);
+  };
+  if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0) {
+    return invalid("not a tkds file (bad magic)");
+  }
+  uint32_t tag, num_items, num_rows, num_classes;
+  uint64_t nnz;
+  std::memcpy(&tag, base + 8, 4);
+  std::memcpy(&num_items, base + 12, 4);
+  std::memcpy(&num_rows, base + 16, 4);
+  std::memcpy(&num_classes, base + 20, 4);
+  std::memcpy(&nnz, base + 24, 8);
+  if (tag != kEndianTag) {
+    return invalid("byte order mismatch (file written on a foreign-endian "
+                   "machine)");
+  }
+  if (num_items == 0 || num_items > kMaxItemUniverse) {
+    return invalid("item universe out of range");
+  }
+  if (num_rows == 0) return invalid("empty dataset");
+  if (num_classes == 0 || num_classes > kMaxClasses) {
+    return invalid("class count out of range");
+  }
+  if (nnz > static_cast<uint64_t>(num_items) * num_rows) {
+    return invalid("nnz exceeds rows × items");
+  }
+  const Layout layout = LayoutFor(num_items, num_rows, nnz);
+  if (file_bytes != layout.total_bytes) {
+    return invalid("file size does not match the declared shape");
+  }
+
+  const ClassLabel* labels =
+      reinterpret_cast<const ClassLabel*>(base + layout.labels_begin);
+  const uint64_t* offsets =
+      reinterpret_cast<const uint64_t*>(base + layout.offsets_begin);
+  const uint32_t* row_ids =
+      reinterpret_cast<const uint32_t*>(base + layout.row_ids_begin);
+
+  for (uint32_t r = 0; r < num_rows; ++r) {
+    if (labels[r] >= num_classes) return invalid("label out of range");
+  }
+  if (offsets[0] != 0) return invalid("item_offsets[0] != 0");
+  for (uint32_t i = 0; i < num_items; ++i) {
+    if (offsets[i + 1] < offsets[i]) {
+      return invalid("item_offsets not monotone");
+    }
+  }
+  if (offsets[num_items] != nnz) {
+    return invalid("item_offsets[num_items] != nnz");
+  }
+  for (uint32_t i = 0; i < num_items; ++i) {
+    for (uint64_t j = offsets[i]; j < offsets[i + 1]; ++j) {
+      if (row_ids[j] >= num_rows) return invalid("row id out of range");
+      if (j > offsets[i] && row_ids[j] <= row_ids[j - 1]) {
+        return invalid("row ids not strictly ascending within an item");
+      }
+    }
+  }
+
+  dataset.view_.num_items = num_items;
+  dataset.view_.num_rows = num_rows;
+  dataset.view_.num_classes = num_classes;
+  dataset.view_.labels = labels;
+  dataset.view_.item_offsets = offsets;
+  dataset.view_.item_row_ids = row_ids;
+  return dataset;
+}
+
+MmapDataset::MmapDataset(MmapDataset&& other) noexcept
+    : mapping_(std::exchange(other.mapping_, nullptr)),
+      mapped_bytes_(std::exchange(other.mapped_bytes_, 0)),
+      view_(std::exchange(other.view_, TransposedView{})) {}
+
+MmapDataset& MmapDataset::operator=(MmapDataset&& other) noexcept {
+  if (this != &other) {
+    if (mapping_ != nullptr) ::munmap(mapping_, mapped_bytes_);
+    mapping_ = std::exchange(other.mapping_, nullptr);
+    mapped_bytes_ = std::exchange(other.mapped_bytes_, 0);
+    view_ = std::exchange(other.view_, TransposedView{});
+  }
+  return *this;
+}
+
+MmapDataset::~MmapDataset() {
+  if (mapping_ != nullptr) ::munmap(mapping_, mapped_bytes_);
+}
+
+}  // namespace topkrgs

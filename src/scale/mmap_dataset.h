@@ -1,0 +1,65 @@
+#ifndef TOPKRGS_SCALE_MMAP_DATASET_H_
+#define TOPKRGS_SCALE_MMAP_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "scale/stream_reader.h"
+#include "util/status.h"
+
+namespace topkrgs {
+
+/// The "tkds" memory-mapped dataset format: the transposed table of
+/// stream_reader.h laid out verbatim on disk so a reader pays zero parse
+/// cost and the page cache is the only copy in memory. Little-endian,
+/// 8-byte-aligned sections (DESIGN.md §14 carries the byte-level spec):
+///
+///   [0]  magic            8 bytes   "TKDS0001"
+///   [8]  endian tag       u32       0x0A0B0C0D (rejects foreign byte order)
+///   [12] num_items        u32
+///   [16] num_rows         u32
+///   [20] num_classes      u32
+///   [24] nnz              u64
+///   [32] labels           num_rows × u8, padded to a multiple of 8
+///   [..] item_offsets     (num_items + 1) × u64
+///   [..] item_row_ids     nnz × u32
+///
+/// Every structural invariant is validated once at Open (magic/tag, exact
+/// file size, monotone offsets bracketed by [0, nnz], ascending in-range
+/// row ids per item, labels < num_classes <= kMaxClasses), so downstream
+/// consumers can trust the view without per-access checks.
+
+/// Serializes a streamed table to `path` in tkds format.
+[[nodiscard]] Status WriteTkds(const StreamedTable& table,
+                               const std::string& path);
+
+/// A tkds file mapped read-only into the address space. Movable, not
+/// copyable; the TransposedView it hands out is valid for the lifetime of
+/// this object.
+class MmapDataset {
+ public:
+  static StatusOr<MmapDataset> Open(const std::string& path);
+
+  /// An empty (unmapped) dataset; View() on it is all-null. Public because
+  /// StatusOr<MmapDataset> value-initializes its payload.
+  MmapDataset() = default;
+
+  MmapDataset(MmapDataset&& other) noexcept;
+  MmapDataset& operator=(MmapDataset&& other) noexcept;
+  MmapDataset(const MmapDataset&) = delete;
+  MmapDataset& operator=(const MmapDataset&) = delete;
+  ~MmapDataset();
+
+  TransposedView View() const { return view_; }
+  size_t mapped_bytes() const { return mapped_bytes_; }
+
+ private:
+  void* mapping_ = nullptr;
+  size_t mapped_bytes_ = 0;
+  TransposedView view_;
+};
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_SCALE_MMAP_DATASET_H_

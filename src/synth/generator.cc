@@ -1,6 +1,8 @@
 #include "synth/generator.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <functional>
 
 #include "util/random.h"
 #include "util/status.h"
@@ -92,12 +94,16 @@ std::vector<GenePlan> PlanGenes(const DatasetProfile& p, Rng& rng) {
   return plan;
 }
 
-/// Draws `rows_per_class[c]` samples per class into `out`. Test rows
+/// One generated sample handed to a sink; the row buffer is reused
+/// between calls, so sinks must copy (or serialize) before returning.
+using RowSink = std::function<void(const std::vector<double>&, ClassLabel)>;
+
+/// Draws `rows_per_class[c]` samples per class into `sink`. Test rows
 /// (is_test) apply the profile's distribution shift: atypical rows whose
 /// contamination also hits the perfect markers, plus a global batch shift.
 void EmitRows(const DatasetProfile& p, const std::vector<GenePlan>& plan,
               const std::vector<uint32_t>& rows_per_class, bool is_test,
-              Rng& rng, ContinuousDataset* out) {
+              Rng& rng, const RowSink& sink) {
   // Per-gene contamination rate of an atypical test row.
   constexpr double kAtypicalContamination = 0.45;
   std::vector<double> row(p.num_genes);
@@ -150,7 +156,7 @@ void EmitRows(const DatasetProfile& p, const std::vector<GenePlan>& plan,
         }
         row[g] = v;
       }
-      out->AddRow(row, cls);
+      sink(row, cls);
     }
   }
 }
@@ -277,10 +283,77 @@ GeneratedData GenerateMicroarray(const DatasetProfile& profile) {
   // label 0 first, so pass counts accordingly and rely on row order only
   // through class labels, never positions.
   EmitRows(profile, plan, {profile.train_class0, profile.train_class1},
-           /*is_test=*/false, rng, &data.train);
+           /*is_test=*/false, rng,
+           [&](const std::vector<double>& row, ClassLabel cls) {
+             data.train.AddRow(row, cls);
+           });
   EmitRows(profile, plan, {profile.test_class0, profile.test_class1},
-           /*is_test=*/true, rng, &data.test);
+           /*is_test=*/true, rng,
+           [&](const std::vector<double>& row, ClassLabel cls) {
+             data.test.AddRow(row, cls);
+           });
   return data;
+}
+
+Status StreamMicroarrayTsv(const DatasetProfile& profile,
+                           const std::string& train_path,
+                           const std::string& test_path, size_t chunk_bytes) {
+  TOPKRGS_CHECK(profile.num_genes > 0, "profile needs genes");
+  Rng rng(profile.seed);
+  const std::vector<GenePlan> plan = PlanGenes(profile, rng);
+
+  // The rng is shared across both splits (test draws continue where the
+  // training draws stopped), so the splits must stream in order.
+  auto stream_split = [&](const std::string& path,
+                          const std::vector<uint32_t>& rows_per_class,
+                          bool is_test) -> Status {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+      return Status::IOError("cannot open for write: " + path);
+    }
+    bool failed = false;
+    std::string buffer;
+    buffer.reserve(chunk_bytes + (size_t{32} * profile.num_genes));
+    auto flush = [&]() {
+      if (!failed && !buffer.empty() &&
+          std::fwrite(buffer.data(), 1, buffer.size(), file) !=
+              buffer.size()) {
+        failed = true;
+      }
+      buffer.clear();
+    };
+    // Header and row formatting mirror ContinuousDataset::WriteTsv
+    // byte for byte (default gene names, "%.17g" cells).
+    buffer.append("label");
+    for (GeneId g = 0; g < profile.num_genes; ++g) {
+      buffer.push_back('\t');
+      buffer.append("G");
+      buffer.append(std::to_string(g));
+    }
+    buffer.push_back('\n');
+    EmitRows(profile, plan, rows_per_class, is_test, rng,
+             [&](const std::vector<double>& row, ClassLabel cls) {
+               buffer.append(std::to_string(static_cast<int>(cls)));
+               char cell[40];
+               for (const double v : row) {
+                 std::snprintf(cell, sizeof(cell), "\t%.17g", v);
+                 buffer.append(cell);
+               }
+               buffer.push_back('\n');
+               if (buffer.size() >= chunk_bytes) flush();
+             });
+    flush();
+    if (std::fclose(file) != 0) failed = true;
+    if (failed) return Status::IOError("write failed: " + path);
+    return Status::OK();
+  };
+
+  Status train = stream_split(
+      train_path, {profile.train_class0, profile.train_class1},
+      /*is_test=*/false);
+  if (!train.ok()) return train;
+  return stream_split(test_path, {profile.test_class0, profile.test_class1},
+                      /*is_test=*/true);
 }
 
 std::vector<DatasetProfile> PaperProfiles() {

@@ -1,11 +1,13 @@
 #ifndef TOPKRGS_SYNTH_GENERATOR_H_
 #define TOPKRGS_SYNTH_GENERATOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/dataset.h"
+#include "util/status.h"
 
 namespace topkrgs {
 
@@ -90,6 +92,16 @@ GeneratedData GenerateMicroarray(const DatasetProfile& profile);
 
 /// The four Table 1 profiles in paper order.
 std::vector<DatasetProfile> PaperProfiles();
+
+/// Streams a profile's train and test splits straight to TSV files,
+/// holding one formatted chunk (~chunk_bytes) in memory instead of the
+/// whole matrix. Output is byte-identical to GenerateMicroarray followed
+/// by ContinuousDataset::WriteTsv on each split — the generator draws in
+/// the same order, only the sink differs.
+Status StreamMicroarrayTsv(const DatasetProfile& profile,
+                           const std::string& train_path,
+                           const std::string& test_path,
+                           size_t chunk_bytes = size_t{1} << 20);
 
 }  // namespace topkrgs
 

@@ -1,0 +1,151 @@
+#include "synth/scale_profile.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace topkrgs {
+
+namespace {
+
+/// SplitMix64 finalizer over (seed, row): decorrelates adjacent row seeds
+/// so per-row streams are independent, and ties a row's content to its
+/// index alone — the writer's chunk size can never leak into the bytes.
+uint64_t RowSeed(uint64_t seed, uint64_t row) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (row + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ScaleProfile ScaleProfile::Full() {
+  ScaleProfile p;
+  p.name = "scale-full";
+  p.rows = 100000;
+  p.num_items = 10000;
+  p.patterns = 20;
+  p.pattern_items = 12;
+  p.noise_items_per_row = 16;
+  p.seed = 2005;
+  return p;
+}
+
+ScaleProfile ScaleProfile::Reduced() {
+  ScaleProfile p;
+  p.name = "scale-reduced";
+  p.rows = 8000;
+  p.num_items = 2000;
+  p.patterns = 12;
+  p.pattern_items = 10;
+  p.noise_items_per_row = 10;
+  p.seed = 2005;
+  return p;
+}
+
+ScaleProfile ScaleProfile::Micro() {
+  ScaleProfile p;
+  p.name = "scale-micro";
+  p.rows = 400;
+  p.num_items = 300;
+  p.patterns = 6;
+  p.pattern_items = 8;
+  p.noise_items_per_row = 6;
+  p.two_pattern_prob = 0.15;
+  p.seed = 2005;
+  return p;
+}
+
+uint32_t ScaleProfile::SuggestedMinSupport() const {
+  const double positives = static_cast<double>(rows) * positive_frac;
+  const double per_pattern = positives / std::max<uint32_t>(patterns, 1);
+  return std::max<uint32_t>(2, static_cast<uint32_t>(per_pattern / 2.0));
+}
+
+void AppendScaleRow(const ScaleProfile& p, uint64_t row, std::string* out) {
+  Rng rng(RowSeed(p.seed, row));
+  const bool positive = rng.NextBool(p.positive_frac);
+  const uint32_t primary = static_cast<uint32_t>(rng.NextBounded(p.patterns));
+  uint32_t secondary = primary;
+  if (rng.NextBool(p.two_pattern_prob)) {
+    secondary = static_cast<uint32_t>(rng.NextBounded(p.patterns));
+  }
+
+  std::vector<uint32_t> items;
+  items.reserve(static_cast<size_t>(2) * p.pattern_items +
+                p.noise_items_per_row);
+  for (uint32_t s = 0; s < p.pattern_items; ++s) {
+    items.push_back(primary * p.pattern_items + s);
+  }
+  if (secondary != primary) {
+    for (uint32_t s = 0; s < p.pattern_items; ++s) {
+      items.push_back(secondary * p.pattern_items + s);
+    }
+  }
+  const uint32_t noise_begin = p.patterns * p.pattern_items;
+  const uint32_t noise_universe =
+      p.num_items > noise_begin ? p.num_items - noise_begin : 0;
+  if (noise_universe > 0) {
+    for (uint32_t n = 0; n < p.noise_items_per_row; ++n) {
+      items.push_back(noise_begin +
+                      static_cast<uint32_t>(rng.NextBounded(noise_universe)));
+    }
+  }
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+
+  out->push_back(positive ? '1' : '0');
+  out->push_back('\t');
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out->push_back(' ');
+    out->append(std::to_string(items[i]));
+  }
+  out->push_back('\n');
+}
+
+Status WriteScaleItemData(const ScaleProfile& profile, const std::string& path,
+                          uint64_t chunk_rows) {
+  if (profile.rows == 0 || profile.patterns == 0 ||
+      profile.pattern_items == 0) {
+    return Status::InvalidArgument("scale profile needs rows and patterns");
+  }
+  if (static_cast<uint64_t>(profile.patterns) * profile.pattern_items >
+      profile.num_items) {
+    return Status::InvalidArgument(
+        "pattern blocks do not fit the item universe");
+  }
+  if (chunk_rows == 0) chunk_rows = 1;
+
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  bool failed = false;
+  std::string buffer;
+  auto flush = [&]() {
+    if (!failed && !buffer.empty() &&
+        std::fwrite(buffer.data(), 1, buffer.size(), file) != buffer.size()) {
+      failed = true;
+    }
+    buffer.clear();
+  };
+  uint64_t in_chunk = 0;
+  for (uint64_t row = 0; row < profile.rows; ++row) {
+    AppendScaleRow(profile, row, &buffer);
+    if (++in_chunk >= chunk_rows) {
+      flush();
+      in_chunk = 0;
+    }
+  }
+  flush();
+  if (std::fclose(file) != 0) failed = true;
+  if (failed) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace topkrgs

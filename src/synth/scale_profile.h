@@ -1,0 +1,68 @@
+#ifndef TOPKRGS_SYNTH_SCALE_PROFILE_H_
+#define TOPKRGS_SYNTH_SCALE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace topkrgs {
+
+/// Shape of a streaming-scale synthetic item dataset (the out-of-core
+/// engine's workload, DESIGN.md §14). Unlike the microarray generator the
+/// row count here is far too large to materialize: rows are produced one
+/// at a time from a per-row seed, so any contiguous slice of the file can
+/// be regenerated independently and the emitted bytes do not depend on
+/// writer chunking.
+///
+/// Signal model: items split into `patterns` disjoint blocks of
+/// `pattern_items` ids each ([p*pattern_items, (p+1)*pattern_items)),
+/// followed by a noise region. Every row carries exactly one full pattern
+/// block (a `two_pattern_prob` fraction carries a second, giving the
+/// search depth-2 closed sets) plus `noise_items_per_row` uniform draws
+/// from the noise region. With SuggestedMinSupport, each pattern block is
+/// frequent while every noise item stays far below threshold, so the
+/// closed-set structure — and therefore mining cost — is governed by the
+/// pattern count, not the row count.
+struct ScaleProfile {
+  std::string name;
+  uint64_t rows = 100000;
+  uint32_t num_items = 10000;
+  uint32_t patterns = 20;
+  uint32_t pattern_items = 12;
+  uint32_t noise_items_per_row = 16;
+  /// Fraction of rows that carry a second (distinct) pattern block.
+  double two_pattern_prob = 0.1;
+  /// Fraction of rows labeled with the consequent class (label 1).
+  double positive_frac = 0.5;
+  uint64_t seed = 2005;
+
+  /// The ISSUE's headline workload: 100k rows x 10k items.
+  static ScaleProfile Full();
+  /// CI-sized end-to-end profile (seconds, not minutes).
+  static ScaleProfile Reduced();
+  /// Oracle-test scale: small enough to single-shot mine in-memory.
+  static ScaleProfile Micro();
+
+  /// Half the expected per-pattern positive support: every pattern block
+  /// clears it, every noise item sits far below it.
+  uint32_t SuggestedMinSupport() const;
+};
+
+/// Streams the profile to `path` in the repo's item-data format
+/// ('label<TAB>space-separated sorted item ids'), holding at most
+/// `chunk_rows` formatted rows in memory. Each row is drawn from its own
+/// SplitMix-derived seed, so the bytes are identical for every
+/// chunk_rows choice.
+Status WriteScaleItemData(const ScaleProfile& profile, const std::string& path,
+                          uint64_t chunk_rows = 4096);
+
+/// Formats row `row` of the profile (deterministic in (seed, row) alone)
+/// and appends it, newline-terminated, to `out`. Exposed for tests that
+/// check chunking independence and for samplers that need a row slice.
+void AppendScaleRow(const ScaleProfile& profile, uint64_t row,
+                    std::string* out);
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_SYNTH_SCALE_PROFILE_H_

@@ -6,7 +6,9 @@
 /// (Cong, Tan, Tung, Xu — SIGMOD 2005): the MineTopkRGS miner, the RCBT /
 /// CBA / IRG classifiers, the FARMER / CHARM / CLOSET+ baselines, and the
 /// preprocessing substrates (entropy-MDL discretization, synthetic
-/// microarray generation), plus the embeddable prediction-serving stack
+/// microarray generation), the out-of-core sharded mining engine
+/// (streaming ingest, mmap datasets, deterministic top-k merge —
+/// src/scale), plus the embeddable prediction-serving stack
 /// (model registry, batched executor, HTTP front end — src/serve).
 
 #include "analyze/rule_report.h"
@@ -36,6 +38,11 @@
 #include "mine/prefix_tree.h"
 #include "mine/topk_miner.h"
 #include "mine/transposed_table.h"
+#include "scale/mmap_dataset.h"
+#include "scale/shard_miner.h"
+#include "scale/shard_planner.h"
+#include "scale/stream_reader.h"
+#include "scale/topk_merge.h"
 #include "serve/executor.h"
 #include "serve/http.h"
 #include "serve/json.h"
@@ -43,6 +50,7 @@
 #include "serve/model_registry.h"
 #include "serve/service.h"
 #include "synth/generator.h"
+#include "synth/scale_profile.h"
 #include "util/bitset.h"
 #include "util/check.h"
 #include "util/histogram.h"

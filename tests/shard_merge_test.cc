@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "mine/topk_miner.h"
+#include "scale/shard_planner.h"
+#include "scale/stream_reader.h"
+#include "scale/topk_merge.h"
+#include "synth/scale_profile.h"
+
+namespace topkrgs {
+namespace {
+
+/// The oracle of DESIGN.md §14: sharded mining must be bit-identical to
+/// single-shot MineTopkRGS on the materialized dataset, for ANY shard
+/// count and thread count. These tests drive both engines over the same
+/// tables and compare per-row lists group-for-group, plus the digest the
+/// bench gates on.
+
+StreamedTable TableFromText(const std::string& text) {
+  auto table_or = StreamReader::ParseItemData(text);
+  EXPECT_TRUE(table_or.ok()) << table_or.status().ToString();
+  return std::move(table_or).value();
+}
+
+StreamedTable TableFromProfile(const ScaleProfile& profile) {
+  std::string text;
+  for (uint64_t row = 0; row < profile.rows; ++row) {
+    AppendScaleRow(profile, row, &text);
+  }
+  return TableFromText(text);
+}
+
+TopkResult SingleShot(const TransposedView& view, ClassLabel consequent,
+                      uint32_t k, uint32_t minsup) {
+  const DiscreteDataset data = MaterializeDataset(view);
+  TopkMinerOptions opt;
+  opt.k = k;
+  opt.min_support = minsup;
+  return MineTopkRGS(data, consequent, opt);
+}
+
+void ExpectIdentical(const TopkResult& oracle, const MergedTopk& merged,
+                     const std::string& context) {
+  EXPECT_EQ(oracle.effective_min_support, merged.effective_min_support)
+      << context;
+  ASSERT_EQ(oracle.per_row.size(), merged.per_row.size()) << context;
+  for (size_t r = 0; r < oracle.per_row.size(); ++r) {
+    const auto& la = oracle.per_row[r];
+    const auto& lb = merged.per_row[r];
+    ASSERT_EQ(la.size(), lb.size()) << context << " row " << r;
+    for (size_t i = 0; i < la.size(); ++i) {
+      const RuleGroup& ga = *la[i];
+      const RuleGroup& gb = *lb[i];
+      EXPECT_EQ(ga.antecedent, gb.antecedent)
+          << context << " row " << r << " rank " << i;
+      EXPECT_EQ(ga.consequent, gb.consequent)
+          << context << " row " << r << " rank " << i;
+      EXPECT_EQ(ga.support, gb.support)
+          << context << " row " << r << " rank " << i;
+      EXPECT_EQ(ga.antecedent_support, gb.antecedent_support)
+          << context << " row " << r << " rank " << i;
+      EXPECT_EQ(ga.row_support, gb.row_support)
+          << context << " row " << r << " rank " << i;
+    }
+  }
+  EXPECT_EQ(TopkDigest(oracle.per_row, oracle.effective_min_support),
+            TopkDigest(merged.per_row, merged.effective_min_support))
+      << context;
+}
+
+/// Sweeps shard counts × thread counts over one table and compares every
+/// run against the single-shot oracle.
+void CheckShardInvariance(const TransposedView& view, ClassLabel consequent,
+                          uint32_t k, uint32_t minsup,
+                          const std::vector<uint32_t>& shard_counts,
+                          const std::vector<uint32_t>& thread_counts,
+                          const std::string& context) {
+  const TopkResult oracle = SingleShot(view, consequent, k, minsup);
+  for (const uint32_t shards : shard_counts) {
+    for (const uint32_t threads : thread_counts) {
+      ShardPlanOptions plan_opt;
+      plan_opt.k = k;
+      plan_opt.min_support = minsup;
+      plan_opt.shard_count = shards;
+      ShardMineOptions mine_opt;
+      mine_opt.threads = threads;
+      ShardPlan plan;
+      auto merged_or =
+          MineShardedTopkRGS(view, consequent, plan_opt, mine_opt, &plan);
+      ASSERT_TRUE(merged_or.ok()) << merged_or.status().ToString();
+      ExpectIdentical(oracle, merged_or.value(),
+                      context + " shards=" + std::to_string(shards) +
+                          " threads=" + std::to_string(threads) +
+                          " planned=" + std::to_string(plan.shards.size()));
+    }
+  }
+}
+
+/// Three single-item patterns with IDENTICAL significance (support 6,
+/// confidence 1.0) all covering the two shared rows, k=2: the k-th-slot
+/// tie discipline must keep the canonically-earliest two in every shard
+/// split, which is exactly where a merge with the wrong tie order breaks.
+TEST(ShardMergeTest, TieSaturatedKthSlot) {
+  std::string text;
+  text += "1\t0 1 2\n";  // rows 0-1: all three patterns
+  text += "1\t0 1 2\n";
+  for (int i = 0; i < 4; ++i) text += "1\t0\n";  // rows 2-5: pattern 0
+  for (int i = 0; i < 4; ++i) text += "1\t1\n";  // rows 6-9: pattern 1
+  for (int i = 0; i < 4; ++i) text += "1\t2\n";  // rows 10-13: pattern 2
+  text += "0\t3\n";  // negatives
+  text += "0\t3\n";
+  const StreamedTable table = TableFromText(text);
+
+  // Sanity: on the shared rows the three (6, 6) groups tie for both slots
+  // of k=2 and the (2, 2) closed triple is outranked.
+  const TopkResult oracle = SingleShot(table.View(), 1, 2, 2);
+  ASSERT_EQ(oracle.per_row[0].size(), 2u);
+  EXPECT_EQ(oracle.per_row[0][0]->support, 6u);
+  EXPECT_EQ(oracle.per_row[0][1]->support, 6u);
+
+  CheckShardInvariance(table.View(), 1, 2, 2, {1, 2, 3, 7, 14, 16}, {1},
+                       "tie-saturated");
+}
+
+TEST(ShardMergeTest, MicroProfileAcrossShardAndThreadCounts) {
+  const ScaleProfile profile = ScaleProfile::Micro();
+  const StreamedTable table = TableFromProfile(profile);
+  CheckShardInvariance(table.View(), 1, 3, profile.SuggestedMinSupport(),
+                       {1, 2, 7, 16}, {1, 8}, "micro profile");
+}
+
+/// Distinct k and consequent: the merge must reconstruct the OTHER class's
+/// seeds and root correctly too.
+TEST(ShardMergeTest, MicroProfileNegativeClassConsequent) {
+  const ScaleProfile profile = ScaleProfile::Micro();
+  const StreamedTable table = TableFromProfile(profile);
+  CheckShardInvariance(table.View(), 0, 2, profile.SuggestedMinSupport(),
+                       {1, 3, 16}, {1}, "micro profile class 0");
+}
+
+/// A dataset where one row contains every frequent item: the earliest
+/// absorbed row truncates the plan (later shards are provably inert), and
+/// the absorbing shard takes unlimited fan-out. Output must not change.
+TEST(ShardMergeTest, AbsorbedRowTruncatesPlan) {
+  std::string text;
+  text += "1\t0 1 2 3\n";  // contains every (frequent) item
+  text += "1\t0 1\n";
+  text += "1\t0 1\n";
+  text += "1\t2 3\n";
+  text += "1\t2 3\n";
+  text += "1\t0 2\n";
+  text += "0\t4\n";
+  text += "0\t4\n";
+  const StreamedTable table = TableFromText(text);
+
+  ShardPlanOptions plan_opt;
+  plan_opt.k = 2;
+  plan_opt.min_support = 2;
+  plan_opt.shard_count = 6;
+  auto plan_or = PlanShards(table.View(), 1, plan_opt);
+  ASSERT_TRUE(plan_or.ok());
+  // The absorbed row has the maximum weight, so it sorts LAST among the
+  // positives: all six singleton shards up to it survive, and the last one
+  // gets unlimited fan-out.
+  ASSERT_FALSE(plan_or.value().shards.empty());
+  EXPECT_EQ(plan_or.value().shards.back().first_level_limit, UINT32_MAX);
+  EXPECT_EQ(plan_or.value().shards.back().end_pos, plan_or.value().positives);
+
+  CheckShardInvariance(table.View(), 1, 2, 2, {1, 2, 3, 6}, {1},
+                       "absorbed row");
+}
+
+/// Degenerate shapes: no frequent items (minsup too high) and a dataset
+/// with a single positive row must survive any shard count.
+TEST(ShardMergeTest, DegenerateShapes) {
+  const StreamedTable sparse =
+      TableFromText("1\t0\n1\t1\n1\t2\n0\t3\n");  // every item support 1
+  CheckShardInvariance(sparse.View(), 1, 2, 2, {1, 2, 3}, {1},
+                       "no frequent items");
+
+  const StreamedTable single = TableFromText("1\t0 1\n0\t0\n0\t2\n");
+  CheckShardInvariance(single.View(), 1, 2, 1, {1, 2}, {1},
+                       "single positive row");
+}
+
+/// Reduced profile end-to-end — minutes-scale work, so tier-1 skips it;
+/// set TOPKRGS_SLOW_TESTS=1 (the ci.sh scale stage does) to run.
+TEST(ShardMergeSlowTest, ReducedProfileAcrossShardCounts) {
+  if (std::getenv("TOPKRGS_SLOW_TESTS") == nullptr) {
+    GTEST_SKIP() << "set TOPKRGS_SLOW_TESTS=1 to run the reduced profile";
+  }
+  const ScaleProfile profile = ScaleProfile::Reduced();
+  const StreamedTable table = TableFromProfile(profile);
+  CheckShardInvariance(table.View(), 1, 3, profile.SuggestedMinSupport(),
+                       {1, 4, 9}, {1, 8}, "reduced profile");
+}
+
+}  // namespace
+}  // namespace topkrgs

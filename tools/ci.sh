@@ -24,7 +24,10 @@
 #           deterministic zones, with a shrink-only baseline), the
 #           redundant-work-ratio gate (tools/lint/redundancy_gate.py —
 #           8-thread nodes_visited over serial, ceiling 1.15, from the
-#           committed bench/BENCH_topk.json), and a
+#           committed bench/BENCH_topk.json), the out-of-core RSS gate
+#           (tools/lint/rss_gate.py — mine peak RSS within its
+#           --memory-budget and shard-count-invariant digests, from the
+#           committed bench/BENCH_scale.json), and a
 #           warnings-as-errors build of the lint preset, which also
 #           enforces -Werror=unused-result on the [[nodiscard]] Status
 #           surface. When a clang toolchain is on PATH it additionally
@@ -57,6 +60,16 @@
 #           stage is the gate backing that promise — run it before merging
 #           anything touching src/util/bitkernels.* or src/util/rowset.*.
 #
+#   scale — out-of-core engine gate. Build the release preset, run the
+#           reduced scale profile through bench_scale (streamed ingest,
+#           tkds convert, shard-count sweep) into a fresh record and hold
+#           it to tools/lint/rss_gate.py, run the sharded-vs-single-shot
+#           oracle tests with TOPKRGS_SLOW_TESTS=1 (the reduced-profile
+#           sweep that tier-1 skips), and round-trip a toy dataset through
+#           topkrgs-convert + topkrgs-shard-mine checking that the text
+#           and tkds paths report the same digest. Time-boxed via
+#           SCALE_SECONDS (default 120, the bench point budget).
+#
 #   serve — build the asan preset, run the serving-layer tests under it,
 #           then smoke-test the real topkrgs-serve binary end to end:
 #           train a TINY model, start the server on an ephemeral port,
@@ -64,7 +77,7 @@
 #           shut it down cleanly (SIGTERM). Also builds the release preset
 #           load-generator bench and refreshes bench/BENCH_serve.json.
 #
-# Usage: tools/ci.sh [lint|analyze|coverage|ubsan|tsan|fuzz|simd|serve|all]
+# Usage: tools/ci.sh [lint|analyze|coverage|ubsan|tsan|fuzz|simd|scale|serve|all]
 #        [extra ctest -R pattern]
 
 set -euo pipefail
@@ -84,6 +97,9 @@ run_lint() {
 
   echo "== redundant-work-ratio gate (tools/lint/redundancy_gate.py) =="
   python3 tools/lint/redundancy_gate.py
+
+  echo "== out-of-core RSS gate (tools/lint/rss_gate.py) =="
+  python3 tools/lint/rss_gate.py
 
   echo "== configure (lint preset: warnings-as-errors, compile_commands) =="
   cmake --preset lint >/dev/null
@@ -201,6 +217,47 @@ run_simd() {
        "forced scalar fallback."
 }
 
+run_scale() {
+  echo "== configure (release) =="
+  cmake --preset release >/dev/null
+  echo "== build (release: bench_scale, scale tools, oracle tests) =="
+  cmake --build --preset release -j --target bench_scale \
+    topkrgs_convert_tool topkrgs_shard_mine_tool shard_merge_test
+
+  local tmp
+  tmp="$(mktemp -d)"
+  # shellcheck disable=SC2064
+  trap "rm -rf '${tmp}'" RETURN
+
+  echo "== reduced-profile bench (streamed ingest + shard sweep) =="
+  TOPKRGS_BENCH_BUDGET_S="${SCALE_SECONDS:-120}" \
+    build-release/bench/bench_scale --out "${tmp}/BENCH_scale.json"
+  echo "== RSS + determinism gate over the fresh record =="
+  python3 tools/lint/rss_gate.py "${tmp}/BENCH_scale.json"
+
+  echo "== sharded-vs-single-shot oracle (incl. reduced-profile sweep) =="
+  TOPKRGS_SLOW_TESTS=1 ctest --test-dir build-release \
+    -R "ShardMerge" --output-on-failure
+
+  echo "== convert / shard-mine round trip (text vs tkds digest) =="
+  printf '1\t0 1 2\n1\t0 1 2\n1\t0 1\n1\t0 2\n1\t1 2\n0\t3 4\n0\t3\n0\t4\n' \
+    > "${tmp}/toy.items"
+  build-release/tools/topkrgs-convert --input "${tmp}/toy.items" \
+    --output "${tmp}/toy.tkds" >/dev/null
+  local text_digest tkds_digest
+  text_digest="$(build-release/tools/topkrgs-shard-mine \
+    --data "${tmp}/toy.items" --minsup 2 --k 3 --shards 3 \
+    | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')"
+  tkds_digest="$(build-release/tools/topkrgs-shard-mine \
+    --data "${tmp}/toy.tkds" --minsup 2 --k 3 --shards 2 \
+    | sed -n 's/.*digest \([0-9a-f]*\).*/\1/p')"
+  [ -n "${text_digest}" ] || { echo "shard-mine printed no digest"; exit 1; }
+  [ "${text_digest}" = "${tkds_digest}" ] || {
+    echo "digest mismatch: text=${text_digest} tkds=${tkds_digest}"; exit 1; }
+  echo "scale gate passed: bench within budget, oracle green, CLI round" \
+       "trip digest ${text_digest} invariant across formats and shard counts."
+}
+
 run_serve() {
   echo "== configure (asan) =="
   cmake --preset asan
@@ -277,6 +334,7 @@ case "${STAGE}" in
   tsan) run_tsan "${2:-TopkParallel|ThreadSafety|WorkStealDeque}" ;;
   fuzz) run_fuzz ;;
   simd) run_simd ;;
+  scale) run_scale ;;
   serve) run_serve ;;
   all)
     run_lint
@@ -285,6 +343,7 @@ case "${STAGE}" in
     run_ubsan
     run_fuzz
     run_simd
+    run_scale
     run_serve
     run_coverage
     ;;

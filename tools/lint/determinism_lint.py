@@ -64,7 +64,8 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__fi
 BASELINE_PATH = os.path.join(REPO_ROOT, "tools/lint/determinism_baseline.txt")
 FIXTURE_PATH = os.path.join(REPO_ROOT, "tools/lint/testdata/determinism_fixture.cc")
 
-DETERMINISTIC_ZONES = ("src/mine/", "src/core/", "src/classify/")
+DETERMINISTIC_ZONES = ("src/mine/", "src/core/", "src/classify/",
+                       "src/scale/")
 
 # Files allowed to touch clocks: the sanctioned wrappers themselves.
 CLOCK_ALLOWLIST = ("src/util/timer.h",)
@@ -395,7 +396,7 @@ def main():
     if new:
         failed = True
         print(f"determinism lint: {len(new)} new finding(s) in deterministic "
-              "zones (src/mine, src/core, src/classify):")
+              "zones (src/mine, src/core, src/classify, src/scale):")
         for f2 in new:
             print(f2.render())
         print("\nFix the hazard, or justify it in place with "

@@ -1,0 +1,15 @@
+// Thin main() for the topkrgs-convert tool; the logic lives in cli/commands.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const topkrgs::Status status = topkrgs::RunConvertCommand(args);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  }
+  return topkrgs::ExitCodeForStatus(status);
+}
