@@ -23,6 +23,7 @@
 #include "scale/stream_reader.h"
 #include "scale/topk_merge.h"
 #include "synth/generator.h"
+#include "util/safe_math.h"
 
 namespace topkrgs {
 
@@ -38,6 +39,14 @@ StatusOr<DatasetProfile> ProfileByName(const std::string& name) {
                                  "' (ALL, LC, OC, PC, TINY)");
 }
 
+/// CLI int64 flag -> uint32 option field, clamped below at `floor`. The
+/// flag layer parses into int64; every narrowing into a miner/planner
+/// option goes through CheckedCast so an oversized value is a flag error,
+/// not a silent truncation (a --k of 2^32+5 used to mine with k=5).
+StatusOr<uint32_t> FlagU32(int64_t value, int64_t floor, const char* what) {
+  return CheckedCast<uint32_t>(std::max(floor, value), what);
+}
+
 /// Resolves --minsup / --minsup-frac against the consequent class size.
 StatusOr<uint32_t> ResolveMinsup(const FlagParser& flags,
                                  uint32_t class_rows) {
@@ -45,7 +54,9 @@ StatusOr<uint32_t> ResolveMinsup(const FlagParser& flags,
   if (!minsup.ok()) return minsup.status();
   auto frac = flags.GetDouble("minsup-frac", 0.7);
   if (!frac.ok()) return frac.status();
-  if (minsup.value() > 0) return static_cast<uint32_t>(minsup.value());
+  if (minsup.value() > 0) {
+    return CheckedCast<uint32_t>(minsup.value(), "--minsup");
+  }
   if (frac.value() <= 0.0 || frac.value() > 1.0) {
     return Status::InvalidArgument("--minsup-frac must be in (0, 1]");
   }
@@ -59,8 +70,9 @@ void PrintRuleGroup(const Pipeline& pipeline, const ContinuousDataset& raw,
   group.antecedent.ForEach([&](size_t item) {
     if (printed >= max_items) return;
     if (!antecedent.empty()) antecedent += " AND ";
-    antecedent += pipeline.discretization.ItemName(
-        raw, static_cast<ItemId>(item));
+    // NOLINT(cast: ForEach yields bit positions < num_items, a uint32)
+    const auto id = static_cast<ItemId>(item);
+    antecedent += pipeline.discretization.ItemName(raw, id);
     ++printed;
   });
   const size_t total = group.antecedent.Count();
@@ -68,7 +80,7 @@ void PrintRuleGroup(const Pipeline& pipeline, const ContinuousDataset& raw,
     antecedent += " AND ... (" + std::to_string(total - max_items) + " more)";
   }
   std::printf("  IF %s THEN class %d  (sup %u, conf %.1f%%)\n",
-              antecedent.c_str(), static_cast<int>(group.consequent),
+              antecedent.c_str(), int{group.consequent},
               group.support, 100.0 * group.confidence());
 }
 
@@ -151,6 +163,7 @@ Status RunMineCommand(const std::vector<std::string>& args) {
   if (consequent.value() < 0 || consequent.value() >= data.num_classes()) {
     return Status::InvalidArgument("--consequent out of range");
   }
+  // NOLINT(cast: < num_classes <= kMaxClasses = 256 checked above)
   const ClassLabel cls = static_cast<ClassLabel>(consequent.value());
   const uint32_t class_rows = data.ClassCounts()[cls];
   if (class_rows == 0) {
@@ -182,17 +195,21 @@ Status RunMineCommand(const std::vector<std::string>& args) {
               "%u rows; minsup %u\n",
               data.num_rows(), data.num_items(),
               pipeline.discretization.num_selected_genes(),
-              static_cast<int>(cls), class_rows, minsup.value());
+              int{cls}, class_rows, minsup.value());
 
   const std::string algorithm = flags.GetString("algorithm", "topk");
   std::vector<RuleGroupPtr> to_print;
   MinerStats stats;
   if (algorithm == "topk" || algorithm == "hybrid") {
     TopkMinerOptions opt;
-    opt.k = static_cast<uint32_t>(std::max<int64_t>(1, k.value()));
+    auto k32 = FlagU32(k.value(), 1, "--k");
+    if (!k32.ok()) return k32.status();
+    opt.k = k32.value();
     opt.min_support = minsup.value();
     opt.deadline = Deadline(budget.value());
-    opt.threads = static_cast<uint32_t>(threads.value());
+    auto threads32 = FlagU32(threads.value(), 0, "--threads");
+    if (!threads32.ok()) return threads32.status();
+    opt.threads = threads32.value();
     opt.warmup_nodes = warmup_nodes.value();
     const TopkResult result = algorithm == "topk"
                                   ? MineTopkRGS(data, cls, opt)
@@ -232,7 +249,11 @@ Status RunMineCommand(const std::vector<std::string>& args) {
               });
     for (const RuleGroup& g : result.groups) {
       to_print.push_back(std::make_shared<const RuleGroup>(g));
-      if (to_print.size() >= static_cast<size_t>(max_print.value())) break;
+      // max(0, ·): a negative --max-print must clamp, not wrap to SIZE_MAX.
+      if (to_print.size() >=
+          static_cast<size_t>(std::max<int64_t>(0, max_print.value()))) {
+        break;
+      }
     }
   } else if (algorithm == "carpenter") {
     CarpenterOptions opt;
@@ -351,11 +372,16 @@ Status RunClassifyCommand(const std::vector<std::string>& args) {
   auto nl = flags.GetInt("nl", 20);
   if (!nl.ok()) return nl.status();
 
+  auto k32 = FlagU32(k.value(), 1, "--k");
+  if (!k32.ok()) return k32.status();
+  auto nl32 = FlagU32(nl.value(), 1, "--nl");
+  if (!nl32.ok()) return nl32.status();
+
   EvalOutcome eval;
   if (model_kind == "rcbt") {
     RcbtOptions opt;
-    opt.k = static_cast<uint32_t>(std::max<int64_t>(1, k.value()));
-    opt.nl = static_cast<uint32_t>(std::max<int64_t>(1, nl.value()));
+    opt.k = k32.value();
+    opt.nl = nl32.value();
     opt.min_support_frac = frac.value();
     opt.item_scores = pipeline.item_scores;
     RcbtClassifier clf = RcbtClassifier::Train(pipeline.train, opt);
@@ -420,6 +446,12 @@ Status RunCvCommand(const std::vector<std::string>& args) {
   if (!k.ok()) return k.status();
   auto nl = flags.GetInt("nl", 20);
   if (!nl.ok()) return nl.status();
+  auto k32 = FlagU32(k.value(), 1, "--k");
+  if (!k32.ok()) return k32.status();
+  auto nl32 = FlagU32(nl.value(), 1, "--nl");
+  if (!nl32.ok()) return nl32.status();
+  auto folds32 = FlagU32(folds.value(), 2, "--folds");
+  if (!folds32.ok()) return folds32.status();
 
   // Fold over the RAW data and refit the discretization inside every fold:
   // fitting cuts on all rows before splitting would leak the held-out
@@ -428,8 +460,7 @@ Status RunCvCommand(const std::vector<std::string>& args) {
   std::vector<ClassLabel> labels(raw.num_rows());
   for (RowId r = 0; r < raw.num_rows(); ++r) labels[r] = raw.label(r);
   const auto fold_of = StratifiedFolds(
-      labels, static_cast<uint32_t>(folds.value()),
-      static_cast<uint64_t>(seed.value()));
+      labels, folds32.value(), static_cast<uint64_t>(seed.value()));
 
   CrossValidationResult result;
   for (uint32_t fold = 0; fold < folds.value(); ++fold) {
@@ -448,8 +479,8 @@ Status RunCvCommand(const std::vector<std::string>& args) {
     EvalOutcome eval;
     if (model_kind == "rcbt") {
       RcbtOptions opt;
-      opt.k = static_cast<uint32_t>(std::max<int64_t>(1, k.value()));
-      opt.nl = static_cast<uint32_t>(std::max<int64_t>(1, nl.value()));
+      opt.k = k32.value();
+      opt.nl = nl32.value();
       opt.min_support_frac = frac.value();
       opt.item_scores = pipeline.item_scores;
       RcbtClassifier clf = RcbtClassifier::Train(pipeline.train, opt);
@@ -503,8 +534,10 @@ Status RunConvertCommand(const std::vector<std::string>& args) {
   }
 
   StreamReader::Options options;
-  auto declared =
-      CheckedIndexU32(static_cast<uint64_t>(num_items.value()), "--num-items");
+  // CheckedCast handles the signed int64 directly — the old path cast to
+  // uint64 first, so a (rejected-above) negative would have slipped past
+  // the index bound as a huge unsigned value.
+  auto declared = CheckedCast<uint32_t>(num_items.value(), "--num-items");
   if (!declared.ok()) return declared.status();
   options.num_items = declared.value();
   options.chunk_bytes = static_cast<size_t>(chunk_bytes.value());
@@ -558,6 +591,7 @@ Status RunShardMineCommand(const std::vector<std::string>& args) {
   if (consequent.value() < 0 || consequent.value() >= view.num_classes) {
     return Status::InvalidArgument("--consequent out of range");
   }
+  // NOLINT(cast: < num_classes <= kMaxClasses = 256 checked above)
   const ClassLabel cls = static_cast<ClassLabel>(consequent.value());
   uint32_t class_rows = 0;
   for (uint32_t r = 0; r < view.num_rows; ++r) {
@@ -594,16 +628,22 @@ Status RunShardMineCommand(const std::vector<std::string>& args) {
               "rows; minsup %u\n",
               view.num_rows, view.num_items,
               static_cast<unsigned long long>(view.nnz()),
-              static_cast<int>(cls), class_rows, minsup.value());
+              int{cls}, class_rows, minsup.value());
 
   ShardPlanOptions plan_opt;
-  plan_opt.k = static_cast<uint32_t>(std::max<int64_t>(1, k.value()));
+  auto k32 = FlagU32(k.value(), 1, "--k");
+  if (!k32.ok()) return k32.status();
+  plan_opt.k = k32.value();
   plan_opt.min_support = minsup.value();
   plan_opt.memory_budget_bytes =
       static_cast<uint64_t>(memory_budget.value());
-  plan_opt.shard_count = static_cast<uint32_t>(shards.value());
+  auto shards32 = FlagU32(shards.value(), 0, "--shards");
+  if (!shards32.ok()) return shards32.status();
+  plan_opt.shard_count = shards32.value();
   ShardMineOptions mine_opt;
-  mine_opt.threads = static_cast<uint32_t>(threads.value());
+  auto threads32 = FlagU32(threads.value(), 0, "--threads");
+  if (!threads32.ok()) return threads32.status();
+  mine_opt.threads = threads32.value();
   mine_opt.deadline = Deadline(budget.value());
 
   ShardPlan plan;

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "util/io.h"
+#include "util/safe_math.h"
 
 namespace topkrgs {
 
@@ -21,8 +22,8 @@ void ContinuousDataset::AddRow(const std::vector<double>& values,
   TOPKRGS_CHECK(values.size() == num_genes_, "row width != num_genes");
   values_.insert(values_.end(), values.begin(), values.end());
   labels_.push_back(label);
-  if (static_cast<uint32_t>(label) + 1 > num_classes_) {
-    num_classes_ = static_cast<uint32_t>(label) + 1;
+  if (uint32_t{label} + 1 > num_classes_) {
+    num_classes_ = uint32_t{label} + 1;
   }
 }
 
@@ -48,7 +49,7 @@ Status ContinuousDataset::WriteTsv(const std::string& path) const {
   }
   lines.push_back(std::move(header));
   for (RowId r = 0; r < num_rows(); ++r) {
-    std::string line = std::to_string(static_cast<int>(labels_[r]));
+    std::string line = std::to_string(int{labels_[r]});
     char buf[64];
     for (GeneId g = 0; g < num_genes_; ++g) {
       std::snprintf(buf, sizeof(buf), "\t%.17g", value(r, g));
@@ -67,7 +68,12 @@ StatusOr<ContinuousDataset> ContinuousDataset::ParseTsv(
   if (header.empty() || header[0] != "label") {
     return Status::InvalidArgument("missing 'label' header column");
   }
-  const uint32_t num_genes = static_cast<uint32_t>(header.size() - 1);
+  // Untrusted width: a pathological header with > 2^32 columns must be
+  // rejected, not truncated into a smaller (colliding) gene universe.
+  auto num_genes_or =
+      CheckedCast<uint32_t>(header.size() - 1, "gene column count");
+  if (!num_genes_or.ok()) return num_genes_or.status();
+  const uint32_t num_genes = num_genes_or.value();
   ContinuousDataset ds(num_genes);
   for (uint32_t g = 0; g < num_genes; ++g) {
     ds.set_gene_name(g, std::string(header[g + 1]));
@@ -93,6 +99,7 @@ StatusOr<ContinuousDataset> ContinuousDataset::ParseTsv(
       if (!v.ok()) return v.status();
       row[g] = v.value();
     }
+    // NOLINT(cast: < kMaxClasses = 256 rejected above, fits ClassLabel)
     ds.AddRow(row, static_cast<ClassLabel>(label_or.value()));
   }
   if (ds.num_rows() == 0) {
@@ -120,8 +127,8 @@ DiscreteDataset::DiscreteDataset(uint32_t num_items,
     }
   }
   for (ClassLabel l : labels_) {
-    if (static_cast<uint32_t>(l) + 1 > num_classes_) {
-      num_classes_ = static_cast<uint32_t>(l) + 1;
+    if (uint32_t{l} + 1 > num_classes_) {
+      num_classes_ = uint32_t{l} + 1;
     }
   }
   BuildIndexes();
@@ -171,6 +178,7 @@ DiscreteDataset DiscreteDataset::FilterInfrequentItems(
   std::vector<ItemId> kept;
   for (ItemId i = 0; i < num_items_; ++i) {
     if (ItemSupport(i) >= min_support) {
+      // NOLINT(cast: kept.size() < num_items_ <= kMaxItemUniverse)
       remap[i] = static_cast<ItemId>(kept.size());
       kept.push_back(i);
     }
@@ -182,6 +190,7 @@ DiscreteDataset DiscreteDataset::FilterInfrequentItems(
     }
   }
   if (kept_items != nullptr) *kept_items = kept;
+  // NOLINT(cast: kept.size() <= num_items_, a uint32)
   return DiscreteDataset(static_cast<uint32_t>(kept.size()),
                          std::move(new_rows), labels_);
 }
@@ -203,7 +212,7 @@ Status DiscreteDataset::WriteItemData(const std::string& path) const {
   std::vector<std::string> lines;
   lines.reserve(num_rows());
   for (RowId r = 0; r < num_rows(); ++r) {
-    std::string line = std::to_string(static_cast<int>(labels_[r]));
+    std::string line = std::to_string(int{labels_[r]});
     line += '\t';
     bool first = true;
     for (ItemId item : rows_[r]) {
@@ -250,11 +259,13 @@ StatusOr<DiscreteDataset> DiscreteDataset::ParseItemData(
             num_items != 0 ? "item id exceeds the declared universe"
                            : "item id exceeds the supported universe");
       }
-      max_item = std::max<uint32_t>(max_item,
-                                    static_cast<uint32_t>(item.value()));
-      items.push_back(static_cast<ItemId>(item.value()));
+      // NOLINT(cast: < bound <= kMaxItemUniverse rejected above)
+      const ItemId id = static_cast<ItemId>(item.value());
+      max_item = std::max(max_item, id);
+      items.push_back(id);
     }
     rows.push_back(std::move(items));
+    // NOLINT(cast: < kMaxClasses = 256 rejected above, fits ClassLabel)
     labels.push_back(static_cast<ClassLabel>(label.value()));
   }
   if (rows.empty()) return Status::InvalidArgument("empty item dataset");
@@ -270,6 +281,7 @@ StatusOr<DiscreteDataset> DiscreteDataset::ReadItemData(const std::string& path,
 }
 
 ItemId RunningExampleItem(char name) {
+  // NOLINT(cast: 'a'..'h' maps to 0..7)
   if (name >= 'a' && name <= 'h') return static_cast<ItemId>(name - 'a');
   if (name == 'o') return 8;
   if (name == 'p') return 9;

@@ -21,6 +21,9 @@ class ContinuousDataset {
   /// names ("G0", "G1", ...).
   explicit ContinuousDataset(uint32_t num_genes);
 
+  // NOLINT(cast: the in-memory row space is uint32 by contract — the
+  // out-of-core ingestion path (scale/stream_reader) rejects row counts
+  // past UINT32_MAX via CheckedIndexU32 before a dataset is ever built)
   uint32_t num_rows() const { return static_cast<uint32_t>(labels_.size()); }
   uint32_t num_genes() const { return num_genes_; }
   uint32_t num_classes() const { return num_classes_; }
@@ -80,6 +83,9 @@ class DiscreteDataset {
   DiscreteDataset(uint32_t num_items, std::vector<std::vector<ItemId>> rows,
                   std::vector<ClassLabel> labels);
 
+  // NOLINT(cast: the in-memory row space is uint32 by contract — the
+  // out-of-core ingestion path (scale/stream_reader) rejects row counts
+  // past UINT32_MAX via CheckedIndexU32 before a dataset is ever built)
   uint32_t num_rows() const { return static_cast<uint32_t>(labels_.size()); }
   uint32_t num_items() const { return num_items_; }
   uint32_t num_classes() const { return num_classes_; }
@@ -92,6 +98,7 @@ class DiscreteDataset {
   const Bitset& item_rows(ItemId item) const { return item_rowsets_[item]; }
   /// Number of rows containing `item`.
   uint32_t ItemSupport(ItemId item) const {
+    // NOLINT(cast: Count() <= num_rows, a uint32)
     return static_cast<uint32_t>(item_rowsets_[item].Count());
   }
 

@@ -25,7 +25,7 @@ std::string Describe(const Bitset& antecedent, ClassLabel consequent,
                      uint32_t support, double confidence) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), " -> %d (sup=%u, conf=%.3f)",
-                static_cast<int>(consequent), support, confidence);
+                int{consequent}, support, confidence);
   return ItemsetToString(antecedent) + buf;
 }
 
@@ -103,9 +103,12 @@ RuleGroup CloseItemset(const DiscreteDataset& data, const Bitset& itemset,
   group.consequent = consequent;
   group.row_support = data.ItemSupportSet(itemset);
   group.antecedent = data.RowSupportSet(group.row_support);
+  // NOLINT(cast: Count() and IntersectCount() <= num_rows, a uint32)
   group.antecedent_support = static_cast<uint32_t>(group.row_support.Count());
-  group.support = static_cast<uint32_t>(
-      group.row_support.IntersectCount(data.ClassRowset(consequent)));
+  const size_t class_sup =
+      group.row_support.IntersectCount(data.ClassRowset(consequent));
+  // NOLINT(cast: bounded by antecedent_support above)
+  group.support = static_cast<uint32_t>(class_sup);
   group.ValidateInvariants();
   return group;
 }

@@ -48,6 +48,8 @@ class BitsetProjection {
   /// O(universe/64) words into O(|I(X)|) probes.
   template <typename ItemSet>
   uint32_t Freq(uint32_t pos, const ItemSet& items) const {
+    // Hot path — called once per (node, position) during enumeration.
+    // NOLINT(cast: IntersectCount <= num_items <= kMaxItemUniverse = 2^20)
     return static_cast<uint32_t>(
         items.IntersectCount(data_->row_bitset((*order_)[pos])));
   }
@@ -85,6 +87,7 @@ class VectorProjection {
  public:
   VectorProjection(const DiscreteDataset* data, const std::vector<RowId>* order,
                    const Bitset& items)
+      // NOLINT(cast: order->size() == num_rows, a uint32 by construction)
       : num_positions_(static_cast<uint32_t>(order->size())) {
     std::vector<uint32_t> position_of(data->num_rows());
     for (uint32_t pos = 0; pos < order->size(); ++pos) {
@@ -93,6 +96,7 @@ class VectorProjection {
     freq_.assign(num_positions_, 0);
     items.ForEach([&](size_t item) {
       std::vector<uint32_t> tuple;
+      // NOLINT(cast: ForEach yields bit positions < num_items, a uint32)
       data->item_rows(static_cast<ItemId>(item)).ForEach([&](size_t row) {
         tuple.push_back(position_of[row]);
       });

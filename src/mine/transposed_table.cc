@@ -17,8 +17,9 @@ TransposedTable TransposedTable::Build(const DiscreteDataset& data,
   TransposedTable tt;
   items.ForEach([&](size_t item) {
     Tuple tuple;
+    // NOLINT(cast: ForEach yields bit positions < num_items, a uint32)
     tuple.item = static_cast<ItemId>(item);
-    data.item_rows(static_cast<ItemId>(item)).ForEach([&](size_t row) {
+    data.item_rows(tuple.item).ForEach([&](size_t row) {
       tuple.positions.push_back(position_of[row]);
     });
     std::sort(tuple.positions.begin(), tuple.positions.end());

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "core/types.h"
+#include "util/safe_math.h"
 
 namespace topkrgs {
 
@@ -19,25 +20,45 @@ namespace {
 
 constexpr char kMagic[8] = {'T', 'K', 'D', 'S', '0', '0', '0', '1'};
 constexpr uint32_t kEndianTag = 0x0A0B0C0Du;
-constexpr size_t kHeaderBytes = 32;
+constexpr uint64_t kHeaderBytes = 32;
 
-size_t PadTo8(size_t n) { return (n + 7) & ~size_t{7}; }
+uint64_t PadTo8(uint64_t n) { return (n + 7) & ~uint64_t{7}; }
 
 /// Section layout for a given shape; all offsets are from byte 0.
 struct Layout {
-  size_t labels_begin;
-  size_t offsets_begin;
-  size_t row_ids_begin;
-  size_t total_bytes;
+  uint64_t labels_begin;
+  uint64_t offsets_begin;
+  uint64_t row_ids_begin;
+  uint64_t total_bytes;
 };
 
-Layout LayoutFor(uint32_t num_items, uint32_t num_rows, uint64_t nnz) {
+/// Overflow-checked: a hostile header may declare any (num_items, nnz)
+/// combination, and a wrapped total_bytes that happens to equal the real
+/// file size would validate garbage sections against each other. PadTo8
+/// cannot overflow its callers here — every padded quantity is first
+/// bounded by a checked product below.
+StatusOr<Layout> LayoutFor(uint32_t num_items, uint32_t num_rows,
+                           uint64_t nnz) {
   Layout l;
   l.labels_begin = kHeaderBytes;
   l.offsets_begin = l.labels_begin + PadTo8(num_rows);
-  l.row_ids_begin =
-      l.offsets_begin + (static_cast<size_t>(num_items) + 1) * sizeof(uint64_t);
-  l.total_bytes = l.row_ids_begin + PadTo8(nnz * sizeof(uint32_t));
+  auto offsets_bytes = CheckedMul<uint64_t>(
+      uint64_t{num_items} + 1, sizeof(uint64_t), "tkds item_offsets bytes");
+  if (!offsets_bytes.ok()) return offsets_bytes.status();
+  auto row_ids_begin = CheckedAdd<uint64_t>(
+      l.offsets_begin, offsets_bytes.value(), "tkds row_ids offset");
+  if (!row_ids_begin.ok()) return row_ids_begin.status();
+  l.row_ids_begin = row_ids_begin.value();
+  auto ids_bytes =
+      CheckedMul<uint64_t>(nnz, sizeof(uint32_t), "tkds item_row_ids bytes");
+  if (!ids_bytes.ok()) return ids_bytes.status();
+  auto ids_padded = CheckedAdd<uint64_t>(ids_bytes.value(), 7,
+                                         "tkds item_row_ids padding");
+  if (!ids_padded.ok()) return ids_padded.status();
+  auto total = CheckedAdd<uint64_t>(
+      l.row_ids_begin, ids_padded.value() & ~uint64_t{7}, "tkds total bytes");
+  if (!total.ok()) return total.status();
+  l.total_bytes = total.value();
   return l;
 }
 
@@ -52,6 +73,10 @@ Status WriteAll(std::FILE* file, const void* data, size_t bytes,
 }  // namespace
 
 Status WriteTkds(const StreamedTable& table, const std::string& path) {
+  // Reject a table whose layout arithmetic would wrap before touching the
+  // filesystem (the same checked math Open applies to untrusted headers).
+  auto layout_or = LayoutFor(table.num_items(), table.num_rows(), table.nnz());
+  if (!layout_or.ok()) return layout_or.status();
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     return Status::IOError("cannot create " + path);
@@ -106,6 +131,10 @@ StatusOr<MmapDataset> MmapDataset::Open(const std::string& path) {
     ::close(fd);
     return Status::IOError("cannot stat " + path);
   }
+  if (st.st_size < 0) {  // fstat contract: never negative for a real file
+    ::close(fd);
+    return Status::IOError("negative file size from fstat: " + path);
+  }
   const size_t file_bytes = static_cast<size_t>(st.st_size);
   if (file_bytes < kHeaderBytes) {
     ::close(fd);
@@ -148,7 +177,12 @@ StatusOr<MmapDataset> MmapDataset::Open(const std::string& path) {
   if (nnz > static_cast<uint64_t>(num_items) * num_rows) {
     return invalid("nnz exceeds rows × items");
   }
-  const Layout layout = LayoutFor(num_items, num_rows, nnz);
+  auto layout_or = LayoutFor(num_items, num_rows, nnz);
+  if (!layout_or.ok()) {
+    return invalid("declared shape overflows the layout arithmetic (" +
+                   layout_or.status().message() + ")");
+  }
+  const Layout& layout = layout_or.value();
   if (file_bytes != layout.total_bytes) {
     return invalid("file size does not match the declared shape");
   }

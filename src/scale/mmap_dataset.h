@@ -6,6 +6,7 @@
 #include <string>
 
 #include "scale/stream_reader.h"
+#include "util/safe_math.h"
 #include "util/status.h"
 
 namespace topkrgs {
@@ -37,7 +38,7 @@ namespace topkrgs {
 /// A tkds file mapped read-only into the address space. Movable, not
 /// copyable; the TransposedView it hands out is valid for the lifetime of
 /// this object.
-class MmapDataset {
+class TKRGS_GSL_OWNER MmapDataset {
  public:
   static StatusOr<MmapDataset> Open(const std::string& path);
 
@@ -51,7 +52,7 @@ class MmapDataset {
   MmapDataset& operator=(const MmapDataset&) = delete;
   ~MmapDataset();
 
-  TransposedView View() const { return view_; }
+  TransposedView View() const TKRGS_LIFETIME_BOUND { return view_; }
   size_t mapped_bytes() const { return mapped_bytes_; }
 
  private:

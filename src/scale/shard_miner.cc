@@ -25,7 +25,7 @@ DiscreteDataset BuildSuffixDataset(const TransposedView& view,
     const size_t count = view.rows_count(item);
     for (size_t i = 0; i < count; ++i) {
       const uint32_t pos = plan.position_of[ids[i]];
-      if (pos >= begin) rows[pos - begin].push_back(static_cast<ItemId>(item));
+      if (pos >= begin) rows[pos - begin].push_back(item);
     }
   }
   std::vector<ClassLabel> labels(suffix_rows);

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/safe_math.h"
+
 namespace topkrgs {
 
 namespace {
@@ -17,10 +19,17 @@ uint64_t BitsetBytes(uint64_t universe) { return ((universe + 63) / 64) * 8; }
 /// are maximal there; the prefix-guard postings are maximal at the LAST
 /// shard (one bitset column per item over up to `np` prefix positions).
 /// The CSR table stays resident throughout.
-uint64_t EstimatePeakBytes(const TransposedView& view, uint32_t np,
-                           uint32_t k) {
+///
+/// Checked throughout: every factor except `k` is bounded by the view's
+/// validated shape (items <= kMaxItemUniverse, nnz <= rows × items), but
+/// `k` is raw CLI input, and a wrapped estimate that lands back under the
+/// budget would wave through a run planned to blow it. An overflowing
+/// model means the plan is unrepresentable — surface that as the error.
+StatusOr<uint64_t> EstimatePeakBytes(const TransposedView& view, uint32_t np,
+                                     uint32_t k) {
   const uint64_t rows = view.num_rows;
   const uint64_t items = view.num_items;
+  const char* what = "sharded peak-memory estimate";
   const uint64_t csr = view.nnz() * sizeof(uint32_t) +
                        (items + 1) * sizeof(uint64_t) + rows;
   const uint64_t dataset = rows * BitsetBytes(items)   // row bitsets
@@ -29,10 +38,18 @@ uint64_t EstimatePeakBytes(const TransposedView& view, uint32_t np,
   const uint64_t guard = items * BitsetBytes(np);
   // Result lists: np rows × k shared handles plus a generous allowance for
   // distinct groups (each an item bitset + a row bitset).
-  const uint64_t results =
-      static_cast<uint64_t>(np) * k * 16 +
-      4096 * (BitsetBytes(items) + BitsetBytes(rows) + 64);
-  return csr + dataset + guard + results;
+  auto np_k = CheckedMul<uint64_t>(np, k, what);
+  if (!np_k.ok()) return np_k.status();
+  auto handles = CheckedMul<uint64_t>(np_k.value(), 16, what);
+  if (!handles.ok()) return handles.status();
+  auto results = CheckedAdd<uint64_t>(
+      handles.value(), 4096 * (BitsetBytes(items) + BitsetBytes(rows) + 64),
+      what);
+  if (!results.ok()) return results.status();
+  auto total = CheckedAdd<uint64_t>(csr + dataset + guard, results.value(),
+                                    what);
+  if (!total.ok()) return total.status();
+  return total.value();
 }
 
 }  // namespace
@@ -71,16 +88,18 @@ StatusOr<ShardPlan> PlanShards(const TransposedView& view,
     }
     if (class_support >= plan.initial_min_support) plan.frequent.Set(item);
   }
-  const uint32_t frequent_count =
-      static_cast<uint32_t>(plan.frequent.Count());
+  // NOLINT(cast: Count() <= num_items, a uint32)
+  const auto frequent_count = static_cast<uint32_t>(plan.frequent.Count());
 
   // Global canonical order — ClassDominantOrder (the paper's ORD)
   // recomputed from postings: weight = |row ∩ frequent|, consequent-class
   // rows first, ascending weight within each class, stable within ties.
   std::vector<uint32_t> weight(num_rows, 0);
-  plan.frequent.ForEach([&](size_t item) {
-    const uint32_t* ids = view.rows_of(static_cast<uint32_t>(item));
-    const size_t count = view.rows_count(static_cast<uint32_t>(item));
+  plan.frequent.ForEach([&](size_t bit) {
+    // NOLINT(cast: ForEach yields bit positions < num_items, a uint32)
+    const uint32_t item = static_cast<uint32_t>(bit);
+    const uint32_t* ids = view.rows_of(item);
+    const size_t count = view.rows_count(item);
     for (size_t i = 0; i < count; ++i) ++weight[ids[i]];
   });
   plan.order.resize(num_rows);
@@ -114,8 +133,9 @@ StatusOr<ShardPlan> PlanShards(const TransposedView& view,
     }
   }
 
-  const uint64_t peak =
-      EstimatePeakBytes(view, plan.positives, options.k);
+  auto peak_or = EstimatePeakBytes(view, plan.positives, options.k);
+  if (!peak_or.ok()) return peak_or.status();
+  const uint64_t peak = peak_or.value();
   plan.estimated_peak_bytes = peak;
   if (options.memory_budget_bytes != 0 && peak > options.memory_budget_bytes) {
     return Status::InvalidArgument(
@@ -144,6 +164,7 @@ StatusOr<ShardPlan> PlanShards(const TransposedView& view,
                                    (BitsetBytes(num_items) + BitsetBytes(num_rows));
       const uint64_t rows_per_shard =
           std::max<uint64_t>(1, options.memory_budget_bytes / 4 / per_pos);
+      // NOLINT(cast: min() result <= np, a uint32)
       count = static_cast<uint32_t>(
           std::min<uint64_t>(np, (np + rows_per_shard - 1) / rows_per_shard));
     }

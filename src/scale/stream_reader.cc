@@ -9,17 +9,9 @@
 #include <vector>
 
 #include "util/io.h"
+#include "util/safe_math.h"
 
 namespace topkrgs {
-
-StatusOr<uint32_t> CheckedIndexU32(uint64_t value, const char* what) {
-  if (value > std::numeric_limits<uint32_t>::max()) {
-    return Status::InvalidArgument(
-        std::string(what) + " (" + std::to_string(value) +
-        ") exceeds the 32-bit index space; row/item ids are uint32");
-  }
-  return static_cast<uint32_t>(value);
-}
 
 /// Incremental transposed-table builder: rows are appended one at a time
 /// and folded straight into per-item postings. Because rows arrive in
@@ -54,10 +46,14 @@ class TransposedBuilder {
   StatusOr<StreamedTable> Finish() {
     if (rows_ == 0) return Status::InvalidArgument("empty item dataset");
     StreamedTable table;
-    table.num_items_ = declared_items_ != 0
-                           ? declared_items_
-                           : static_cast<uint32_t>(
-                                 std::max<size_t>(postings_.size(), 1));
+    if (declared_items_ != 0) {
+      table.num_items_ = declared_items_;
+    } else {
+      auto items_or = CheckedIndexU32(
+          std::max<uint64_t>(postings_.size(), 1), "inferred item universe");
+      if (!items_or.ok()) return items_or.status();
+      table.num_items_ = items_or.value();
+    }
     table.num_classes_ = num_classes_;
     table.labels_ = std::move(labels_);
     table.item_offsets_.reserve(table.num_items_ + 1);
@@ -116,8 +112,10 @@ Status ParseItemLine(std::string_view line, uint32_t declared_items,
           declared_items != 0 ? "item id exceeds the declared universe"
                               : "item id exceeds the supported universe");
     }
+    // NOLINT(cast: item.value() < bound <= kMaxItemUniverse, checked above)
     items->push_back(static_cast<ItemId>(item.value()));
   }
+  // NOLINT(cast: label < kMaxClasses == 256, checked above)
   *label = static_cast<ClassLabel>(label_or.value());
   return Status::OK();
 }
@@ -212,7 +210,7 @@ DiscreteDataset MaterializeDataset(const TransposedView& view) {
     const uint32_t* ids = view.rows_of(item);
     const size_t count = view.rows_count(item);
     for (size_t i = 0; i < count; ++i) {
-      rows[ids[i]].push_back(static_cast<ItemId>(item));
+      rows[ids[i]].push_back(item);
     }
   }
   std::vector<ClassLabel> labels(view.labels, view.labels + view.num_rows);

@@ -9,16 +9,10 @@
 
 #include "core/dataset.h"
 #include "core/types.h"
+#include "util/safe_math.h"
 #include "util/status.h"
 
 namespace topkrgs {
-
-/// Checked uint64 -> uint32 narrowing for row/item indexes on the ingest
-/// path. Every count that ends up in a RowId/ItemId must pass through here
-/// (or an equivalent bound check) before the cast: at 100k+ rows the old
-/// implicit casts were silently correct only because no input was big
-/// enough to expose them. `what` names the quantity for the error message.
-StatusOr<uint32_t> CheckedIndexU32(uint64_t value, const char* what);
 
 /// A read-only, column(item)-major view of a discrete dataset: the
 /// transposed table in CSR form. rows_of(i) is the ascending list of
@@ -26,7 +20,10 @@ StatusOr<uint32_t> CheckedIndexU32(uint64_t value, const char* what);
 /// src/scale/ — StreamedTable owns one in memory, MmapDataset maps one
 /// from disk, and the shard planner/miner/merge all consume it without
 /// caring which.
-struct TransposedView {
+/// TKRGS_GSL_POINTER: a TransposedView never owns the arrays it points
+/// into — clang's lifetime analysis treats it like a pointer, so a view
+/// kept past its backing StreamedTable/MmapDataset is a -Wdangling error.
+struct TKRGS_GSL_POINTER TransposedView {
   uint32_t num_items = 0;
   uint32_t num_rows = 0;
   uint32_t num_classes = 0;
@@ -46,15 +43,21 @@ struct TransposedView {
 /// The transposed table built incrementally by StreamReader. Owns its CSR
 /// arrays; memory is O(nnz), never O(rows × items) — the row-major matrix
 /// is never materialized.
-class StreamedTable {
+class TKRGS_GSL_OWNER StreamedTable {
  public:
   uint32_t num_items() const { return num_items_; }
-  uint32_t num_rows() const { return static_cast<uint32_t>(labels_.size()); }
+  uint32_t num_rows() const {
+    // Bounded by construction: TransposedBuilder::AppendRow refuses to
+    // grow past UINT32_MAX rows (CheckedIndexU32 on the row count).
+    return static_cast<uint32_t>(labels_.size());  // NOLINT(cast: see above)
+  }
   uint32_t num_classes() const { return num_classes_; }
   uint64_t nnz() const { return item_offsets_.empty() ? 0 : item_offsets_.back(); }
-  const std::vector<ClassLabel>& labels() const { return labels_; }
+  const std::vector<ClassLabel>& labels() const TKRGS_LIFETIME_BOUND {
+    return labels_;
+  }
 
-  TransposedView View() const {
+  TransposedView View() const TKRGS_LIFETIME_BOUND {
     TransposedView view;
     view.num_items = num_items_;
     view.num_rows = num_rows();

@@ -71,6 +71,7 @@ class Merger {
   /// SeedSingleItems over the global table.
   void SeedItems() {
     plan_.frequent.ForEach([&](size_t item_index) {
+      // NOLINT(cast: ForEach yields bit positions < num_items, a uint32)
       const uint32_t item = static_cast<uint32_t>(item_index);
       const uint32_t* ids = view_.rows_of(item);
       const size_t count = view_.rows_count(item);
@@ -86,6 +87,7 @@ class Merger {
         if (view_.labels[ids[i]] == plan_.consequent) ++support;
       }
       handle->group.row_support = std::move(rows);
+      // NOLINT(cast: rows_count <= num_rows, a uint32)
       handle->group.antecedent_support = static_cast<uint32_t>(count);
       handle->group.support = support;
       for (size_t i = 0; i < count; ++i) {
@@ -102,13 +104,15 @@ class Merger {
   /// entries, which are already in the lists here and reject it the same
   /// way.
   void RootGroup() {
-    const uint32_t frequent_count =
-        static_cast<uint32_t>(plan_.frequent.Count());
+    // NOLINT(cast: Count() <= num_items, a uint32)
+    const auto frequent_count = static_cast<uint32_t>(plan_.frequent.Count());
     if (frequent_count == 0) return;
     std::vector<uint32_t> weight(view_.num_rows, 0);
-    plan_.frequent.ForEach([&](size_t item) {
-      const uint32_t* ids = view_.rows_of(static_cast<uint32_t>(item));
-      const size_t count = view_.rows_count(static_cast<uint32_t>(item));
+    plan_.frequent.ForEach([&](size_t bit) {
+      // NOLINT(cast: ForEach yields bit positions < num_items, a uint32)
+      const uint32_t item = static_cast<uint32_t>(bit);
+      const uint32_t* ids = view_.rows_of(item);
+      const size_t count = view_.rows_count(item);
       for (size_t i = 0; i < count; ++i) ++weight[ids[i]];
     });
     Bitset absorbed(view_.num_rows);
@@ -166,6 +170,7 @@ class Merger {
     const std::vector<uint32_t> rows = handle->group.row_support.ToVector();
     Bitset closure(view_.num_items);
     plan_.frequent.ForEach([&](size_t item_index) {
+      // NOLINT(cast: ForEach yields bit positions < num_items, a uint32)
       const uint32_t item = static_cast<uint32_t>(item_index);
       const size_t count = view_.rows_count(item);
       if (count < rows.size()) return;

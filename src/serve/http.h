@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/lock_ranks.h"
+#include "util/safe_math.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -23,7 +24,10 @@ struct HttpRequest {
   std::vector<std::pair<std::string, std::string>> headers;  // names lowered
   std::string body;
 
-  const std::string* FindHeader(const std::string& lower_name) const {
+  // Returns a pointer into this request's `headers` storage — it dangles
+  // if the HttpRequest is a temporary.
+  const std::string* FindHeader(
+      const std::string& lower_name) const TKRGS_LIFETIME_BOUND {
     for (const auto& [name, value] : headers) {
       if (name == lower_name) return &value;
     }

@@ -139,11 +139,11 @@ class Parser {
       const char c = text_[pos_ + i];
       value <<= 4;
       if (c >= '0' && c <= '9') {
-        value |= static_cast<uint32_t>(c - '0');
+        value |= static_cast<uint32_t>(c - '0');  // NOLINT(cast: in [0, 9])
       } else if (c >= 'a' && c <= 'f') {
-        value |= static_cast<uint32_t>(c - 'a' + 10);
+        value |= static_cast<uint32_t>(c - 'a' + 10);  // NOLINT(cast: in [10, 15])
       } else if (c >= 'A' && c <= 'F') {
-        value |= static_cast<uint32_t>(c - 'A' + 10);
+        value |= static_cast<uint32_t>(c - 'A' + 10);  // NOLINT(cast: in [10, 15])
       } else {
         return Err("invalid \\u escape");
       }
@@ -159,6 +159,8 @@ class Parser {
       if (AtEnd()) return Err("unterminated string");
       const char c = text_[pos_++];
       if (c == '"') return JsonValue::String(std::move(out));
+      // NOLINT(cast: char -> unsigned char is a byte reinterpretation,
+      // not a narrowing — the control-range test needs the raw byte)
       if (static_cast<unsigned char>(c) < 0x20) {
         return Err("unescaped control character in string");
       }
@@ -264,10 +266,14 @@ std::string JsonQuote(std::string_view s) {
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
+        // NOLINT(cast: char -> unsigned char is a byte reinterpretation,
+        // not a narrowing — the control-range test and the \u escape need
+        // the raw byte value)
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          // NOLINT(cast: same byte reinterpretation, widened for %x)
+          const unsigned byte = static_cast<unsigned char>(c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
           out += buf;
         } else {
           out.push_back(c);

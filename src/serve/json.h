@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/safe_math.h"
 #include "util/status.h"
 
 namespace topkrgs {
@@ -65,9 +66,16 @@ class JsonValue {
 
   bool boolean() const { return bool_; }
   double number() const { return number_; }
-  const std::string& str() const { return string_; }
-  const std::vector<JsonValue>& array() const { return array_; }
-  const std::vector<Member>& members() const { return members_; }
+  // The accessors below return references (or, for Find, a pointer) into
+  // this value's own storage: binding one to a JsonValue temporary —
+  // e.g. `const auto& s = Parse(text).value().str();` — dangles.
+  const std::string& str() const TKRGS_LIFETIME_BOUND { return string_; }
+  const std::vector<JsonValue>& array() const TKRGS_LIFETIME_BOUND {
+    return array_;
+  }
+  const std::vector<Member>& members() const TKRGS_LIFETIME_BOUND {
+    return members_;
+  }
 
   void Append(JsonValue v) { array_.push_back(std::move(v)); }
   void Set(std::string key, JsonValue v) {
@@ -76,7 +84,7 @@ class JsonValue {
 
   /// First member with `key`, or nullptr. Linear scan: serving payloads
   /// have a handful of keys.
-  const JsonValue* Find(std::string_view key) const {
+  const JsonValue* Find(std::string_view key) const TKRGS_LIFETIME_BOUND {
     for (const Member& m : members_) {
       if (m.first == key) return &m.second;
     }

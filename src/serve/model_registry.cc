@@ -14,7 +14,7 @@ namespace {
 /// cross-checked against the persisted artifact byte-for-byte.
 std::string RenderRule(const Rule& rule) {
   std::string line =
-      "rule " + std::to_string(static_cast<int>(rule.consequent)) + ' ' +
+      "rule " + std::to_string(int{rule.consequent}) + ' ' +
       std::to_string(rule.support) + ' ' +
       std::to_string(rule.antecedent_support);
   rule.antecedent.ForEach([&](size_t item) {

@@ -88,6 +88,7 @@ std::vector<GenePlan> PlanGenes(const DatasetProfile& p, Rng& rng) {
   for (uint32_t b = 0; b < blocks && cursor + p.block_size <= shuffled.size();
        ++b) {
     for (uint32_t s = 0; s < p.block_size; ++s) {
+      // NOLINT(cast: b < blocks <= num_genes, well inside int32)
       plan[shuffled[cursor++]].block = static_cast<int32_t>(b);
     }
   }
@@ -333,7 +334,7 @@ Status StreamMicroarrayTsv(const DatasetProfile& profile,
     buffer.push_back('\n');
     EmitRows(profile, plan, rows_per_class, is_test, rng,
              [&](const std::vector<double>& row, ClassLabel cls) {
-               buffer.append(std::to_string(static_cast<int>(cls)));
+               buffer.append(std::to_string(int{cls}));
                char cell[40];
                for (const double v : row) {
                  std::snprintf(cell, sizeof(cell), "\t%.17g", v);

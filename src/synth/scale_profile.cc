@@ -64,15 +64,19 @@ ScaleProfile ScaleProfile::Micro() {
 uint32_t ScaleProfile::SuggestedMinSupport() const {
   const double positives = static_cast<double>(rows) * positive_frac;
   const double per_pattern = positives / std::max<uint32_t>(patterns, 1);
+  // NOLINT(cast: per_pattern <= rows <= the uint32 row space, so the
+  // truncated quotient always fits)
   return std::max<uint32_t>(2, static_cast<uint32_t>(per_pattern / 2.0));
 }
 
 void AppendScaleRow(const ScaleProfile& p, uint64_t row, std::string* out) {
   Rng rng(RowSeed(p.seed, row));
   const bool positive = rng.NextBool(p.positive_frac);
+  // NOLINT(cast: NextBounded(n) < n, and n here is a uint32 field)
   const uint32_t primary = static_cast<uint32_t>(rng.NextBounded(p.patterns));
   uint32_t secondary = primary;
   if (rng.NextBool(p.two_pattern_prob)) {
+    // NOLINT(cast: NextBounded(n) < n, and n here is a uint32 field)
     secondary = static_cast<uint32_t>(rng.NextBounded(p.patterns));
   }
 
@@ -92,8 +96,9 @@ void AppendScaleRow(const ScaleProfile& p, uint64_t row, std::string* out) {
       p.num_items > noise_begin ? p.num_items - noise_begin : 0;
   if (noise_universe > 0) {
     for (uint32_t n = 0; n < p.noise_items_per_row; ++n) {
-      items.push_back(noise_begin +
-                      static_cast<uint32_t>(rng.NextBounded(noise_universe)));
+      // NOLINT(cast: NextBounded(n) < n, and n here is a uint32 value)
+      const auto noise = static_cast<uint32_t>(rng.NextBounded(noise_universe));
+      items.push_back(noise_begin + noise);
     }
   }
   std::sort(items.begin(), items.end());

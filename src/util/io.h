@@ -6,12 +6,16 @@
 #include <string_view>
 #include <vector>
 
+#include "util/safe_math.h"
 #include "util/status.h"
 
 namespace topkrgs {
 
-/// Splits `line` at `delim`, keeping empty fields.
-std::vector<std::string_view> SplitString(std::string_view line, char delim);
+/// Splits `line` at `delim`, keeping empty fields. The returned views
+/// alias `line`'s backing storage — they dangle if the caller passed a
+/// temporary string that dies before the views are consumed.
+std::vector<std::string_view> SplitString(
+    std::string_view line TKRGS_LIFETIME_BOUND, char delim);
 
 /// Splits an in-memory buffer into lines exactly as ReadLines splits a
 /// file: '\n' terminates a line, a trailing '\r' is stripped (CRLF input),

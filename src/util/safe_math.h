@@ -1,0 +1,172 @@
+#ifndef TOPKRGS_UTIL_SAFE_MATH_H_
+#define TOPKRGS_UTIL_SAFE_MATH_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "util/status.h"
+
+/// Integer-safety layer (DESIGN.md §15): checked arithmetic + checked
+/// narrowing for every size/index computation that feeds an allocation,
+/// an offset, or a wire-format field, plus the lifetime-annotation shims
+/// that make dangling-view bugs clang build errors.
+///
+/// The miner's arithmetic surface is index math over hostile sizes:
+/// transposed CSR offsets (u64 nnz), shard position ranges, posting-list
+/// ids, memory-budget models. A 64-bit count that silently narrows into a
+/// 32-bit index, or a byte-size product that wraps, corrupts mining output
+/// without any sanitizer able to prove it wrong after the fact. Policy:
+///
+///   - Cold paths (parsers, planners, CLI, layout/validation code) go
+///     through CheckedAdd/CheckedMul/CheckedCast and propagate StatusOr.
+///   - Hot paths (per-node mining loops) may keep a raw cast ONLY with a
+///     `// NOLINT(cast: <bound argument>)` justification naming the
+///     invariant that makes it safe; tools/lint/cast_lint.py enforces
+///     exactly this split.
+///   - CheckedIndexU32 is the single sanctioned u64 -> u32 index
+///     narrowing entry point (hoisted here from scale/stream_reader).
+
+/// Lifetime-annotation shims, same pattern as util/thread_annotations.h:
+/// clang attributes under clang, no-ops under gcc, so annotated code
+/// builds everywhere while clang builds (`tools/ci.sh lint`/`intsan`)
+/// turn a view outliving its backing storage into a -Wdangling error.
+///
+///   TKRGS_LIFETIME_BOUND  on a parameter (or after a member function's
+///       cv-qualifiers, binding implicit *this): the returned object
+///       refers into that argument, so binding the result past a
+///       temporary argument's lifetime is diagnosed at the call site.
+///   TKRGS_GSL_POINTER     on a non-owning view type (TransposedView):
+///       marks it pointer-like so clang's statement-local lifetime
+///       analysis tracks what it points into.
+///   TKRGS_GSL_OWNER       on an owning type handing out such views.
+#if defined(__clang__)
+#define TKRGS_LIFETIME_BOUND [[clang::lifetimebound]]
+#define TKRGS_GSL_POINTER [[gsl::Pointer]]
+#define TKRGS_GSL_OWNER [[gsl::Owner]]
+#else
+#define TKRGS_LIFETIME_BOUND  // no-op outside clang
+#define TKRGS_GSL_POINTER
+#define TKRGS_GSL_OWNER
+#endif
+
+namespace topkrgs {
+
+namespace safe_math_internal {
+
+/// Spells an integral type for error messages ("uint32", "int64", ...)
+/// without dragging in <typeinfo>.
+template <typename T>
+const char* TypeName() {
+  static_assert(std::is_integral_v<T>, "safe_math handles integers only");
+  constexpr int bits = std::numeric_limits<T>::digits +
+                       (std::is_signed_v<T> ? 1 : 0);
+  if constexpr (std::is_signed_v<T>) {
+    return bits == 8 ? "int8" : bits == 16 ? "int16"
+                              : bits == 32 ? "int32" : "int64";
+  } else {
+    return bits == 8 ? "uint8" : bits == 16 ? "uint16"
+                               : bits == 32 ? "uint32" : "uint64";
+  }
+}
+
+template <typename T>
+std::string ValueToString(T value) {
+  // std::to_string has no uint8/int8 overload that prints digits.
+  if constexpr (std::is_signed_v<T>) {
+    return std::to_string(static_cast<long long>(value));
+  } else {
+    return std::to_string(static_cast<unsigned long long>(value));
+  }
+}
+
+}  // namespace safe_math_internal
+
+/// Range-checked integral conversion: the value is preserved exactly or
+/// the call fails with OutOfRange naming `what`. This is the ONLY
+/// sanctioned way to narrow a size/index in checked code — a raw
+/// static_cast to a narrower integer type is a cast-lint finding.
+template <typename To, typename From>
+[[nodiscard]] StatusOr<To> CheckedCast(From value, const char* what) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "CheckedCast converts between integral types");
+  if (!std::in_range<To>(value)) {
+    return Status::OutOfRange(
+        std::string(what) + " (" +
+        safe_math_internal::ValueToString(value) + ") does not fit in " +
+        safe_math_internal::TypeName<To>());
+  }
+  // The one sanctioned narrowing site: the range check above makes this
+  // cast value-preserving by construction.
+  return static_cast<To>(value);  // NOLINT(cast: in_range-checked above)
+}
+
+/// Overflow-checked addition over a single integral type; both gcc and
+/// clang lower __builtin_add_overflow to a flags check, so the cost is
+/// one branch.
+template <typename T>
+[[nodiscard]] StatusOr<T> CheckedAdd(T a, T b, const char* what) {
+  static_assert(std::is_integral_v<T>, "CheckedAdd handles integers only");
+  T out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return Status::OutOfRange(
+        std::string(what) + ": " + safe_math_internal::ValueToString(a) +
+        " + " + safe_math_internal::ValueToString(b) + " overflows " +
+        safe_math_internal::TypeName<T>());
+  }
+  return out;
+}
+
+/// Overflow-checked subtraction (signed: wraps on INT_MIN; unsigned:
+/// fails on a negative difference instead of wrapping to huge).
+template <typename T>
+[[nodiscard]] StatusOr<T> CheckedSub(T a, T b, const char* what) {
+  static_assert(std::is_integral_v<T>, "CheckedSub handles integers only");
+  T out;
+  if (__builtin_sub_overflow(a, b, &out)) {
+    return Status::OutOfRange(
+        std::string(what) + ": " + safe_math_internal::ValueToString(a) +
+        " - " + safe_math_internal::ValueToString(b) + " overflows " +
+        safe_math_internal::TypeName<T>());
+  }
+  return out;
+}
+
+/// Overflow-checked multiplication — the CSR/layout workhorse
+/// (count × element size, rows × items).
+template <typename T>
+[[nodiscard]] StatusOr<T> CheckedMul(T a, T b, const char* what) {
+  static_assert(std::is_integral_v<T>, "CheckedMul handles integers only");
+  T out;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return Status::OutOfRange(
+        std::string(what) + ": " + safe_math_internal::ValueToString(a) +
+        " * " + safe_math_internal::ValueToString(b) + " overflows " +
+        safe_math_internal::TypeName<T>());
+  }
+  return out;
+}
+
+/// Checked uint64 -> uint32 narrowing for row/item indexes on the ingest
+/// path. Every count that ends up in a RowId/ItemId must pass through here
+/// before the cast: at 100k+ rows the old implicit casts were silently
+/// correct only because no input was big enough to expose them. `what`
+/// names the quantity for the error message. (Hoisted from
+/// scale/stream_reader so there is exactly one checked-narrowing entry
+/// point; kept InvalidArgument — its callers classify an oversized count
+/// as a malformed input, not a range error.)
+[[nodiscard]] inline StatusOr<uint32_t> CheckedIndexU32(uint64_t value,
+                                                        const char* what) {
+  if (value > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        std::string(what) + " (" + std::to_string(value) +
+        ") exceeds the 32-bit index space; row/item ids are uint32");
+  }
+  return static_cast<uint32_t>(value);  // NOLINT(cast: bound-checked above)
+}
+
+}  // namespace topkrgs
+
+#endif  // TOPKRGS_UTIL_SAFE_MATH_H_

@@ -1,0 +1,226 @@
+// Boundary tests for util/safe_math.h (DESIGN.md §15): every checked
+// operation is exercised at the exact edge where the unchecked
+// equivalent would silently wrap or truncate. All failure paths are
+// ordinary StatusOr errors — no EXPECT_DEATH anywhere, so the suite
+// runs identically under Release, sanitizer, and coverage presets.
+#include "util/safe_math.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace topkrgs {
+namespace {
+
+constexpr uint32_t kU32Max = std::numeric_limits<uint32_t>::max();
+constexpr uint64_t kU64Max = std::numeric_limits<uint64_t>::max();
+constexpr int64_t kI64Min = std::numeric_limits<int64_t>::min();
+constexpr int32_t kI32Min = std::numeric_limits<int32_t>::min();
+
+bool Mentions(const Status& status, const std::string& needle) {
+  return status.message().find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// CheckedCast: narrowing
+
+TEST(CheckedCastTest, U64ToU32Boundary) {
+  auto fits = CheckedCast<uint32_t>(static_cast<uint64_t>(kU32Max), "row count");
+  ASSERT_TRUE(fits.ok());
+  EXPECT_EQ(fits.value(), kU32Max);
+
+  auto over =
+      CheckedCast<uint32_t>(static_cast<uint64_t>(kU32Max) + 1, "row count");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(Mentions(over.status(), "row count"));
+  EXPECT_TRUE(Mentions(over.status(), "uint32"));
+  // The offending value must be in the message so a log line is enough
+  // to reconstruct the failure.
+  EXPECT_TRUE(Mentions(over.status(), std::to_string(uint64_t{kU32Max} + 1)));
+}
+
+TEST(CheckedCastTest, SizeMaxNeverFitsNarrower) {
+  const size_t size_max = std::numeric_limits<size_t>::max();
+  EXPECT_FALSE(CheckedCast<uint32_t>(size_max, "byte budget").ok());
+  EXPECT_FALSE(CheckedCast<int64_t>(size_max, "byte budget").ok());
+
+  auto same_width = CheckedCast<uint64_t>(size_max, "byte budget");
+  ASSERT_TRUE(same_width.ok());
+  EXPECT_EQ(same_width.value(), kU64Max);
+}
+
+TEST(CheckedCastTest, SignedToUnsignedRejectsNegatives) {
+  // The classic bug this layer exists to kill: -1 -> SIZE_MAX.
+  EXPECT_FALSE(CheckedCast<uint32_t>(int64_t{-1}, "column index").ok());
+  EXPECT_FALSE(CheckedCast<uint64_t>(int64_t{-1}, "column index").ok());
+  EXPECT_FALSE(CheckedCast<uint32_t>(kI64Min, "column index").ok());
+  EXPECT_FALSE(CheckedCast<uint8_t>(kI32Min, "class label").ok());
+
+  auto zero = CheckedCast<uint32_t>(int64_t{0}, "column index");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero.value(), 0u);
+}
+
+TEST(CheckedCastTest, SignedMinRoundTripsAtSameWidth) {
+  auto min64 = CheckedCast<int64_t>(kI64Min, "offset delta");
+  ASSERT_TRUE(min64.ok());
+  EXPECT_EQ(min64.value(), kI64Min);
+
+  auto min32 = CheckedCast<int32_t>(int64_t{kI32Min}, "offset delta");
+  ASSERT_TRUE(min32.ok());
+  EXPECT_EQ(min32.value(), kI32Min);
+
+  // One below INT32_MIN no longer fits.
+  EXPECT_FALSE(
+      CheckedCast<int32_t>(int64_t{kI32Min} - 1, "offset delta").ok());
+}
+
+TEST(CheckedCastTest, UnsignedToSignedBoundary) {
+  const uint64_t i64_max = static_cast<uint64_t>(
+      std::numeric_limits<int64_t>::max());
+  EXPECT_TRUE(CheckedCast<int64_t>(i64_max, "signed size").ok());
+  EXPECT_FALSE(CheckedCast<int64_t>(i64_max + 1, "signed size").ok());
+}
+
+TEST(CheckedCastTest, DomainTypesAtTheirLimits) {
+  // ItemId/RowId are uint32, ClassLabel is uint8 — the three narrowings
+  // the parsers perform on every record.
+  EXPECT_TRUE(CheckedCast<ItemId>(uint64_t{kU32Max}, "item id").ok());
+  EXPECT_FALSE(CheckedCast<ItemId>(uint64_t{kU32Max} + 1, "item id").ok());
+
+  auto label = CheckedCast<ClassLabel>(uint32_t{255}, "class label");
+  ASSERT_TRUE(label.ok());
+  EXPECT_EQ(label.value(), 255u);
+  auto label_over = CheckedCast<ClassLabel>(uint32_t{256}, "class label");
+  ASSERT_FALSE(label_over.ok());
+  EXPECT_EQ(label_over.status().code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(Mentions(label_over.status(), "uint8"));
+}
+
+// ---------------------------------------------------------------------------
+// CheckedAdd / CheckedSub
+
+TEST(CheckedAddTest, U64Boundary) {
+  auto exact = CheckedAdd<uint64_t>(kU64Max - 1, 1, "offset total");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact.value(), kU64Max);
+
+  auto over = CheckedAdd<uint64_t>(kU64Max, 1, "offset total");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(Mentions(over.status(), "offset total"));
+  EXPECT_TRUE(Mentions(over.status(), "uint64"));
+}
+
+TEST(CheckedAddTest, SignedOverflowBothDirections) {
+  const int64_t i64_max = std::numeric_limits<int64_t>::max();
+  EXPECT_FALSE(CheckedAdd<int64_t>(i64_max, 1, "delta").ok());
+  EXPECT_FALSE(CheckedAdd<int64_t>(kI64Min, -1, "delta").ok());
+
+  auto ok = CheckedAdd<int64_t>(kI64Min, i64_max, "delta");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), int64_t{-1});
+}
+
+TEST(CheckedSubTest, UnsignedUnderflowFailsInsteadOfWrapping) {
+  auto under = CheckedSub<uint64_t>(0, 1, "remaining budget");
+  ASSERT_FALSE(under.ok());
+  EXPECT_EQ(under.status().code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(Mentions(under.status(), "remaining budget"));
+
+  auto zero = CheckedSub<uint64_t>(7, 7, "remaining budget");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero.value(), 0u);
+}
+
+TEST(CheckedSubTest, SignedMinNegation) {
+  // 0 - INT64_MIN overflows (|INT64_MIN| is not representable).
+  EXPECT_FALSE(CheckedSub<int64_t>(0, kI64Min, "negated offset").ok());
+  EXPECT_TRUE(CheckedSub<int64_t>(0, kI64Min + 1, "negated offset").ok());
+}
+
+// ---------------------------------------------------------------------------
+// CheckedMul — the CSR layout shape: nnz * sizeof(element) + header.
+
+TEST(CheckedMulTest, U64Boundary) {
+  auto exact = CheckedMul<uint64_t>(kU64Max / 2, 2, "csr bytes");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact.value(), kU64Max - 1);
+
+  auto over = CheckedMul<uint64_t>(kU64Max / 2 + 1, 2, "csr bytes");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(Mentions(over.status(), "csr bytes"));
+}
+
+TEST(CheckedMulTest, CsrOffsetShape) {
+  // A hostile nnz sized so that nnz * sizeof(uint32_t) wraps a uint64 —
+  // exactly the product scale/mmap_dataset's LayoutFor must reject.
+  const uint64_t hostile_nnz = kU64Max / sizeof(uint32_t) + 1;
+  auto bytes =
+      CheckedMul<uint64_t>(hostile_nnz, sizeof(uint32_t), "item_row_ids bytes");
+  ASSERT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.status().code(), StatusCode::kOutOfRange);
+
+  // The largest nnz that does fit, then adding a header past the top
+  // fails in CheckedAdd rather than wrapping to a tiny mapping size.
+  const uint64_t max_nnz = kU64Max / sizeof(uint32_t);
+  auto fit = CheckedMul<uint64_t>(max_nnz, sizeof(uint32_t), "bytes");
+  ASSERT_TRUE(fit.ok());
+  EXPECT_FALSE(CheckedAdd<uint64_t>(fit.value(), 64, "bytes + header").ok());
+}
+
+TEST(CheckedMulTest, ZeroAndIdentity) {
+  auto zero = CheckedMul<uint64_t>(0, kU64Max, "bytes");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero.value(), 0u);
+
+  auto ident = CheckedMul<uint64_t>(kU64Max, 1, "bytes");
+  ASSERT_TRUE(ident.ok());
+  EXPECT_EQ(ident.value(), kU64Max);
+}
+
+TEST(CheckedMulTest, SignedMinTimesMinusOne) {
+  // The one signed multiply UBSan can't save you from at -O2.
+  EXPECT_FALSE(CheckedMul<int64_t>(kI64Min, -1, "scaled delta").ok());
+  EXPECT_FALSE(CheckedMul<int32_t>(kI32Min, -1, "scaled delta").ok());
+}
+
+// ---------------------------------------------------------------------------
+// CheckedIndexU32 — the sanctioned u64 -> u32 index gate.
+
+TEST(CheckedIndexU32Test, BoundaryAndMessageContract) {
+  auto max_ok = CheckedIndexU32(uint64_t{kU32Max}, "row count");
+  ASSERT_TRUE(max_ok.ok());
+  EXPECT_EQ(max_ok.value(), kU32Max);
+
+  auto over = CheckedIndexU32(uint64_t{kU32Max} + 1, "row count");
+  ASSERT_FALSE(over.ok());
+  // InvalidArgument, not OutOfRange: callers classify an oversized count
+  // as malformed input (see the note in safe_math.h).
+  EXPECT_EQ(over.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Mentions(over.status(), "row count"));
+  EXPECT_TRUE(Mentions(over.status(), "32-bit index space"));
+}
+
+// ---------------------------------------------------------------------------
+// StatusOr error-path discipline: results are [[nodiscard]] and errors
+// carry enough context to act on — no process-death semantics anywhere.
+
+TEST(SafeMathStatusTest, ErrorsAreValuesNotTraps) {
+  StatusOr<uint32_t> bad = CheckedCast<uint32_t>(kU64Max, "nnz");
+  ASSERT_FALSE(bad.ok());
+  // status() is inspectable repeatedly and copyable like any value.
+  const Status copy = bad.status();
+  EXPECT_EQ(copy.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(copy.message(), bad.status().message());
+}
+
+}  // namespace
+}  // namespace topkrgs

@@ -282,5 +282,53 @@ TEST(ScaleProfileTest, ChunkIndependentAndSeeded) {
   EXPECT_FALSE(WriteScaleItemData(invalid, a).ok());
 }
 
+/// The named profiles are bench contracts: their shapes (and the derived
+/// minsup) feed committed BENCH_scale.json baselines, so a silent edit
+/// here would invalidate the recorded digests.
+TEST(ScaleProfileTest, NamedProfileShapes) {
+  const ScaleProfile full = ScaleProfile::Full();
+  EXPECT_EQ(full.name, "scale-full");
+  EXPECT_EQ(full.rows, 100000u);
+  EXPECT_EQ(full.num_items, 10000u);
+  EXPECT_EQ(full.seed, 2005u);
+
+  const ScaleProfile reduced = ScaleProfile::Reduced();
+  EXPECT_EQ(reduced.name, "scale-reduced");
+  EXPECT_EQ(reduced.rows, 8000u);
+  EXPECT_EQ(reduced.num_items, 2000u);
+
+  const ScaleProfile micro = ScaleProfile::Micro();
+  EXPECT_EQ(micro.name, "scale-micro");
+  EXPECT_LT(micro.rows, reduced.rows);
+
+  // Pattern blocks must fit each profile's universe (the same invariant
+  // WriteScaleItemData enforces), and the derived minsup stays sane:
+  // at least the floor of 2, at most the positive-row count.
+  for (const ScaleProfile& p : {full, reduced, micro}) {
+    EXPECT_LE(uint64_t{p.patterns} * p.pattern_items, p.num_items) << p.name;
+    const uint32_t minsup = p.SuggestedMinSupport();
+    EXPECT_GE(minsup, 2u) << p.name;
+    EXPECT_LE(minsup, p.rows) << p.name;
+  }
+}
+
+TEST(ScaleProfileTest, WriteRejectsDegenerateInputs) {
+  const std::string path = TempPath("scale_profile", "reject.items");
+  ScaleProfile empty = ScaleProfile::Micro();
+  empty.rows = 0;
+  EXPECT_FALSE(WriteScaleItemData(empty, path).ok());
+
+  ScaleProfile no_patterns = ScaleProfile::Micro();
+  no_patterns.patterns = 0;
+  EXPECT_FALSE(WriteScaleItemData(no_patterns, path).ok());
+
+  // Unwritable destination surfaces as IOError, not a partial file.
+  ScaleProfile ok = ScaleProfile::Micro();
+  ok.rows = 5;
+  auto status = WriteScaleItemData(ok, "/nonexistent-dir/x.items");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
 }  // namespace
 }  // namespace topkrgs

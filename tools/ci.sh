@@ -21,7 +21,11 @@
 #           over src/), the determinism linter self-test + gate
 #           (tools/lint/determinism_lint.py — unordered iteration, pointer
 #           keys, ambient entropy and unordered FP reductions in the
-#           deterministic zones, with a shrink-only baseline), the
+#           deterministic zones, with a shrink-only baseline), the cast
+#           linter self-test + gate (tools/lint/cast_lint.py — unchecked
+#           integer narrowing, C-casts and signed/size comparisons across
+#           src/, shrink-only baseline, src/serve and src/synth pinned at
+#           zero), the
 #           redundant-work-ratio gate (tools/lint/redundancy_gate.py —
 #           8-thread nodes_visited over serial, ceiling 1.15, from the
 #           committed bench/BENCH_topk.json), the out-of-core RSS gate
@@ -33,8 +37,12 @@
 #           surface. When a clang toolchain is on PATH it additionally
 #           compiles src/ with -Wthread-safety -Werror (the
 #           thread-safety-annotation gate) and runs clang-tidy against the
-#           exported compile_commands.json; without clang those two
-#           sub-checks print a skip notice instead of failing.
+#           exported compile_commands.json, and requires the
+#           deliberately-dangling lifetime fixture
+#           (tools/lint/testdata/lifetime_fixture.cc) to FAIL compiling —
+#           proof the TKRGS_LIFETIME_BOUND/GSL annotations still bite;
+#           without clang those sub-checks print a skip notice instead of
+#           failing.
 #
 #   analyze — clang static analyzer (--analyze, the scan-build engine)
 #           over every src/ TU in the lint preset's compile_commands.json,
@@ -51,6 +59,14 @@
 #   ubsan — build with -fsanitize=undefined -fno-sanitize-recover=all
 #           (every UB report is fatal, not a log line) and run the full
 #           test suite under it.
+#
+#   intsan — build with clang -fsanitize=integer (implicit truncations,
+#           sign changes and unsigned wraps that UBSan's core does not
+#           flag), -fno-sanitize-recover=all, gated by the triaged
+#           modular-arithmetic ignorelist in
+#           tools/lint/intsan_ignorelist.txt; runs the full suite plus a
+#           convert/shard-mine round trip. Skips with a notice when no
+#           clang is on PATH (gcc has no -fsanitize=integer).
 #
 #   simd  — build the release preset and run the full tier-1 suite twice:
 #           once with the runtime-dispatched best SIMD tier and once with
@@ -77,7 +93,7 @@
 #           shut it down cleanly (SIGTERM). Also builds the release preset
 #           load-generator bench and refreshes bench/BENCH_serve.json.
 #
-# Usage: tools/ci.sh [lint|analyze|coverage|ubsan|tsan|fuzz|simd|scale|serve|all]
+# Usage: tools/ci.sh [lint|analyze|coverage|ubsan|intsan|tsan|fuzz|simd|scale|serve|all]
 #        [extra ctest -R pattern]
 
 set -euo pipefail
@@ -94,6 +110,11 @@ run_lint() {
   python3 tools/lint/determinism_lint.py --self-test
   echo "== determinism lint over the deterministic zones =="
   python3 tools/lint/determinism_lint.py
+
+  echo "== cast linter self-test (fixture must still trip every check) =="
+  python3 tools/lint/cast_lint.py --self-test
+  echo "== cast lint over src/ (narrowing casts, C-casts, signed/size) =="
+  python3 tools/lint/cast_lint.py
 
   echo "== redundant-work-ratio gate (tools/lint/redundancy_gate.py) =="
   python3 tools/lint/redundancy_gate.py
@@ -129,6 +150,36 @@ run_lint() {
     git ls-files 'src/*.cc' | xargs clang-tidy -p build-lint --quiet
   else
     echo "(clang-tidy not on PATH — tidy gate skipped)"
+  fi
+
+  # Lifetime negative-compile gate: the deliberately-dangling fixture MUST
+  # fail to compile once TKRGS_LIFETIME_BOUND / TKRGS_GSL_* expand to real
+  # clang attributes. gcc expands them to nothing, so only clang can
+  # observe the annotations.
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "== lifetime annotations (dangling fixture must NOT compile) =="
+    local lifetime_log
+    lifetime_log="$(mktemp)"
+    if clang++ -std=c++20 -fsyntax-only -Isrc \
+         -Werror=dangling -Werror=dangling-gsl \
+         tools/lint/testdata/lifetime_fixture.cc 2> "${lifetime_log}"; then
+      echo "lifetime gate FAILED: the deliberately-dangling fixture compiled"
+      echo "cleanly — the lifetimebound/gsl annotations are not being applied."
+      rm -f "${lifetime_log}"
+      exit 1
+    fi
+    if ! grep -qi "dangling\|destroyed at the end" "${lifetime_log}"; then
+      echo "lifetime gate FAILED: fixture failed to compile for the wrong"
+      echo "reason (expected a -Wdangling diagnostic):"
+      cat "${lifetime_log}"
+      rm -f "${lifetime_log}"
+      exit 1
+    fi
+    echo "lifetime gate OK: every dangling use in the fixture was rejected."
+    rm -f "${lifetime_log}"
+  else
+    echo "(clang++ not on PATH — lifetime negative-compile gate skipped; the"
+    echo " lifetimebound annotations expand to nothing under this toolchain)"
   fi
   echo "lint gate passed: include discipline clean, determinism lint clean," \
        "warnings-as-errors build green."
@@ -166,6 +217,36 @@ run_ubsan() {
   echo "== full suite with fatal-on-report UBSan =="
   ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)"
   echo "ubsan gate passed: no undefined behavior reported."
+}
+
+run_intsan() {
+  # -fsanitize=integer (implicit conversions + unsigned wraps, beyond
+  # UBSan's signed-overflow core) is clang-only; gcc has no equivalent.
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "(clang++ not on PATH — intsan stage skipped; -fsanitize=integer"
+    echo " has no gcc equivalent. The cast lint and the ubsan stage still"
+    echo " cover signed overflow and the checked-math call sites.)"
+    return 0
+  fi
+  echo "== configure (intsan) =="
+  cmake --preset intsan
+  echo "== build (intsan: clang -fsanitize=integer -fno-sanitize-recover) =="
+  cmake --build --preset intsan -j
+  echo "== full suite with fatal-on-report IntegerSanitizer =="
+  ctest --test-dir build-intsan --output-on-failure -j "$(nproc)"
+  echo "== reduced scale profile under IntegerSanitizer =="
+  local tmp
+  tmp="$(mktemp -d)"
+  # shellcheck disable=SC2064
+  trap "rm -rf '${tmp}'" RETURN
+  printf '1\t0 1 2\n1\t0 1 2\n1\t0 1\n1\t0 2\n1\t1 2\n0\t3 4\n0\t3\n0\t4\n' \
+    > "${tmp}/toy.items"
+  build-intsan/tools/topkrgs-convert --input "${tmp}/toy.items" \
+    --output "${tmp}/toy.tkds" >/dev/null
+  build-intsan/tools/topkrgs-shard-mine --data "${tmp}/toy.tkds" \
+    --minsup 2 --k 3 --shards 2 >/dev/null
+  echo "intsan gate passed: no implicit-conversion or overflow reports" \
+       "outside the triaged ignorelist."
 }
 
 run_tsan() {
@@ -331,6 +412,7 @@ case "${STAGE}" in
   analyze) run_analyze ;;
   coverage) run_coverage ;;
   ubsan) run_ubsan ;;
+  intsan) run_intsan ;;
   tsan) run_tsan "${2:-TopkParallel|ThreadSafety|WorkStealDeque}" ;;
   fuzz) run_fuzz ;;
   simd) run_simd ;;
@@ -341,6 +423,7 @@ case "${STAGE}" in
     run_analyze
     run_tsan "${2:-TopkParallel|ThreadSafety|WorkStealDeque}"
     run_ubsan
+    run_intsan
     run_fuzz
     run_simd
     run_scale

@@ -1,0 +1,81 @@
+// Intentional-hazard fixture for `cast_lint.py --self-test`.
+//
+// This file is NEVER compiled into any target: it exists so the CI lint
+// stage can prove the cast gate still catches every hazard class it
+// promises to — an intentionally introduced unchecked narrowing must
+// fail the gate. Each hazard line carries an `EXPECT-FINDING:`
+// annotation naming every check that must fire on it; the self-test
+// fails on any missing OR any extra finding, so the fixture also pins
+// that clean code (the control section at the bottom) stays clean and
+// that a justified NOLINT actually suppresses.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+using ItemId = uint32_t;
+using ClassLabel = uint8_t;
+
+// --- unchecked static_cast narrowing ------------------------------------
+
+inline uint32_t NarrowingCasts(const std::vector<uint64_t>& values) {
+  uint32_t total = static_cast<uint32_t>(values.size());  // EXPECT-FINDING: narrowing-cast
+  ItemId first = static_cast<ItemId>(values[0]);  // EXPECT-FINDING: narrowing-cast
+  ClassLabel label = static_cast<ClassLabel>(values[1]);  // EXPECT-FINDING: narrowing-cast
+  int delta = static_cast<int>(values[2] - values[3]);  // EXPECT-FINDING: narrowing-cast
+  unsigned bits = static_cast<unsigned>(values[4]);  // EXPECT-FINDING: narrowing-cast
+  return total + first + label + static_cast<uint32_t>(delta) + bits;  // EXPECT-FINDING: narrowing-cast
+}
+
+// --- C-style integer casts ----------------------------------------------
+
+inline int CStyleCasts(uint64_t wide, size_t count) {
+  int a = (int)wide;  // EXPECT-FINDING: c-cast
+  uint32_t b = (uint32_t)count;  // EXPECT-FINDING: c-cast
+  return a + static_cast<int>(b);  // EXPECT-FINDING: narrowing-cast
+}
+
+// --- signed loop variable vs .size() ------------------------------------
+
+inline int SignedSizeCompare(const std::vector<int>& values) {
+  int total = 0;
+  for (int i = 0; i < values.size(); ++i) {  // EXPECT-FINDING: signed-size-compare
+    total += values[i];
+  }
+  return total;
+}
+
+// --- the NOLINT escape hatch --------------------------------------------
+
+inline uint32_t JustifiedCasts(const std::vector<uint64_t>& values,
+                               uint32_t num_items) {
+  // A justification naming the bound suppresses the finding (this line
+  // must NOT appear in the self-test expectations):
+  // NOLINT(cast: values.size() <= num_items, a uint32 by construction)
+  const uint32_t bounded = static_cast<uint32_t>(values.size());
+  (void)num_items;
+  uint32_t bare = static_cast<uint32_t>(values[0]);  // NOLINT(cast) EXPECT-FINDING: nolint-needs-justification
+  return bounded + bare;
+}
+
+// --- control section: checked/widening equivalents stay clean -----------
+
+inline uint64_t CleanConversions(uint32_t narrow, ClassLabel label,
+                                 const std::vector<int>& values) {
+  uint64_t widened = uint64_t{narrow};    // brace-init cannot narrow
+  uint32_t promoted = uint32_t{label} + 1;  // uint8 -> uint32 is widening
+  uint64_t wide_cast = static_cast<uint64_t>(narrow);  // 64-bit target
+  double ratio = static_cast<double>(narrow) / 2.0;    // float target
+  uint64_t total = 0;
+  for (size_t i = 0; i < values.size(); ++i) {  // unsigned index
+    total += static_cast<uint64_t>(values[i]);
+  }
+  // "(int)inside a string literal" and sizeof(uint32_t) are not casts.
+  const char* msg = "(int)inside a string literal";
+  (void)msg;
+  return widened + promoted + wide_cast + static_cast<uint64_t>(ratio) +
+         sizeof(uint32_t) + total;
+}
+
+}  // namespace fixture

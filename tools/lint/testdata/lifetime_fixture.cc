@@ -1,0 +1,63 @@
+// Deliberately-dangling fixture for the clang lifetime gate in
+// tools/ci.sh (run_lint).
+//
+// This file is NEVER compiled into any target and MUST NOT compile
+// cleanly: every statement below binds a view, reference, or pointer to
+// an owner that dies at the end of the full-expression. The gate
+// compiles it with
+//
+//   clang++ -std=c++20 -fsyntax-only -Isrc \
+//       -Werror=dangling -Werror=dangling-gsl \
+//       tools/lint/testdata/lifetime_fixture.cc
+//
+// and REQUIRES failure — if this file ever compiles, the
+// TKRGS_LIFETIME_BOUND / TKRGS_GSL_OWNER / TKRGS_GSL_POINTER
+// annotations in util/safe_math.h (and their placement on the APIs
+// below) have stopped doing their job. Under gcc the annotations expand
+// to nothing, so the gate is clang-gated with a skip notice.
+#include <string>
+#include <vector>
+
+#include "scale/stream_reader.h"
+#include "serve/http.h"
+#include "serve/json.h"
+
+namespace topkrgs {
+
+// Declarations only — -fsyntax-only never links, so no definitions are
+// needed to make the dangling initializations below analyzable.
+StreamedTable MakeTable();
+JsonValue MakeJson();
+HttpRequest MakeRequest();
+
+inline void DanglingTransposedView() {
+  // StreamedTable is TKRGS_GSL_OWNER and TransposedView is
+  // TKRGS_GSL_POINTER; View() is TKRGS_LIFETIME_BOUND. The temporary
+  // table — and the CSR arrays the view aliases — is gone before the
+  // first use of `view`.
+  TransposedView view = MakeTable().View();  // expected: -Wdangling-gsl
+  (void)view.num_rows;
+}
+
+inline void DanglingLabels() {
+  // labels() is TKRGS_LIFETIME_BOUND: the reference aliases storage of a
+  // temporary owner that dies at the end of the full-expression.
+  const std::vector<ClassLabel>& labels = MakeTable().labels();  // expected: -Wdangling
+  (void)labels;
+}
+
+inline void DanglingJsonString() {
+  // str() is TKRGS_LIFETIME_BOUND: the reference outlives the temporary
+  // JsonValue whose storage it aliases.
+  const std::string& s = MakeJson().str();  // expected: -Wdangling
+  (void)s;
+}
+
+inline void DanglingHeaderPointer() {
+  // FindHeader() is TKRGS_LIFETIME_BOUND: the pointer aliases the
+  // temporary request's header vector.
+  const std::string* ct = MakeRequest().FindHeader("content-type");  // expected: -Wdangling
+  (void)ct;
+}
+
+}  // namespace topkrgs
