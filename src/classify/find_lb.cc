@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/stats.h"
+#include "util/hot_path.h"
 #include "util/rowset.h"
 #include "util/status.h"
 
@@ -36,6 +37,33 @@ struct Candidate {
   std::vector<uint32_t> indices;
 };
 
+/// Probe kernel shared by both lower-bound searches: intersects the row
+/// sets of universe_items[indices[...]] through the caller's ping-pong
+/// scratch pair and reports whether the chain's support hits target_rows
+/// exactly. Intersection only shrinks the set, so once the running count
+/// drops below the target the chain stops early; the adaptive container
+/// switches to an id walk once the chain gets sparse. Hot: the windowed
+/// BFS calls this once per candidate subset, and the scratch pair is what
+/// keeps the per-probe allocation count at zero in steady state.
+TKRGS_HOT bool ChainSupportMatches(const DiscreteDataset& data,
+                                   const std::vector<ItemId>& universe_items,
+                                   const std::vector<uint32_t>& indices,
+                                   uint32_t target_rows, RowSet* rows,
+                                   RowSet* next) {
+  if (indices.size() == 1) {
+    return data.item_rows(universe_items[indices[0]]).Count() == target_rows;
+  }
+  RowSet::IntersectOfInto(data.item_rows(universe_items[indices[0]]),
+                          data.item_rows(universe_items[indices[1]]), rows);
+  for (size_t i = 2; i < indices.size(); ++i) {
+    if (rows->Count() < target_rows) return false;
+    rows->IntersectAdaptiveInto(data.item_rows(universe_items[indices[i]]),
+                                next);
+    std::swap(rows, next);
+  }
+  return rows->Count() == target_rows;
+}
+
 }  // namespace
 
 std::vector<Rule> FindLowerBounds(const DiscreteDataset& data,
@@ -54,18 +82,15 @@ std::vector<Rule> FindLowerBounds(const DiscreteDataset& data,
   });
 
   const uint32_t target_rows = group.antecedent_support;
+  // Ping-pong scratch pair reused across every probe: the windowed BFS
+  // evaluates thousands of candidate subsets, and rebuilding a dense
+  // rowset from scratch for each was the dominant allocation source.
+  RowSet rows_scratch, next_scratch;
   auto is_lower_bound_support = [&](const std::vector<uint32_t>& indices) {
     // Condition (2) of Lemma 5.1: R(A') == R(A). A' ⊆ A implies
-    // R(A') ⊇ R(A), so comparing cardinalities suffices. Intersection
-    // only shrinks the set, so once the cached count drops below the
-    // target the chain can stop early; the adaptive container also
-    // switches to an id walk once the chain gets sparse.
-    RowSet rows = RowSet::DenseFrom(data.item_rows(ranked[indices[0]]));
-    for (size_t i = 1; i < indices.size(); ++i) {
-      if (rows.Count() < target_rows) return false;
-      rows = rows.IntersectAdaptive(data.item_rows(ranked[indices[i]]));
-    }
-    return rows.Count() == target_rows;
+    // R(A') ⊇ R(A), so comparing cardinalities suffices.
+    return ChainSupportMatches(data, ranked, indices, target_rows,
+                               &rows_scratch, &next_scratch);
   };
 
   std::vector<Rule> found;
@@ -161,13 +186,10 @@ std::vector<Rule> FindAllLowerBounds(const DiscreteDataset& data,
   const std::vector<ItemId> items = group.antecedent.ToVector();
   const uint32_t target_rows = group.antecedent_support;
 
+  RowSet rows_scratch, next_scratch;  // reused across probes, as above
   auto supports_match = [&](const std::vector<uint32_t>& indices) {
-    RowSet rows = RowSet::DenseFrom(data.item_rows(items[indices[0]]));
-    for (size_t i = 1; i < indices.size(); ++i) {
-      if (rows.Count() < target_rows) return false;
-      rows = rows.IntersectAdaptive(data.item_rows(items[indices[i]]));
-    }
-    return rows.Count() == target_rows;
+    return ChainSupportMatches(data, items, indices, target_rows,
+                               &rows_scratch, &next_scratch);
   };
 
   std::vector<Rule> found;

@@ -38,6 +38,7 @@ Discretization Discretization::FromCuts(std::vector<GeneId> genes,
 std::vector<ItemId> Discretization::DiscretizeRow(
     const std::vector<double>& gene_values) const {
   std::vector<ItemId> items;
+  // NOLINT(hotpath: one output itemset per row, sized by selected genes)
   items.reserve(selected_genes_.size());
   for (uint32_t s = 0; s < selected_genes_.size(); ++s) {
     const double v = gene_values[selected_genes_[s]];
@@ -45,6 +46,7 @@ std::vector<ItemId> Discretization::DiscretizeRow(
     // Interval index = number of cuts <= v (value v falls in [cut[i-1], cut[i])).
     const uint32_t idx = static_cast<uint32_t>(
         std::upper_bound(cut.begin(), cut.end(), v) - cut.begin());
+    // NOLINT(hotpath: within the per-row reservation above)
     items.push_back(gene_first_item_[s] + idx);
   }
   return items;

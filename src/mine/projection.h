@@ -7,6 +7,7 @@
 
 #include "core/dataset.h"
 #include "mine/prefix_tree.h"
+#include "util/hot_path.h"
 
 namespace topkrgs {
 
@@ -47,7 +48,7 @@ class BitsetProjection {
   /// IntersectCount(const Bitset&). A sparse RowSet turns this scan from
   /// O(universe/64) words into O(|I(X)|) probes.
   template <typename ItemSet>
-  uint32_t Freq(uint32_t pos, const ItemSet& items) const {
+  TKRGS_HOT uint32_t Freq(uint32_t pos, const ItemSet& items) const {
     // Hot path — called once per (node, position) during enumeration.
     // NOLINT(cast: IntersectCount <= num_items <= kMaxItemUniverse = 2^20)
     return static_cast<uint32_t>(
@@ -118,7 +119,7 @@ class VectorProjection {
   }
 
   template <typename ItemSet>
-  uint32_t Freq(uint32_t pos, const ItemSet& /*items*/) const {
+  TKRGS_HOT uint32_t Freq(uint32_t pos, const ItemSet& /*items*/) const {
     return freq_[pos];
   }
 
@@ -154,7 +155,11 @@ class VectorProjection {
 /// prefixes, so frequency counting is amortized across items.
 class TreeProjection {
  public:
-  explicit TreeProjection(PrefixTree tree, PrefixTree::Arena* arena = nullptr)
+  /// Takes the tree by rvalue: every construction site hands over a
+  /// freshly built tree, and the && makes any future copying caller
+  /// spell out the copy instead of hiding it in a by-value sink.
+  explicit TreeProjection(PrefixTree&& tree,
+                          PrefixTree::Arena* arena = nullptr)
       : tree_(std::move(tree)), arena_(arena) {}
 
   /// A borrowed view over this projection's tree whose conditional trees
@@ -171,7 +176,7 @@ class TreeProjection {
   }
 
   template <typename ItemSet>
-  uint32_t Freq(uint32_t pos, const ItemSet& /*items*/) const {
+  TKRGS_HOT uint32_t Freq(uint32_t pos, const ItemSet& /*items*/) const {
     return ref().freq(pos);
   }
 

@@ -13,6 +13,7 @@
 #include "mine/projection.h"
 #include "util/arena.h"
 #include "util/check.h"
+#include "util/hot_path.h"
 #include "util/lock_ranks.h"
 #include "util/rowset.h"
 #include "util/status.h"
@@ -103,7 +104,7 @@ class SharedTopk {
   /// The significance + tie origin of the k-th entry of `pos`'s list;
   /// (0, 0) while the list holds fewer than k groups (a real group always
   /// has support >= 1, so the sentinel is unambiguous). Lock-free.
-  Thresh KthOf(uint32_t pos) const {
+  TKRGS_HOT Thresh KthOf(uint32_t pos) const {
     const uint64_t packed = packed_[pos].load(std::memory_order_acquire);
     return Thresh{static_cast<uint32_t>(packed >> 40),
                   static_cast<uint32_t>((packed >> 16) & 0xffffffu),
@@ -152,7 +153,8 @@ class SharedTopk {
   /// (and splitting only partitions nodes across tasks, never duplicates
   /// one), so the only duplicates are a single-item seed and its closure —
   /// and seeds insert with origin 0 before any worker starts.
-  void Insert(uint32_t pos, const HandlePtr& handle, uint32_t origin) {
+  TKRGS_HOT void Insert(uint32_t pos, const HandlePtr& handle,
+                        uint32_t origin) {
     const RuleGroup& g = handle->group;
     // lists_[pos] is guarded by stripes_[pos & (kStripes - 1)]. The
     // index-dependent stripe mapping is beyond what GUARDED_BY can
@@ -202,6 +204,8 @@ class SharedTopk {
                                  e.handle->group.support,
                                  e.handle->group.antecedent_support) > 0;
     });
+    // NOLINT(hotpath: k-bounded list under the stripe lock — the insert
+    // shifts at most k entries and the spill below caps growth)
     list.insert(it, Entry{handle, encoded});
     if (list.size() > k_) list.pop_back();
     if (list.size() >= k_) PublishKth(pos);
@@ -333,6 +337,12 @@ class TopkSearch {
     std::vector<Emission>* sink = nullptr;
     VectorPool<uint32_t> scratch;
     PrefixTree::Arena tree_arena;
+    // One RowSet per enumeration depth, reused across every sibling at
+    // that depth: IntersectAdaptiveInto refills the slot's id array or
+    // bitmap in place, so the per-node intersection stops allocating once
+    // each depth has been visited once. A deque keeps references stable
+    // while deeper slots append.
+    std::deque<RowSet> rowset_scratch;
   };
 
   /// A frozen enumeration node whose children are (or became, through a
@@ -375,8 +385,9 @@ class TopkSearch {
   };
 
   template <typename Proj>
-  void Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
-             uint32_t items_count, uint32_t branch_pos, bool closed_on_left);
+  TKRGS_HOT void Visit(WorkerState& ws, const Proj& proj,
+                       const RowSet& items, uint32_t items_count,
+                       uint32_t branch_pos, bool closed_on_left);
 
   /// Processes the root node serially (seeding the shared thresholds with
   /// its high-support group), turns every first-level subtree into a
@@ -390,7 +401,8 @@ class TopkSearch {
   /// ctx->live[task.child]. `node_proj` is the (worker-cached) projection
   /// of the task's parent node.
   template <typename Proj>
-  void RunTask(WorkerState& ws, const Proj& node_proj, SubtreeTask& task);
+  TKRGS_HOT void RunTask(WorkerState& ws, const Proj& node_proj,
+                         SubtreeTask& task);
 
   /// Rebinds a worker's DFS state to another task context.
   void SwitchCtx(WorkerState& ws, const NodeCtx& ctx) const;
@@ -416,12 +428,13 @@ class TopkSearch {
                       size_t first_child);
 
   void SeedSingleItems(const Bitset& frequent_items);
-  void MaybeRaiseMinsup(WorkerState& ws);
-  Thresh ComputeCut(const std::vector<uint32_t>& x_stack,
-                    const std::vector<uint32_t>& candidates) const;
-  bool Hopeless(uint32_t best_sup, uint32_t min_neg, const Thresh& cut,
-                uint32_t origin) const;
-  void EmitAt(WorkerState& ws, const RowSet& items, const Thresh& cut);
+  TKRGS_HOT void MaybeRaiseMinsup(WorkerState& ws);
+  TKRGS_HOT Thresh ComputeCut(const std::vector<uint32_t>& x_stack,
+                              const std::vector<uint32_t>& candidates) const;
+  TKRGS_HOT bool Hopeless(uint32_t best_sup, uint32_t min_neg,
+                          const Thresh& cut, uint32_t origin) const;
+  TKRGS_HOT void EmitAt(WorkerState& ws, const RowSet& items,
+                        const Thresh& cut);
   void ReplayInsert(uint32_t pos, const HandlePtr& handle);
   void ReplayEmissions(const std::vector<Emission>& emissions);
   void ReplayTask(const SubtreeTask& task);
@@ -682,11 +695,15 @@ void TopkSearch::EmitAt(WorkerState& ws, const RowSet& items,
     // lost upgrade is harmless.)
     return;
   }
+  // NOLINT(hotpath: one handle per emitted group; EmitAt runs only for
+  // closed nodes that pass the top-k admission cut, not per node)
   auto handle = std::make_shared<GroupHandle>();
+  // NOLINT(hotpath: materializes the emitted group's itemset once)
   handle->group.antecedent = items.ToBitset();
   handle->group.consequent = consequent_;
   handle->group.support = ws.xp;
   handle->group.antecedent_support = ws.xp + ws.xn;
+  // NOLINT(hotpath: row-support bitmap built once per emitted group)
   Bitset rows(data_.num_rows());
   for (uint32_t pos : ws.x_stack) rows.Set(order_[pos]);
   handle->group.row_support = std::move(rows);
@@ -695,6 +712,7 @@ void TopkSearch::EmitAt(WorkerState& ws, const RowSet& items,
   emission.handle = handle;
   for (uint32_t pos : ws.x_stack) {
     if (!IsPos(pos)) continue;
+    // NOLINT(hotpath: covered list bounded by |X|, once per emission)
     emission.covered.push_back(pos);
     // The recorded origin is the unit's current range base — exact under
     // splitting because SpawnRemaining bumps it past every shed subtree
@@ -702,6 +720,7 @@ void TopkSearch::EmitAt(WorkerState& ws, const RowSet& items,
     // kOriginInf, which never suppresses a tie).
     shared_->Insert(pos, handle, ws.origin);
   }
+  // NOLINT(hotpath: per-emission append; sink capacity is retained)
   ws.sink->push_back(std::move(emission));
 }
 
@@ -721,6 +740,7 @@ void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
 
   PooledVector<uint32_t> cand_lease(&ws.scratch);
   std::vector<uint32_t>& cand = *cand_lease;
+  // NOLINT(hotpath: fills a pooled lease whose capacity is retained)
   proj.Positions(&cand);
   std::erase_if(cand, [&](uint32_t p) { return ws.in_x[p] != 0; });
 
@@ -754,15 +774,18 @@ void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
   for (uint32_t p : cand) {
     const uint32_t f = proj.Freq(p, items);
     if (f == items_count) {
+      // NOLINT(hotpath: pooled lease retains capacity across nodes)
       absorbed.push_back(p);
     } else if (f > 0) {
+      // NOLINT(hotpath: pooled lease retains capacity across nodes)
       live.push_back(p);
-      live_freq.push_back(f);
+      live_freq.push_back(f);  // NOLINT(hotpath: pooled lease, as above)
       if (IsPos(p)) ++mp;
     }
   }
   for (uint32_t p : absorbed) {
     ws.in_x[p] = 1;
+    // NOLINT(hotpath: DFS stack retains capacity; amortized O(1))
     ws.x_stack.push_back(p);
     IsPos(p) ? ++ws.xp : ++ws.xn;
   }
@@ -784,6 +807,7 @@ void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
     // can still raise a child subtree's support beyond X.
     PooledVector<uint32_t> suffix_lease(&ws.scratch);
     std::vector<uint32_t>& suffix_pos = *suffix_lease;
+    // NOLINT(hotpath: pooled lease retains capacity across nodes)
     suffix_pos.assign(live.size() + 1, 0);
     for (size_t i = live.size(); i-- > 0;) {
       suffix_pos[i] = suffix_pos[i + 1] + (IsPos(live[i]) ? 1 : 0);
@@ -807,6 +831,8 @@ void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
         // abandon the loop. This worker pops part of the batch back off
         // its own deque after unwinding; the starving workers take the
         // rest.
+        // NOLINT(hotpath: split path — runs once per shed subtree when a
+        // worker starves, bounded by the spawn policy, not per node)
         SpawnRemaining(ws, items, live, live_freq, suffix_pos, i);
         break;
       }
@@ -836,7 +862,16 @@ void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
           continue;
         }
       }
-      RowSet child_items = items.IntersectAdaptive(data_.row_bitset(order_[p]));
+      // The parent's `items` lives at a shallower slot (or outside the
+      // pool entirely), so writing this depth's slot never aliases it.
+      const size_t depth = ws.chain_pos.size();
+      if (ws.rowset_scratch.size() <= depth) {
+        // NOLINT(hotpath: one-time growth per depth first reached; every
+        // later node at this depth reuses the slot allocation-free)
+        ws.rowset_scratch.resize(depth + 1);
+      }
+      RowSet& child_items = ws.rowset_scratch[depth];
+      items.IntersectAdaptiveInto(data_.row_bitset(order_[p]), &child_items);
       bool child_closed = true;
       for (uint32_t q = 0; q < p; ++q) {
         if (!ws.in_x[q] &&
@@ -854,10 +889,14 @@ void TopkSearch::Visit(WorkerState& ws, const Proj& proj, const RowSet& items,
         if (opt_.use_backward_pruning) continue;
       }
       ws.in_x[p] = 1;
-      ws.x_stack.push_back(p);
+      ws.x_stack.push_back(p);  // NOLINT(hotpath: stack keeps capacity)
       IsPos(p) ? ++ws.xp : ++ws.xn;
-      ws.chain_pos.push_back(p);
+      ws.chain_pos.push_back(p);  // NOLINT(hotpath: stack keeps capacity)
+      // NOLINT(hotpath: stack keeps capacity)
       ws.chain_live.push_back(&live);
+      // NOLINT(hotpath: the child projection build is the per-child
+      // descent cost — arena-backed for the tree strategy, by-design
+      // rebuild scans for the bitset/vector strategies)
       Visit(ws, proj.Child(p, live), child_items, live_freq[i], p,
             child_closed);
       ws.chain_live.pop_back();
@@ -977,7 +1016,16 @@ void TopkSearch::RunTask(WorkerState& ws, const Proj& node_proj,
       return;
     }
   }
-  RowSet child_items = ctx.items.IntersectAdaptive(data_.row_bitset(order_[p]));
+  // Same per-depth scratch discipline as Visit: ctx.items lives in the
+  // heap NodeCtx, never in the pool, so the slot write cannot alias it.
+  const size_t depth = ws.chain_pos.size();
+  if (ws.rowset_scratch.size() <= depth) {
+    // NOLINT(hotpath: one-time growth per depth first reached; every
+    // later node at this depth reuses the slot allocation-free)
+    ws.rowset_scratch.resize(depth + 1);
+  }
+  RowSet& child_items = ws.rowset_scratch[depth];
+  ctx.items.IntersectAdaptiveInto(data_.row_bitset(order_[p]), &child_items);
   bool child_closed = true;
   for (uint32_t q = 0; q < p; ++q) {
     if (!ws.in_x[q] && child_items.IsSubsetOf(data_.row_bitset(order_[q]))) {
@@ -992,10 +1040,12 @@ void TopkSearch::RunTask(WorkerState& ws, const Proj& node_proj,
     if (opt_.use_backward_pruning) return;
   }
   ws.in_x[p] = 1;
-  ws.x_stack.push_back(p);
+  ws.x_stack.push_back(p);  // NOLINT(hotpath: stack keeps capacity)
   IsPos(p) ? ++ws.xp : ++ws.xn;
-  ws.chain_pos.push_back(p);
+  ws.chain_pos.push_back(p);  // NOLINT(hotpath: stack keeps capacity)
+  // NOLINT(hotpath: stack keeps capacity)
   ws.chain_live.push_back(&ctx.live);
+  // NOLINT(hotpath: child projection build — see the matching Visit site)
   Visit(ws, node_proj.Child(p, ctx.live), child_items,
         ctx.live_freq[task.child], p, child_closed);
   ws.chain_live.pop_back();

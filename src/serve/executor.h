@@ -11,6 +11,7 @@
 
 #include "serve/metrics.h"
 #include "serve/model_registry.h"
+#include "util/hot_path.h"
 #include "util/lock_ranks.h"
 #include "util/thread_annotations.h"
 #include "util/timer.h"
@@ -89,7 +90,8 @@ class PredictionExecutor {
   };
 
   void WorkerLoop() EXCLUDES(mu_);
-  StatusOr<PredictResponse> Execute(const PredictRequest& request) const;
+  TKRGS_HOT StatusOr<PredictResponse> Execute(
+      const PredictRequest& request) const;
   void Finish(Task* task, StatusOr<PredictResponse> result);
 
   const Options options_;

@@ -63,6 +63,8 @@ StatusOr<std::shared_ptr<const ServableModel>> ServableModel::Create(
 StatusOr<ServableModel::RowResult> ServableModel::Predict(
     const std::vector<double>& gene_values) const {
   if (gene_values.size() < min_genes_) {
+    // NOLINT(hotpath: malformed-request reject — formatted once per bad
+    // request, never on the accepted per-row path)
     return Status::InvalidArgument(
         "row has " + std::to_string(gene_values.size()) +
         " genes but the model needs at least " + std::to_string(min_genes_));
@@ -74,6 +76,8 @@ StatusOr<ServableModel::RowResult> ServableModel::Predict(
   }
   // Exactly the batch path: DiscretizeRow is what Discretization::Apply
   // runs per row, so serving and topkrgs-classify agree bit for bit.
+  // NOLINT(hotpath: per-row itemset buffer; Predict is stateless by
+  // the lock-free serving contract, so there is no scratch to reuse)
   Bitset items(num_items_);
   for (ItemId item : disc_.DiscretizeRow(gene_values)) items.Set(item);
 
@@ -87,8 +91,11 @@ StatusOr<ServableModel::RowResult> ServableModel::Predict(
     if (!pred.used_default) {
       const std::vector<Rule>& rules =
           rcbt_->classifier_rules(pred.classifier_index);
+      // NOLINT(hotpath: explanation strings render once per matched
+      // rule, off the latency-critical label path)
       out.matched_rules.reserve(pred.matched_rules.size());
       for (uint32_t idx : pred.matched_rules) {
+        // NOLINT(hotpath: explanation rendering, as above)
         out.matched_rules.push_back(RenderRule(rules[idx]));
       }
     }
@@ -98,10 +105,12 @@ StatusOr<ServableModel::RowResult> ServableModel::Predict(
     out.used_default = pred.used_default;
     out.classifier_index = pred.used_default ? 0 : 1;
     if (!pred.used_default) {
+      // NOLINT(hotpath: tiny per-prediction score vector, O(classes))
       out.scores.assign(static_cast<size_t>(pred.label) + 1, 0.0);
       out.scores[pred.label] = pred.confidence;
-      out.matched_rules.push_back(
-          RenderRule(cba_->rules()[static_cast<size_t>(pred.matched_rule)]));
+      // NOLINT(hotpath: explanation rendering, as above)
+      out.matched_rules.push_back(RenderRule(
+          cba_->rules()[static_cast<size_t>(pred.matched_rule)]));
     }
   }
   return out;

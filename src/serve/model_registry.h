@@ -12,6 +12,7 @@
 #include "classify/rcbt.h"
 #include "discretize/entropy_discretizer.h"
 #include "serve/metrics.h"
+#include "util/hot_path.h"
 #include "util/lock_ranks.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -62,7 +63,8 @@ class ServableModel {
   /// must have at least min_genes() values (InvalidArgument otherwise) and
   /// every value must be finite. Deterministically identical to the batch
   /// CLI path (Discretization::Apply + classifier Predict).
-  StatusOr<RowResult> Predict(const std::vector<double>& gene_values) const;
+  TKRGS_HOT StatusOr<RowResult> Predict(
+      const std::vector<double>& gene_values) const;
 
  private:
   ServableModel() = default;

@@ -49,6 +49,28 @@ void Bitset::SubtractWith(const Bitset& other) {
                                      words_.size());
 }
 
+void Bitset::AssignIntersectionOf(const Bitset& a, const Bitset& b) {
+  TOPKRGS_CHECK(a.size_ == b.size_, "bitset universe mismatch");
+  if (this == &a) {
+    IntersectWith(b);
+    return;
+  }
+  if (this == &b) {
+    IntersectWith(a);
+    return;
+  }
+  size_ = a.size_;
+  // Fused copy-and-AND: one pass instead of assign + and_inplace. The
+  // scalar loop computes the exact same words as every kernel tier, so
+  // the representation-blind hash/equality contract is untouched.
+  // NOLINT(hotpath: no-op once the scratch has seen this universe —
+  // the resize only ever grows up to the fixed word count)
+  words_.resize(a.words_.size());
+  for (size_t w = 0; w < words_.size(); ++w) {
+    words_[w] = a.words_[w] & b.words_[w];
+  }
+}
+
 size_t Bitset::IntersectCount(const Bitset& other) const {
   TOPKRGS_CHECK(size_ == other.size_, "bitset universe mismatch");
   return bk::ActiveKernels().and_popcount(words_.data(), other.words_.data(),

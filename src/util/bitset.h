@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/hot_path.h"
 #include "util/status.h"
 
 namespace topkrgs {
@@ -52,20 +53,24 @@ class Bitset {
   bool Any() const { return !None(); }
 
   /// In-place intersection: *this &= other.
-  void IntersectWith(const Bitset& other);
+  TKRGS_HOT void IntersectWith(const Bitset& other);
   /// In-place union: *this |= other.
   void UnionWith(const Bitset& other);
   /// In-place difference: *this &= ~other.
   void SubtractWith(const Bitset& other);
 
+  /// *this = a & b, reusing this bitset's word storage — no allocation
+  /// once capacity covers a's universe. Aliasing with a or b is allowed.
+  TKRGS_HOT void AssignIntersectionOf(const Bitset& a, const Bitset& b);
+
   /// |*this & other| without materializing the intersection.
-  size_t IntersectCount(const Bitset& other) const;
+  TKRGS_HOT size_t IntersectCount(const Bitset& other) const;
 
   /// True iff *this ⊆ other. Early-exits on the first violating word.
-  bool IsSubsetOf(const Bitset& other) const;
+  TKRGS_HOT bool IsSubsetOf(const Bitset& other) const;
 
   /// True iff the two sets share at least one element.
-  bool Intersects(const Bitset& other) const;
+  TKRGS_HOT bool Intersects(const Bitset& other) const;
 
   /// Index of the lowest set bit, or size() when empty.
   size_t FindFirst() const;

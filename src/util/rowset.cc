@@ -126,7 +126,7 @@ void Difference(const uint32_t* a, size_t na, const uint32_t* b, size_t nb,
 
 }  // namespace sorted
 
-RowSet RowSet::DenseFrom(Bitset bits) {
+RowSet RowSet::DenseFrom(Bitset&& bits) {
   RowSet out;
   out.repr_ = Repr::kDense;
   out.universe_ = bits.size();
@@ -214,6 +214,68 @@ RowSet RowSet::IntersectAdaptive(const Bitset& other) const {
   out.count_ = count;
   out.bits_ = std::move(result);
   return out;
+}
+
+void RowSet::IntersectAdaptiveInto(const Bitset& other, RowSet* out) const {
+  TOPKRGS_CHECK(universe_ == other.size(), "rowset universe mismatch");
+  TKRGS_DCHECK(out != this, "IntersectAdaptiveInto must not alias its input");
+  out->universe_ = universe_;
+  if (repr_ == Repr::kSparse) {
+    // The result only shrinks, so a sparse input stays sparse; refilling
+    // out->ids_ in place keeps its capacity from earlier, larger probes.
+    out->repr_ = Repr::kSparse;
+    out->ids_.clear();
+    for (const uint32_t id : ids_) {
+      // NOLINT(hotpath: refills the caller's retained capacity — the
+      // whole point of the Into form; amortized zero across probes)
+      if (other.Test(id)) out->ids_.push_back(id);
+    }
+    out->count_ = out->ids_.size();
+    return;
+  }
+  const size_t count = bits_.IntersectCount(other);
+  if (PreferSparse(count, universe_)) {
+    out->repr_ = Repr::kSparse;
+    out->ids_.clear();
+    out->ids_.reserve(count);  // NOLINT(hotpath: retained capacity)
+    bits_.ForEach([&](size_t r) {
+      // NOLINT(hotpath: within the reservation above; amortized zero)
+      // NOLINT(cast: ForEach yields bit positions < universe, a uint32)
+      if (other.Test(r)) out->ids_.push_back(static_cast<uint32_t>(r));
+    });
+    out->count_ = count;
+    return;
+  }
+  out->repr_ = Repr::kDense;
+  out->count_ = count;
+  out->bits_.AssignIntersectionOf(bits_, other);
+}
+
+RowSet RowSet::IntersectOf(const Bitset& a, const Bitset& b) {
+  RowSet out;
+  IntersectOfInto(a, b, &out);
+  return out;
+}
+
+void RowSet::IntersectOfInto(const Bitset& a, const Bitset& b, RowSet* out) {
+  TOPKRGS_CHECK(a.size() == b.size(), "bitset universe mismatch");
+  out->universe_ = a.size();
+  const size_t count = a.IntersectCount(b);
+  if (PreferSparse(count, a.size())) {
+    out->repr_ = Repr::kSparse;
+    out->ids_.clear();
+    out->ids_.reserve(count);  // NOLINT(hotpath: retained capacity)
+    a.ForEach([&](size_t r) {
+      // NOLINT(hotpath: within the reservation above; amortized zero)
+      // NOLINT(cast: ForEach yields bit positions < universe, a uint32)
+      if (b.Test(r)) out->ids_.push_back(static_cast<uint32_t>(r));
+    });
+    out->count_ = count;
+    return;
+  }
+  out->repr_ = Repr::kDense;
+  out->count_ = count;
+  out->bits_.AssignIntersectionOf(a, b);
 }
 
 std::vector<uint32_t> RowSet::ToVector() const {

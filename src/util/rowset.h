@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "util/bitset.h"
+#include "util/hot_path.h"
 
 namespace topkrgs {
 
@@ -61,8 +62,10 @@ class RowSet {
 
   RowSet() = default;
 
-  /// Wraps an existing bitset without converting (always dense).
-  static RowSet DenseFrom(Bitset bits);
+  /// Wraps an existing bitset without converting (always dense). Takes
+  /// an rvalue so the full-bitmap copy a by-value sink hid is explicit
+  /// at the call site: write DenseFrom(Bitset(bits)) to copy on purpose.
+  static RowSet DenseFrom(Bitset&& bits);
 
   /// Takes an ascending duplicate-free id list (always sparse).
   static RowSet SparseFrom(std::vector<uint32_t> ids, size_t universe);
@@ -92,20 +95,34 @@ class RowSet {
   bool None() const { return count_ == 0; }
   bool Any() const { return count_ != 0; }
 
-  bool Test(uint32_t pos) const;
+  TKRGS_HOT bool Test(uint32_t pos) const;
 
   /// |*this ∩ other| against a dense bitmap of the same universe.
-  size_t IntersectCount(const Bitset& other) const;
+  TKRGS_HOT size_t IntersectCount(const Bitset& other) const;
 
   /// True iff *this ⊆ other. Sparse path is O(Count()).
-  bool IsSubsetOf(const Bitset& other) const;
+  TKRGS_HOT bool IsSubsetOf(const Bitset& other) const;
 
   /// True iff the sets share an element.
-  bool Intersects(const Bitset& other) const;
+  TKRGS_HOT bool Intersects(const Bitset& other) const;
 
   /// *this ∩ other as a new RowSet, re-deciding the representation of
   /// the (never larger) result by density.
   RowSet IntersectAdaptive(const Bitset& other) const;
+
+  /// IntersectAdaptive into *out, reusing out's id-array / bitmap
+  /// capacity: the zero-allocation steady state of the enumeration and
+  /// probe loops. out must not alias this.
+  TKRGS_HOT void IntersectAdaptiveInto(const Bitset& other, RowSet* out) const;
+
+  /// a ∩ b as a density-adaptive rowset, without first copying either
+  /// input the way DenseFrom(Bitset(a)) + IntersectAdaptive would.
+  static RowSet IntersectOf(const Bitset& a, const Bitset& b);
+
+  /// IntersectOf into *out, reusing out's capacity (see
+  /// IntersectAdaptiveInto).
+  TKRGS_HOT static void IntersectOfInto(const Bitset& a, const Bitset& b,
+                                        RowSet* out);
 
   /// Invokes fn(index) for every element in ascending order.
   template <typename Fn>

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <deque>
 
+#include "util/hot_path.h"
 #include "util/lock_ranks.h"
 #include "util/thread_annotations.h"
 
@@ -45,7 +46,7 @@ class WorkStealDeque {
 
   /// Owner side: removes and returns the newest entry, or nullptr when
   /// empty (LIFO — the task pushed last comes back first).
-  T PopBottom() {
+  TKRGS_HOT T PopBottom() {
     MutexLock lock(mu_);
     if (items_.empty()) return nullptr;
     T task = items_.back();
@@ -56,7 +57,7 @@ class WorkStealDeque {
 
   /// Thief side: removes and returns the oldest entry, or nullptr when
   /// empty (FIFO — steals take the task the owner has had queued longest).
-  T StealTop() {
+  TKRGS_HOT T StealTop() {
     MutexLock lock(mu_);
     if (items_.empty()) return nullptr;
     T task = items_.front();

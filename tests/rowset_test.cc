@@ -251,7 +251,7 @@ TEST(RowSetTest, RepresentationsAgreeOnEveryOperation) {
       const size_t target = rng.NextBounded(universe + 1);
       const auto ids = RandomSortedIds(rng, universe, target);
       const Bitset bits = BitsetOf(ids, universe);
-      const RowSet dense = RowSet::DenseFrom(bits);
+      const RowSet dense = RowSet::DenseFrom(Bitset(bits));
       const RowSet sparse = RowSet::SparseFrom(ids, universe);
       const Bitset other =
           BitsetOf(RandomSortedIds(rng, universe,

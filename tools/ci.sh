@@ -16,22 +16,29 @@
 #           no sanitizer report. When clang is available the stage also
 #           runs each libFuzzer target for a short time-boxed exploration.
 #
-#   lint  — static-analysis gate (DESIGN.md §11–12). Always runs the
-#           dependency-free checks: tools/lint/check_includes.py (IWYU-lite
-#           over src/), the determinism linter self-test + gate
-#           (tools/lint/determinism_lint.py — unordered iteration, pointer
+#   lint  — static-analysis gate (DESIGN.md §11–12, §16). Runs every
+#           dependency-free Python check through the
+#           tools/lint/run_all.py orchestrator (per-check wall-time,
+#           one compile_commands.json export, failures collected rather
+#           than masking each other): include discipline
+#           (check_includes.py), the determinism linter self-test + gate
+#           (determinism_lint.py — unordered iteration, pointer
 #           keys, ambient entropy and unordered FP reductions in the
 #           deterministic zones, with a shrink-only baseline), the cast
-#           linter self-test + gate (tools/lint/cast_lint.py — unchecked
+#           linter self-test + gate (cast_lint.py — unchecked
 #           integer narrowing, C-casts and signed/size comparisons across
 #           src/, shrink-only baseline, src/serve and src/synth pinned at
-#           zero), the
-#           redundant-work-ratio gate (tools/lint/redundancy_gate.py —
+#           zero), the bench-gate self-tests (gate_selftest.py — the
+#           redundancy/RSS/coverage gates against pass/fail/vacuous
+#           fixtures, so a broken gate can never silently pass), the
+#           redundant-work-ratio gate (redundancy_gate.py —
 #           8-thread nodes_visited over serial, ceiling 1.15, from the
 #           committed bench/BENCH_topk.json), the out-of-core RSS gate
-#           (tools/lint/rss_gate.py — mine peak RSS within its
+#           (rss_gate.py — mine peak RSS within its
 #           --memory-budget and shard-count-invariant digests, from the
-#           committed bench/BENCH_scale.json), and a
+#           committed bench/BENCH_scale.json), and the hot-path purity
+#           lint self-test + gate (astlint.py, see the astlint stage).
+#           Then a
 #           warnings-as-errors build of the lint preset, which also
 #           enforces -Werror=unused-result on the [[nodiscard]] Status
 #           surface. When a clang toolchain is on PATH it additionally
@@ -43,6 +50,18 @@
 #           proof the TKRGS_LIFETIME_BOUND/GSL annotations still bite;
 #           without clang those sub-checks print a skip notice instead of
 #           failing.
+#
+#   astlint — hot-path purity gate (DESIGN.md §16) on its own:
+#           tools/lint/astlint.py --self-test (the hazard/clean fixture
+#           pair must still trip every check), then the call-graph lint
+#           over src/ — no allocation, high-rank locks, blocking I/O,
+#           expensive implicit copies, or formatted Status construction
+#           reachable from any TKRGS_HOT root without a justified
+#           NOLINT(hotpath: ...). Uses libclang over the lint preset's
+#           compile_commands.json when the clang Python bindings are
+#           importable; otherwise falls back to the internal tokenizer
+#           frontend with an explicit notice (the checks still run, the
+#           call graph is textual rather than AST-exact).
 #
 #   analyze — clang static analyzer (--analyze, the scan-build engine)
 #           over every src/ TU in the lint preset's compile_commands.json,
@@ -93,7 +112,7 @@
 #           shut it down cleanly (SIGTERM). Also builds the release preset
 #           load-generator bench and refreshes bench/BENCH_serve.json.
 #
-# Usage: tools/ci.sh [lint|analyze|coverage|ubsan|intsan|tsan|fuzz|simd|scale|serve|all]
+# Usage: tools/ci.sh [lint|astlint|analyze|coverage|ubsan|intsan|tsan|fuzz|simd|scale|serve|all]
 #        [extra ctest -R pattern]
 
 set -euo pipefail
@@ -103,27 +122,16 @@ STAGE="${1:-all}"
 FUZZ_SECONDS="${FUZZ_SECONDS:-60}"
 
 run_lint() {
-  echo "== include discipline (tools/lint/check_includes.py) =="
-  python3 tools/lint/check_includes.py
-
-  echo "== determinism linter self-test (fixture must still trip every check) =="
-  python3 tools/lint/determinism_lint.py --self-test
-  echo "== determinism lint over the deterministic zones =="
-  python3 tools/lint/determinism_lint.py
-
-  echo "== cast linter self-test (fixture must still trip every check) =="
-  python3 tools/lint/cast_lint.py --self-test
-  echo "== cast lint over src/ (narrowing casts, C-casts, signed/size) =="
-  python3 tools/lint/cast_lint.py
-
-  echo "== redundant-work-ratio gate (tools/lint/redundancy_gate.py) =="
-  python3 tools/lint/redundancy_gate.py
-
-  echo "== out-of-core RSS gate (tools/lint/rss_gate.py) =="
-  python3 tools/lint/rss_gate.py
-
   echo "== configure (lint preset: warnings-as-errors, compile_commands) =="
   cmake --preset lint >/dev/null
+
+  # Every Python lint and gate — include discipline, determinism, cast,
+  # the bench-record gates plus their self-tests, and the hot-path
+  # purity lint — runs through the orchestrator, which times each check
+  # and prints a summary instead of stopping at the first failure. It
+  # reuses the compile_commands.json the configure above just exported.
+  python3 tools/lint/run_all.py
+
   echo "== warnings-as-errors build (-Werror, -Werror=unused-result) =="
   cmake --build --preset lint -j
 
@@ -183,6 +191,23 @@ run_lint() {
   fi
   echo "lint gate passed: include discipline clean, determinism lint clean," \
        "warnings-as-errors build green."
+}
+
+run_astlint() {
+  # Hot-path purity gate on its own (the lint stage also runs it via
+  # run_all.py): self-test first, then the call-graph lint over src/.
+  # With libclang the call graph is AST-exact; without it astlint's
+  # internal frontend still enforces every check and prints an explicit
+  # notice that the analysis is textual on this machine.
+  if [ ! -f build-lint/compile_commands.json ]; then
+    echo "== configure (lint preset, for compile_commands.json) =="
+    cmake --preset lint >/dev/null
+  fi
+  echo "== astlint self-test (hot-path fixture pair must still trip every check) =="
+  python3 tools/lint/astlint.py --self-test
+  echo "== hot-path purity gate (tools/lint/astlint.py) =="
+  python3 tools/lint/astlint.py --compile-commands build-lint/compile_commands.json
+  echo "astlint gate done."
 }
 
 run_analyze() {
@@ -409,6 +434,7 @@ PY
 
 case "${STAGE}" in
   lint) run_lint ;;
+  astlint) run_astlint ;;
   analyze) run_analyze ;;
   coverage) run_coverage ;;
   ubsan) run_ubsan ;;
@@ -420,6 +446,7 @@ case "${STAGE}" in
   serve) run_serve ;;
   all)
     run_lint
+    run_astlint
     run_analyze
     run_tsan "${2:-TopkParallel|ThreadSafety|WorkStealDeque}"
     run_ubsan

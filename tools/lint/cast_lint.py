@@ -45,16 +45,20 @@ tools/lint/testdata/cast_fixture.cc and checks the findings against the
 fixture's inline `EXPECT-FINDING:` annotations, so the gate demonstrably
 still catches an intentionally introduced narrowing hazard.
 
+Shared plumbing (fingerprints, NOLINT parsing, baseline policy,
+self-test harness) lives in tools/lint/lintlib.py.
+
 Exit code 0 = clean (or skip), 1 = findings/stale baseline, 2 = usage.
 """
 
 import argparse
-import hashlib
 import os
 import re
 import sys
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+import lintlib
+from lintlib import REPO_ROOT
+
 BASELINE_PATH = os.path.join(REPO_ROOT, "tools/lint/cast_baseline.txt")
 FIXTURE_PATH = os.path.join(REPO_ROOT, "tools/lint/testdata/cast_fixture.cc")
 
@@ -89,121 +93,23 @@ C_CAST_RE = re.compile(
 SIGNED_SIZE_RE = re.compile(
     r"for\s*\(\s*(?:int|int32_t|int64_t|long|ssize_t|ptrdiff_t)\s+\w+\s*=[^;]*;"
     r"[^;]*[<>]=?\s*[\w.>-]*\bsize\s*\(\s*\)")
-NOLINT_RE = re.compile(r"NOLINT\(cast(?::\s*(.*?))?\)", re.DOTALL)
-EXPECT_RE = re.compile(r"EXPECT-FINDING:\s*([\w,-]+)")
 
-
-class Finding:
-    def __init__(self, path, line_number, check, message, code_line):
-        self.path = path  # repo-relative
-        self.line_number = line_number
-        self.check = check
-        self.message = message
-        self.code_line = code_line
-
-    def fingerprint(self):
-        normalized = re.sub(r"\s+", " ", self.code_line.strip())
-        digest = hashlib.sha1(
-            f"{self.path}|{self.check}|{normalized}".encode()).hexdigest()
-        return f"{self.path}:{self.check}:{digest[:12]}"
-
-    def render(self):
-        return (f"{self.path}:{self.line_number}: [{self.check}] "
-                f"{self.message}\n    {self.code_line.strip()}")
-
-
-def split_code_comment(line, in_block_comment):
-    """Returns (code, comment, in_block_comment_after).
-
-    Good enough for lint purposes: handles // and /* */ and skips string
-    literals so e.g. a "(int)" inside a message never matches.
-    """
-    code = []
-    comment = []
-    i = 0
-    n = len(line)
-    in_string = None  # quote char when inside a literal
-    while i < n:
-        c = line[i]
-        nxt = line[i + 1] if i + 1 < n else ""
-        if in_block_comment:
-            if c == "*" and nxt == "/":
-                in_block_comment = False
-                i += 2
-                continue
-            comment.append(c)
-            i += 1
-            continue
-        if in_string:
-            if c == "\\":
-                i += 2
-                continue
-            if c == in_string:
-                in_string = None
-            i += 1
-            continue
-        if c in ("\"", "'"):
-            in_string = c
-            code.append(c)
-            i += 1
-            continue
-        if c == "/" and nxt == "/":
-            comment.append(line[i + 2:])
-            break
-        if c == "/" and nxt == "*":
-            in_block_comment = True
-            i += 2
-            continue
-        code.append(c)
-        i += 1
-    return "".join(code), "".join(comment), in_block_comment
-
-
-class FileAnalysis:
-    """Per-file pass: code/comment split plus the NOLINT map."""
-
-    def __init__(self, path, text):
-        self.path = path
-        self.raw_lines = text.splitlines()
-        self.code_lines = []
-        self.comment_lines = []
-        in_block = False
-        for raw in self.raw_lines:
-            code, comment, in_block = split_code_comment(raw, in_block)
-            self.code_lines.append(code)
-            self.comment_lines.append(comment)
-
-    def nolint_for(self, line_index):
-        """NOLINT(cast...) match covering raw_lines[line_index]: same
-        line, or anywhere in the contiguous comment block above. The
-        block is joined before matching so a justification may wrap over
-        several comment lines."""
-        block = [self.comment_lines[line_index]]
-        i = line_index - 1
-        while i >= 0 and self.code_lines[i].strip() == "" and (
-                self.comment_lines[i] != "" or self.raw_lines[i].strip() == ""):
-            block.append(self.comment_lines[i])
-            i -= 1
-        return NOLINT_RE.search("\n".join(reversed(block)))
+BASELINE_HEADER = (
+    "Cast-lint baseline (tools/lint/cast_lint.py).",
+    "This file must only shrink: entries park PRE-EXISTING",
+    "findings; new hazards fail the gate outright, and fixed",
+    "ones make their entry stale (also an error) until removed.",
+    "src/serve and src/synth are zero-baseline zones: no entry",
+    "may name them.",
+)
 
 
 def analyze_file(repo_path, text, findings):
     if repo_path in CAST_ALLOWLIST:
         return
-    fa = FileAnalysis(repo_path, text)
-
-    def emit(idx, check, message):
-        nolint = fa.nolint_for(idx)
-        if nolint is not None:
-            if nolint.group(1) is None or not nolint.group(1).strip():
-                findings.append(Finding(
-                    repo_path, idx + 1, "nolint-needs-justification",
-                    "NOLINT(cast) requires a justification: "
-                    "NOLINT(cast: <the bound that makes this safe>)",
-                    fa.raw_lines[idx]))
-            return
-        findings.append(Finding(repo_path, idx + 1, check, message,
-                                fa.raw_lines[idx]))
+    fa = lintlib.FileAnalysis(repo_path, text, nolint_tag="cast")
+    emit = lintlib.make_emitter(fa, findings, "cast",
+                                "<the bound that makes this safe>")
 
     for idx, code in enumerate(fa.code_lines):
         stripped = code.strip()
@@ -229,80 +135,6 @@ def analyze_file(repo_path, text, findings):
                  "against a checked-signed bound")
 
 
-def zone_files(root):
-    out = []
-    for zone in CAST_ZONES:
-        zone_dir = os.path.join(root, zone)
-        for dirpath, _, filenames in os.walk(zone_dir):
-            for name in sorted(filenames):
-                if name.endswith((".cc", ".h", ".cpp", ".hpp")):
-                    full = os.path.join(dirpath, name)
-                    out.append(os.path.relpath(full, root))
-    return sorted(out)
-
-
-def load_baseline(path):
-    entries = set()
-    if not os.path.exists(path):
-        return entries
-    with open(path, encoding="utf-8") as f:
-        for line in f:
-            line = line.strip()
-            if line and not line.startswith("#"):
-                entries.add(line)
-    return entries
-
-
-def write_baseline(path, findings):
-    kept = [f2 for f2 in findings
-            if not f2.path.startswith(ZERO_BASELINE_DIRS)]
-    dropped = len(findings) - len(kept)
-    if dropped:
-        print(f"refusing to baseline {dropped} finding(s) in zero-baseline "
-              f"dirs ({', '.join(ZERO_BASELINE_DIRS)}) — fix or NOLINT them")
-    with open(path, "w", encoding="utf-8") as f:
-        f.write("# Cast-lint baseline (tools/lint/cast_lint.py).\n")
-        f.write("# This file must only shrink: entries park PRE-EXISTING\n")
-        f.write("# findings; new hazards fail the gate outright, and fixed\n")
-        f.write("# ones make their entry stale (also an error) until removed.\n")
-        f.write("# src/serve and src/synth are zero-baseline zones: no entry\n")
-        f.write("# may name them.\n")
-        for finding in sorted(f2.fingerprint() for f2 in kept):
-            f.write(finding + "\n")
-
-
-def run_self_test():
-    if not os.path.exists(FIXTURE_PATH):
-        print(f"self-test fixture missing: {FIXTURE_PATH}")
-        return 1
-    with open(FIXTURE_PATH, encoding="utf-8") as f:
-        text = f.read()
-    rel = os.path.relpath(FIXTURE_PATH, REPO_ROOT)
-    findings = []
-    analyze_file(rel, text, findings)
-    found = {(f2.line_number, f2.check) for f2 in findings}
-    expected = set()
-    for idx, line in enumerate(text.splitlines()):
-        m = EXPECT_RE.search(line)
-        if m:
-            for check in m.group(1).split(","):
-                expected.add((idx + 1, check.strip()))
-    ok = True
-    for missing in sorted(expected - found):
-        print(f"self-test FAIL: expected finding not produced: "
-              f"{rel}:{missing[0]} [{missing[1]}]")
-        ok = False
-    for extra in sorted(found - expected):
-        print(f"self-test FAIL: unexpected finding: "
-              f"{rel}:{extra[0]} [{extra[1]}]")
-        ok = False
-    if ok:
-        print(f"cast-lint self-test OK: {len(expected)} expected "
-              f"findings produced, no extras, NOLINT escape respected")
-        return 0
-    return 1
-
-
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--self-test", action="store_true",
@@ -316,9 +148,10 @@ def main():
     args = parser.parse_args()
 
     if args.self_test:
-        return run_self_test()
+        return lintlib.run_expect_self_test(FIXTURE_PATH, analyze_file,
+                                            "cast-lint")
 
-    files = args.files or zone_files(REPO_ROOT)
+    files = args.files or lintlib.zone_files(REPO_ROOT, CAST_ZONES)
     findings = []
     for rel in files:
         full = os.path.join(REPO_ROOT, rel)
@@ -329,19 +162,18 @@ def main():
             analyze_file(rel, f.read(), findings)
 
     if args.update_baseline:
-        write_baseline(BASELINE_PATH, findings)
+        lintlib.write_baseline(BASELINE_PATH, findings, BASELINE_HEADER,
+                               ZERO_BASELINE_DIRS)
         print(f"baseline rewritten")
         return 0
 
-    baseline = load_baseline(BASELINE_PATH)
+    baseline = lintlib.load_baseline(BASELINE_PATH)
     for entry in sorted(baseline):
         if entry.startswith(ZERO_BASELINE_DIRS):
             print(f"cast lint: baseline entry in a zero-baseline dir "
                   f"(src/serve, src/synth must stay clean): {entry}")
             return 1
-    current = {f2.fingerprint(): f2 for f2 in findings}
-    new = [f2 for fp, f2 in sorted(current.items()) if fp not in baseline]
-    stale = sorted(baseline - set(current))
+    new, stale, suppressed = lintlib.diff_against_baseline(findings, baseline)
 
     failed = False
     if new:
@@ -361,7 +193,6 @@ def main():
         for entry in stale:
             print(f"  {entry}")
     if not failed:
-        suppressed = len(current) - len(new)
         print(f"cast lint clean: {len(files)} zone files, "
               f"{suppressed} baselined finding(s), 0 new, 0 stale")
     return 1 if failed else 0

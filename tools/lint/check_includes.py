@@ -18,11 +18,16 @@ The symbol map is deliberately curated: every entry must be distinctive
 enough to grep for (std::string but not std::string_view). Extending the
 map is encouraged; weakening a finding belongs in the per-file allowlist
 below with a justification, mirroring the NOLINT policy of DESIGN.md §11.
+
+The comment/string stripper is shared with the other lints via
+tools/lint/lintlib.py.
 """
 
 import re
 import sys
 from pathlib import Path
+
+from lintlib import strip_comments_and_strings
 
 SRC = Path(__file__).resolve().parent.parent.parent / "src"
 
@@ -98,13 +103,6 @@ ALLOW_UNUSED = {
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<([^>]+)>|"([^"]+)")')
-
-
-def strip_comments_and_strings(text: str) -> str:
-    text = re.sub(r"//[^\n]*", "", text)
-    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
-    text = re.sub(r'"(\\.|[^"\\])*"', '""', text)
-    return text
 
 
 def guard_name(rel: Path) -> str:

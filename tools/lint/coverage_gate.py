@@ -96,6 +96,33 @@ def per_directory(lines_by_file):
             for d, (c, t) in stats.items()}
 
 
+def check_floors(stats, floors):
+    """Pure floor check: stats from per_directory, floors from the JSON.
+
+    Returns (failed, report_lines, note_lines) — the directories below
+    floor, the per-floor "ok/LOW" report in sorted order, and the
+    unfloored-directory notes. tools/lint/gate_selftest.py drives this
+    directly with synthetic inputs.
+    """
+    failed = []
+    report_lines = []
+    for d, floor in sorted(floors.items()):
+        covered, total, pct = stats.get(d, (0, 0, 0.0))
+        ok = pct >= floor
+        mark = "ok " if ok else "LOW"
+        report_lines.append(
+            f"{mark} {d}: {pct:5.1f}% ({covered}/{total} lines), "
+            f"floor {floor}")
+        if not ok:
+            failed.append(d)
+    note_lines = []
+    for d in sorted(set(stats) - set(floors)):
+        _, _, pct = stats[d]
+        note_lines.append(
+            f"note: {d} at {pct:.1f}% has no floor yet (add one to ratchet)")
+    return failed, report_lines, note_lines
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", default=os.path.join(
@@ -141,18 +168,11 @@ def main():
                   "it must stay covered", file=sys.stderr)
             return 1
 
-    failed = []
-    for d, floor in sorted(floors.items()):
-        covered, total, pct = stats.get(d, (0, 0, 0.0))
-        ok = pct >= floor
-        mark = "ok " if ok else "LOW"
-        print(f"{mark} {d}: {pct:5.1f}% ({covered}/{total} lines), "
-              f"floor {floor}")
-        if not ok:
-            failed.append(d)
-    for d in sorted(set(stats) - set(floors)):
-        _, _, pct = stats[d]
-        print(f"note: {d} at {pct:.1f}% has no floor yet (add one to ratchet)")
+    failed, report_lines, note_lines = check_floors(stats, floors)
+    for line in report_lines:
+        print(line)
+    for line in note_lines:
+        print(line)
     if failed:
         print(f"coverage gate: {len(failed)} director"
               f"{'y' if len(failed) == 1 else 'ies'} below floor: "

@@ -50,19 +50,24 @@ tools/lint/testdata/determinism_fixture.cc and checks the findings
 against the fixture's inline `EXPECT-FINDING:` annotations, so the gate
 demonstrably still catches an intentionally introduced hazard.
 
+Shared plumbing (fingerprints, NOLINT parsing, baseline policy,
+self-test harness) lives in tools/lint/lintlib.py.
+
 Exit code 0 = clean (or skip), 1 = findings/stale baseline, 2 = usage.
 """
 
 import argparse
-import hashlib
 import json
 import os
 import re
 import sys
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+import lintlib
+from lintlib import REPO_ROOT
+
 BASELINE_PATH = os.path.join(REPO_ROOT, "tools/lint/determinism_baseline.txt")
-FIXTURE_PATH = os.path.join(REPO_ROOT, "tools/lint/testdata/determinism_fixture.cc")
+FIXTURE_PATH = os.path.join(REPO_ROOT,
+                            "tools/lint/testdata/determinism_fixture.cc")
 
 DETERMINISTIC_ZONES = ("src/mine/", "src/core/", "src/classify/",
                        "src/scale/")
@@ -91,131 +96,31 @@ FP_REDUCTION_RES = [
     re.compile(r"\bstd::execution::par\w*\b"),
     re.compile(r"\bstd::(?:transform_)?reduce\s*\("),
 ]
-NOLINT_RE = re.compile(r"NOLINT\(determinism(?::\s*(.*?))?\)", re.DOTALL)
-EXPECT_RE = re.compile(r"EXPECT-FINDING:\s*([\w,-]+)")
 
-
-class Finding:
-    def __init__(self, path, line_number, check, message, code_line):
-        self.path = path  # repo-relative
-        self.line_number = line_number
-        self.check = check
-        self.message = message
-        self.code_line = code_line
-
-    def fingerprint(self):
-        normalized = re.sub(r"\s+", " ", self.code_line.strip())
-        digest = hashlib.sha1(
-            f"{self.path}|{self.check}|{normalized}".encode()).hexdigest()
-        return f"{self.path}:{self.check}:{digest[:12]}"
-
-    def render(self):
-        return (f"{self.path}:{self.line_number}: [{self.check}] "
-                f"{self.message}\n    {self.code_line.strip()}")
-
-
-def split_code_comment(line, in_block_comment):
-    """Returns (code, comment, in_block_comment_after).
-
-    Good enough for lint purposes: handles // and /* */ and skips string
-    literals so e.g. a "rand(" inside a message never matches.
-    """
-    code = []
-    comment = []
-    i = 0
-    n = len(line)
-    in_string = None  # quote char when inside a literal
-    while i < n:
-        c = line[i]
-        nxt = line[i + 1] if i + 1 < n else ""
-        if in_block_comment:
-            if c == "*" and nxt == "/":
-                in_block_comment = False
-                i += 2
-                continue
-            comment.append(c)
-            i += 1
-            continue
-        if in_string:
-            if c == "\\":
-                i += 2
-                continue
-            if c == in_string:
-                in_string = None
-            i += 1
-            continue
-        if c in ("\"", "'"):
-            in_string = c
-            code.append(c)
-            i += 1
-            continue
-        if c == "/" and nxt == "/":
-            comment.append(line[i + 2:])
-            break
-        if c == "/" and nxt == "*":
-            in_block_comment = True
-            i += 2
-            continue
-        code.append(c)
-        i += 1
-    return "".join(code), "".join(comment), in_block_comment
-
-
-class FileAnalysis:
-    """Per-file pass: code/comment split, NOLINT map, unordered names."""
-
-    def __init__(self, path, text):
-        self.path = path
-        self.raw_lines = text.splitlines()
-        self.code_lines = []
-        self.comment_lines = []
-        in_block = False
-        for raw in self.raw_lines:
-            code, comment, in_block = split_code_comment(raw, in_block)
-            self.code_lines.append(code)
-            self.comment_lines.append(comment)
-        self.unordered_names = set()
-        for code in self.code_lines:
-            m = UNORDERED_NAME_RE.search(code)
-            if m:
-                self.unordered_names.add(m.group(1))
-
-    def nolint_for(self, line_index):
-        """NOLINT(determinism...) match covering raw_lines[line_index]:
-        same line, or anywhere in the contiguous comment block above. The
-        block is joined before matching so a justification may wrap over
-        several comment lines."""
-        block = [self.comment_lines[line_index]]
-        i = line_index - 1
-        while i >= 0 and self.code_lines[i].strip() == "" and (
-                self.comment_lines[i] != "" or self.raw_lines[i].strip() == ""):
-            block.append(self.comment_lines[i])
-            i -= 1
-        return NOLINT_RE.search("\n".join(reversed(block)))
+BASELINE_HEADER = (
+    "Determinism-lint baseline (tools/lint/determinism_lint.py).",
+    "This file must only shrink: entries park PRE-EXISTING",
+    "findings; new hazards fail the gate outright, and fixed",
+    "ones make their entry stale (also an error) until removed.",
+)
 
 
 def analyze_file(repo_path, text, findings):
-    fa = FileAnalysis(repo_path, text)
+    fa = lintlib.FileAnalysis(repo_path, text, nolint_tag="determinism")
+    unordered_names = set()
+    for code in fa.code_lines:
+        m = UNORDERED_NAME_RE.search(code)
+        if m:
+            unordered_names.add(m.group(1))
     iteration_res = [
         re.compile(r"for\s*\(.*:\s*(?:\w+(?:\.|->))*" + re.escape(name) + r"\s*\)")
-        for name in fa.unordered_names
+        for name in unordered_names
     ] + [
         re.compile(r"\b" + re.escape(name) + r"\.(?:c|cr|r)?begin\s*\(")
-        for name in fa.unordered_names
+        for name in unordered_names
     ]
-
-    def emit(idx, check, message):
-        nolint = fa.nolint_for(idx)
-        if nolint is not None:
-            if nolint.group(1) is None or not nolint.group(1).strip():
-                findings.append(Finding(
-                    repo_path, idx + 1, "nolint-needs-justification",
-                    "NOLINT(determinism) requires a justification: "
-                    "NOLINT(determinism: <why this cannot leak order>)",
-                    fa.raw_lines[idx]))
-            return
-        findings.append(Finding(repo_path, idx + 1, check, message,
-                                fa.raw_lines[idx]))
+    emit = lintlib.make_emitter(fa, findings, "determinism",
+                                "<why this cannot leak order>")
 
     for idx, code in enumerate(fa.code_lines):
         stripped = code.strip()
@@ -258,40 +163,6 @@ def analyze_file(repo_path, text, findings):
                 break
 
 
-def zone_files(root):
-    out = []
-    for zone in DETERMINISTIC_ZONES:
-        zone_dir = os.path.join(root, zone)
-        for dirpath, _, filenames in os.walk(zone_dir):
-            for name in sorted(filenames):
-                if name.endswith((".cc", ".h", ".cpp", ".hpp")):
-                    full = os.path.join(dirpath, name)
-                    out.append(os.path.relpath(full, root))
-    return sorted(out)
-
-
-def load_baseline(path):
-    entries = set()
-    if not os.path.exists(path):
-        return entries
-    with open(path, encoding="utf-8") as f:
-        for line in f:
-            line = line.strip()
-            if line and not line.startswith("#"):
-                entries.add(line)
-    return entries
-
-
-def write_baseline(path, findings):
-    with open(path, "w", encoding="utf-8") as f:
-        f.write("# Determinism-lint baseline (tools/lint/determinism_lint.py).\n")
-        f.write("# This file must only shrink: entries park PRE-EXISTING\n")
-        f.write("# findings; new hazards fail the gate outright, and fixed\n")
-        f.write("# ones make their entry stale (also an error) until removed.\n")
-        for finding in sorted(f2.fingerprint() for f2 in findings):
-            f.write(finding + "\n")
-
-
 def check_compile_commands(args, files):
     path = args.compile_commands
     if path is None:
@@ -321,38 +192,6 @@ def check_compile_commands(args, files):
     return missing
 
 
-def run_self_test():
-    if not os.path.exists(FIXTURE_PATH):
-        print(f"self-test fixture missing: {FIXTURE_PATH}")
-        return 1
-    with open(FIXTURE_PATH, encoding="utf-8") as f:
-        text = f.read()
-    rel = os.path.relpath(FIXTURE_PATH, REPO_ROOT)
-    findings = []
-    analyze_file(rel, text, findings)
-    found = {(f2.line_number, f2.check) for f2 in findings}
-    expected = set()
-    for idx, line in enumerate(text.splitlines()):
-        m = EXPECT_RE.search(line)
-        if m:
-            for check in m.group(1).split(","):
-                expected.add((idx + 1, check.strip()))
-    ok = True
-    for missing in sorted(expected - found):
-        print(f"self-test FAIL: expected finding not produced: "
-              f"{rel}:{missing[0]} [{missing[1]}]")
-        ok = False
-    for extra in sorted(found - expected):
-        print(f"self-test FAIL: unexpected finding: "
-              f"{rel}:{extra[0]} [{extra[1]}]")
-        ok = False
-    if ok:
-        print(f"determinism-lint self-test OK: {len(expected)} expected "
-              f"findings produced, no extras, NOLINT escape respected")
-        return 0
-    return 1
-
-
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--self-test", action="store_true",
@@ -368,9 +207,10 @@ def main():
     args = parser.parse_args()
 
     if args.self_test:
-        return run_self_test()
+        return lintlib.run_expect_self_test(FIXTURE_PATH, analyze_file,
+                                            "determinism-lint")
 
-    files = args.files or zone_files(REPO_ROOT)
+    files = args.files or lintlib.zone_files(REPO_ROOT, DETERMINISTIC_ZONES)
     findings = []
     for rel in files:
         full = os.path.join(REPO_ROOT, rel)
@@ -383,14 +223,12 @@ def main():
     check_compile_commands(args, files)
 
     if args.update_baseline:
-        write_baseline(BASELINE_PATH, findings)
+        lintlib.write_baseline(BASELINE_PATH, findings, BASELINE_HEADER)
         print(f"baseline rewritten with {len(findings)} entries")
         return 0
 
-    baseline = load_baseline(BASELINE_PATH)
-    current = {f2.fingerprint(): f2 for f2 in findings}
-    new = [f2 for fp, f2 in sorted(current.items()) if fp not in baseline]
-    stale = sorted(baseline - set(current))
+    baseline = lintlib.load_baseline(BASELINE_PATH)
+    new, stale, suppressed = lintlib.diff_against_baseline(findings, baseline)
 
     failed = False
     if new:
@@ -409,7 +247,6 @@ def main():
         for entry in stale:
             print(f"  {entry}")
     if not failed:
-        suppressed = len(current) - len(new)
         print(f"determinism lint clean: {len(files)} zone files, "
               f"{suppressed} baselined finding(s), 0 new, 0 stale")
     return 1 if failed else 0

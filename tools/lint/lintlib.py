@@ -1,0 +1,257 @@
+"""Shared plumbing for the tools/lint analyzers.
+
+Every in-house lint (cast_lint.py, determinism_lint.py, astlint.py) and
+the include checker grew the same four mechanisms independently; this
+module is the single home for them:
+
+  * Finding / fingerprinting — a finding is keyed by
+    `path:check:sha1(path|check|normalized-code-line)[:12]`, so it
+    survives unrelated line-number churn but goes stale when the flagged
+    code itself changes.
+  * code/comment splitting — a line scanner that separates code from //
+    and /* */ comments and skips string literals, so a hazard spelled
+    inside a message string never matches and a NOLINT inside code never
+    suppresses.
+  * NOLINT-with-justification parsing — `// NOLINT(<tag>: <why>)` on the
+    flagged line or in the contiguous comment block directly above it.
+    The justification is mandatory; tools turn a bare NOLINT(<tag>) into
+    a nolint-needs-justification finding via the shared emitter.
+  * shrink-only baselines — baselined findings park PRE-EXISTING debt;
+    new findings always fail, fixed findings make their entry stale
+    (also a failure) until removed, and zero-baseline directories refuse
+    entries outright.
+  * EXPECT-FINDING self-tests — fixtures annotate the exact (line,
+    check) pairs the analyzer must produce; the harness fails on both
+    missing and unexpected findings.
+
+Behavioral contract: the fingerprint format and the NOLINT block-walk
+are shared verbatim from the original implementations — existing
+baselines must keep verifying unchanged.
+"""
+
+import hashlib
+import os
+import re
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+EXPECT_RE = re.compile(r"EXPECT-FINDING:\s*([\w,-]+)")
+
+
+class Finding:
+    def __init__(self, path, line_number, check, message, code_line):
+        self.path = path  # repo-relative
+        self.line_number = line_number
+        self.check = check
+        self.message = message
+        self.code_line = code_line
+
+    def fingerprint(self):
+        normalized = re.sub(r"\s+", " ", self.code_line.strip())
+        digest = hashlib.sha1(
+            f"{self.path}|{self.check}|{normalized}".encode()).hexdigest()
+        return f"{self.path}:{self.check}:{digest[:12]}"
+
+    def render(self):
+        return (f"{self.path}:{self.line_number}: [{self.check}] "
+                f"{self.message}\n    {self.code_line.strip()}")
+
+
+def split_code_comment(line, in_block_comment):
+    """Returns (code, comment, in_block_comment_after).
+
+    Good enough for lint purposes: handles // and /* */ and skips string
+    literals so e.g. a "rand(" inside a message never matches.
+    """
+    code = []
+    comment = []
+    i = 0
+    n = len(line)
+    in_string = None  # quote char when inside a literal
+    while i < n:
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if in_block_comment:
+            if c == "*" and nxt == "/":
+                in_block_comment = False
+                i += 2
+                continue
+            comment.append(c)
+            i += 1
+            continue
+        if in_string:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_string:
+                in_string = None
+            i += 1
+            continue
+        if c in ("\"", "'"):
+            in_string = c
+            code.append(c)
+            i += 1
+            continue
+        if c == "/" and nxt == "/":
+            comment.append(line[i + 2:])
+            break
+        if c == "/" and nxt == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        code.append(c)
+        i += 1
+    return "".join(code), "".join(comment), in_block_comment
+
+
+def strip_comments_and_strings(text):
+    """Whole-text variant used where per-line indices are not needed
+    (check_includes.py symbol scans)."""
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    text = re.sub(r'"(\\.|[^"\\])*"', '""', text)
+    return text
+
+
+class FileAnalysis:
+    """Per-file pass: code/comment split plus the NOLINT map for one
+    suppression tag ("cast", "determinism", "hotpath", ...)."""
+
+    def __init__(self, path, text, nolint_tag):
+        self.path = path
+        self.raw_lines = text.splitlines()
+        self.code_lines = []
+        self.comment_lines = []
+        in_block = False
+        for raw in self.raw_lines:
+            code, comment, in_block = split_code_comment(raw, in_block)
+            self.code_lines.append(code)
+            self.comment_lines.append(comment)
+        self.nolint_re = re.compile(
+            r"NOLINT\(" + re.escape(nolint_tag) + r"(?::\s*(.*?))?\)",
+            re.DOTALL)
+
+    def nolint_for(self, line_index):
+        """NOLINT(<tag>...) match covering raw_lines[line_index]: same
+        line, or anywhere in the contiguous comment block above. The
+        block is joined before matching so a justification may wrap over
+        several comment lines."""
+        block = [self.comment_lines[line_index]]
+        i = line_index - 1
+        while i >= 0 and self.code_lines[i].strip() == "" and (
+                self.comment_lines[i] != "" or self.raw_lines[i].strip() == ""):
+            block.append(self.comment_lines[i])
+            i -= 1
+        return self.nolint_re.search("\n".join(reversed(block)))
+
+
+def make_emitter(fa, findings, tag, justification_hint):
+    """Standard emit(idx, check, message): respects the NOLINT escape
+    hatch but converts a bare (justification-free) NOLINT into its own
+    nolint-needs-justification finding."""
+    def emit(idx, check, message):
+        nolint = fa.nolint_for(idx)
+        if nolint is not None:
+            if nolint.group(1) is None or not nolint.group(1).strip():
+                findings.append(Finding(
+                    fa.path, idx + 1, "nolint-needs-justification",
+                    f"NOLINT({tag}) requires a justification: "
+                    f"NOLINT({tag}: {justification_hint})",
+                    fa.raw_lines[idx]))
+            return
+        findings.append(Finding(fa.path, idx + 1, check, message,
+                                fa.raw_lines[idx]))
+    return emit
+
+
+def zone_files(root, zones, exts=(".cc", ".h", ".cpp", ".hpp")):
+    out = []
+    for zone in zones:
+        zone_dir = os.path.join(root, zone)
+        for dirpath, _, filenames in os.walk(zone_dir):
+            for name in sorted(filenames):
+                if name.endswith(exts):
+                    full = os.path.join(dirpath, name)
+                    out.append(os.path.relpath(full, root))
+    return sorted(out)
+
+
+def load_baseline(path):
+    entries = set()
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                entries.add(line)
+    return entries
+
+
+def write_baseline(path, findings, header_lines, zero_baseline_dirs=()):
+    """Rewrites a baseline file. Findings inside zero_baseline_dirs are
+    refused (those zones must stay clean, not parked)."""
+    kept = findings
+    if zero_baseline_dirs:
+        kept = [f2 for f2 in findings
+                if not f2.path.startswith(tuple(zero_baseline_dirs))]
+        dropped = len(findings) - len(kept)
+        if dropped:
+            print(f"refusing to baseline {dropped} finding(s) in "
+                  f"zero-baseline dirs ({', '.join(zero_baseline_dirs)}) — "
+                  "fix or NOLINT them")
+    with open(path, "w", encoding="utf-8") as f:
+        for line in header_lines:
+            f.write("# " + line + "\n")
+        for finding in sorted(f2.fingerprint() for f2 in kept):
+            f.write(finding + "\n")
+
+
+def diff_against_baseline(findings, baseline):
+    """Returns (new_findings, stale_entries, suppressed_count)."""
+    current = {f2.fingerprint(): f2 for f2 in findings}
+    new = [f2 for fp, f2 in sorted(current.items()) if fp not in baseline]
+    stale = sorted(baseline - set(current))
+    return new, stale, len(current) - len(new)
+
+
+def expected_findings(text):
+    """(line, check) pairs from the fixture's EXPECT-FINDING markers."""
+    expected = set()
+    for idx, line in enumerate(text.splitlines()):
+        m = EXPECT_RE.search(line)
+        if m:
+            for check in m.group(1).split(","):
+                expected.add((idx + 1, check.strip()))
+    return expected
+
+
+def run_expect_self_test(fixture_path, analyze_fn, label):
+    """Runs analyze_fn(repo_rel_path, text, findings) over the fixture
+    and diffs the produced (line, check) pairs against its EXPECT-FINDING
+    annotations. Returns a process exit code."""
+    if not os.path.exists(fixture_path):
+        print(f"self-test fixture missing: {fixture_path}")
+        return 1
+    with open(fixture_path, encoding="utf-8") as f:
+        text = f.read()
+    rel = os.path.relpath(fixture_path, REPO_ROOT)
+    findings = []
+    analyze_fn(rel, text, findings)
+    found = {(f2.line_number, f2.check) for f2 in findings}
+    expected = expected_findings(text)
+    ok = True
+    for missing in sorted(expected - found):
+        print(f"self-test FAIL: expected finding not produced: "
+              f"{rel}:{missing[0]} [{missing[1]}]")
+        ok = False
+    for extra in sorted(found - expected):
+        print(f"self-test FAIL: unexpected finding: "
+              f"{rel}:{extra[0]} [{extra[1]}]")
+        ok = False
+    if ok:
+        print(f"{label} self-test OK: {len(expected)} expected "
+              f"findings produced, no extras, NOLINT escape respected")
+        return 0
+    return 1

@@ -29,13 +29,18 @@ CEILING = 1.15
 GATED_THREADS = 8
 
 
-def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "bench/BENCH_topk.json"
-    with open(path) as f:
-        records = json.load(f)
+def evaluate(records, path):
+    """Applies the gate rules to already-parsed bench records.
 
+    Pure: no I/O, no printing — tools/lint/gate_selftest.py drives this
+    directly against fixture records. Returns (failures, skipped,
+    ok_lines, gated): the failure messages, the timed-out record labels,
+    the per-record "ok" report lines in record order, and the count of
+    records the ceiling actually gated.
+    """
     failures = []
     skipped = []
+    ok_lines = []
     gated = 0
     for rec in records:
         where = "{}/{} k={} threads={}".format(
@@ -63,15 +68,25 @@ def main() -> int:
                     "{}: redundant_work_ratio {:.3f} > ceiling {:.2f}".format(
                         where, ratio, CEILING))
             else:
-                print("  ok {}: ratio {:.3f}".format(where, ratio))
+                ok_lines.append("  ok {}: ratio {:.3f}".format(where, ratio))
 
-    for where in skipped:
-        print("  skipped (timed out): {}".format(where))
     if gated == 0:
         failures.append(
             "no completed {}-thread records found in {} — the gate is "
             "vacuous".format(GATED_THREADS, path))
+    return failures, skipped, ok_lines, gated
 
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench/BENCH_topk.json"
+    with open(path) as f:
+        records = json.load(f)
+
+    failures, skipped, ok_lines, gated = evaluate(records, path)
+    for line in ok_lines:
+        print(line)
+    for where in skipped:
+        print("  skipped (timed out): {}".format(where))
     if failures:
         print("redundancy gate FAILED:")
         for f in failures:

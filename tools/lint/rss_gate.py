@@ -28,13 +28,18 @@ import json
 import sys
 
 
-def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "bench/BENCH_scale.json"
-    with open(path) as f:
-        records = json.load(f)
+def evaluate(records, path):
+    """Applies the gate rules to already-parsed bench records.
 
+    Pure: no I/O, no printing — tools/lint/gate_selftest.py drives this
+    directly against fixture records. Returns (failures, skipped,
+    ok_lines, gated): the failure messages, the timed-out record labels,
+    the per-record "ok" report lines in record order, and the count of
+    completed mine records the budget actually gated.
+    """
     failures = []
     skipped = []
+    ok_lines = []
     gated = 0
     for rec in records:
         if rec.get("kind") != "mine":
@@ -71,18 +76,29 @@ def main() -> int:
                 "{}: peak RSS {} bytes > memory budget {} bytes".format(
                     where, rss_bytes, budget))
         else:
-            print("  ok {}: peak RSS {:.1f} MiB within budget {:.1f} MiB "
-                  "(matrix {:.1f} MiB)".format(
-                      where, rss_bytes / 2**20, budget / 2**20,
-                      materialized / 2**20))
+            ok_lines.append(
+                "  ok {}: peak RSS {:.1f} MiB within budget {:.1f} MiB "
+                "(matrix {:.1f} MiB)".format(
+                    where, rss_bytes / 2**20, budget / 2**20,
+                    materialized / 2**20))
 
-    for where in skipped:
-        print("  skipped (timed out): {}".format(where))
     if gated == 0:
         failures.append(
             "no completed mine records found in {} — the gate is "
             "vacuous".format(path))
+    return failures, skipped, ok_lines, gated
 
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench/BENCH_scale.json"
+    with open(path) as f:
+        records = json.load(f)
+
+    failures, skipped, ok_lines, gated = evaluate(records, path)
+    for line in ok_lines:
+        print(line)
+    for where in skipped:
+        print("  skipped (timed out): {}".format(where))
     if failures:
         print("rss gate FAILED:")
         for f in failures:
